@@ -1,0 +1,47 @@
+//! Ablation: memory-side L2 capacity per channel (Table 1 uses 128 kB).
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpusim::CacheConfig;
+use hetmem::runner::{run_workload, Capacity, Placement};
+use mempolicy::Mempolicy;
+
+fn bench(c: &mut Criterion) {
+    let opts = hetmem_bench::bench_opts();
+    let spec = opts.scale(workloads::catalog::by_name("xsbench").unwrap());
+    eprintln!("Ablation — L2 slice capacity vs relative performance (xsbench, LOCAL):");
+    let base = run_workload(
+        &spec,
+        &opts.sim,
+        Capacity::Unconstrained,
+        &Placement::Policy(Mempolicy::local()),
+    );
+    for kb in [32usize, 64, 128, 256, 512] {
+        let mut sim = opts.sim.clone();
+        sim.l2 = CacheConfig::new(kb * 1024, 8);
+        let run = run_workload(
+            &spec,
+            &sim,
+            Capacity::Unconstrained,
+            &Placement::Policy(Mempolicy::local()),
+        );
+        eprintln!(
+            "  {kb:>4} kB/slice: {:.3} (L2 hit rate {:.2})",
+            run.speedup_over(&base),
+            run.report.l2_hit_rate()
+        );
+    }
+    let mut big = opts.sim.clone();
+    big.l2 = CacheConfig::new(512 * 1024, 8);
+    c.bench_function("abl_l2/512kb_xsbench", |b| {
+        b.iter(|| {
+            run_workload(
+                &spec,
+                &big,
+                Capacity::Unconstrained,
+                &Placement::Policy(Mempolicy::local()),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Ablation: MSHR capacity. The paper (§3.2.1) argues its baseline MSHR
+//! count suffices to hide the extra interconnect hop; this sweep shows
+//! where latency tolerance collapses.
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetmem::runner::{run_workload, Capacity, Placement};
+use mempolicy::Mempolicy;
+
+fn bench(c: &mut Criterion) {
+    let opts = hetmem_bench::bench_opts();
+    let spec = opts.scale(workloads::catalog::by_name("lbm").unwrap());
+    eprintln!("Ablation — L2 MSHRs per slice vs relative performance (lbm, LOCAL):");
+    let base = run_workload(
+        &spec,
+        &opts.sim,
+        Capacity::Unconstrained,
+        &Placement::Policy(Mempolicy::local()),
+    );
+    for mshrs in [8usize, 16, 32, 64, 128, 256] {
+        let mut sim = opts.sim.clone();
+        sim.l2_mshrs = mshrs;
+        let run = run_workload(
+            &spec,
+            &sim,
+            Capacity::Unconstrained,
+            &Placement::Policy(Mempolicy::local()),
+        );
+        eprintln!(
+            "  {mshrs:>4} MSHRs: {:.3} (stalls {})",
+            run.speedup_over(&base),
+            run.report.mshr_stalls
+        );
+    }
+    let mut small = opts.sim.clone();
+    small.l2_mshrs = 16;
+    c.bench_function("abl_mshr/16_mshrs_lbm", |b| {
+        b.iter(|| {
+            run_workload(
+                &spec,
+                &small,
+                Capacity::Unconstrained,
+                &Placement::Policy(Mempolicy::local()),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Ablation: the paper's randomized BW-AWARE fast path (one RNG draw per
+//! allocation) vs exact round-robin-weighted placement. Shows the random
+//! draw converges to the same traffic split and performance.
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetmem::runner::{run_workload, Capacity, Placement};
+use hmtypes::Percent;
+use mempolicy::{Mempolicy, PolicyMode, ZoneId};
+
+/// Exact 30C-70B: deterministic 3-in-10 striping via INTERLEAVE over a
+/// 10-slot node pattern.
+fn exact_30c() -> Mempolicy {
+    let mut nodes = Vec::new();
+    for i in 0..10 {
+        nodes.push(if i < 3 { ZoneId::new(1) } else { ZoneId::new(0) });
+    }
+    Mempolicy::from_mode(PolicyMode::Interleave { nodes })
+}
+
+fn bench(c: &mut Criterion) {
+    let opts = hetmem_bench::bench_opts();
+    let spec = opts.scale(workloads::catalog::by_name("srad").unwrap());
+    let random = run_workload(
+        &spec,
+        &opts.sim,
+        Capacity::Unconstrained,
+        &Placement::Policy(Mempolicy::ratio_co(Percent::new(30))),
+    );
+    let exact = run_workload(
+        &spec,
+        &opts.sim,
+        Capacity::Unconstrained,
+        &Placement::Policy(exact_30c()),
+    );
+    eprintln!("Ablation — random-draw vs exact 30C-70B placement (srad):");
+    eprintln!(
+        "  random: CO traffic {:.3}, cycles {}",
+        random.report.pool_traffic_fraction(1),
+        random.report.cycles
+    );
+    eprintln!(
+        "  exact:  CO traffic {:.3}, cycles {}",
+        exact.report.pool_traffic_fraction(1),
+        exact.report.cycles
+    );
+    eprintln!(
+        "  exact/random performance: {:.3} (paper argues the random fast path suffices)",
+        random.report.cycles as f64 / exact.report.cycles as f64
+    );
+    c.bench_function("abl_random_vs_exact/random_srad", |b| {
+        b.iter(|| {
+            run_workload(
+                &spec,
+                &opts.sim,
+                Capacity::Unconstrained,
+                &Placement::Policy(Mempolicy::ratio_co(Percent::new(30))),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

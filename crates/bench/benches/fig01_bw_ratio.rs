@@ -1,0 +1,17 @@
+//! Fig. 1: prints the BW-Ratio table and benches topology derivation.
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpusim::SimConfig;
+
+fn bench(c: &mut Criterion) {
+    eprintln!("{}", hetmem::experiments::fig1());
+    let sim = SimConfig::paper_baseline();
+    c.bench_function("fig1/topology_and_sbit", |b| {
+        b.iter(|| {
+            let topo = hetmem::topology_for(&sim, &[4096, 16384]);
+            std::hint::black_box(topo.sbit().weights_per_mille())
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

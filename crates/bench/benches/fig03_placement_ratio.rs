@@ -1,0 +1,36 @@
+//! Fig. 3: prints the placement-ratio sweep (scaled) and benches one
+//! BW-AWARE run.
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetmem::runner::{run_workload, Capacity, Placement};
+use hmtypes::Percent;
+use mempolicy::Mempolicy;
+
+fn bench(c: &mut Criterion) {
+    let opts = hetmem_bench::bench_opts();
+    let t = hetmem::experiments::fig3(&opts);
+    eprintln!("{t}");
+    if let (Some(bwa), Some(inter)) = (
+        t.value("geomean", "30C-70B"),
+        t.value("geomean", "INTERLEAVE"),
+    ) {
+        eprintln!(
+            "BW-AWARE vs LOCAL {:+.1}%, vs INTERLEAVE {:+.1}% (paper: +18% / +35%)",
+            (bwa - 1.0) * 100.0,
+            (bwa / inter - 1.0) * 100.0
+        );
+    }
+    let spec = opts.scale(workloads::catalog::by_name("lbm").unwrap());
+    c.bench_function("fig3/bw_aware_run_lbm", |b| {
+        b.iter(|| {
+            run_workload(
+                &spec,
+                &opts.sim,
+                Capacity::Unconstrained,
+                &Placement::Policy(Mempolicy::ratio_co(Percent::new(30))),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Explore any (workload, policy, capacity) point interactively:
+//!
+//! ```text
+//! cargo run --release -p hetmem-bench --bin explore -- \
+//!     [workload] [local|interleave|bw-aware|oracle|annotated|<co_pct>] [capacity%]
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! explore xsbench bw-aware 100     # unconstrained BW-AWARE
+//! explore xsbench oracle 10        # two-phase oracle at 10% capacity
+//! explore bfs 30 50                # explicit 30C-70B at 50% capacity
+//! ```
+
+use gpusim::SimConfig;
+use hetmem::runner::{
+    hints_from_profile, profile_workload, run_workload, Capacity, Placement,
+};
+use hetmem::topology_for;
+use hmtypes::Percent;
+use mempolicy::Mempolicy;
+use workloads::catalog;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let workload = args.first().map(String::as_str).unwrap_or("bfs");
+    let policy = args.get(1).map(String::as_str).unwrap_or("bw-aware");
+    let capacity_pct: f64 = args
+        .get(2)
+        .map(|s| s.parse().expect("capacity must be a percentage"))
+        .unwrap_or(100.0);
+
+    let spec = catalog::by_name(workload).unwrap_or_else(|| {
+        panic!("unknown workload {workload}; options: {:?}", catalog::names())
+    });
+    let sim = SimConfig::paper_baseline();
+    let topo = topology_for(&sim, &[1, 1]);
+    let capacity = if capacity_pct >= 100.0 {
+        Capacity::Unconstrained
+    } else {
+        Capacity::FractionOfFootprint(capacity_pct / 100.0)
+    };
+
+    let placement = match policy {
+        "local" => Placement::Policy(Mempolicy::local()),
+        "interleave" => Placement::Policy(Mempolicy::interleave_all(&topo)),
+        "bw-aware" => Placement::Policy(Mempolicy::bw_aware_for(&topo)),
+        "oracle" => {
+            eprintln!("profiling pass...");
+            let (hist, _) = profile_workload(&spec, &sim);
+            Placement::Oracle(hist)
+        }
+        "annotated" => {
+            eprintln!("profiling pass...");
+            let (_, profile) = profile_workload(&spec, &sim);
+            Placement::Hinted(hints_from_profile(&profile, &spec, &sim, capacity))
+        }
+        pct => {
+            let co: u8 = pct.parse().unwrap_or_else(|_| {
+                panic!("policy must be local|interleave|bw-aware|oracle|annotated|<co_pct>")
+            });
+            Placement::Policy(Mempolicy::ratio_co(Percent::new(co)))
+        }
+    };
+
+    eprintln!(
+        "running {workload} under {policy} at {capacity_pct:.0}% BO capacity..."
+    );
+    let run = run_workload(&spec, &sim, capacity, &placement);
+    let r = &run.report;
+    let ghz = sim.sm_clock_ghz;
+
+    println!("workload          {workload} ({} structures, {:.1} MiB footprint)",
+        spec.structures.len(),
+        spec.footprint_bytes() as f64 / (1 << 20) as f64);
+    println!("placement         {policy}  |  BO budget {} of {} pages", run.bo_pages, run.footprint_pages);
+    println!("cycles            {}", r.cycles);
+    println!("runtime           {:.1} us", r.cycles as f64 / (ghz * 1e3));
+    println!("achieved BW       {}", r.achieved_bandwidth(ghz));
+    println!("DRAM traffic      {:.2} MiB  ({:.1}% from CO)",
+        r.dram_bytes() as f64 / (1 << 20) as f64,
+        r.pool_traffic_fraction(1) * 100.0);
+    println!("DRAM energy       {:.3} mJ", r.dram_energy_joules() * 1e3);
+    println!("L1 / L2 hit rate  {:.1}% / {:.1}%", r.l1_hit_rate() * 100.0, r.l2_hit_rate() * 100.0);
+    for p in &r.pools {
+        println!(
+            "  {:<8} {:>8.2} MiB read {:>8.2} MiB written  row-hit {:>4.1}%",
+            p.name,
+            p.bytes_read as f64 / (1 << 20) as f64,
+            p.bytes_written as f64 / (1 << 20) as f64,
+            p.row_hit_rate * 100.0
+        );
+    }
+    println!(
+        "pages mapped      {:?} (per zone)",
+        run.placement
+    );
+}

@@ -1,0 +1,10 @@
+//! Extension experiment: page-migration what-if (paper §5.5).
+fn main() {
+    let opts = hetmem_bench::opts_from_args();
+    let t = hetmem::ext_migration(&opts);
+    println!("{t}");
+    println!(
+        "Migration to oracle placement pays off only after several kernel\n\
+         invocations — the paper's argument for fixing initial placement first."
+    );
+}

@@ -1,0 +1,11 @@
+//! Extension experiment: online epoch-based migration (paper §5.5's
+//! open question, quantified).
+fn main() {
+    let opts = hetmem_bench::opts_from_args();
+    let t = hetmem::ext_online(&opts);
+    println!("{t}");
+    println!(
+        "Online migration tracks the hot set (compute cycles drop) but the\n\
+         copy cost often eats the gain within one pass — initial placement first."
+    );
+}

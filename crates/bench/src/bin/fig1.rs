@@ -1,0 +1,4 @@
+//! Prints Fig. 1: BW-Ratio of BO vs CO pools per system class.
+fn main() {
+    println!("{}", hetmem::experiments::fig1());
+}

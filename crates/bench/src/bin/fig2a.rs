@@ -1,0 +1,5 @@
+//! Regenerates Fig. 2a: performance sensitivity to memory bandwidth.
+fn main() {
+    let opts = hetmem_bench::opts_from_args();
+    println!("{}", hetmem::experiments::fig2a(&opts));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 2b: performance sensitivity to memory latency.
+fn main() {
+    let opts = hetmem_bench::opts_from_args();
+    println!("{}", hetmem::experiments::fig2b(&opts));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 4: BW-AWARE performance vs BO capacity fraction.
+fn main() {
+    let opts = hetmem_bench::opts_from_args();
+    println!("{}", hetmem::experiments::fig4(&opts));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 5: policy comparison across CO-pool bandwidths.
+fn main() {
+    let opts = hetmem_bench::opts_from_args();
+    println!("{}", hetmem::experiments::fig5(&opts));
+}

@@ -1,0 +1,27 @@
+//! Regenerates Fig. 7: CDF vs data-structure layout for bfs, mummergpu,
+//! and needle.
+fn main() {
+    let opts = hetmem_bench::opts_from_args();
+    for w in hetmem::experiments::fig7(&opts) {
+        println!(
+            "Fig. 7 — {} (top-10% pages carry {:.1}% of traffic; {:.1}% of pages never touched)",
+            w.name,
+            w.top10 * 100.0,
+            w.untouched_frac * 100.0
+        );
+        println!(
+            "  {:<24}{:>12}{:>12}{:>14}",
+            "structure", "footprint%", "traffic%", "hotness/byte"
+        );
+        for (name, fp, tr, hot) in &w.structures {
+            println!(
+                "  {:<24}{:>11.1}%{:>11.1}%{:>14.6}",
+                name,
+                fp * 100.0,
+                tr * 100.0,
+                hot
+            );
+        }
+        println!();
+    }
+}

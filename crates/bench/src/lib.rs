@@ -1,0 +1,80 @@
+//! # hetmem-bench — the benchmark harness
+//!
+//! One binary per table/figure of the paper (`cargo run --release -p
+//! hetmem-bench --bin fig3`) regenerates that experiment's rows at full
+//! scale, and one Criterion bench per table/figure
+//! (`cargo bench -p hetmem-bench`) prints a scaled-down version of the
+//! series and measures a representative run.
+//!
+//! Common flags for the binaries:
+//!
+//! * `--quick` — 4 SMs, 15% of memory operations, 3 workloads
+//! * `--scale <f>` — scale every workload's memory operations
+//! * `--sms <n>` — simulate `n` SMs instead of 15
+//! * `--workloads a,b,c` — restrict the workload set
+//! * `--quiet` — suppress per-run progress
+
+use hetmem::experiments::ExpOptions;
+
+/// Parses the common experiment flags from `std::env::args`.
+///
+/// # Panics
+///
+/// Panics with a usage message on malformed flags.
+pub fn opts_from_args() -> ExpOptions {
+    let mut opts = ExpOptions {
+        verbose: true,
+        ..ExpOptions::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => {
+                let verbose = opts.verbose;
+                opts = ExpOptions::quick();
+                opts.verbose = verbose;
+            }
+            "--scale" => {
+                let v = args.next().expect("--scale needs a value");
+                opts.ops_scale = v.parse().expect("--scale takes a float");
+            }
+            "--sms" => {
+                let v = args.next().expect("--sms needs a value");
+                opts.sim.num_sms = v.parse().expect("--sms takes an integer");
+            }
+            "--workloads" => {
+                let v = args.next().expect("--workloads needs a list");
+                opts.workloads = Some(v.split(',').map(str::to_string).collect());
+            }
+            "--quiet" => opts.verbose = false,
+            other => panic!("unknown flag {other}; see hetmem-bench docs"),
+        }
+    }
+    opts
+}
+
+/// The scaled-down options used inside Criterion benches so `cargo
+/// bench` finishes in minutes while still printing every series.
+pub fn bench_opts() -> ExpOptions {
+    let mut opts = ExpOptions::quick();
+    opts.workloads = Some(
+        ["bfs", "lbm", "sgemm", "comd", "xsbench", "needle"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    );
+    opts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_opts_are_scaled_down() {
+        let o = bench_opts();
+        assert!(o.ops_scale < 1.0);
+        assert!(o.sim.num_sms < 15);
+        assert_eq!(o.workloads.as_ref().unwrap().len(), 6);
+    }
+}

@@ -1,0 +1,772 @@
+//! Experiment drivers regenerating every table and figure of the
+//! paper's evaluation.
+//!
+//! Each `figN` function returns a [`Table`] (or richer data for the CDF
+//! figures) whose rows/series mirror what the paper plots; the
+//! `hetmem-bench` crate wraps each in a binary and a Criterion bench.
+//! Absolute numbers differ from the paper (different substrate); the
+//! *shapes* — who wins, by what factor, where crossovers fall — are the
+//! reproduction targets recorded in `EXPERIMENTS.md`.
+
+use gpusim::SimConfig;
+use hmtypes::{Bandwidth, Percent};
+use mempolicy::Mempolicy;
+use profiler::Cdf;
+use workloads::{catalog, WorkloadSpec};
+
+use crate::runner::{
+    geomean, hints_from_profile, profile_workload, run_workload, Capacity, Placement,
+};
+use crate::translate::topology_for;
+
+/// Options shared by all experiment drivers.
+#[derive(Debug, Clone)]
+pub struct ExpOptions {
+    /// The simulated machine (defaults to Table 1).
+    pub sim: SimConfig,
+    /// Scales every workload's `mem_ops` (1.0 = full scale; benches use
+    /// less).
+    pub ops_scale: f64,
+    /// Restrict to these workloads (`None` = all 19).
+    pub workloads: Option<Vec<String>>,
+    /// Print per-run progress to stderr.
+    pub verbose: bool,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        ExpOptions {
+            sim: SimConfig::paper_baseline(),
+            ops_scale: 1.0,
+            workloads: None,
+            verbose: false,
+        }
+    }
+}
+
+impl ExpOptions {
+    /// A scaled-down configuration for tests and smoke runs: 4 SMs,
+    /// ~15% of the memory operations, three representative workloads.
+    pub fn quick() -> Self {
+        let mut sim = SimConfig::paper_baseline();
+        sim.num_sms = 4;
+        ExpOptions {
+            sim,
+            ops_scale: 0.15,
+            workloads: Some(vec![
+                "bfs".to_string(),
+                "lbm".to_string(),
+                "sgemm".to_string(),
+            ]),
+            verbose: false,
+        }
+    }
+
+    /// The selected workload specs, ops-scaled.
+    pub fn specs(&self) -> Vec<WorkloadSpec> {
+        catalog::all()
+            .into_iter()
+            .filter(|w| {
+                self.workloads
+                    .as_ref()
+                    .is_none_or(|names| names.iter().any(|n| n == w.name))
+            })
+            .map(|w| self.scale(w))
+            .collect()
+    }
+
+    /// Applies the ops scale to one spec.
+    pub fn scale(&self, mut spec: WorkloadSpec) -> WorkloadSpec {
+        spec.mem_ops = ((spec.mem_ops as f64 * self.ops_scale) as u64).max(5_000);
+        spec
+    }
+
+    fn progress(&self, msg: &str) {
+        if self.verbose {
+            eprintln!("  [{msg}]");
+        }
+    }
+}
+
+/// A labelled numeric table: one row per workload (plus summary rows),
+/// one column per configuration — the shape every figure reduces to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Table caption (figure id and what it shows).
+    pub title: String,
+    /// Column headers (not counting the row-label column).
+    pub columns: Vec<String>,
+    /// `(row label, one value per column)`.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, columns: Vec<String>) -> Self {
+        Table {
+            title: title.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count differs from the column count.
+    pub fn push_row(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(values.len(), self.columns.len(), "row arity");
+        self.rows.push((label.into(), values));
+    }
+
+    /// Appends a geometric-mean summary row over the current rows.
+    pub fn push_geomean(&mut self) {
+        let cols = self.columns.len();
+        let values = (0..cols)
+            .map(|c| geomean(&self.rows.iter().map(|(_, v)| v[c]).collect::<Vec<_>>()))
+            .collect();
+        self.rows.push(("geomean".to_string(), values));
+    }
+
+    /// The value at `(row_label, column_label)`, if present.
+    pub fn value(&self, row: &str, column: &str) -> Option<f64> {
+        let c = self.columns.iter().position(|x| x == column)?;
+        let (_, vals) = self.rows.iter().find(|(l, _)| l == row)?;
+        vals.get(c).copied()
+    }
+}
+
+impl core::fmt::Display for Table {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let widths: Vec<usize> = self.columns.iter().map(|c| c.len().max(11) + 1).collect();
+        writeln!(f, "{}", self.title)?;
+        write!(f, "{:<22}", "")?;
+        for (c, w) in self.columns.iter().zip(&widths) {
+            write!(f, "{c:>w$}")?;
+        }
+        writeln!(f)?;
+        for (label, values) in &self.rows {
+            write!(f, "{label:<22}")?;
+            for (v, w) in values.iter().zip(&widths) {
+                write!(f, "{v:>w$.3}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Fig. 1: BW-Ratio of bandwidth- vs capacity-optimized memory for
+/// likely HPC, desktop, and mobile systems.
+pub fn fig1() -> Table {
+    let mut t = Table::new(
+        "Fig. 1 — BW-Ratio of BO vs CO memory pools per system class",
+        vec![
+            "BO GB/s".to_string(),
+            "CO GB/s".to_string(),
+            "BW-Ratio".to_string(),
+        ],
+    );
+    // (class, BO tech & aggregate bandwidth, CO tech & bandwidth).
+    let systems = [
+        ("HPC (4xHBM+DDR4)", 800.0, 100.0),
+        ("Desktop (GDDR5+DDR4)", 200.0, 80.0),
+        ("Mobile (WIO2+LPDDR4)", 51.2, 25.6),
+    ];
+    for (name, bo, co) in systems {
+        t.push_row(name, vec![bo, co, bo / co]);
+    }
+    t
+}
+
+/// Table 1: the simulated system configuration, formatted.
+pub fn table1(sim: &SimConfig) -> String {
+    let mut s = String::new();
+    use core::fmt::Write;
+    let _ = writeln!(s, "Table 1 — Simulation environment");
+    let _ = writeln!(
+        s,
+        "  GPU Cores        {} SMs @ {:.1} GHz",
+        sim.num_sms, sim.sm_clock_ghz
+    );
+    let _ = writeln!(
+        s,
+        "  L1 Caches        {} kB/SM, {} ways",
+        sim.l1.capacity_bytes / 1024,
+        sim.l1.ways
+    );
+    let _ = writeln!(
+        s,
+        "  L2 Caches        memory side, {} kB/DRAM channel, {} ways",
+        sim.l2.capacity_bytes / 1024,
+        sim.l2.ways
+    );
+    let _ = writeln!(s, "  L2 MSHRs         {} entries/L2 slice", sim.l2_mshrs);
+    for p in &sim.pools {
+        let _ = writeln!(
+            s,
+            "  {:<16} {} channels, {} aggregate, +{} cycles",
+            p.name, p.channels, p.bandwidth, p.extra_latency
+        );
+    }
+    let t = sim.pools[0].timing;
+    let _ = writeln!(
+        s,
+        "  DRAM timings     RCD={} RP={} RC={} CL=WR={} (SM cycles)",
+        t.rcd, t.rp, t.rc, t.cl
+    );
+    s
+}
+
+/// Fig. 2a: performance sensitivity to memory bandwidth. Each value is
+/// speedup relative to the 1.0× column under `LOCAL` placement.
+pub fn fig2a(opts: &ExpOptions) -> Table {
+    let factors = [0.5, 0.75, 1.0, 1.5, 2.0];
+    let mut t = Table::new(
+        "Fig. 2a — GPU performance sensitivity to bandwidth scaling (vs 1.0x)",
+        factors.iter().map(|f| format!("{f:.2}x")).collect(),
+    );
+    for spec in opts.specs() {
+        opts.progress(spec.name);
+        let runs: Vec<_> = factors
+            .iter()
+            .map(|&f| {
+                let sim = opts.sim.clone().with_bo_bandwidth_scaled(f);
+                run_workload(
+                    &spec,
+                    &sim,
+                    Capacity::Unconstrained,
+                    &Placement::Policy(Mempolicy::local()),
+                )
+            })
+            .collect();
+        let base = runs[2].report.cycles as f64;
+        t.push_row(
+            spec.name,
+            runs.iter().map(|r| base / r.report.cycles as f64).collect(),
+        );
+    }
+    t.push_geomean();
+    t
+}
+
+/// Fig. 2b: performance sensitivity to added memory latency. Values are
+/// speedup relative to the +0 column (≤ 1.0 means slowdown).
+pub fn fig2b(opts: &ExpOptions) -> Table {
+    let extra = [0u64, 100, 200, 400];
+    let mut t = Table::new(
+        "Fig. 2b — GPU performance sensitivity to added latency (vs +0)",
+        extra.iter().map(|e| format!("+{e}cyc")).collect(),
+    );
+    for spec in opts.specs() {
+        opts.progress(spec.name);
+        let runs: Vec<_> = extra
+            .iter()
+            .map(|&e| {
+                let sim = opts.sim.clone().with_extra_latency(e);
+                run_workload(
+                    &spec,
+                    &sim,
+                    Capacity::Unconstrained,
+                    &Placement::Policy(Mempolicy::local()),
+                )
+            })
+            .collect();
+        let base = runs[0].report.cycles as f64;
+        t.push_row(
+            spec.name,
+            runs.iter().map(|r| base / r.report.cycles as f64).collect(),
+        );
+    }
+    t.push_geomean();
+    t
+}
+
+/// Fig. 3: performance across `xC-yB` placement ratios plus the Linux
+/// `LOCAL` and `INTERLEAVE` policies, unconstrained capacity, normalized
+/// to `LOCAL`.
+pub fn fig3(opts: &ExpOptions) -> Table {
+    let ratios: [u8; 7] = [0, 10, 20, 30, 50, 70, 90];
+    let mut columns = vec!["LOCAL".to_string(), "INTERLEAVE".to_string()];
+    columns.extend(ratios.iter().map(|r| format!("{}C-{}B", r, 100 - r)));
+    let mut t = Table::new(
+        "Fig. 3 — placement-ratio sweep, unconstrained capacity (perf vs LOCAL)",
+        columns,
+    );
+    let topo = topology_for(&opts.sim, &[1, 1]);
+    for spec in opts.specs() {
+        opts.progress(spec.name);
+        let local = run_workload(
+            &spec,
+            &opts.sim,
+            Capacity::Unconstrained,
+            &Placement::Policy(Mempolicy::local()),
+        );
+        let inter = run_workload(
+            &spec,
+            &opts.sim,
+            Capacity::Unconstrained,
+            &Placement::Policy(Mempolicy::interleave_all(&topo)),
+        );
+        let mut values = vec![1.0, inter.speedup_over(&local)];
+        for &r in &ratios {
+            let run = run_workload(
+                &spec,
+                &opts.sim,
+                Capacity::Unconstrained,
+                &Placement::Policy(Mempolicy::ratio_co(Percent::new(r))),
+            );
+            values.push(run.speedup_over(&local));
+        }
+        t.push_row(spec.name, values);
+    }
+    t.push_geomean();
+    t
+}
+
+/// Fig. 4: BW-AWARE performance as BO capacity shrinks relative to the
+/// footprint, normalized to the 100% point per workload.
+pub fn fig4(opts: &ExpOptions) -> Table {
+    let fractions = [1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1];
+    let mut t = Table::new(
+        "Fig. 4 — BW-AWARE performance vs BO capacity (fraction of footprint)",
+        fractions
+            .iter()
+            .map(|f| format!("{:.0}%", f * 100.0))
+            .collect(),
+    );
+    let topo = topology_for(&opts.sim, &[1, 1]);
+    for spec in opts.specs() {
+        opts.progress(spec.name);
+        let runs: Vec<_> = fractions
+            .iter()
+            .map(|&f| {
+                run_workload(
+                    &spec,
+                    &opts.sim,
+                    Capacity::FractionOfFootprint(f),
+                    &Placement::Policy(Mempolicy::bw_aware_for(&topo)),
+                )
+            })
+            .collect();
+        let base = runs[0].report.cycles as f64;
+        t.push_row(
+            spec.name,
+            runs.iter().map(|r| base / r.report.cycles as f64).collect(),
+        );
+    }
+    t.push_geomean();
+    t
+}
+
+/// Fig. 5: policy comparison as CO bandwidth varies, geomean speedup
+/// over `LOCAL` at the paper's 80 GB/s baseline.
+pub fn fig5(opts: &ExpOptions) -> Table {
+    let co_gbps = [10.0, 40.0, 80.0, 120.0, 160.0, 200.0];
+    let mut t = Table::new(
+        "Fig. 5 — policies vs CO-pool bandwidth (geomean speedup over LOCAL@80)",
+        co_gbps.iter().map(|b| format!("{b:.0}GB/s")).collect(),
+    );
+    let specs = opts.specs();
+    // Per-workload LOCAL baseline at 80 GB/s CO (the Table 1 machine).
+    let baselines: Vec<f64> = specs
+        .iter()
+        .map(|spec| {
+            run_workload(
+                spec,
+                &opts.sim,
+                Capacity::Unconstrained,
+                &Placement::Policy(Mempolicy::local()),
+            )
+            .report
+            .cycles as f64
+        })
+        .collect();
+
+    /// A named policy constructor over a topology.
+    type NamedPolicy = (&'static str, fn(&mempolicy::NumaTopology) -> Mempolicy);
+    let policies: [NamedPolicy; 3] = [
+        ("LOCAL", |_| Mempolicy::local()),
+        ("INTERLEAVE", Mempolicy::interleave_all),
+        ("BW-AWARE", Mempolicy::bw_aware_for),
+    ];
+    for (name, make_policy) in policies {
+        opts.progress(name);
+        let mut values = Vec::new();
+        for &bw in &co_gbps {
+            let sim = opts.sim.clone().with_co_bandwidth(Bandwidth::from_gbps(bw));
+            let topo = topology_for(&sim, &[1, 1]);
+            let speedups: Vec<f64> = specs
+                .iter()
+                .zip(&baselines)
+                .map(|(spec, &base)| {
+                    let run = run_workload(
+                        spec,
+                        &sim,
+                        Capacity::Unconstrained,
+                        &Placement::Policy(make_policy(&topo)),
+                    );
+                    base / run.report.cycles as f64
+                })
+                .collect();
+            values.push(geomean(&speedups));
+        }
+        t.push_row(name, values);
+    }
+    t
+}
+
+/// Fig. 6: the per-workload bandwidth CDFs, plus a summary table of
+/// traffic concentration (share of DRAM traffic from the hottest 10%
+/// and 30% of pages).
+pub fn fig6(opts: &ExpOptions) -> (Vec<(String, Cdf)>, Table) {
+    let mut cdfs = Vec::new();
+    let mut t = Table::new(
+        "Fig. 6 — page access CDF summary (traffic share of hottest pages)",
+        vec![
+            "top10%".to_string(),
+            "top30%".to_string(),
+            "pages".to_string(),
+        ],
+    );
+    for spec in opts.specs() {
+        opts.progress(spec.name);
+        let (hist, _) = profile_workload(&spec, &opts.sim);
+        let cdf = hist.cdf();
+        t.push_row(
+            spec.name,
+            vec![
+                cdf.traffic_in_top(0.10),
+                cdf.traffic_in_top(0.30),
+                hist.touched_pages() as f64,
+            ],
+        );
+        cdfs.push((spec.name.to_string(), cdf));
+    }
+    (cdfs, t)
+}
+
+/// Fig. 7 result for one workload: the per-structure attribution that
+/// the CDF-vs-address scatter is colored by.
+#[derive(Debug, Clone)]
+pub struct Fig7Workload {
+    /// Workload name.
+    pub name: String,
+    /// Per structure: (name, footprint share, traffic share, hotness/byte).
+    pub structures: Vec<(String, f64, f64, f64)>,
+    /// Traffic share of the hottest 10% of pages.
+    pub top10: f64,
+    /// Fraction of allocated pages never touched.
+    pub untouched_frac: f64,
+}
+
+/// Fig. 7: CDF vs virtual-address layout for `bfs`, `mummergpu`, and
+/// `needle` (the paper's three contrasting examples).
+pub fn fig7(opts: &ExpOptions) -> Vec<Fig7Workload> {
+    ["bfs", "mummergpu", "needle"]
+        .iter()
+        .map(|name| {
+            opts.progress(name);
+            let spec = opts.scale(catalog::by_name(name).expect("catalog workload"));
+            let (hist, profile) = profile_workload(&spec, &opts.sim);
+            let footprint: u64 = spec.structures.iter().map(|s| s.bytes).sum();
+            let structures = profile
+                .structures()
+                .iter()
+                .map(|s| {
+                    (
+                        s.range.name.clone(),
+                        s.range.bytes() as f64 / footprint as f64,
+                        s.traffic_share,
+                        s.hotness,
+                    )
+                })
+                .collect();
+            let allocated_pages: u64 = spec.structures.iter().map(|s| s.pages()).sum();
+            Fig7Workload {
+                name: name.to_string(),
+                structures,
+                top10: hist.cdf().traffic_in_top(0.10),
+                untouched_frac: 1.0 - hist.touched_pages() as f64 / allocated_pages as f64,
+            }
+        })
+        .collect()
+}
+
+/// Fig. 8: oracle vs BW-AWARE placement, unconstrained and at 10% BO
+/// capacity, normalized to unconstrained BW-AWARE.
+pub fn fig8(opts: &ExpOptions) -> Table {
+    let mut t = Table::new(
+        "Fig. 8 — oracle vs BW-AWARE, unconstrained & 10% capacity (vs BW-AWARE@100%)",
+        vec![
+            "BWA@100%".to_string(),
+            "Oracle@100%".to_string(),
+            "BWA@10%".to_string(),
+            "Oracle@10%".to_string(),
+        ],
+    );
+    let topo = topology_for(&opts.sim, &[1, 1]);
+    for spec in opts.specs() {
+        opts.progress(spec.name);
+        let (hist, _) = profile_workload(&spec, &opts.sim);
+        let bwa = Placement::Policy(Mempolicy::bw_aware_for(&topo));
+        let oracle = Placement::Oracle(hist);
+        let base = run_workload(&spec, &opts.sim, Capacity::Unconstrained, &bwa);
+        let runs = [
+            run_workload(&spec, &opts.sim, Capacity::Unconstrained, &oracle),
+            run_workload(&spec, &opts.sim, Capacity::FractionOfFootprint(0.10), &bwa),
+            run_workload(
+                &spec,
+                &opts.sim,
+                Capacity::FractionOfFootprint(0.10),
+                &oracle,
+            ),
+        ];
+        t.push_row(
+            spec.name,
+            std::iter::once(1.0)
+                .chain(runs.iter().map(|r| r.speedup_over(&base)))
+                .collect(),
+        );
+    }
+    t.push_geomean();
+    t
+}
+
+/// Fig. 10: annotation-hinted placement vs INTERLEAVE, BW-AWARE, and
+/// oracle at 10% BO capacity, normalized to INTERLEAVE.
+pub fn fig10(opts: &ExpOptions) -> Table {
+    let mut t = Table::new(
+        "Fig. 10 — profile-annotated placement at 10% capacity (vs INTERLEAVE)",
+        vec![
+            "INTERLEAVE".to_string(),
+            "BW-AWARE".to_string(),
+            "Annotated".to_string(),
+            "Oracle".to_string(),
+        ],
+    );
+    let cap = Capacity::FractionOfFootprint(0.10);
+    let topo = topology_for(&opts.sim, &[1, 1]);
+    for spec in opts.specs() {
+        opts.progress(spec.name);
+        let (hist, profile) = profile_workload(&spec, &opts.sim);
+        let hints = hints_from_profile(&profile, &spec, &opts.sim, cap);
+        let inter = run_workload(
+            &spec,
+            &opts.sim,
+            cap,
+            &Placement::Policy(Mempolicy::interleave_all(&topo)),
+        );
+        let bwa = run_workload(
+            &spec,
+            &opts.sim,
+            cap,
+            &Placement::Policy(Mempolicy::bw_aware_for(&topo)),
+        );
+        let annotated = run_workload(&spec, &opts.sim, cap, &Placement::Hinted(hints));
+        let oracle = run_workload(&spec, &opts.sim, cap, &Placement::Oracle(hist));
+        t.push_row(
+            spec.name,
+            vec![
+                1.0,
+                bwa.speedup_over(&inter),
+                annotated.speedup_over(&inter),
+                oracle.speedup_over(&inter),
+            ],
+        );
+    }
+    t.push_geomean();
+    t
+}
+
+/// Fig. 11: hint robustness across input datasets. Hints are computed
+/// from dataset 0 (training); each row is one (workload, dataset) pair
+/// with speedups over that dataset's INTERLEAVE run.
+pub fn fig11(opts: &ExpOptions) -> Table {
+    let mut t = Table::new(
+        "Fig. 11 — annotated placement across datasets, trained on dataset 0 (vs INTERLEAVE)",
+        vec![
+            "INTERLEAVE".to_string(),
+            "BW-AWARE".to_string(),
+            "Annotated".to_string(),
+            "Oracle".to_string(),
+        ],
+    );
+    let cap = Capacity::FractionOfFootprint(0.10);
+    let topo = topology_for(&opts.sim, &[1, 1]);
+    for name in ["bfs", "xsbench", "minife", "mummergpu"] {
+        let sets: Vec<WorkloadSpec> = catalog::datasets(name)
+            .into_iter()
+            .map(|s| opts.scale(s))
+            .collect();
+        // Train on dataset 0.
+        opts.progress(&format!("{name}: training"));
+        let (_, train_profile) = profile_workload(&sets[0], &opts.sim);
+        for (i, spec) in sets.iter().enumerate().skip(1) {
+            opts.progress(&format!("{name}: dataset {i}"));
+            let hints = hints_from_profile(&train_profile, spec, &opts.sim, cap);
+            let (eval_hist, _) = profile_workload(spec, &opts.sim);
+            let inter = run_workload(
+                spec,
+                &opts.sim,
+                cap,
+                &Placement::Policy(Mempolicy::interleave_all(&topo)),
+            );
+            let bwa = run_workload(
+                spec,
+                &opts.sim,
+                cap,
+                &Placement::Policy(Mempolicy::bw_aware_for(&topo)),
+            );
+            let annotated = run_workload(spec, &opts.sim, cap, &Placement::Hinted(hints));
+            let oracle = run_workload(spec, &opts.sim, cap, &Placement::Oracle(eval_hist));
+            t.push_row(
+                format!("{name}/ds{i}"),
+                vec![
+                    1.0,
+                    bwa.speedup_over(&inter),
+                    annotated.speedup_over(&inter),
+                    oracle.speedup_over(&inter),
+                ],
+            );
+        }
+    }
+    t.push_geomean();
+    t
+}
+
+/// Extension: DRAM access energy per placement policy (the paper's §2.1
+/// motivation — GDDR5 costs significantly more energy per access than
+/// DDR4 — quantified for the placement policies). Energy in millijoules;
+/// the last column is BW-AWARE's energy-delay product relative to LOCAL
+/// (< 1 means BW-AWARE is better on both axes combined).
+pub fn ext_energy(opts: &ExpOptions) -> Table {
+    let mut t = Table::new(
+        "Extension — DRAM access energy by placement policy (mJ; EDP vs LOCAL)",
+        vec![
+            "LOCAL".to_string(),
+            "INTERLEAVE".to_string(),
+            "BW-AWARE".to_string(),
+            "BWA EDP/LOCAL".to_string(),
+        ],
+    );
+    let topo = topology_for(&opts.sim, &[1, 1]);
+    let ghz = opts.sim.sm_clock_ghz;
+    for spec in opts.specs() {
+        opts.progress(spec.name);
+        let runs: Vec<_> = [
+            Mempolicy::local(),
+            Mempolicy::interleave_all(&topo),
+            Mempolicy::bw_aware_for(&topo),
+        ]
+        .into_iter()
+        .map(|p| {
+            run_workload(&spec, &opts.sim, Capacity::Unconstrained, &Placement::Policy(p))
+        })
+        .collect();
+        let edp_rel = runs[2].report.energy_delay_product(ghz)
+            / runs[0].report.energy_delay_product(ghz);
+        t.push_row(
+            spec.name,
+            vec![
+                runs[0].report.dram_energy_joules() * 1e3,
+                runs[1].report.dram_energy_joules() * 1e3,
+                runs[2].report.dram_energy_joules() * 1e3,
+                edp_rel,
+            ],
+        );
+    }
+    t.push_geomean();
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ext_energy_bw_aware_wins_edp() {
+        // Moving 30% of traffic to the lower-energy DDR4 pool reduces
+        // DRAM energy while also being faster: EDP must clearly favor
+        // BW-AWARE for a bandwidth-bound workload.
+        let mut opts = ExpOptions::quick();
+        opts.workloads = Some(vec!["lbm".to_string()]);
+        let t = ext_energy(&opts);
+        let local = t.value("lbm", "LOCAL").unwrap();
+        let bwa = t.value("lbm", "BW-AWARE").unwrap();
+        assert!(bwa < local, "BW-AWARE energy {bwa} vs LOCAL {local}");
+        assert!(t.value("lbm", "BWA EDP/LOCAL").unwrap() < 0.9);
+    }
+
+    #[test]
+    fn fig1_ratios_match_paper_classes() {
+        let t = fig1();
+        assert_eq!(t.rows.len(), 3);
+        let hpc = t.value("HPC (4xHBM+DDR4)", "BW-Ratio").unwrap();
+        let desktop = t.value("Desktop (GDDR5+DDR4)", "BW-Ratio").unwrap();
+        let mobile = t.value("Mobile (WIO2+LPDDR4)", "BW-Ratio").unwrap();
+        assert!(hpc >= 8.0);
+        assert!((desktop - 2.5).abs() < 1e-12);
+        assert!((mobile - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table1_mentions_all_parts() {
+        let s = table1(&SimConfig::paper_baseline());
+        for needle in [
+            "15 SMs",
+            "16 kB/SM",
+            "128 kB/DRAM channel",
+            "GDDR5",
+            "DDR4",
+            "128 entries",
+        ] {
+            assert!(s.contains(needle), "missing {needle} in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn table_push_and_lookup() {
+        let mut t = Table::new("t", vec!["a".to_string(), "b".to_string()]);
+        t.push_row("r1", vec![2.0, 8.0]);
+        t.push_row("r2", vec![8.0, 2.0]);
+        t.push_geomean();
+        assert_eq!(t.value("geomean", "a"), Some(4.0));
+        assert_eq!(t.value("r1", "b"), Some(8.0));
+        assert_eq!(t.value("nope", "a"), None);
+        let shown = t.to_string();
+        assert!(shown.contains("geomean"));
+    }
+
+    #[test]
+    fn quick_fig3_shape() {
+        // The core claim at small scale: for a bandwidth-bound workload
+        // the 30C-70B column beats LOCAL and INTERLEAVE.
+        let mut opts = ExpOptions::quick();
+        opts.workloads = Some(vec!["lbm".to_string()]);
+        let t = fig3(&opts);
+        let bwa = t.value("lbm", "30C-70B").unwrap();
+        let inter = t.value("lbm", "INTERLEAVE").unwrap();
+        assert!(bwa > 1.02, "BW-AWARE vs LOCAL: {bwa}");
+        assert!(bwa > inter, "BW-AWARE {bwa} vs INTERLEAVE {inter}");
+    }
+
+    #[test]
+    fn quick_fig2_sensitivity_classes() {
+        let mut opts = ExpOptions::quick();
+        opts.workloads = Some(vec![
+            "lbm".to_string(),
+            "sgemm".to_string(),
+            "comd".to_string(),
+        ]);
+        let a = fig2a(&opts);
+        // lbm scales with bandwidth; comd does not.
+        assert!(a.value("lbm", "2.00x").unwrap() > 1.25);
+        assert!(a.value("comd", "2.00x").unwrap() < 1.10);
+        let b = fig2b(&opts);
+        // sgemm suffers from latency; lbm tolerates it.
+        assert!(b.value("sgemm", "+400cyc").unwrap() < 0.75);
+        assert!(b.value("lbm", "+400cyc").unwrap() > 0.85);
+    }
+}

@@ -1,0 +1,418 @@
+//! The experiment engine: run one workload under one placement strategy.
+//!
+//! This is the glue every figure of the paper is regenerated through:
+//! allocate the workload's data structures through the runtime, apply a
+//! placement strategy (an OS policy, profile-derived hints, or the
+//! two-phase oracle), simulate, and report.
+
+use std::rc::Rc;
+
+use gpusim::{SimConfig, SimReport, Simulator};
+use hmtypes::{MemKind, PageNum};
+use mempolicy::{Mempolicy, ZoneId};
+use profiler::{get_allocation, MemHint, OraclePlacement, PageHistogram, RunProfile};
+use workloads::{TraceProgram, WorkloadSpec};
+
+use crate::runtime::HmRuntime;
+use crate::translate::{topology_for, OsTranslator};
+
+/// How much bandwidth-optimized capacity the machine has, relative to
+/// the workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Capacity {
+    /// BO comfortably holds the whole footprint (the paper's §3 setting).
+    Unconstrained,
+    /// BO holds only this fraction of the application footprint (the
+    /// paper's §4/§5 setting; 0.10 for the headline experiments).
+    FractionOfFootprint(f64),
+}
+
+impl Capacity {
+    /// Concrete BO page budget for a given footprint.
+    pub fn bo_pages(self, footprint_pages: u64) -> u64 {
+        match self {
+            // Headroom beyond the footprint so guard gaps never constrain.
+            Capacity::Unconstrained => footprint_pages + 64,
+            Capacity::FractionOfFootprint(f) => {
+                assert!((0.0..=1.0).contains(&f), "fraction out of range");
+                ((footprint_pages as f64 * f).ceil() as u64).max(1)
+            }
+        }
+    }
+}
+
+/// A placement strategy for one run.
+#[derive(Debug, Clone)]
+pub enum Placement {
+    /// Fault pages in under an OS policy (`LOCAL`, `INTERLEAVE`,
+    /// `BW-AWARE`, or any explicit `xC-yB` ratio).
+    Policy(Mempolicy),
+    /// Per-structure hints, in allocation order (paper §5; produce them
+    /// with [`hints_from_profile`] or [`profiler::get_allocation`]).
+    Hinted(Vec<MemHint>),
+    /// Perfect-knowledge placement from a profiling pass (paper §4.2):
+    /// hottest pages into BO until the bandwidth-service target or BO
+    /// capacity is reached.
+    Oracle(PageHistogram),
+}
+
+/// Result of one workload run.
+#[derive(Debug, Clone)]
+pub struct WorkloadRun {
+    /// The simulator's report.
+    pub report: SimReport,
+    /// Mapped pages per zone after the run.
+    pub placement: Vec<u64>,
+    /// The workload's footprint in pages.
+    pub footprint_pages: u64,
+    /// The BO page budget the run had.
+    pub bo_pages: u64,
+    /// The named allocation ranges of the run (profiler input).
+    pub ranges: Vec<profiler::AllocRange>,
+}
+
+impl WorkloadRun {
+    /// Relative performance vs `baseline` (`baseline.cycles / cycles`).
+    pub fn speedup_over(&self, baseline: &WorkloadRun) -> f64 {
+        self.report.speedup_over(&baseline.report)
+    }
+}
+
+/// The BW-AWARE bandwidth-service target for the BO pool
+/// (`bB / (bB + bC)` from the simulated machine's pools).
+pub fn bo_traffic_target(sim: &SimConfig) -> f64 {
+    let bo: f64 = sim
+        .pools
+        .iter()
+        .filter(|p| p.kind == MemKind::BandwidthOptimized)
+        .map(|p| p.bandwidth.bytes_per_sec())
+        .sum();
+    let total: f64 = sim.pools.iter().map(|p| p.bandwidth.bytes_per_sec()).sum();
+    if total == 0.0 {
+        0.0
+    } else {
+        bo / total
+    }
+}
+
+/// Runs `spec` on `sim` with the given BO capacity and placement.
+///
+/// # Panics
+///
+/// Panics if the strategy is [`Placement::Hinted`] with the wrong number
+/// of hints, or if the simulated machine runs out of total memory.
+pub fn run_workload(
+    spec: &WorkloadSpec,
+    sim: &SimConfig,
+    capacity: Capacity,
+    placement: &Placement,
+) -> WorkloadRun {
+    run_workload_impl(spec, sim, capacity, placement, false)
+}
+
+/// Like [`run_workload`], additionally collecting the per-page DRAM
+/// access histogram (slower; used by profiling passes).
+pub fn run_workload_profiled(
+    spec: &WorkloadSpec,
+    sim: &SimConfig,
+    capacity: Capacity,
+    placement: &Placement,
+) -> WorkloadRun {
+    run_workload_impl(spec, sim, capacity, placement, true)
+}
+
+fn run_workload_impl(
+    spec: &WorkloadSpec,
+    sim: &SimConfig,
+    capacity: Capacity,
+    placement: &Placement,
+    profile_pages: bool,
+) -> WorkloadRun {
+    spec.validate();
+    let footprint_pages = spec.footprint_pages();
+    let bo_pages = capacity.bo_pages(footprint_pages);
+    // The CO pool always holds the spill (the paper's systems never OOM:
+    // CO is the high-capacity pool).
+    let co_pages = footprint_pages + 64;
+    let topo = topology_for(sim, &[bo_pages, co_pages]);
+    let mut rt = HmRuntime::new(topo.clone());
+
+    match placement {
+        Placement::Policy(p) => {
+            rt.set_policy(p.clone());
+            for s in &spec.structures {
+                rt.malloc(s.name, s.bytes).expect("allocation");
+            }
+        }
+        Placement::Hinted(hints) => {
+            assert_eq!(
+                hints.len(),
+                spec.structures.len(),
+                "one hint per structure"
+            );
+            for (s, &h) in spec.structures.iter().zip(hints) {
+                rt.malloc_with_hint(s.name, s.bytes, h).expect("allocation");
+            }
+        }
+        Placement::Oracle(histogram) => {
+            for s in &spec.structures {
+                rt.malloc(s.name, s.bytes).expect("allocation");
+            }
+            preplace_oracle(&rt, histogram, bo_pages, bo_traffic_target(sim));
+        }
+    }
+
+    let bases: Vec<_> = rt.allocations().iter().map(|a| a.range.start).collect();
+    let program = TraceProgram::new(spec, &bases, sim.num_sms);
+    let mm = rt.address_space();
+    let translator = OsTranslator::new(Rc::clone(&mm));
+    let mut simulator = Simulator::new(sim.clone(), translator, program);
+    if profile_pages {
+        simulator = simulator.with_page_profiling();
+    }
+    let ranges = rt.alloc_ranges();
+    let report = simulator.run();
+    let placement_hist = mm.borrow().placement_histogram();
+    WorkloadRun {
+        report,
+        placement: placement_hist,
+        footprint_pages,
+        bo_pages,
+        ranges,
+    }
+}
+
+/// Pre-places every allocated page per the oracle ranking, hottest pages
+/// first so BO capacity always goes to the top of the ranking.
+fn preplace_oracle(rt: &HmRuntime, histogram: &PageHistogram, bo_pages: u64, target: f64) {
+    let oracle = OraclePlacement::compute(histogram, bo_pages, target);
+    let mm = rt.address_space();
+    let mut mm = mm.borrow_mut();
+    let topo = mm.topology().clone();
+    let bo = topo
+        .zone_of_kind(MemKind::BandwidthOptimized)
+        .unwrap_or(ZoneId::new(0));
+    let co = topo
+        .zone_of_kind(MemKind::CapacityOptimized)
+        .unwrap_or(ZoneId::new(0));
+    let ranges = rt.alloc_ranges();
+
+    // BO set first (capacity guarantee), then everything else to CO.
+    let mut bo_set: Vec<PageNum> = oracle.bo_pages().collect();
+    bo_set.sort_unstable();
+    for page in bo_set {
+        mm.ensure_mapped_in(page, &[bo, co]).expect("oracle BO page");
+    }
+    for range in &ranges {
+        for page in range.pages() {
+            if !oracle.is_bo(page) {
+                mm.ensure_mapped_in(page, &[co, bo]).expect("oracle CO page");
+            }
+        }
+    }
+}
+
+/// Runs the profiling pass of the two-phase flows (paper §4.2, §5.1):
+/// unconstrained capacity, BW-AWARE placement, page counting on. Returns
+/// the page histogram and the per-structure attribution.
+pub fn profile_workload(spec: &WorkloadSpec, sim: &SimConfig) -> (PageHistogram, RunProfile) {
+    let policy = Mempolicy::bw_aware_for(&topology_for(sim, &vec![1; sim.pools.len()]));
+    let run = run_workload_profiled(
+        spec,
+        sim,
+        Capacity::Unconstrained,
+        &Placement::Policy(policy),
+    );
+    let histogram = PageHistogram::from_counts(
+        run.report
+            .page_accesses
+            .expect("profiling run collects page counts"),
+    );
+    let profile = RunProfile::attribute(run.ranges, &histogram);
+    (histogram, profile)
+}
+
+/// Computes annotation hints for `spec` from a (possibly different
+/// dataset's) profile, under the given BO capacity — the full §5.3 flow:
+/// profile → annotation arrays → `GetAllocation`.
+pub fn hints_from_profile(
+    profile: &RunProfile,
+    spec: &WorkloadSpec,
+    sim: &SimConfig,
+    capacity: Capacity,
+) -> Vec<MemHint> {
+    // Sizes come from *this* run's allocations (the program knows its
+    // sizes at runtime); hotness comes from the training profile.
+    let sizes: Vec<u64> = spec.structures.iter().map(|s| s.bytes).collect();
+    let hotness: Vec<f64> = profile.structures().iter().map(|s| s.hotness).collect();
+    let bo_bytes = capacity.bo_pages(spec.footprint_pages()) * hmtypes::PAGE_SIZE as u64;
+    get_allocation(&sizes, &hotness, bo_bytes, bo_traffic_target(sim))
+}
+
+/// Geometric mean of positive values; 0.0 for an empty slice.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmtypes::Percent;
+    use workloads::catalog;
+
+    fn quick_sim() -> SimConfig {
+        let mut sim = SimConfig::paper_baseline();
+        sim.num_sms = 4;
+        sim
+    }
+
+    fn quick_spec(name: &str) -> WorkloadSpec {
+        let mut spec = catalog::by_name(name).unwrap();
+        spec.mem_ops = 30_000;
+        spec
+    }
+
+    #[test]
+    fn local_unconstrained_places_everything_in_bo() {
+        let spec = quick_spec("hotspot");
+        let run = run_workload(
+            &spec,
+            &quick_sim(),
+            Capacity::Unconstrained,
+            &Placement::Policy(Mempolicy::local()),
+        );
+        assert!(run.report.completed);
+        assert_eq!(run.placement[1], 0, "no CO pages under unconstrained LOCAL");
+        assert!(run.report.pool_traffic_fraction(0) > 0.99);
+    }
+
+    #[test]
+    fn ratio_policy_splits_dram_traffic() {
+        let spec = quick_spec("hotspot");
+        let run = run_workload(
+            &spec,
+            &quick_sim(),
+            Capacity::Unconstrained,
+            &Placement::Policy(Mempolicy::ratio_co(Percent::new(30))),
+        );
+        let co = run.report.pool_traffic_fraction(1);
+        assert!((co - 0.30).abs() < 0.08, "CO traffic fraction {co}");
+    }
+
+    #[test]
+    fn bw_aware_beats_local_and_interleave_for_streaming() {
+        let spec = quick_spec("lbm");
+        let sim = quick_sim();
+        let local = run_workload(
+            &spec,
+            &sim,
+            Capacity::Unconstrained,
+            &Placement::Policy(Mempolicy::local()),
+        );
+        let inter = run_workload(
+            &spec,
+            &sim,
+            Capacity::Unconstrained,
+            &Placement::Policy(Mempolicy::ratio_co(Percent::new(50))),
+        );
+        let bwa = run_workload(
+            &spec,
+            &sim,
+            Capacity::Unconstrained,
+            &Placement::Policy(Mempolicy::ratio_co(Percent::new(30))),
+        );
+        assert!(
+            bwa.speedup_over(&local) > 1.05,
+            "BW-AWARE vs LOCAL: {}",
+            bwa.speedup_over(&local)
+        );
+        assert!(
+            bwa.speedup_over(&inter) > 1.05,
+            "BW-AWARE vs INTERLEAVE: {}",
+            bwa.speedup_over(&inter)
+        );
+    }
+
+    #[test]
+    fn capacity_fraction_limits_bo_pages() {
+        let spec = quick_spec("bfs");
+        let run = run_workload(
+            &spec,
+            &quick_sim(),
+            Capacity::FractionOfFootprint(0.10),
+            &Placement::Policy(Mempolicy::local()),
+        );
+        let bo_budget = Capacity::FractionOfFootprint(0.10).bo_pages(spec.footprint_pages());
+        assert!(run.placement[0] <= bo_budget);
+        assert!(run.placement[1] > 0, "spill to CO under constraint");
+    }
+
+    #[test]
+    fn profile_attributes_all_structures() {
+        let spec = quick_spec("bfs");
+        let (hist, profile) = profile_workload(&spec, &quick_sim());
+        assert!(hist.total_accesses() > 0);
+        assert_eq!(profile.structures().len(), spec.structures.len());
+        assert_eq!(profile.unattributed(), 0, "all traffic attributed");
+        // The paper's bfs observation: hot structures are hot.
+        let visited = profile
+            .structures()
+            .iter()
+            .find(|s| s.range.name == "d_graph_visited")
+            .unwrap();
+        let edges = profile
+            .structures()
+            .iter()
+            .find(|s| s.range.name == "d_graph_edges")
+            .unwrap();
+        assert!(visited.hotness > edges.hotness);
+    }
+
+    #[test]
+    fn oracle_beats_bw_aware_under_capacity_constraint() {
+        let spec = quick_spec("xsbench");
+        let sim = quick_sim();
+        let (hist, _) = profile_workload(&spec, &sim);
+        let cap = Capacity::FractionOfFootprint(0.10);
+        let bwa = run_workload(
+            &spec,
+            &sim,
+            cap,
+            &Placement::Policy(Mempolicy::ratio_co(Percent::new(30))),
+        );
+        let oracle = run_workload(&spec, &sim, cap, &Placement::Oracle(hist));
+        assert!(
+            oracle.speedup_over(&bwa) > 1.02,
+            "oracle vs BW-AWARE at 10% capacity: {}",
+            oracle.speedup_over(&bwa)
+        );
+    }
+
+    #[test]
+    fn hinted_placement_runs_and_respects_structure_count() {
+        let spec = quick_spec("minife");
+        let sim = quick_sim();
+        let (_, profile) = profile_workload(&spec, &sim);
+        let cap = Capacity::FractionOfFootprint(0.2);
+        let hints = hints_from_profile(&profile, &spec, &sim, cap);
+        assert_eq!(hints.len(), spec.structures.len());
+        let run = run_workload(&spec, &sim, cap, &Placement::Hinted(hints));
+        assert!(run.report.completed);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bo_traffic_target_matches_paper() {
+        assert!((bo_traffic_target(&SimConfig::paper_baseline()) - 5.0 / 7.0).abs() < 1e-12);
+    }
+}

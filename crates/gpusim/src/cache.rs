@@ -1,0 +1,254 @@
+//! A set-associative, LRU, tag-only cache model.
+//!
+//! The simulator only needs hit/miss decisions and victim selection —
+//! data contents are never modeled — so the cache stores tags and LRU
+//! ordering only.
+
+use crate::config::CacheConfig;
+
+/// Result of a cache probe-and-update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The line was present.
+    Hit,
+    /// The line was absent and has been allocated; the evicted line's
+    /// index is reported when a valid line was displaced.
+    Miss {
+        /// The line index that was evicted to make room, if any.
+        evicted: Option<u64>,
+    },
+}
+
+impl CacheOutcome {
+    /// `true` on [`CacheOutcome::Hit`].
+    pub fn is_hit(self) -> bool {
+        matches!(self, CacheOutcome::Hit)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    /// Higher = more recently used.
+    lru: u64,
+}
+
+/// A set-associative LRU cache over global line indices.
+///
+/// # Examples
+///
+/// ```
+/// use gpusim::{CacheConfig, SetAssocCache};
+///
+/// let mut c = SetAssocCache::new(CacheConfig::new(1024, 2)); // 8 lines, 4 sets
+/// assert!(!c.access(0).is_hit());
+/// assert!(c.access(0).is_hit());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    cfg: CacheConfig,
+    sets: Vec<Way>,
+    set_mask: u64,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets();
+        SetAssocCache {
+            cfg,
+            sets: vec![
+                Way {
+                    tag: 0,
+                    valid: false,
+                    lru: 0,
+                };
+                sets * cfg.ways
+            ],
+            set_mask: sets as u64 - 1,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Probes for `line` and allocates it on a miss (LRU victim).
+    pub fn access(&mut self, line: u64) -> CacheOutcome {
+        self.tick += 1;
+        let set = (line & self.set_mask) as usize;
+        let tag = line >> self.set_mask.trailing_ones();
+        let ways = &mut self.sets[set * self.cfg.ways..(set + 1) * self.cfg.ways];
+
+        if let Some(way) = ways.iter_mut().find(|w| w.valid && w.tag == tag) {
+            way.lru = self.tick;
+            self.hits += 1;
+            return CacheOutcome::Hit;
+        }
+
+        self.misses += 1;
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|w| if w.valid { w.lru } else { 0 })
+            .expect("cache has at least one way");
+        let evicted = victim.valid.then(|| {
+            let shift = self.set_mask.trailing_ones();
+            (victim.tag << shift) | set as u64
+        });
+        victim.tag = tag;
+        victim.valid = true;
+        victim.lru = self.tick;
+        CacheOutcome::Miss { evicted }
+    }
+
+    /// Probes for `line` without allocating (used for write no-allocate).
+    pub fn probe(&mut self, line: u64) -> bool {
+        self.tick += 1;
+        let set = (line & self.set_mask) as usize;
+        let tag = line >> self.set_mask.trailing_ones();
+        let ways = &mut self.sets[set * self.cfg.ways..(set + 1) * self.cfg.ways];
+        if let Some(way) = ways.iter_mut().find(|w| w.valid && w.tag == tag) {
+            way.lru = self.tick;
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Invalidates `line` if present; returns whether it was present.
+    pub fn invalidate(&mut self, line: u64) -> bool {
+        let set = (line & self.set_mask) as usize;
+        let tag = line >> self.set_mask.trailing_ones();
+        let ways = &mut self.sets[set * self.cfg.ways..(set + 1) * self.cfg.ways];
+        if let Some(way) = ways.iter_mut().find(|w| w.valid && w.tag == tag) {
+            way.valid = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// (hits, misses) counters since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Hit rate in `[0, 1]`; 0 before any access.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetAssocCache {
+        // 4 sets x 2 ways = 8 lines.
+        SetAssocCache::new(CacheConfig::new(8 * 128, 2))
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert_eq!(c.access(5), CacheOutcome::Miss { evicted: None });
+        assert!(c.access(5).is_hit());
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_oldest_within_set() {
+        let mut c = tiny();
+        // Lines 0, 4, 8 all map to set 0 (4 sets).
+        c.access(0);
+        c.access(4);
+        c.access(0); // 0 now most recent; 4 is LRU
+        match c.access(8) {
+            CacheOutcome::Miss { evicted: Some(v) } => assert_eq!(v, 4),
+            other => panic!("expected eviction of 4, got {other:?}"),
+        }
+        assert!(c.access(0).is_hit(), "0 must survive");
+        assert!(!c.access(4).is_hit(), "4 was evicted");
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut c = tiny();
+        for line in 0..4 {
+            c.access(line);
+        }
+        for line in 0..4 {
+            assert!(c.access(line).is_hit());
+        }
+    }
+
+    #[test]
+    fn probe_does_not_allocate() {
+        let mut c = tiny();
+        assert!(!c.probe(9));
+        assert!(!c.access(9).is_hit(), "probe must not have allocated");
+        assert!(c.probe(9), "access allocated it");
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = tiny();
+        c.access(3);
+        assert!(c.invalidate(3));
+        assert!(!c.invalidate(3));
+        assert!(!c.access(3).is_hit());
+    }
+
+    #[test]
+    fn eviction_reports_correct_line_index() {
+        let mut c = SetAssocCache::new(CacheConfig::new(128 * 2, 1)); // 2 sets, direct-mapped
+        c.access(6); // set 0 (6 & 1 == 0), tag 3
+        match c.access(8) {
+            // 8 -> set 0, tag 4; must evict 6.
+            CacheOutcome::Miss { evicted: Some(v) } => assert_eq!(v, 6),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hit_rate_tracks() {
+        let mut c = tiny();
+        c.access(1);
+        c.access(1);
+        c.access(1);
+        c.access(2);
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let mut c = tiny();
+        // 16 distinct lines round-robin over an 8-line cache -> all misses.
+        for pass in 0..3 {
+            for line in 0..16 {
+                let hit = c.access(line).is_hit();
+                if pass == 0 {
+                    assert!(!hit);
+                }
+            }
+        }
+        let (hits, misses) = c.stats();
+        assert_eq!(hits, 0);
+        assert_eq!(misses, 48);
+    }
+}

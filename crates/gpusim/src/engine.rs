@@ -1,0 +1,158 @@
+//! The discrete-event calendar.
+//!
+//! A thin wrapper over a binary heap keyed by `(time, sequence)`. The
+//! monotonically increasing sequence number makes event ordering — and
+//! therefore the whole simulation — fully deterministic for equal
+//! timestamps.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// An event calendar over event payloads of type `E`.
+///
+/// # Examples
+///
+/// ```
+/// use gpusim::engine::Calendar;
+///
+/// let mut cal: Calendar<&str> = Calendar::new();
+/// cal.schedule(10, "b");
+/// cal.schedule(5, "a");
+/// cal.schedule(10, "c");
+/// assert_eq!(cal.pop(), Some((5, "a")));
+/// assert_eq!(cal.pop(), Some((10, "b"))); // FIFO among equal times
+/// assert_eq!(cal.pop(), Some((10, "c")));
+/// assert_eq!(cal.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct Calendar<E> {
+    heap: BinaryHeap<Reverse<(u64, u64, EventBox<E>)>>,
+    seq: u64,
+    now: u64,
+}
+
+/// Wrapper giving the payload a no-op ordering so the heap orders only on
+/// `(time, seq)`.
+#[derive(Debug)]
+struct EventBox<E>(E);
+
+impl<E> PartialEq for EventBox<E> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<E> Eq for EventBox<E> {}
+impl<E> PartialOrd for EventBox<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for EventBox<E> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<E> Calendar<E> {
+    /// Creates an empty calendar at time 0.
+    pub fn new() -> Self {
+        Calendar {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+        }
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// Scheduling in the past is clamped to the current time (the event
+    /// fires "now", after already-pending events at this time).
+    pub fn schedule(&mut self, at: u64, event: E) {
+        let at = at.max(self.now);
+        self.heap.push(Reverse((at, self.seq, EventBox(event))));
+        self.seq += 1;
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(u64, E)> {
+        let Reverse((at, _, EventBox(event))) = self.heap.pop()?;
+        self.now = at;
+        Some((at, event))
+    }
+
+    /// The current simulation time (timestamp of the last popped event).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for Calendar<E> {
+    fn default() -> Self {
+        Calendar::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut cal = Calendar::new();
+        cal.schedule(30, 3);
+        cal.schedule(10, 1);
+        cal.schedule(20, 2);
+        let order: Vec<i32> = std::iter::from_fn(|| cal.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut cal = Calendar::new();
+        for i in 0..100 {
+            cal.schedule(42, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| cal.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut cal = Calendar::new();
+        cal.schedule(7, ());
+        assert_eq!(cal.now(), 0);
+        cal.pop();
+        assert_eq!(cal.now(), 7);
+    }
+
+    #[test]
+    fn past_scheduling_is_clamped() {
+        let mut cal = Calendar::new();
+        cal.schedule(100, "late");
+        cal.pop();
+        cal.schedule(50, "too-early");
+        let (at, e) = cal.pop().unwrap();
+        assert_eq!(at, 100);
+        assert_eq!(e, "too-early");
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut cal = Calendar::new();
+        assert!(cal.is_empty());
+        cal.schedule(1, ());
+        assert_eq!(cal.len(), 1);
+        cal.pop();
+        assert!(cal.is_empty());
+    }
+}

@@ -1,0 +1,178 @@
+//! Built-in micro-kernels for tests, docs, and calibration.
+//!
+//! Real benchmark models live in the `workloads` crate; [`StreamKernel`]
+//! here is the minimal useful [`WarpProgram`] — a bandwidth-bound
+//! streaming read over a contiguous buffer, with optional per-access
+//! compute — used to calibrate the simulator and unit-test the pipeline.
+
+use hmtypes::{AccessKind, VirtAddr, LINE_SIZE};
+
+use crate::config::SimConfig;
+use crate::request::{WarpId, WarpOp, WarpProgram};
+
+/// A streaming kernel: the footprint is split contiguously across warps
+/// and each warp reads its chunk line by line, optionally interleaving
+/// `compute` cycles per access.
+///
+/// # Examples
+///
+/// ```
+/// use gpusim::{SimConfig, StreamKernel, WarpProgram, WarpId};
+///
+/// let cfg = SimConfig::paper_baseline();
+/// let mut k = StreamKernel::new(&cfg, 2, 1 << 16).with_compute(10);
+/// assert_eq!(k.warps_per_sm(), 2);
+/// assert!(k.next_op(WarpId(0)).is_some());
+/// ```
+/// Lines per work tile (one DRAM row stripe; tiles round-robin over warps
+/// the way CUDA thread blocks round-robin over data tiles).
+const TILE_LINES: u64 = 16;
+
+#[derive(Debug, Clone)]
+pub struct StreamKernel {
+    warps_per_sm: u32,
+    total_warps: u64,
+    total_lines: u64,
+    mlp: u32,
+    compute: u32,
+    /// Per-warp cursor: (current tile ordinal for this warp, offset in tile).
+    cursor: Vec<(u64, u64)>,
+    /// Whether the warp's next op is the compute half of its loop body.
+    compute_phase: Vec<bool>,
+}
+
+impl StreamKernel {
+    /// Creates a kernel streaming `bytes` of footprint (rounded down to
+    /// whole lines) using `warps_per_sm` warps on each of the config's
+    /// SMs. The footprint is tiled in 2 kB tiles assigned to warps
+    /// round-robin, like CUDA blocks over a grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `warps_per_sm` is zero or the footprint is smaller than
+    /// one line per warp.
+    pub fn new(cfg: &SimConfig, warps_per_sm: u32, bytes: u64) -> Self {
+        assert!(warps_per_sm > 0, "need at least one warp per SM");
+        let warps_per_sm = warps_per_sm.min(cfg.max_warps_per_sm);
+        let total_warps = u64::from(cfg.num_sms * warps_per_sm);
+        let total_lines = bytes / LINE_SIZE as u64;
+        assert!(
+            total_lines >= total_warps,
+            "footprint must provide at least one line per warp"
+        );
+        StreamKernel {
+            warps_per_sm,
+            total_warps,
+            total_lines,
+            mlp: 4,
+            compute: 0,
+            cursor: vec![(0, 0); total_warps as usize],
+            compute_phase: vec![false; total_warps as usize],
+        }
+    }
+
+    /// Sets the per-warp outstanding-load limit (default 4).
+    pub fn with_mlp(mut self, mlp: u32) -> Self {
+        self.mlp = mlp.max(1);
+        self
+    }
+
+    /// Adds `cycles` of compute before every memory access (default 0).
+    pub fn with_compute(mut self, cycles: u32) -> Self {
+        self.compute = cycles;
+        self
+    }
+}
+
+impl WarpProgram for StreamKernel {
+    fn warps_per_sm(&self) -> u32 {
+        self.warps_per_sm
+    }
+
+    fn mem_level_parallelism(&self) -> u32 {
+        self.mlp
+    }
+
+    fn next_op(&mut self, warp: WarpId) -> Option<WarpOp> {
+        let i = warp.index();
+        let (tile_ord, off) = self.cursor[i];
+        // Warp w owns tiles w, w + W, w + 2W, ...
+        let tile = i as u64 + tile_ord * self.total_warps;
+        let line = tile * TILE_LINES + off;
+        if line >= self.total_lines {
+            return None;
+        }
+        if self.compute > 0 && !self.compute_phase[i] {
+            self.compute_phase[i] = true;
+            return Some(WarpOp::Compute(self.compute));
+        }
+        self.compute_phase[i] = false;
+        // Advance: next line in tile, or first line of the next owned tile.
+        self.cursor[i] = if off + 1 < TILE_LINES && line + 1 < self.total_lines {
+            (tile_ord, off + 1)
+        } else {
+            (tile_ord + 1, 0)
+        };
+        Some(WarpOp::Mem {
+            addr: VirtAddr::new(line * LINE_SIZE as u64),
+            kind: AccessKind::Read,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SimConfig {
+        let mut cfg = SimConfig::paper_baseline();
+        cfg.num_sms = 2;
+        cfg
+    }
+
+    #[test]
+    fn covers_footprint_exactly_once() {
+        let cfg = cfg();
+        let bytes = 64 * 1024u64;
+        let mut k = StreamKernel::new(&cfg, 2, bytes);
+        let mut seen = std::collections::HashSet::new();
+        for w in 0..4 {
+            while let Some(op) = k.next_op(WarpId(w)) {
+                if let WarpOp::Mem { addr, .. } = op {
+                    assert!(seen.insert(addr.line_index()));
+                }
+            }
+        }
+        assert_eq!(seen.len() as u64, bytes / LINE_SIZE as u64);
+    }
+
+    #[test]
+    fn compute_alternates_with_memory() {
+        let cfg = cfg();
+        let mut k = StreamKernel::new(&cfg, 1, 4096).with_compute(7);
+        assert!(matches!(k.next_op(WarpId(0)), Some(WarpOp::Compute(7))));
+        assert!(matches!(k.next_op(WarpId(0)), Some(WarpOp::Mem { .. })));
+        assert!(matches!(k.next_op(WarpId(0)), Some(WarpOp::Compute(7))));
+    }
+
+    #[test]
+    fn warps_clamped_to_hardware_limit() {
+        let cfg = cfg();
+        let k = StreamKernel::new(&cfg, 1_000, 1 << 20);
+        assert_eq!(k.warps_per_sm(), cfg.max_warps_per_sm);
+    }
+
+    #[test]
+    fn mlp_floor_is_one() {
+        let cfg = cfg();
+        let k = StreamKernel::new(&cfg, 1, 4096).with_mlp(0);
+        assert_eq!(k.mem_level_parallelism(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one line per warp")]
+    fn tiny_footprint_rejected() {
+        let cfg = cfg();
+        let _ = StreamKernel::new(&cfg, 48, 128);
+    }
+}

@@ -1,0 +1,52 @@
+//! # gpusim — an event-driven GPU memory-system simulator
+//!
+//! This crate is the reproduction's substitute for GPGPU-Sim 3.x in
+//! *Page Placement Strategies for GPUs within Heterogeneous Memory
+//! Systems* (ASPLOS 2015). It simulates the parts of a GPU that the
+//! paper's experiments exercise — the memory system — at cycle
+//! granularity:
+//!
+//! * [`Simulator`] — warps issuing compute/memory operations with
+//!   configurable memory-level parallelism (latency tolerance),
+//! * per-SM L1 caches and per-channel memory-side L2 slices with finite
+//!   MSHRs ([`SetAssocCache`]),
+//! * an interconnect with per-pool extra latency, and
+//! * banked [`DramChannel`]s whose data buses enforce per-pool peak
+//!   bandwidth (Table 1's GDDR5 + DDR4 system via
+//!   [`SimConfig::paper_baseline`]).
+//!
+//! Where pages live — the object of study — is delegated to an
+//! [`AddressTranslator`], implemented over the `mempolicy` OS model by
+//! the `hetmem` crate.
+//!
+//! # Examples
+//!
+//! ```
+//! use gpusim::{FixedPoolTranslator, SimConfig, Simulator, StreamKernel};
+//!
+//! let cfg = SimConfig::paper_baseline();
+//! let kernel = StreamKernel::new(&cfg, 16, 4 << 20); // 4 MiB stream
+//! let report = Simulator::new(cfg, FixedPoolTranslator::new(0), kernel).run();
+//! assert!(report.completed);
+//! assert_eq!(report.pools[0].bytes_read, 4 << 20);
+//! ```
+
+pub mod cache;
+pub mod config;
+pub mod dram;
+pub mod engine;
+pub mod kernels;
+pub mod request;
+pub mod sim;
+pub mod stats;
+
+pub use cache::{CacheOutcome, SetAssocCache};
+pub use config::{CacheConfig, DramTiming, PoolConfig, SimConfig};
+pub use dram::{ChannelStats, DramChannel};
+pub use kernels::StreamKernel;
+pub use request::{
+    AddressTranslator, FixedPoolTranslator, Placement, RatioTranslator, WarpId, WarpOp,
+    WarpProgram,
+};
+pub use sim::Simulator;
+pub use stats::{PoolReport, SimReport};

@@ -1,0 +1,104 @@
+//! Error types for memory-management operations.
+
+use core::fmt;
+
+use crate::topology::ZoneId;
+use hmtypes::{PageNum, VirtAddr};
+
+/// Errors returned by [`AddressSpace`](crate::AddressSpace) and
+/// [`FrameAllocator`](crate::FrameAllocator) operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MemError {
+    /// Every zone in the allocation zonelist is out of frames.
+    OutOfMemory {
+        /// The page whose allocation failed.
+        page: PageNum,
+    },
+    /// A `BIND` policy restricted allocation to zones that are all full.
+    BindExhausted {
+        /// The zones the binding allowed.
+        allowed: Vec<ZoneId>,
+    },
+    /// The virtual address is not covered by any VMA.
+    UnmappedAddress {
+        /// The faulting address.
+        addr: VirtAddr,
+    },
+    /// An `mbind` range does not lie within a single existing VMA span.
+    BadRange {
+        /// Start of the offending range.
+        start: VirtAddr,
+        /// Length in bytes.
+        len: u64,
+    },
+    /// A zone id referenced a zone that does not exist in the topology.
+    NoSuchZone {
+        /// The offending zone id.
+        zone: ZoneId,
+    },
+    /// A policy was constructed with an empty node set.
+    EmptyNodeSet,
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfMemory { page } => {
+                write!(f, "out of physical memory while mapping {page}")
+            }
+            MemError::BindExhausted { allowed } => {
+                write!(f, "bound zones {allowed:?} have no free frames")
+            }
+            MemError::UnmappedAddress { addr } => {
+                write!(f, "address {addr} is not covered by any vma")
+            }
+            MemError::BadRange { start, len } => {
+                write!(f, "range [{start}, +{len}) does not match a mapped vma")
+            }
+            MemError::NoSuchZone { zone } => write!(f, "zone {zone} does not exist"),
+            MemError::EmptyNodeSet => write!(f, "policy node set is empty"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_nonempty() {
+        let errs: Vec<MemError> = vec![
+            MemError::OutOfMemory {
+                page: PageNum::new(3),
+            },
+            MemError::BindExhausted {
+                allowed: vec![ZoneId::new(0)],
+            },
+            MemError::UnmappedAddress {
+                addr: VirtAddr::new(0x1000),
+            },
+            MemError::BadRange {
+                start: VirtAddr::new(0),
+                len: 10,
+            },
+            MemError::NoSuchZone {
+                zone: ZoneId::new(9),
+            },
+            MemError::EmptyNodeSet,
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MemError>();
+    }
+}

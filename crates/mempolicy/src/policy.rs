@@ -1,0 +1,388 @@
+//! Page placement policies (`set_mempolicy` modes).
+//!
+//! Linux ships `LOCAL`, `INTERLEAVE`, `BIND`, and `PREFERRED`. The paper
+//! adds `MPOL_BWAWARE` (§3.2.1): on each page allocation draw a random
+//! number and pick a zone with probability proportional to its share of
+//! total system bandwidth, so steady-state placement matches the
+//! bandwidth-service ratio of the pools — without tracking any history or
+//! page-access frequency (it stays on the allocation fast path).
+
+use core::fmt;
+
+use crate::error::MemError;
+use crate::topology::{NumaTopology, ZoneId};
+use hmtypes::{Percent, SplitMix64};
+
+/// Which placement algorithm a [`Mempolicy`] runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PolicyMode {
+    /// Allocate from the lowest-latency (GPU-local) zone, spilling to the
+    /// next-nearest zone only on capacity exhaustion. Linux's default.
+    Local,
+    /// Round-robin pages across `nodes` (Linux `MPOL_INTERLEAVE`).
+    Interleave {
+        /// The zones to stripe across, in stripe order.
+        nodes: Vec<ZoneId>,
+    },
+    /// The paper's `MPOL_BWAWARE`: randomized placement weighted by each
+    /// zone's share of aggregate bandwidth.
+    BwAware {
+        /// Per-zone placement weights in per-mille (sum to 1000),
+        /// index-aligned with the topology's zones.
+        weights_per_mille: Vec<u32>,
+    },
+    /// Allocate only from `nodes`; fail rather than fall back elsewhere.
+    Bind {
+        /// The only zones allocation may use.
+        nodes: Vec<ZoneId>,
+    },
+    /// Prefer `node`, falling back by latency when it is full.
+    Preferred {
+        /// The preferred zone.
+        node: ZoneId,
+    },
+}
+
+/// A memory placement policy plus its per-task mutable state (interleave
+/// cursor, fast-path RNG).
+///
+/// # Examples
+///
+/// ```
+/// use mempolicy::{Mempolicy, NumaTopology};
+///
+/// let topo = NumaTopology::paper_baseline(1024, 4096);
+/// let mut pol = Mempolicy::bw_aware_for(&topo);
+/// // The first zone in the returned list is the policy's pick; the rest
+/// // is the capacity-exhaustion fallback order.
+/// let zl = pol.zonelist(&topo)?;
+/// assert_eq!(zl.len(), 2);
+/// # Ok::<(), mempolicy::MemError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mempolicy {
+    mode: PolicyMode,
+    interleave_next: usize,
+    rng: SplitMix64,
+}
+
+impl Mempolicy {
+    /// Default RNG seed for the BW-AWARE fast-path draw; fix it so
+    /// simulations are reproducible, override with [`Mempolicy::with_seed`].
+    const DEFAULT_SEED: u64 = 0x9A9A_2015_01EF_55AA;
+
+    /// Creates the Linux default `LOCAL` policy.
+    pub fn local() -> Self {
+        Mempolicy::from_mode(PolicyMode::Local)
+    }
+
+    /// Creates an `INTERLEAVE` policy striping over all zones of `topo`.
+    pub fn interleave_all(topo: &NumaTopology) -> Self {
+        Mempolicy::from_mode(PolicyMode::Interleave {
+            nodes: topo.zone_ids().collect(),
+        })
+    }
+
+    /// Creates an `INTERLEAVE` policy over an explicit node set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::EmptyNodeSet`] when `nodes` is empty.
+    pub fn interleave(nodes: Vec<ZoneId>) -> Result<Self, MemError> {
+        if nodes.is_empty() {
+            return Err(MemError::EmptyNodeSet);
+        }
+        Ok(Mempolicy::from_mode(PolicyMode::Interleave { nodes }))
+    }
+
+    /// Creates `MPOL_BWAWARE` with weights read from the topology's SBIT —
+    /// what the kernel would do when an application selects the mode
+    /// (paper §3.2.1: "allocate pages from the two memory zones in the
+    /// ratio of their bandwidths").
+    pub fn bw_aware_for(topo: &NumaTopology) -> Self {
+        Mempolicy::from_mode(PolicyMode::BwAware {
+            weights_per_mille: topo.sbit().weights_per_mille(),
+        })
+    }
+
+    /// Creates a BW-AWARE-style policy with an explicit `xC-yB` split for
+    /// a two-zone `[BO, CO]` topology — the knob Fig. 3 sweeps.
+    ///
+    /// `co_pct` is *x*, the percentage of pages placed in the
+    /// capacity-optimized zone (zone 1); the rest go to zone 0.
+    pub fn ratio_co(co_pct: Percent) -> Self {
+        let co = u32::from(co_pct.value()) * 10;
+        Mempolicy::from_mode(PolicyMode::BwAware {
+            weights_per_mille: vec![1000 - co, co],
+        })
+    }
+
+    /// Creates a `BIND` policy restricted to `nodes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::EmptyNodeSet`] when `nodes` is empty.
+    pub fn bind(nodes: Vec<ZoneId>) -> Result<Self, MemError> {
+        if nodes.is_empty() {
+            return Err(MemError::EmptyNodeSet);
+        }
+        Ok(Mempolicy::from_mode(PolicyMode::Bind { nodes }))
+    }
+
+    /// Creates a `PREFERRED` policy for `node`.
+    pub fn preferred(node: ZoneId) -> Self {
+        Mempolicy::from_mode(PolicyMode::Preferred { node })
+    }
+
+    /// Creates a policy directly from a mode.
+    pub fn from_mode(mode: PolicyMode) -> Self {
+        Mempolicy {
+            mode,
+            interleave_next: 0,
+            rng: SplitMix64::new(Self::DEFAULT_SEED),
+        }
+    }
+
+    /// Replaces the fast-path RNG seed (for independent experiment trials).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.rng = SplitMix64::new(seed);
+        self
+    }
+
+    /// The policy's mode.
+    pub fn mode(&self) -> &PolicyMode {
+        &self.mode
+    }
+
+    /// Whether zonelist fallback past the policy's chosen zones is allowed
+    /// (everything except `BIND`).
+    pub fn allows_fallback(&self) -> bool {
+        !matches!(self.mode, PolicyMode::Bind { .. })
+    }
+
+    /// Computes the zone preference order for the *next* page allocation,
+    /// advancing policy state (interleave cursor / RNG draw).
+    ///
+    /// The first element is the policy's pick; later elements are the
+    /// capacity-exhaustion fallback order (latency order, as Linux builds
+    /// zonelists from the SLIT). For `BIND` the list contains only the
+    /// bound nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::NoSuchZone`] if the policy references a zone
+    /// absent from `topo`.
+    pub fn zonelist(&mut self, topo: &NumaTopology) -> Result<Vec<ZoneId>, MemError> {
+        let check = |zone: ZoneId| -> Result<ZoneId, MemError> {
+            if zone.index() < topo.num_zones() {
+                Ok(zone)
+            } else {
+                Err(MemError::NoSuchZone { zone })
+            }
+        };
+        match &self.mode {
+            PolicyMode::Local => Ok(topo.slit().zonelist()),
+            PolicyMode::Preferred { node } => {
+                let node = check(*node)?;
+                Ok(Self::preferring(node, topo))
+            }
+            PolicyMode::Interleave { nodes } => {
+                let pick = check(nodes[self.interleave_next % nodes.len()])?;
+                self.interleave_next = (self.interleave_next + 1) % nodes.len();
+                Ok(Self::preferring(pick, topo))
+            }
+            PolicyMode::BwAware { weights_per_mille } => {
+                if weights_per_mille.len() != topo.num_zones() {
+                    return Err(MemError::NoSuchZone {
+                        zone: ZoneId::new(weights_per_mille.len().max(topo.num_zones()) - 1),
+                    });
+                }
+                // The paper's fast path: one random draw, no history.
+                let draw = self.rng.next_below(1000) as u32;
+                let mut acc = 0u32;
+                let mut pick = ZoneId::new(topo.num_zones() - 1);
+                for (i, &w) in weights_per_mille.iter().enumerate() {
+                    acc += w;
+                    if draw < acc {
+                        pick = ZoneId::new(i);
+                        break;
+                    }
+                }
+                Ok(Self::preferring(pick, topo))
+            }
+            PolicyMode::Bind { nodes } => {
+                let mut list = Vec::with_capacity(nodes.len());
+                for &n in nodes {
+                    list.push(check(n)?);
+                }
+                Ok(list)
+            }
+        }
+    }
+
+    /// Zonelist that tries `pick` first, then the rest in SLIT order.
+    fn preferring(pick: ZoneId, topo: &NumaTopology) -> Vec<ZoneId> {
+        let mut list = Vec::with_capacity(topo.num_zones());
+        list.push(pick);
+        list.extend(topo.slit().zonelist().into_iter().filter(|&z| z != pick));
+        list
+    }
+
+    /// A short name in the paper's nomenclature, e.g. `LOCAL`,
+    /// `INTERLEAVE`, `BW-AWARE(286/714)`.
+    pub fn name(&self) -> String {
+        match &self.mode {
+            PolicyMode::Local => "LOCAL".to_string(),
+            PolicyMode::Interleave { .. } => "INTERLEAVE".to_string(),
+            PolicyMode::BwAware { weights_per_mille } => {
+                if weights_per_mille.len() == 2 {
+                    // xC-yB with zone0 = BO, zone1 = CO.
+                    format!(
+                        "BW-AWARE({}C-{}B)",
+                        (weights_per_mille[1] + 5) / 10,
+                        (weights_per_mille[0] + 5) / 10
+                    )
+                } else {
+                    format!("BW-AWARE{weights_per_mille:?}")
+                }
+            }
+            PolicyMode::Bind { nodes } => format!("BIND{nodes:?}"),
+            PolicyMode::Preferred { node } => format!("PREFERRED({node})"),
+        }
+    }
+}
+
+impl fmt::Display for Mempolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::NumaTopology;
+
+    fn topo() -> NumaTopology {
+        NumaTopology::paper_baseline(1 << 14, 1 << 16)
+    }
+
+    #[test]
+    fn local_prefers_gpu_zone() {
+        let t = topo();
+        let mut p = Mempolicy::local();
+        let zl = p.zonelist(&t).unwrap();
+        assert_eq!(zl, vec![ZoneId::new(0), ZoneId::new(1)]);
+    }
+
+    #[test]
+    fn interleave_alternates_exactly() {
+        let t = topo();
+        let mut p = Mempolicy::interleave_all(&t);
+        let picks: Vec<ZoneId> = (0..6).map(|_| p.zonelist(&t).unwrap()[0]).collect();
+        assert_eq!(
+            picks,
+            vec![
+                ZoneId::new(0),
+                ZoneId::new(1),
+                ZoneId::new(0),
+                ZoneId::new(1),
+                ZoneId::new(0),
+                ZoneId::new(1)
+            ]
+        );
+    }
+
+    #[test]
+    fn bw_aware_converges_to_bandwidth_ratio() {
+        let t = topo();
+        let mut p = Mempolicy::bw_aware_for(&t);
+        let n = 100_000;
+        let bo_picks = (0..n)
+            .filter(|_| p.zonelist(&t).unwrap()[0] == ZoneId::new(0))
+            .count();
+        let frac = bo_picks as f64 / n as f64;
+        // Expect 200/280 = 0.714 within 1%.
+        assert!((frac - 5.0 / 7.0).abs() < 0.01, "got {frac}");
+    }
+
+    #[test]
+    fn ratio_co_30_70_split() {
+        let t = topo();
+        let mut p = Mempolicy::ratio_co(Percent::new(30));
+        let n = 100_000;
+        let co_picks = (0..n)
+            .filter(|_| p.zonelist(&t).unwrap()[0] == ZoneId::new(1))
+            .count();
+        let frac = co_picks as f64 / n as f64;
+        assert!((frac - 0.30).abs() < 0.01, "got {frac}");
+        assert_eq!(p.name(), "BW-AWARE(30C-70B)");
+    }
+
+    #[test]
+    fn ratio_co_extremes_are_deterministic() {
+        let t = topo();
+        let mut all_bo = Mempolicy::ratio_co(Percent::new(0));
+        let mut all_co = Mempolicy::ratio_co(Percent::new(100));
+        for _ in 0..100 {
+            assert_eq!(all_bo.zonelist(&t).unwrap()[0], ZoneId::new(0));
+            assert_eq!(all_co.zonelist(&t).unwrap()[0], ZoneId::new(1));
+        }
+    }
+
+    #[test]
+    fn bind_restricts_fallback() {
+        let t = topo();
+        let mut p = Mempolicy::bind(vec![ZoneId::new(1)]).unwrap();
+        assert!(!p.allows_fallback());
+        assert_eq!(p.zonelist(&t).unwrap(), vec![ZoneId::new(1)]);
+    }
+
+    #[test]
+    fn preferred_falls_back_by_latency() {
+        let t = topo();
+        let mut p = Mempolicy::preferred(ZoneId::new(1));
+        assert_eq!(p.zonelist(&t).unwrap(), vec![ZoneId::new(1), ZoneId::new(0)]);
+    }
+
+    #[test]
+    fn empty_node_sets_rejected() {
+        assert_eq!(
+            Mempolicy::interleave(vec![]).unwrap_err(),
+            MemError::EmptyNodeSet
+        );
+        assert_eq!(Mempolicy::bind(vec![]).unwrap_err(), MemError::EmptyNodeSet);
+    }
+
+    #[test]
+    fn unknown_zone_in_policy_errors() {
+        let t = topo();
+        let mut p = Mempolicy::preferred(ZoneId::new(9));
+        assert!(matches!(
+            p.zonelist(&t),
+            Err(MemError::NoSuchZone { .. })
+        ));
+    }
+
+    #[test]
+    fn with_seed_changes_draw_sequence() {
+        let t = topo();
+        let mut a = Mempolicy::bw_aware_for(&t).with_seed(1);
+        let mut b = Mempolicy::bw_aware_for(&t).with_seed(2);
+        let seq_a: Vec<_> = (0..64).map(|_| a.zonelist(&t).unwrap()[0]).collect();
+        let seq_b: Vec<_> = (0..64).map(|_| b.zonelist(&t).unwrap()[0]).collect();
+        assert_ne!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn names_match_paper_nomenclature() {
+        let t = topo();
+        assert_eq!(Mempolicy::local().name(), "LOCAL");
+        assert_eq!(Mempolicy::interleave_all(&t).name(), "INTERLEAVE");
+        assert_eq!(
+            Mempolicy::ratio_co(Percent::new(50)).name(),
+            "BW-AWARE(50C-50B)"
+        );
+    }
+}

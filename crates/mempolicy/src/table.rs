@@ -1,0 +1,296 @@
+//! ACPI-style topology information tables.
+//!
+//! Linux learns NUMA topology from the ACPI SRAT (which zones exist) and
+//! the SLIT (relative access latencies). The paper's key OS observation
+//! (§3.1) is that latency tables alone are insufficient for GPUs: the OS
+//! also needs per-zone *bandwidth*, which it proposes to expose through a
+//! new **System Bandwidth Information Table (SBIT)**. Both tables live
+//! here.
+
+use core::fmt;
+
+use crate::error::MemError;
+use crate::topology::ZoneId;
+use hmtypes::Bandwidth;
+
+/// System Locality Information Table: relative memory access latency from
+/// each initiator (we model a single GPU initiator per table) to each zone.
+///
+/// Latencies are in GPU core cycles, matching Table 1 of the paper where
+/// the remote CO pool costs an extra 100 GPU cycles per access.
+///
+/// # Examples
+///
+/// ```
+/// use mempolicy::{Slit, ZoneId};
+/// let slit = Slit::new(vec![0, 100]);
+/// assert_eq!(slit.extra_latency(ZoneId::new(1)), Some(100));
+/// assert_eq!(slit.nearest(), ZoneId::new(0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Slit {
+    extra_cycles: Vec<u64>,
+}
+
+impl Slit {
+    /// Creates a SLIT from per-zone extra access latencies (cycles).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `extra_cycles` is empty.
+    pub fn new(extra_cycles: Vec<u64>) -> Self {
+        assert!(!extra_cycles.is_empty(), "slit must cover at least one zone");
+        Slit { extra_cycles }
+    }
+
+    /// Extra access latency to `zone`, or `None` if the zone is unknown.
+    pub fn extra_latency(&self, zone: ZoneId) -> Option<u64> {
+        self.extra_cycles.get(zone.index()).copied()
+    }
+
+    /// Number of zones described.
+    pub fn len(&self) -> usize {
+        self.extra_cycles.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.extra_cycles.is_empty()
+    }
+
+    /// The zone with the lowest access latency (ties: lowest id), i.e. the
+    /// `LOCAL` policy's preferred zone.
+    pub fn nearest(&self) -> ZoneId {
+        let (idx, _) = self
+            .extra_cycles
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &lat)| (lat, i))
+            .expect("slit is non-empty");
+        ZoneId::new(idx)
+    }
+
+    /// Zone ids sorted by increasing latency (the zonelist fallback order
+    /// Linux builds from the SLIT).
+    pub fn zonelist(&self) -> Vec<ZoneId> {
+        let mut ids: Vec<usize> = (0..self.extra_cycles.len()).collect();
+        ids.sort_by_key(|&i| (self.extra_cycles[i], i));
+        ids.into_iter().map(ZoneId::new).collect()
+    }
+}
+
+impl fmt::Display for Slit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SLIT[")?;
+        for (i, lat) in self.extra_cycles.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "zone{i}:+{lat}cyc")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// System Bandwidth Information Table: the paper's proposed ACPI extension
+/// exposing per-zone aggregate bandwidth to the OS (§3.1).
+///
+/// `MPOL_BWAWARE` reads this table to compute its placement ratio; the GPU
+/// runtime reads it to translate abstract BO/CO hints into zone ids.
+///
+/// # Examples
+///
+/// ```
+/// use hmtypes::Bandwidth;
+/// use mempolicy::{Sbit, ZoneId};
+///
+/// let sbit = Sbit::new(vec![Bandwidth::from_gbps(200.0), Bandwidth::from_gbps(80.0)]);
+/// let f = sbit.bandwidth_fraction(ZoneId::new(0)).unwrap();
+/// assert!((f - 200.0 / 280.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sbit {
+    bandwidths: Vec<Bandwidth>,
+}
+
+impl Sbit {
+    /// Creates an SBIT from per-zone aggregate bandwidths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidths` is empty.
+    pub fn new(bandwidths: Vec<Bandwidth>) -> Self {
+        assert!(!bandwidths.is_empty(), "sbit must cover at least one zone");
+        Sbit { bandwidths }
+    }
+
+    /// Aggregate bandwidth of `zone`, or `None` if the zone is unknown.
+    pub fn bandwidth(&self, zone: ZoneId) -> Option<Bandwidth> {
+        self.bandwidths.get(zone.index()).copied()
+    }
+
+    /// Number of zones described.
+    pub fn len(&self) -> usize {
+        self.bandwidths.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.bandwidths.is_empty()
+    }
+
+    /// Total bandwidth across all zones.
+    pub fn total(&self) -> Bandwidth {
+        self.bandwidths.iter().copied().sum()
+    }
+
+    /// The fraction of total system bandwidth provided by `zone` — the
+    /// BW-AWARE placement probability for that zone (paper §3.1:
+    /// `fB = bB / (bB + bC)`, generalized to N zones).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::NoSuchZone`] if `zone` is not in the table.
+    pub fn bandwidth_fraction(&self, zone: ZoneId) -> Result<f64, MemError> {
+        let bw = self
+            .bandwidth(zone)
+            .ok_or(MemError::NoSuchZone { zone })?;
+        let total = self.total();
+        if total.bytes_per_sec() == 0.0 {
+            // Degenerate topology: fall back to uniform spreading.
+            return Ok(1.0 / self.bandwidths.len() as f64);
+        }
+        Ok(bw.bytes_per_sec() / total.bytes_per_sec())
+    }
+
+    /// Per-mille placement weights for all zones (sums to 1000, suitable
+    /// for the integer random draw on the allocation fast path).
+    ///
+    /// The largest-remainder method guarantees the weights sum exactly to
+    /// 1000 regardless of rounding.
+    pub fn weights_per_mille(&self) -> Vec<u32> {
+        let total = self.total().bytes_per_sec();
+        let n = self.bandwidths.len();
+        if total == 0.0 {
+            let base = 1000 / n as u32;
+            let mut w = vec![base; n];
+            let mut rem = 1000 - base * n as u32;
+            let mut i = 0;
+            while rem > 0 {
+                w[i] += 1;
+                rem -= 1;
+                i += 1;
+            }
+            return w;
+        }
+        let exact: Vec<f64> = self
+            .bandwidths
+            .iter()
+            .map(|b| b.bytes_per_sec() / total * 1000.0)
+            .collect();
+        let mut w: Vec<u32> = exact.iter().map(|&e| e.floor() as u32).collect();
+        let assigned: u32 = w.iter().sum();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            let fa = exact[a] - exact[a].floor();
+            let fb = exact[b] - exact[b].floor();
+            fb.partial_cmp(&fa).unwrap().then(a.cmp(&b))
+        });
+        for &i in order.iter().take((1000 - assigned) as usize) {
+            w[i] += 1;
+        }
+        w
+    }
+}
+
+impl fmt::Display for Sbit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SBIT[")?;
+        for (i, bw) in self.bandwidths.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "zone{i}:{bw}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_sbit() -> Sbit {
+        Sbit::new(vec![
+            Bandwidth::from_gbps(200.0),
+            Bandwidth::from_gbps(80.0),
+        ])
+    }
+
+    #[test]
+    fn slit_nearest_prefers_lowest_latency() {
+        let slit = Slit::new(vec![100, 0, 250]);
+        assert_eq!(slit.nearest(), ZoneId::new(1));
+        assert_eq!(
+            slit.zonelist(),
+            vec![ZoneId::new(1), ZoneId::new(0), ZoneId::new(2)]
+        );
+    }
+
+    #[test]
+    fn slit_tie_breaks_by_zone_id() {
+        let slit = Slit::new(vec![50, 50]);
+        assert_eq!(slit.nearest(), ZoneId::new(0));
+    }
+
+    #[test]
+    fn slit_unknown_zone_is_none() {
+        let slit = Slit::new(vec![0]);
+        assert_eq!(slit.extra_latency(ZoneId::new(3)), None);
+    }
+
+    #[test]
+    fn sbit_paper_fractions() {
+        let sbit = paper_sbit();
+        let fb = sbit.bandwidth_fraction(ZoneId::new(0)).unwrap();
+        let fc = sbit.bandwidth_fraction(ZoneId::new(1)).unwrap();
+        assert!((fb - 5.0 / 7.0).abs() < 1e-12);
+        assert!((fc - 2.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sbit_weights_sum_to_1000() {
+        let sbit = paper_sbit();
+        let w = sbit.weights_per_mille();
+        assert_eq!(w.iter().sum::<u32>(), 1000);
+        // 200/280 = 714.28... -> 714, 80/280 = 285.7 -> 286.
+        assert_eq!(w, vec![714, 286]);
+    }
+
+    #[test]
+    fn sbit_zero_bandwidth_spreads_uniformly() {
+        let sbit = Sbit::new(vec![Bandwidth::ZERO; 3]);
+        let w = sbit.weights_per_mille();
+        assert_eq!(w.iter().sum::<u32>(), 1000);
+        assert!((sbit.bandwidth_fraction(ZoneId::new(0)).unwrap() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sbit_unknown_zone_errors() {
+        let err = paper_sbit().bandwidth_fraction(ZoneId::new(7)).unwrap_err();
+        assert_eq!(
+            err,
+            MemError::NoSuchZone {
+                zone: ZoneId::new(7)
+            }
+        );
+    }
+
+    #[test]
+    fn displays_mention_every_zone() {
+        let slit = Slit::new(vec![0, 100]);
+        assert!(slit.to_string().contains("zone1:+100cyc"));
+        let sbit = paper_sbit();
+        assert!(sbit.to_string().contains("zone0:200.0 GB/s"));
+    }
+}

@@ -1,0 +1,342 @@
+//! NUMA topology: zones and their attributes.
+//!
+//! A topology describes what the OS learns at boot: which memory zones
+//! exist, how big they are, what kind of memory backs them ([`MemKind`]),
+//! and — via the [`Slit`]/[`Sbit`] tables — their latency and bandwidth
+//! as seen from the GPU.
+
+use core::fmt;
+
+use crate::table::{Sbit, Slit};
+use hmtypes::{Bandwidth, MemKind, PAGE_SIZE};
+
+/// Identifies a NUMA zone (index into the topology's zone list).
+///
+/// # Examples
+///
+/// ```
+/// use mempolicy::ZoneId;
+/// let z = ZoneId::new(1);
+/// assert_eq!(z.index(), 1);
+/// assert_eq!(z.to_string(), "zone1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ZoneId(usize);
+
+impl ZoneId {
+    /// Creates a zone id from its index.
+    pub const fn new(index: usize) -> Self {
+        ZoneId(index)
+    }
+
+    /// The zero-based index of this zone.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ZoneId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "zone{}", self.0)
+    }
+}
+
+/// Static description of one NUMA zone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZoneSpec {
+    /// Human-readable name (e.g. `"GPU-GDDR5"`).
+    pub name: String,
+    /// Memory technology class of this zone.
+    pub kind: MemKind,
+    /// Capacity in 4 kB pages.
+    pub capacity_pages: u64,
+    /// Aggregate bandwidth of the zone's channels.
+    pub bandwidth: Bandwidth,
+    /// Extra access latency from the GPU, in GPU core cycles.
+    pub extra_latency_cycles: u64,
+}
+
+impl ZoneSpec {
+    /// Creates a zone spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_pages` is zero.
+    pub fn new(
+        name: impl Into<String>,
+        kind: MemKind,
+        capacity_pages: u64,
+        bandwidth: Bandwidth,
+        extra_latency_cycles: u64,
+    ) -> Self {
+        assert!(capacity_pages > 0, "zone capacity must be positive");
+        ZoneSpec {
+            name: name.into(),
+            kind,
+            capacity_pages,
+            bandwidth,
+            extra_latency_cycles,
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_pages * PAGE_SIZE as u64
+    }
+}
+
+/// The machine's memory topology: an ordered list of zones plus the
+/// ACPI-style tables derived from it.
+///
+/// # Examples
+///
+/// ```
+/// use hmtypes::{Bandwidth, MemKind};
+/// use mempolicy::{NumaTopology, ZoneId, ZoneSpec};
+///
+/// let topo = NumaTopology::builder()
+///     .zone(ZoneSpec::new("HBM", MemKind::BandwidthOptimized, 1024,
+///                         Bandwidth::from_gbps(1000.0), 0))
+///     .zone(ZoneSpec::new("DDR4", MemKind::CapacityOptimized, 65536,
+///                         Bandwidth::from_gbps(80.0), 100))
+///     .build();
+/// assert_eq!(topo.num_zones(), 2);
+/// assert_eq!(topo.local_zone(), ZoneId::new(0));
+/// assert!((topo.bw_ratio() - 12.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NumaTopology {
+    zones: Vec<ZoneSpec>,
+    slit: Slit,
+    sbit: Sbit,
+}
+
+impl NumaTopology {
+    /// Starts building a topology.
+    pub fn builder() -> TopologyBuilder {
+        TopologyBuilder { zones: Vec::new() }
+    }
+
+    /// The paper's baseline two-zone system (Table 1): zone 0 is GPU-local
+    /// 200 GB/s GDDR5 (BO), zone 1 is 80 GB/s DDR4 one interconnect hop
+    /// (+100 GPU cycles) away (CO). Capacities are caller-chosen so
+    /// experiments can impose capacity constraints.
+    pub fn paper_baseline(bo_pages: u64, co_pages: u64) -> Self {
+        NumaTopology::builder()
+            .zone(ZoneSpec::new(
+                "GPU-GDDR5",
+                MemKind::BandwidthOptimized,
+                bo_pages,
+                Bandwidth::from_gbps(200.0),
+                0,
+            ))
+            .zone(ZoneSpec::new(
+                "CPU-DDR4",
+                MemKind::CapacityOptimized,
+                co_pages,
+                Bandwidth::from_gbps(80.0),
+                100,
+            ))
+            .build()
+    }
+
+    /// The zones, in id order.
+    pub fn zones(&self) -> &[ZoneSpec] {
+        &self.zones
+    }
+
+    /// The spec for `zone`, or `None` if out of range.
+    pub fn zone(&self, zone: ZoneId) -> Option<&ZoneSpec> {
+        self.zones.get(zone.index())
+    }
+
+    /// Number of zones.
+    pub fn num_zones(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// All zone ids, in order.
+    pub fn zone_ids(&self) -> impl Iterator<Item = ZoneId> + '_ {
+        (0..self.zones.len()).map(ZoneId::new)
+    }
+
+    /// The latency table derived from the zone specs.
+    pub fn slit(&self) -> &Slit {
+        &self.slit
+    }
+
+    /// The bandwidth table derived from the zone specs.
+    pub fn sbit(&self) -> &Sbit {
+        &self.sbit
+    }
+
+    /// The GPU-local zone (lowest latency — what `LOCAL` allocates from).
+    pub fn local_zone(&self) -> ZoneId {
+        self.slit.nearest()
+    }
+
+    /// Zones of the given kind, in id order.
+    pub fn zones_of_kind(&self, kind: MemKind) -> Vec<ZoneId> {
+        self.zone_ids()
+            .filter(|z| self.zones[z.index()].kind == kind)
+            .collect()
+    }
+
+    /// First zone of `kind`, if any. Convenient for two-zone systems.
+    pub fn zone_of_kind(&self, kind: MemKind) -> Option<ZoneId> {
+        self.zones_of_kind(kind).first().copied()
+    }
+
+    /// Aggregate bandwidth across all zones.
+    pub fn total_bandwidth(&self) -> Bandwidth {
+        self.zones.iter().map(|z| z.bandwidth).sum()
+    }
+
+    /// The paper's Fig. 1 *BW-Ratio*: BO bandwidth over CO bandwidth.
+    ///
+    /// Returns `f64::INFINITY` when there is no CO bandwidth.
+    pub fn bw_ratio(&self) -> f64 {
+        let bo: Bandwidth = self
+            .zones
+            .iter()
+            .filter(|z| z.kind == MemKind::BandwidthOptimized)
+            .map(|z| z.bandwidth)
+            .sum();
+        let co: Bandwidth = self
+            .zones
+            .iter()
+            .filter(|z| z.kind == MemKind::CapacityOptimized)
+            .map(|z| z.bandwidth)
+            .sum();
+        bo.ratio_to(co)
+    }
+
+    /// Total capacity in pages across all zones.
+    pub fn total_pages(&self) -> u64 {
+        self.zones.iter().map(|z| z.capacity_pages).sum()
+    }
+}
+
+impl fmt::Display for NumaTopology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "NUMA topology ({} zones):", self.zones.len())?;
+        for (i, z) in self.zones.iter().enumerate() {
+            writeln!(
+                f,
+                "  zone{}: {:10} {} {:>8} pages {:>12} +{}cyc",
+                i,
+                z.name,
+                z.kind,
+                z.capacity_pages,
+                z.bandwidth.to_string(),
+                z.extra_latency_cycles
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Incrementally builds a [`NumaTopology`]; see [`NumaTopology::builder`].
+#[derive(Debug, Default)]
+pub struct TopologyBuilder {
+    zones: Vec<ZoneSpec>,
+}
+
+impl TopologyBuilder {
+    /// Appends a zone; its id is its position in insertion order.
+    pub fn zone(mut self, spec: ZoneSpec) -> Self {
+        self.zones.push(spec);
+        self
+    }
+
+    /// Finalizes the topology and derives the SLIT and SBIT tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no zones were added.
+    pub fn build(self) -> NumaTopology {
+        assert!(!self.zones.is_empty(), "topology needs at least one zone");
+        let slit = Slit::new(self.zones.iter().map(|z| z.extra_latency_cycles).collect());
+        let sbit = Sbit::new(self.zones.iter().map(|z| z.bandwidth).collect());
+        NumaTopology {
+            zones: self.zones,
+            slit,
+            sbit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_baseline_matches_table_1() {
+        let topo = NumaTopology::paper_baseline(100, 200);
+        assert_eq!(topo.num_zones(), 2);
+        let bo = topo.zone(ZoneId::new(0)).unwrap();
+        let co = topo.zone(ZoneId::new(1)).unwrap();
+        assert_eq!(bo.kind, MemKind::BandwidthOptimized);
+        assert_eq!(co.kind, MemKind::CapacityOptimized);
+        assert_eq!(bo.bandwidth.gbps(), 200.0);
+        assert_eq!(co.bandwidth.gbps(), 80.0);
+        assert_eq!(co.extra_latency_cycles, 100);
+        assert!((topo.bw_ratio() - 2.5).abs() < 1e-12);
+        assert_eq!(topo.local_zone(), ZoneId::new(0));
+    }
+
+    #[test]
+    fn zones_of_kind_filters() {
+        let topo = NumaTopology::paper_baseline(1, 1);
+        assert_eq!(
+            topo.zones_of_kind(MemKind::BandwidthOptimized),
+            vec![ZoneId::new(0)]
+        );
+        assert_eq!(
+            topo.zone_of_kind(MemKind::CapacityOptimized),
+            Some(ZoneId::new(1))
+        );
+    }
+
+    #[test]
+    fn total_bandwidth_and_pages() {
+        let topo = NumaTopology::paper_baseline(10, 30);
+        assert_eq!(topo.total_bandwidth().gbps(), 280.0);
+        assert_eq!(topo.total_pages(), 40);
+    }
+
+    #[test]
+    fn derived_tables_match_specs() {
+        let topo = NumaTopology::paper_baseline(1, 1);
+        assert_eq!(topo.slit().extra_latency(ZoneId::new(1)), Some(100));
+        assert_eq!(
+            topo.sbit().bandwidth(ZoneId::new(0)).unwrap().gbps(),
+            200.0
+        );
+    }
+
+    #[test]
+    fn display_lists_zones() {
+        let s = NumaTopology::paper_baseline(1, 1).to_string();
+        assert!(s.contains("GPU-GDDR5"));
+        assert!(s.contains("CPU-DDR4"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one zone")]
+    fn empty_topology_panics() {
+        let _ = NumaTopology::builder().build();
+    }
+
+    #[test]
+    fn capacity_bytes() {
+        let z = ZoneSpec::new(
+            "x",
+            MemKind::BandwidthOptimized,
+            2,
+            Bandwidth::from_gbps(1.0),
+            0,
+        );
+        assert_eq!(z.capacity_bytes(), 8192);
+    }
+}

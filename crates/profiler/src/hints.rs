@@ -1,0 +1,179 @@
+//! `GetAllocation`: turning size/hotness annotations into placement
+//! hints (paper §5.2–5.3, Fig. 9).
+//!
+//! The paper's runtime computes, before any heap allocation, a placement
+//! hint for each data structure from (a) the annotated sizes, (b) the
+//! annotated relative hotness, and (c) the machine's bandwidth topology
+//! discovered from the SBIT:
+//!
+//! * If the footprint is small enough that BW-AWARE placement fits the
+//!   BO pool anyway, hint everything `Bw` — hotness is irrelevant
+//!   without a capacity constraint (§5).
+//! * Otherwise fill the BO pool with the hottest structures (by hotness
+//!   *density*) and hint the rest `Co`.
+
+use hmtypes::MemKind;
+
+/// A machine-abstract placement hint — the extra argument the paper adds
+/// to `cudaMalloc` (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemHint {
+    /// Best-effort placement in the bandwidth-optimized pool.
+    Preferred(MemKind),
+    /// Fall back to application-agnostic BW-AWARE placement.
+    BwAware,
+}
+
+impl MemHint {
+    /// Shorthand for `Preferred(BandwidthOptimized)`.
+    pub const BO: MemHint = MemHint::Preferred(MemKind::BandwidthOptimized);
+    /// Shorthand for `Preferred(CapacityOptimized)`.
+    pub const CO: MemHint = MemHint::Preferred(MemKind::CapacityOptimized);
+}
+
+impl core::fmt::Display for MemHint {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MemHint::Preferred(k) => write!(f, "{k}"),
+            MemHint::BwAware => write!(f, "BW"),
+        }
+    }
+}
+
+/// Computes per-allocation placement hints (the paper's `GetAllocation`,
+/// Fig. 9b).
+///
+/// `sizes[i]` and `hotness[i]` describe allocation `i` in program
+/// allocation order; `bo_capacity` is the bandwidth-optimized pool's
+/// byte capacity and `bo_traffic_fraction` the BW-AWARE BO share
+/// (`bB/(bB+bC)`, from the SBIT).
+///
+/// # Panics
+///
+/// Panics if the arrays' lengths differ or `bo_traffic_fraction` is
+/// outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use profiler::{get_allocation, MemHint};
+///
+/// // Two structures, the small one 10x hotter per byte; BO fits only one MB.
+/// let hints = get_allocation(&[1 << 20, 1 << 20], &[10.0, 1.0], 1 << 20, 5.0 / 7.0);
+/// assert_eq!(hints, vec![MemHint::BO, MemHint::CO]);
+/// ```
+pub fn get_allocation(
+    sizes: &[u64],
+    hotness: &[f64],
+    bo_capacity: u64,
+    bo_traffic_fraction: f64,
+) -> Vec<MemHint> {
+    assert_eq!(
+        sizes.len(),
+        hotness.len(),
+        "one hotness entry per allocation"
+    );
+    assert!(
+        (0.0..=1.0).contains(&bo_traffic_fraction),
+        "bo_traffic_fraction out of range"
+    );
+    let footprint: u64 = sizes.iter().sum();
+
+    // Unconstrained case: BW-AWARE would place footprint * fB bytes in
+    // BO; if that fits, hotness does not matter (paper §5: "BW-AWARE
+    // page placement should be used irrespective of the hotness").
+    let bw_aware_bo_bytes = (footprint as f64 * bo_traffic_fraction).ceil() as u64;
+    if bw_aware_bo_bytes <= bo_capacity {
+        return vec![MemHint::BwAware; sizes.len()];
+    }
+
+    // Capacity-constrained: hottest-density structures first into BO
+    // until it is full. The structure that straddles the capacity
+    // boundary is still hinted BO: hints are best-effort (the runtime
+    // fills BO and falls back to CO for the overflow), and leaving the
+    // residual BO capacity idle would waste its bandwidth.
+    let mut order: Vec<usize> = (0..sizes.len()).collect();
+    order.sort_by(|&a, &b| {
+        hotness[b]
+            .partial_cmp(&hotness[a])
+            .unwrap_or(core::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut hints = vec![MemHint::CO; sizes.len()];
+    let mut used = 0u64;
+    for &i in &order {
+        if used >= bo_capacity {
+            break;
+        }
+        hints[i] = MemHint::BO;
+        used += sizes[i];
+    }
+    hints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_footprint_uses_bw_aware() {
+        // 10 MB footprint, fB = 5/7 -> ~7.2 MB in BO; 8 MB BO fits.
+        let hints = get_allocation(
+            &[5 << 20, 5 << 20],
+            &[1.0, 2.0],
+            8 << 20,
+            5.0 / 7.0,
+        );
+        assert_eq!(hints, vec![MemHint::BwAware; 2]);
+    }
+
+    #[test]
+    fn constrained_prefers_hot_density() {
+        let sizes = [4 << 20, 2 << 20, 2 << 20];
+        let hotness = [0.5, 3.0, 1.0];
+        // BO holds 4 MB: the two hottest (2 MB each) fit; the big cold
+        // one does not.
+        let hints = get_allocation(&sizes, &hotness, 4 << 20, 5.0 / 7.0);
+        assert_eq!(hints, vec![MemHint::CO, MemHint::BO, MemHint::BO]);
+    }
+
+    #[test]
+    fn boundary_crossing_structure_still_hinted_bo() {
+        let sizes = [3 << 20, 2 << 20, 1 << 20];
+        let hotness = [5.0, 4.0, 3.0];
+        // BO = 3 MB: hottest (3 MB) fills it exactly; others CO.
+        let hints = get_allocation(&sizes, &hotness, 3 << 20, 0.9);
+        assert_eq!(hints, vec![MemHint::BO, MemHint::CO, MemHint::CO]);
+
+        // BO = 2.5 MB: the hottest structure straddles the boundary and
+        // keeps its BO hint (the runtime spills its overflow to CO);
+        // once BO is over-committed nothing else is steered there.
+        let hints = get_allocation(&sizes, &hotness, (5 << 20) / 2, 0.9);
+        assert_eq!(hints, vec![MemHint::BO, MemHint::CO, MemHint::CO]);
+    }
+
+    #[test]
+    fn hotness_ties_break_by_allocation_order() {
+        let hints = get_allocation(&[1 << 20, 1 << 20], &[1.0, 1.0], 1 << 20, 0.99);
+        assert_eq!(hints, vec![MemHint::BO, MemHint::CO]);
+    }
+
+    #[test]
+    fn zero_bo_capacity_hints_everything_co() {
+        let hints = get_allocation(&[1 << 20], &[1.0], 0, 0.5);
+        assert_eq!(hints, vec![MemHint::CO]);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(MemHint::BO.to_string(), "BO");
+        assert_eq!(MemHint::CO.to_string(), "CO");
+        assert_eq!(MemHint::BwAware.to_string(), "BW");
+    }
+
+    #[test]
+    #[should_panic(expected = "one hotness entry per allocation")]
+    fn mismatched_arrays_rejected() {
+        let _ = get_allocation(&[1], &[1.0, 2.0], 100, 0.5);
+    }
+}

@@ -1,0 +1,41 @@
+//! # profiler — GPU data-structure access profiling
+//!
+//! The reproduction of the profiling toolchain of *Page Placement
+//! Strategies for GPUs within Heterogeneous Memory Systems* (ASPLOS
+//! 2015, §5.1): the paper instruments NVIDIA's compiler to count every
+//! load/store against the `cudaMalloc`-ed data structure it touches; we
+//! collect the same data from a profiling simulation pass.
+//!
+//! * [`PageHistogram`] / [`Cdf`] — per-page DRAM access counts and the
+//!   bandwidth CDFs of Fig. 6,
+//! * [`RunProfile`] — attribution of pages to named allocations, hotness
+//!   densities, and the Fig. 7 scatter data,
+//! * [`get_allocation`] — the paper's `GetAllocation` hint computation
+//!   (Fig. 9) mapping (sizes, hotness, machine topology) to
+//!   [`MemHint`]s,
+//! * [`OraclePlacement`] — perfect-knowledge page ranking (§4.2).
+//!
+//! # Examples
+//!
+//! ```
+//! use hmtypes::PageNum;
+//! use profiler::{OraclePlacement, PageHistogram};
+//!
+//! // One of ten pages carries 90% of the traffic.
+//! let hist = PageHistogram::from_counts(
+//!     (0..10).map(|i| (PageNum::new(i), if i == 0 { 900 } else { 11 })),
+//! );
+//! assert!(hist.cdf().skewness() > 0.5);
+//! let oracle = OraclePlacement::compute(&hist, 1, 5.0 / 7.0);
+//! assert!(oracle.is_bo(PageNum::new(0)));
+//! ```
+
+pub mod histogram;
+pub mod hints;
+pub mod oracle;
+pub mod structures;
+
+pub use histogram::{Cdf, CdfPoint, PageHistogram};
+pub use hints::{get_allocation, MemHint};
+pub use oracle::OraclePlacement;
+pub use structures::{AllocRange, RunProfile, ScatterPoint, StructureProfile};

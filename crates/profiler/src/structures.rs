@@ -1,0 +1,266 @@
+//! Attributing page accesses to program data structures (paper §5.1).
+//!
+//! The paper instruments `cudaMalloc` to associate source-level data
+//! structures with virtual address ranges, then counts every load/store
+//! against its range. Here the ranges come from the allocation registry
+//! (named VMAs) and the counts from a profiling simulation run — the
+//! output contract is the same: per-structure access counts, hotness
+//! densities, and the Fig. 7 CDF-vs-address scatter data.
+
+use hmtypes::{PageNum, VirtAddr, PAGE_SIZE};
+
+use crate::histogram::PageHistogram;
+
+/// A named virtual address range (one `cudaMalloc` result).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocRange {
+    /// Data-structure name (source-level).
+    pub name: String,
+    /// First byte.
+    pub start: VirtAddr,
+    /// One past the last byte (page-rounded).
+    pub end: VirtAddr,
+}
+
+impl AllocRange {
+    /// Creates a range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end <= start`.
+    pub fn new(name: impl Into<String>, start: VirtAddr, end: VirtAddr) -> Self {
+        assert!(end.raw() > start.raw(), "empty allocation range");
+        AllocRange {
+            name: name.into(),
+            start,
+            end,
+        }
+    }
+
+    /// Size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.end.raw() - self.start.raw()
+    }
+
+    /// Whether `page` falls in this range.
+    pub fn contains_page(&self, page: PageNum) -> bool {
+        let addr = page.base();
+        addr >= self.start && addr.raw() < self.end.raw()
+    }
+
+    /// The pages the range covers.
+    pub fn pages(&self) -> impl Iterator<Item = PageNum> {
+        (self.start.page().index()..self.end.raw().div_ceil(PAGE_SIZE as u64)).map(PageNum::new)
+    }
+}
+
+/// Profiling result for one data structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructureProfile {
+    /// The structure's allocation range.
+    pub range: AllocRange,
+    /// DRAM accesses attributed to the structure.
+    pub accesses: u64,
+    /// Share of total attributed traffic, in `[0, 1]`.
+    pub traffic_share: f64,
+    /// Hotness density: accesses per byte — the paper's annotation
+    /// metric (Fig. 9's `hotness[i]`, up to scale).
+    pub hotness: f64,
+}
+
+/// The full profile of one run: per-structure attribution (paper §5.1)
+/// built from named allocation ranges and a page histogram.
+///
+/// # Examples
+///
+/// ```
+/// use hmtypes::{PageNum, VirtAddr};
+/// use profiler::{AllocRange, PageHistogram, RunProfile};
+///
+/// let ranges = vec![AllocRange::new("a", VirtAddr::new(0), VirtAddr::new(8192))];
+/// let hist = PageHistogram::from_counts([(PageNum::new(0), 10)]);
+/// let profile = RunProfile::attribute(ranges, &hist);
+/// assert_eq!(profile.structures()[0].accesses, 10);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunProfile {
+    structures: Vec<StructureProfile>,
+    unattributed: u64,
+}
+
+impl RunProfile {
+    /// Attributes `histogram`'s page counts to `ranges`.
+    ///
+    /// Pages outside every range are tallied as
+    /// [`RunProfile::unattributed`] (library-internal allocations, in the
+    /// paper's discussion of profiling shortcomings).
+    pub fn attribute(ranges: Vec<AllocRange>, histogram: &PageHistogram) -> Self {
+        let mut accesses = vec![0u64; ranges.len()];
+        let mut unattributed = 0;
+        for (page, count) in histogram.iter() {
+            match ranges.iter().position(|r| r.contains_page(page)) {
+                Some(i) => accesses[i] += count,
+                None => unattributed += count,
+            }
+        }
+        let total: u64 = accesses.iter().sum();
+        let structures = ranges
+            .into_iter()
+            .zip(accesses)
+            .map(|(range, acc)| {
+                let bytes = range.bytes();
+                StructureProfile {
+                    range,
+                    accesses: acc,
+                    traffic_share: if total == 0 {
+                        0.0
+                    } else {
+                        acc as f64 / total as f64
+                    },
+                    hotness: acc as f64 / bytes as f64,
+                }
+            })
+            .collect();
+        RunProfile {
+            structures,
+            unattributed,
+        }
+    }
+
+    /// Per-structure profiles, in allocation order.
+    pub fn structures(&self) -> &[StructureProfile] {
+        &self.structures
+    }
+
+    /// Accesses that matched no registered range.
+    pub fn unattributed(&self) -> u64 {
+        self.unattributed
+    }
+
+    /// `(sizes, hotness)` arrays in allocation order — exactly the two
+    /// annotation arrays of the paper's Fig. 9 pseudo-code.
+    pub fn annotation_arrays(&self) -> (Vec<u64>, Vec<f64>) {
+        (
+            self.structures.iter().map(|s| s.range.bytes()).collect(),
+            self.structures.iter().map(|s| s.hotness).collect(),
+        )
+    }
+
+    /// Fig. 7 scatter data: for each touched page sorted hot→cold, the
+    /// running CDF value, the page's virtual address, and the index of
+    /// the structure it belongs to (`None` if unattributed).
+    pub fn scatter(&self, histogram: &PageHistogram) -> Vec<ScatterPoint> {
+        let sorted = histogram.hot_to_cold();
+        let total = histogram.total_accesses();
+        let mut cum = 0u64;
+        sorted
+            .into_iter()
+            .map(|(page, count)| {
+                cum += count;
+                ScatterPoint {
+                    page,
+                    vaddr: page.base(),
+                    cdf: if total == 0 {
+                        0.0
+                    } else {
+                        cum as f64 / total as f64
+                    },
+                    structure: self
+                        .structures
+                        .iter()
+                        .position(|s| s.range.contains_page(page)),
+                }
+            })
+            .collect()
+    }
+}
+
+/// One point of the Fig. 7 CDF-vs-virtual-address scatter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScatterPoint {
+    /// The page (position in the hot→cold order is the vector index).
+    pub page: PageNum,
+    /// The page's virtual address.
+    pub vaddr: VirtAddr,
+    /// Cumulative traffic fraction up to and including this page.
+    pub cdf: f64,
+    /// Index of the owning structure, or `None` if unattributed.
+    pub structure: Option<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranges() -> Vec<AllocRange> {
+        vec![
+            AllocRange::new("hot", VirtAddr::new(0), VirtAddr::new(2 * 4096)),
+            AllocRange::new("cold", VirtAddr::new(4 * 4096), VirtAddr::new(8 * 4096)),
+        ]
+    }
+
+    fn hist() -> PageHistogram {
+        PageHistogram::from_counts([
+            (PageNum::new(0), 70),
+            (PageNum::new(1), 20),
+            (PageNum::new(5), 10),
+            (PageNum::new(100), 5), // outside all ranges
+        ])
+    }
+
+    #[test]
+    fn attribution_sums_per_structure() {
+        let p = RunProfile::attribute(ranges(), &hist());
+        assert_eq!(p.structures()[0].accesses, 90);
+        assert_eq!(p.structures()[1].accesses, 10);
+        assert_eq!(p.unattributed(), 5);
+        assert!((p.structures()[0].traffic_share - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hotness_is_density_not_mass() {
+        // "hot": 90 accesses over 8 kB; "cold": 10 over 16 kB.
+        let p = RunProfile::attribute(ranges(), &hist());
+        let h0 = p.structures()[0].hotness;
+        let h1 = p.structures()[1].hotness;
+        assert!((h0 / h1 - (90.0 / 8192.0) / (10.0 / 16384.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn annotation_arrays_align() {
+        let p = RunProfile::attribute(ranges(), &hist());
+        let (sizes, hotness) = p.annotation_arrays();
+        assert_eq!(sizes, vec![8192, 16384]);
+        assert_eq!(hotness.len(), 2);
+        assert!(hotness[0] > hotness[1]);
+    }
+
+    #[test]
+    fn scatter_orders_hot_to_cold_and_labels_structures() {
+        let h = hist();
+        let p = RunProfile::attribute(ranges(), &h);
+        let sc = p.scatter(&h);
+        assert_eq!(sc.len(), 4);
+        assert_eq!(sc[0].page, PageNum::new(0));
+        assert_eq!(sc[0].structure, Some(0));
+        assert_eq!(sc[2].structure, Some(1));
+        assert_eq!(sc[3].structure, None);
+        assert!(sc.windows(2).all(|w| w[0].cdf <= w[1].cdf));
+        assert!((sc[3].cdf - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn range_page_iteration() {
+        let r = AllocRange::new("x", VirtAddr::new(4096), VirtAddr::new(3 * 4096));
+        let pages: Vec<_> = r.pages().collect();
+        assert_eq!(pages, vec![PageNum::new(1), PageNum::new(2)]);
+        assert!(r.contains_page(PageNum::new(1)));
+        assert!(!r.contains_page(PageNum::new(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty allocation range")]
+    fn empty_range_rejected() {
+        let _ = AllocRange::new("x", VirtAddr::new(4096), VirtAddr::new(4096));
+    }
+}

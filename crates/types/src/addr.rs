@@ -1,0 +1,241 @@
+//! Address and page-number newtypes.
+//!
+//! The simulator works on 4 kB pages (the granularity at which the OS
+//! places memory) and 128 B cache lines (the granularity at which the GPU
+//! memory system moves data), matching the paper's simulated system.
+
+use core::fmt;
+
+/// Page size in bytes (4 kB, the x86/Linux base page the paper places).
+pub const PAGE_SIZE: usize = 4096;
+
+/// Cache line / DRAM burst size in bytes (128 B, GPU sector size).
+pub const LINE_SIZE: usize = 128;
+
+/// A virtual address in a process (GPU application) address space.
+///
+/// # Examples
+///
+/// ```
+/// use hmtypes::{VirtAddr, PAGE_SIZE};
+/// let va = VirtAddr::new(PAGE_SIZE as u64 + 4);
+/// assert_eq!(va.page().index(), 1);
+/// assert_eq!(va.page_offset(), 4);
+/// assert_eq!(va.line_index(), (PAGE_SIZE as u64 + 4) / 128);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(u64);
+
+/// A physical address in the machine address space.
+///
+/// Physical addresses are produced by translating a [`VirtAddr`] through a
+/// page table; which physical *zone* an address falls in is what the
+/// paper's placement policies control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(u64);
+
+/// A virtual page number (a [`VirtAddr`] divided by [`PAGE_SIZE`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PageNum(u64);
+
+/// A physical page frame number (a [`PhysAddr`] divided by [`PAGE_SIZE`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct FrameNum(u64);
+
+macro_rules! addr_impl {
+    ($ty:ident, $page_ty:ident, $page_fn:ident) => {
+        impl $ty {
+            /// Creates an address from a raw byte offset.
+            #[inline]
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw byte value of this address.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// Returns the page this address falls in.
+            #[inline]
+            pub const fn $page_fn(self) -> $page_ty {
+                $page_ty(self.0 / PAGE_SIZE as u64)
+            }
+
+            /// Byte offset of this address within its page.
+            #[inline]
+            pub const fn page_offset(self) -> u64 {
+                self.0 % PAGE_SIZE as u64
+            }
+
+            /// Global cache-line index of this address (raw / [`LINE_SIZE`]).
+            #[inline]
+            pub const fn line_index(self) -> u64 {
+                self.0 / LINE_SIZE as u64
+            }
+
+            /// Returns this address rounded down to its cache line start.
+            #[inline]
+            pub const fn line_aligned(self) -> Self {
+                Self(self.0 - self.0 % LINE_SIZE as u64)
+            }
+
+            /// Returns the address `bytes` past this one.
+            ///
+            /// # Panics
+            ///
+            /// Panics on overflow of the 64-bit address space.
+            #[inline]
+            pub fn offset(self, bytes: u64) -> Self {
+                Self(self.0.checked_add(bytes).expect("address overflow"))
+            }
+        }
+
+        impl From<u64> for $ty {
+            fn from(raw: u64) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$ty> for u64 {
+            fn from(addr: $ty) -> u64 {
+                addr.0
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+    };
+}
+
+addr_impl!(VirtAddr, PageNum, page);
+addr_impl!(PhysAddr, FrameNum, frame);
+
+macro_rules! page_impl {
+    ($ty:ident, $addr_ty:ident) => {
+        impl $ty {
+            /// Creates a page/frame number from its index.
+            #[inline]
+            pub const fn new(index: u64) -> Self {
+                Self(index)
+            }
+
+            /// The index of this page/frame (address / [`PAGE_SIZE`]).
+            #[inline]
+            pub const fn index(self) -> u64 {
+                self.0
+            }
+
+            /// The first byte address of this page/frame.
+            #[inline]
+            pub const fn base(self) -> $addr_ty {
+                $addr_ty::new(self.0 * PAGE_SIZE as u64)
+            }
+
+            /// The page/frame immediately after this one.
+            #[inline]
+            pub const fn next(self) -> Self {
+                Self(self.0 + 1)
+            }
+        }
+
+        impl From<u64> for $ty {
+            fn from(index: u64) -> Self {
+                Self(index)
+            }
+        }
+
+        impl From<$ty> for u64 {
+            fn from(p: $ty) -> u64 {
+                p.0
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}#{}", stringify!($ty), self.0)
+            }
+        }
+    };
+}
+
+page_impl!(PageNum, VirtAddr);
+page_impl!(FrameNum, PhysAddr);
+
+/// Number of pages needed to hold `bytes` bytes (ceiling division).
+///
+/// # Examples
+///
+/// ```
+/// use hmtypes::addr::pages_for;
+/// assert_eq!(pages_for(0), 0);
+/// assert_eq!(pages_for(1), 1);
+/// assert_eq!(pages_for(4096), 1);
+/// assert_eq!(pages_for(4097), 2);
+/// ```
+#[inline]
+pub const fn pages_for(bytes: u64) -> u64 {
+    bytes.div_ceil(PAGE_SIZE as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_round_trip() {
+        let va = VirtAddr::new(5 * PAGE_SIZE as u64 + 100);
+        assert_eq!(va.page(), PageNum::new(5));
+        assert_eq!(va.page_offset(), 100);
+        assert_eq!(va.page().base().offset(100), va);
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let pa = PhysAddr::new(9 * PAGE_SIZE as u64);
+        assert_eq!(pa.frame(), FrameNum::new(9));
+        assert_eq!(pa.frame().base(), pa);
+        assert_eq!(pa.page_offset(), 0);
+    }
+
+    #[test]
+    fn line_alignment() {
+        let va = VirtAddr::new(257);
+        assert_eq!(va.line_aligned(), VirtAddr::new(256));
+        assert_eq!(va.line_index(), 2);
+    }
+
+    #[test]
+    fn next_page_advances_base_by_page_size() {
+        let p = PageNum::new(7);
+        assert_eq!(p.next().base().raw() - p.base().raw(), PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn pages_for_edge_cases() {
+        assert_eq!(pages_for(PAGE_SIZE as u64 * 3), 3);
+        assert_eq!(pages_for(PAGE_SIZE as u64 * 3 + 1), 4);
+    }
+
+    #[test]
+    fn display_is_hex_for_addresses() {
+        assert_eq!(VirtAddr::new(255).to_string(), "0xff");
+        assert_eq!(format!("{:x}", PhysAddr::new(255)), "ff");
+    }
+
+    #[test]
+    #[should_panic(expected = "address overflow")]
+    fn offset_overflow_panics() {
+        let _ = VirtAddr::new(u64::MAX).offset(1);
+    }
+}

@@ -1,0 +1,329 @@
+//! Bandwidth, byte-size units, memory pool kinds, and access kinds.
+
+use core::fmt;
+
+/// One kilobyte (2^10 bytes).
+pub const KB: usize = 1024;
+/// One megabyte (2^20 bytes).
+pub const MB: usize = 1024 * KB;
+/// One gigabyte (2^30 bytes).
+pub const GB: usize = 1024 * MB;
+
+/// The two memory pool kinds of the paper's heterogeneous system.
+///
+/// The paper (§1–§2) splits a globally-addressable memory system into a
+/// *bandwidth-optimized* (BO) pool — GDDR5/HBM/WIO2-class, GPU-attached —
+/// and a *capacity/cost-optimized* (CO) pool — DDR4/LPDDR4-class, usually
+/// CPU-attached across a cache-coherent interconnect.
+///
+/// # Examples
+///
+/// ```
+/// use hmtypes::MemKind;
+/// assert_eq!(MemKind::BandwidthOptimized.short_name(), "BO");
+/// assert_eq!(MemKind::CapacityOptimized.other(), MemKind::BandwidthOptimized);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MemKind {
+    /// High-bandwidth, capacity-limited memory (GDDR5/HBM/WIO2), GPU-local.
+    BandwidthOptimized,
+    /// High-capacity, lower-bandwidth memory (DDR4/LPDDR4), remote to the GPU.
+    CapacityOptimized,
+}
+
+impl MemKind {
+    /// All kinds, in placement-preference order for a GPU process
+    /// (local BO first, as Linux `LOCAL` would).
+    pub const ALL: [MemKind; 2] = [MemKind::BandwidthOptimized, MemKind::CapacityOptimized];
+
+    /// The paper's shorthand: `"BO"` or `"CO"`.
+    pub const fn short_name(self) -> &'static str {
+        match self {
+            MemKind::BandwidthOptimized => "BO",
+            MemKind::CapacityOptimized => "CO",
+        }
+    }
+
+    /// The other pool kind.
+    pub const fn other(self) -> Self {
+        match self {
+            MemKind::BandwidthOptimized => MemKind::CapacityOptimized,
+            MemKind::CapacityOptimized => MemKind::BandwidthOptimized,
+        }
+    }
+}
+
+impl fmt::Display for MemKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// Whether a memory access reads or writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+impl AccessKind {
+    /// Returns `true` for [`AccessKind::Read`].
+    pub const fn is_read(self) -> bool {
+        matches!(self, AccessKind::Read)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessKind::Read => "R",
+            AccessKind::Write => "W",
+        })
+    }
+}
+
+/// A memory bandwidth, stored as bytes per second.
+///
+/// Constructed from the GB/s figures the paper quotes (decimal GB, i.e.
+/// 10^9 bytes, as memory vendors and the paper use).
+///
+/// # Examples
+///
+/// ```
+/// use hmtypes::Bandwidth;
+/// let bo = Bandwidth::from_gbps(200.0);
+/// let co = Bandwidth::from_gbps(80.0);
+/// assert_eq!((bo + co).gbps(), 280.0);
+/// assert!((bo.ratio_to(co) - 2.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Bandwidth {
+    bytes_per_sec: f64,
+}
+
+impl Bandwidth {
+    /// Zero bandwidth (an absent/disabled pool).
+    pub const ZERO: Bandwidth = Bandwidth { bytes_per_sec: 0.0 };
+
+    /// Creates a bandwidth from decimal gigabytes per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gbps` is negative or not finite.
+    pub fn from_gbps(gbps: f64) -> Self {
+        assert!(
+            gbps.is_finite() && gbps >= 0.0,
+            "bandwidth must be finite and non-negative, got {gbps}"
+        );
+        Bandwidth {
+            bytes_per_sec: gbps * 1e9,
+        }
+    }
+
+    /// Creates a bandwidth from raw bytes per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_sec` is negative or not finite.
+    pub fn from_bytes_per_sec(bytes_per_sec: f64) -> Self {
+        assert!(
+            bytes_per_sec.is_finite() && bytes_per_sec >= 0.0,
+            "bandwidth must be finite and non-negative, got {bytes_per_sec}"
+        );
+        Bandwidth { bytes_per_sec }
+    }
+
+    /// This bandwidth in decimal GB/s.
+    pub fn gbps(self) -> f64 {
+        self.bytes_per_sec / 1e9
+    }
+
+    /// This bandwidth in raw bytes per second.
+    pub fn bytes_per_sec(self) -> f64 {
+        self.bytes_per_sec
+    }
+
+    /// Bytes moved per clock cycle at `clock_ghz`.
+    pub fn bytes_per_cycle(self, clock_ghz: f64) -> f64 {
+        self.bytes_per_sec / (clock_ghz * 1e9)
+    }
+
+    /// `self / other`, the paper's *BW-Ratio* (Fig. 1).
+    ///
+    /// Returns `f64::INFINITY` if `other` is zero and `self` is not.
+    pub fn ratio_to(self, other: Bandwidth) -> f64 {
+        self.bytes_per_sec / other.bytes_per_sec
+    }
+
+    /// `self / (self + other)` — the optimal fraction of pages to place in
+    /// this pool under BW-AWARE placement (paper §3.1: `fB = bB/(bB+bC)`).
+    ///
+    /// Returns 0 if both bandwidths are zero.
+    pub fn fraction_of_total(self, other: Bandwidth) -> f64 {
+        let total = self.bytes_per_sec + other.bytes_per_sec;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.bytes_per_sec / total
+        }
+    }
+
+    /// Scales this bandwidth by a non-negative factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    pub fn scaled(self, factor: f64) -> Self {
+        Bandwidth::from_bytes_per_sec(self.bytes_per_sec * factor)
+    }
+}
+
+impl core::ops::Add for Bandwidth {
+    type Output = Bandwidth;
+    fn add(self, rhs: Bandwidth) -> Bandwidth {
+        Bandwidth {
+            bytes_per_sec: self.bytes_per_sec + rhs.bytes_per_sec,
+        }
+    }
+}
+
+impl core::iter::Sum for Bandwidth {
+    fn sum<I: Iterator<Item = Bandwidth>>(iter: I) -> Bandwidth {
+        iter.fold(Bandwidth::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} GB/s", self.gbps())
+    }
+}
+
+/// An integer percentage in `[0, 100]`, used for the paper's `xC-yB`
+/// placement-ratio notation (§3.2.2).
+///
+/// # Examples
+///
+/// ```
+/// use hmtypes::Percent;
+/// let co = Percent::new(30);
+/// assert_eq!(co.complement().value(), 70);
+/// assert!((co.as_fraction() - 0.3).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Percent(u8);
+
+impl Percent {
+    /// Creates a percentage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value > 100`.
+    pub const fn new(value: u8) -> Self {
+        assert!(value <= 100, "percentage must be in [0, 100]");
+        Percent(value)
+    }
+
+    /// The integer value in `[0, 100]`.
+    pub const fn value(self) -> u8 {
+        self.0
+    }
+
+    /// `100 - self`.
+    pub const fn complement(self) -> Self {
+        Percent(100 - self.0)
+    }
+
+    /// This percentage as a fraction in `[0.0, 1.0]`.
+    pub fn as_fraction(self) -> f64 {
+        f64::from(self.0) / 100.0
+    }
+
+    /// Rounds a fraction in `[0.0, 1.0]` to the nearest percent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0.0, 1.0]` or not finite.
+    pub fn from_fraction(fraction: f64) -> Self {
+        assert!(
+            fraction.is_finite() && (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0.0, 1.0], got {fraction}"
+        );
+        Percent((fraction * 100.0).round() as u8)
+    }
+}
+
+impl fmt::Display for Percent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}%", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_paper_baseline_ratio() {
+        // Table 1: 200 GB/s BO vs 80 GB/s CO -> ratio 2.5x, fB = 5/7.
+        let bo = Bandwidth::from_gbps(200.0);
+        let co = Bandwidth::from_gbps(80.0);
+        assert!((bo.ratio_to(co) - 2.5).abs() < 1e-12);
+        assert!((bo.fraction_of_total(co) - 200.0 / 280.0).abs() < 1e-12);
+        // The paper rounds 28C-72B to 30C-70B.
+        assert_eq!(Percent::from_fraction(co.fraction_of_total(bo)).value(), 29);
+    }
+
+    #[test]
+    fn bandwidth_zero_total_fraction_is_zero() {
+        assert_eq!(Bandwidth::ZERO.fraction_of_total(Bandwidth::ZERO), 0.0);
+    }
+
+    #[test]
+    fn bandwidth_bytes_per_cycle() {
+        // 200 GB/s at 1.4 GHz SM clock ~= 142.86 B/cycle.
+        let bo = Bandwidth::from_gbps(200.0);
+        assert!((bo.bytes_per_cycle(1.4) - 142.857).abs() < 1e-2);
+    }
+
+    #[test]
+    fn bandwidth_sum_and_display() {
+        let total: Bandwidth = [Bandwidth::from_gbps(25.0); 8].into_iter().sum();
+        assert_eq!(total.to_string(), "200.0 GB/s");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn bandwidth_rejects_negative() {
+        let _ = Bandwidth::from_gbps(-1.0);
+    }
+
+    #[test]
+    fn percent_complement() {
+        assert_eq!(Percent::new(30).complement(), Percent::new(70));
+        assert_eq!(Percent::new(0).complement(), Percent::new(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 100]")]
+    fn percent_rejects_over_100() {
+        let _ = Percent::new(101);
+    }
+
+    #[test]
+    fn memkind_other_is_involution() {
+        for kind in MemKind::ALL {
+            assert_eq!(kind.other().other(), kind);
+        }
+    }
+
+    #[test]
+    fn access_kind_display() {
+        assert_eq!(AccessKind::Read.to_string(), "R");
+        assert_eq!(AccessKind::Write.to_string(), "W");
+        assert!(AccessKind::Read.is_read());
+        assert!(!AccessKind::Write.is_read());
+    }
+}

@@ -1,0 +1,765 @@
+//! The 19 benchmark models of the paper's evaluation (Fig. 3 set):
+//! Rodinia, Parboil, and DOE HPC proxy workloads.
+//!
+//! Footprints are scaled to simulator scale (megabytes, not gigabytes);
+//! every qualitative property the paper measures is preserved per class:
+//! `sgemm` is latency-sensitive (few warps, MLP 1), `comd` is
+//! compute-bound, `bfs`/`xsbench` have strongly skewed page-access CDFs
+//! aligned with named data structures, `needle` is near-linear, and
+//! `mummergpu`'s skew is decorrelated from structure order with
+//! allocated-but-never-touched ranges (paper Fig. 7).
+//!
+//! Four workloads (`bfs`, `xsbench`, `minife`, `mummergpu`) expose
+//! multiple input datasets via [`datasets`] for the paper's Fig. 11
+//! profile-robustness study; dataset 0 is the training input.
+
+use hmtypes::MB;
+
+use crate::spec::{DataStructureSpec, Pattern, Sensitivity, Suite, WorkloadSpec};
+
+const fn mb(x: f64) -> u64 {
+    (x * MB as f64) as u64
+}
+
+fn ds(name: &'static str, bytes: u64, weight: f64, pattern: Pattern) -> DataStructureSpec {
+    DataStructureSpec::new(name, bytes, weight, pattern)
+}
+
+/// All 19 workloads, in the paper's alphabetical presentation order.
+pub fn all() -> Vec<WorkloadSpec> {
+    vec![
+        backprop(),
+        bfs(),
+        cns(),
+        comd(),
+        cutcp(),
+        gaussian(),
+        hotspot(),
+        kmeans(),
+        lbm(),
+        lud(),
+        minife(),
+        mummergpu(),
+        needle(),
+        pathfinder(),
+        sad(),
+        sgemm(),
+        spmv(),
+        srad(),
+        xsbench(),
+    ]
+}
+
+/// Looks up one workload by its paper name.
+pub fn by_name(name: &str) -> Option<WorkloadSpec> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+/// Names of all 19 workloads.
+pub fn names() -> Vec<&'static str> {
+    all().iter().map(|w| w.name).collect()
+}
+
+/// Input datasets for a workload (Fig. 11). Dataset 0 is the training
+/// input (identical to the catalog spec); workloads without modelled
+/// dataset variation return just that one entry.
+pub fn datasets(name: &str) -> Vec<WorkloadSpec> {
+    match name {
+        "bfs" => bfs_datasets(),
+        "xsbench" => xsbench_datasets(),
+        "minife" => minife_datasets(),
+        "mummergpu" => mummergpu_datasets(),
+        _ => by_name(name).into_iter().collect(),
+    }
+}
+
+fn backprop() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "backprop",
+        suite: Suite::Rodinia,
+        class: Sensitivity::Bandwidth,
+        structures: vec![
+            ds("input_units", mb(4.0), 2.0, Pattern::Stream),
+            ds("input_weights", mb(6.0), 4.0, Pattern::Stream),
+            ds("weight_delta", mb(6.0), 2.0, Pattern::Stream),
+        ],
+        compute_per_mem: 4,
+        warps_per_sm: 32,
+        mlp: 4,
+        write_frac: 0.25,
+        mem_ops: 220_000,
+        seed: 0xbac0,
+    }
+}
+
+fn bfs() -> WorkloadSpec {
+    bfs_sized(1.0, 1.1, 0xbf5)
+}
+
+/// bfs parameterized by graph scale and degree skew (Fig. 11 datasets
+/// vary node count and average degree).
+fn bfs_sized(scale: f64, skew: f64, seed: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        name: "bfs",
+        suite: Suite::Rodinia,
+        class: Sensitivity::Bandwidth,
+        structures: vec![
+            ds("d_graph_nodes", mb(2.0 * scale), 0.5, Pattern::Stream),
+            ds("d_graph_edges", mb(8.0 * scale), 1.5, Pattern::Uniform),
+            ds(
+                "d_graph_mask",
+                mb(0.75 * scale),
+                0.5,
+                Pattern::Zipf {
+                    s: 0.9,
+                    shuffled: false,
+                },
+            ),
+            ds(
+                "d_updating_graph_mask",
+                mb(0.75 * scale),
+                2.0,
+                Pattern::Zipf {
+                    s: skew,
+                    shuffled: false,
+                },
+            ),
+            ds(
+                "d_graph_visited",
+                mb(0.75 * scale),
+                2.5,
+                Pattern::Zipf {
+                    s: skew,
+                    shuffled: false,
+                },
+            ),
+            ds(
+                "d_cost",
+                mb(0.75 * scale),
+                2.0,
+                Pattern::Zipf {
+                    s: 1.0,
+                    shuffled: false,
+                },
+            ),
+        ],
+        compute_per_mem: 2,
+        warps_per_sm: 32,
+        mlp: 4,
+        write_frac: 0.15,
+        mem_ops: 220_000,
+        seed,
+    }
+}
+
+fn bfs_datasets() -> Vec<WorkloadSpec> {
+    vec![
+        bfs_sized(1.0, 1.1, 0xbf5),  // training: 1M-node graph
+        bfs_sized(1.4, 1.05, 0xb01), // larger, slightly flatter degree
+        bfs_sized(0.7, 1.2, 0xb02),  // smaller, higher skew
+        bfs_sized(1.2, 1.1, 0xb03),  // larger, same skew
+    ]
+}
+
+fn cns() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "cns",
+        suite: Suite::Hpc,
+        class: Sensitivity::Bandwidth,
+        structures: vec![
+            ds("state_in", mb(6.0), 3.0, Pattern::Stream),
+            ds("state_out", mb(6.0), 2.0, Pattern::Stream),
+            ds("flux", mb(4.0), 1.0, Pattern::Uniform),
+        ],
+        compute_per_mem: 6,
+        warps_per_sm: 32,
+        mlp: 4,
+        write_frac: 0.3,
+        mem_ops: 220_000,
+        seed: 0xc25,
+    }
+}
+
+fn comd() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "comd",
+        suite: Suite::Hpc,
+        class: Sensitivity::Compute,
+        structures: vec![
+            ds("positions", mb(3.0), 2.0, Pattern::Stream),
+            ds("forces", mb(3.0), 2.0, Pattern::Stream),
+            ds("neighbor_list", mb(6.0), 1.0, Pattern::Uniform),
+        ],
+        // Heavy force-kernel arithmetic between accesses: compute-bound
+        // even when memory bandwidth is halved (Fig. 2 insensitivity).
+        compute_per_mem: 900,
+        warps_per_sm: 32,
+        mlp: 2,
+        write_frac: 0.25,
+        mem_ops: 90_000,
+        seed: 0xc0d,
+    }
+}
+
+fn cutcp() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "cutcp",
+        suite: Suite::Parboil,
+        class: Sensitivity::Bandwidth,
+        structures: vec![
+            ds(
+                "lattice",
+                mb(8.0),
+                3.0,
+                Pattern::Clustered {
+                    hot_frac: 0.2,
+                    hot_prob: 0.7,
+                },
+            ),
+            ds(
+                "atoms",
+                mb(1.0),
+                2.0,
+                Pattern::Zipf {
+                    s: 1.0,
+                    shuffled: false,
+                },
+            ),
+        ],
+        compute_per_mem: 10,
+        warps_per_sm: 32,
+        mlp: 4,
+        write_frac: 0.1,
+        mem_ops: 200_000,
+        seed: 0xc1c,
+    }
+}
+
+fn gaussian() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "gaussian",
+        suite: Suite::Rodinia,
+        class: Sensitivity::Bandwidth,
+        structures: vec![
+            ds("matrix", mb(12.0), 4.0, Pattern::Stream),
+            ds(
+                "pivot_row",
+                mb(0.5),
+                1.0,
+                Pattern::Zipf {
+                    s: 0.8,
+                    shuffled: false,
+                },
+            ),
+        ],
+        compute_per_mem: 2,
+        warps_per_sm: 32,
+        mlp: 6,
+        write_frac: 0.2,
+        mem_ops: 240_000,
+        seed: 0x9a5,
+    }
+}
+
+fn hotspot() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "hotspot",
+        suite: Suite::Rodinia,
+        class: Sensitivity::Bandwidth,
+        structures: vec![
+            ds("temp_in", mb(6.0), 2.0, Pattern::Stream),
+            ds("power", mb(6.0), 1.0, Pattern::Stream),
+            ds("temp_out", mb(6.0), 1.0, Pattern::Stream),
+        ],
+        compute_per_mem: 5,
+        warps_per_sm: 32,
+        mlp: 4,
+        write_frac: 0.25,
+        mem_ops: 220_000,
+        seed: 0x805,
+    }
+}
+
+fn kmeans() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "kmeans",
+        suite: Suite::Rodinia,
+        class: Sensitivity::Bandwidth,
+        structures: vec![
+            ds("features", mb(12.0), 5.0, Pattern::Stream),
+            // Centroids are tiny and cache-resident; they filter to
+            // almost no DRAM traffic.
+            ds(
+                "clusters",
+                128 * 1024,
+                2.0,
+                Pattern::Zipf {
+                    s: 0.5,
+                    shuffled: false,
+                },
+            ),
+            ds("membership", mb(1.0), 1.0, Pattern::Stream),
+        ],
+        compute_per_mem: 8,
+        warps_per_sm: 32,
+        mlp: 4,
+        write_frac: 0.1,
+        mem_ops: 220_000,
+        seed: 0x3ea5,
+    }
+}
+
+fn lbm() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "lbm",
+        suite: Suite::Parboil,
+        class: Sensitivity::Bandwidth,
+        structures: vec![
+            ds("src_grid", mb(10.0), 3.0, Pattern::Stream),
+            ds("dst_grid", mb(10.0), 3.0, Pattern::Stream),
+        ],
+        compute_per_mem: 2,
+        warps_per_sm: 48,
+        mlp: 8,
+        write_frac: 0.45,
+        mem_ops: 300_000,
+        seed: 0x1b3,
+    }
+}
+
+fn lud() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "lud",
+        suite: Suite::Rodinia,
+        class: Sensitivity::Bandwidth,
+        structures: vec![ds(
+            "matrix",
+            mb(8.0),
+            3.0,
+            Pattern::Clustered {
+                hot_frac: 0.3,
+                hot_prob: 0.6,
+            },
+        )],
+        compute_per_mem: 12,
+        warps_per_sm: 24,
+        mlp: 4,
+        write_frac: 0.2,
+        mem_ops: 180_000,
+        seed: 0x10d,
+    }
+}
+
+fn minife() -> WorkloadSpec {
+    minife_sized(1.0, 0x313f)
+}
+
+fn minife_sized(scale: f64, seed: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        name: "minife",
+        suite: Suite::Hpc,
+        class: Sensitivity::Bandwidth,
+        structures: vec![
+            ds("A_values", mb(10.0 * scale), 3.0, Pattern::Stream),
+            ds("A_indices", mb(5.0 * scale), 1.5, Pattern::Stream),
+            ds(
+                "x_vector",
+                mb(1.0 * scale),
+                3.0,
+                Pattern::Zipf {
+                    s: 1.1,
+                    shuffled: false,
+                },
+            ),
+            ds(
+                "y_vector",
+                mb(1.0 * scale),
+                1.5,
+                Pattern::Zipf {
+                    s: 0.9,
+                    shuffled: false,
+                },
+            ),
+        ],
+        compute_per_mem: 4,
+        warps_per_sm: 32,
+        mlp: 4,
+        write_frac: 0.2,
+        mem_ops: 240_000,
+        seed,
+    }
+}
+
+fn minife_datasets() -> Vec<WorkloadSpec> {
+    vec![
+        minife_sized(1.0, 0x313f), // training: 128^3 finite-element box
+        minife_sized(1.5, 0x3141), // larger problem box
+        minife_sized(0.6, 0x3142), // smaller box
+    ]
+}
+
+fn mummergpu() -> WorkloadSpec {
+    mummergpu_sized(1.0, 0.7, 0x3433)
+}
+
+fn mummergpu_sized(query_scale: f64, live: f64, seed: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        name: "mummergpu",
+        suite: Suite::Rodinia,
+        class: Sensitivity::Bandwidth,
+        structures: vec![
+            // Suffix-tree traversal: hotness scattered across the tree,
+            // NOT correlated with address order (paper Fig. 7b), with
+            // allocated-but-untouched regions.
+            ds(
+                "suffix_tree",
+                mb(8.0),
+                3.0,
+                Pattern::Zipf {
+                    s: 1.0,
+                    shuffled: true,
+                },
+            )
+            .with_live_frac(live),
+            ds("queries", mb(4.0 * query_scale), 1.5, Pattern::Stream),
+            ds("results", mb(2.0 * query_scale), 1.0, Pattern::Uniform).with_live_frac(0.8),
+            ds("aux_tables", mb(2.0), 0.4, Pattern::Uniform).with_live_frac(0.5),
+        ],
+        compute_per_mem: 6,
+        warps_per_sm: 32,
+        mlp: 3,
+        write_frac: 0.15,
+        mem_ops: 200_000,
+        seed,
+    }
+}
+
+fn mummergpu_datasets() -> Vec<WorkloadSpec> {
+    vec![
+        mummergpu_sized(1.0, 0.7, 0x3433),  // training query set
+        mummergpu_sized(1.5, 0.75, 0x3435), // more, longer queries
+        mummergpu_sized(0.6, 0.6, 0x3436),  // fewer queries
+    ]
+}
+
+fn needle() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "needle",
+        suite: Suite::Rodinia,
+        class: Sensitivity::Bandwidth,
+        structures: vec![
+            // Needleman-Wunsch wavefront: traffic spreads over the whole
+            // matrix with mild within-structure variation (near-linear
+            // CDF, paper Fig. 7c).
+            ds("input_itemsets", mb(10.0), 3.0, Pattern::Stream),
+            ds(
+                "reference",
+                mb(6.0),
+                2.0,
+                Pattern::Zipf {
+                    s: 0.3,
+                    shuffled: false,
+                },
+            ),
+        ],
+        compute_per_mem: 4,
+        warps_per_sm: 32,
+        mlp: 4,
+        write_frac: 0.25,
+        mem_ops: 220_000,
+        seed: 0x2eed,
+    }
+}
+
+fn pathfinder() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "pathfinder",
+        suite: Suite::Rodinia,
+        class: Sensitivity::Bandwidth,
+        structures: vec![
+            ds("wall", mb(12.0), 3.0, Pattern::Stream),
+            ds("result", mb(1.0), 1.0, Pattern::Stream),
+        ],
+        compute_per_mem: 3,
+        warps_per_sm: 32,
+        mlp: 6,
+        write_frac: 0.15,
+        mem_ops: 240_000,
+        seed: 0xfa7,
+    }
+}
+
+fn sad() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "sad",
+        suite: Suite::Parboil,
+        class: Sensitivity::Bandwidth,
+        structures: vec![
+            ds("cur_image", mb(6.0), 2.0, Pattern::Stream),
+            ds(
+                "ref_image",
+                mb(6.0),
+                2.0,
+                Pattern::Clustered {
+                    hot_frac: 0.25,
+                    hot_prob: 0.5,
+                },
+            ),
+            ds("sad_results", mb(2.0), 1.0, Pattern::Stream),
+        ],
+        compute_per_mem: 6,
+        warps_per_sm: 32,
+        mlp: 4,
+        write_frac: 0.2,
+        mem_ops: 200_000,
+        seed: 0x5ad,
+    }
+}
+
+fn sgemm() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "sgemm",
+        suite: Suite::Parboil,
+        class: Sensitivity::Latency,
+        structures: vec![
+            ds(
+                "matrix_a",
+                mb(4.0),
+                2.0,
+                Pattern::Clustered {
+                    hot_frac: 0.15,
+                    hot_prob: 0.75,
+                },
+            ),
+            ds(
+                "matrix_b",
+                mb(4.0),
+                2.0,
+                Pattern::Clustered {
+                    hot_frac: 0.15,
+                    hot_prob: 0.75,
+                },
+            ),
+            ds("matrix_c", mb(2.0), 1.0, Pattern::Stream),
+        ],
+        // Few warps and serial dependent loads: the one latency-sensitive
+        // workload of the suite (paper Fig. 2b); BW-AWARE's remote
+        // accesses cost it ~10% vs LOCAL (paper §3.2.2 worst case).
+        compute_per_mem: 20,
+        warps_per_sm: 4,
+        mlp: 1,
+        write_frac: 0.15,
+        mem_ops: 120_000,
+        seed: 0x93e,
+    }
+}
+
+fn spmv() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "spmv",
+        suite: Suite::Parboil,
+        class: Sensitivity::Bandwidth,
+        structures: vec![
+            ds("values", mb(8.0), 2.5, Pattern::Stream),
+            ds("col_indices", mb(4.0), 1.2, Pattern::Stream),
+            ds(
+                "x_vector",
+                mb(1.5),
+                2.2,
+                Pattern::Zipf {
+                    s: 1.05,
+                    shuffled: false,
+                },
+            ),
+            ds("y_vector", mb(1.0), 0.5, Pattern::Stream),
+        ],
+        compute_per_mem: 3,
+        warps_per_sm: 32,
+        mlp: 4,
+        write_frac: 0.1,
+        mem_ops: 240_000,
+        seed: 0x5b3,
+    }
+}
+
+fn srad() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "srad",
+        suite: Suite::Rodinia,
+        class: Sensitivity::Bandwidth,
+        structures: vec![
+            ds("image", mb(10.0), 3.0, Pattern::Stream),
+            ds("coefficients", mb(4.0), 1.5, Pattern::Stream),
+        ],
+        compute_per_mem: 5,
+        warps_per_sm: 32,
+        mlp: 4,
+        write_frac: 0.25,
+        mem_ops: 220_000,
+        seed: 0x5aad,
+    }
+}
+
+fn xsbench() -> WorkloadSpec {
+    xsbench_sized(1.0, 1.0, 1.15, 0x5be)
+}
+
+fn xsbench_sized(grid_scale: f64, lookup_scale: f64, skew: f64, seed: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        name: "xsbench",
+        suite: Suite::Hpc,
+        class: Sensitivity::Bandwidth,
+        structures: vec![
+            // Cross-section lookups hammer the grids of a few dominant
+            // nuclides (H, O, U-238...) — a small, separately-allocated,
+            // very hot structure (paper: >60% of traffic from ~10% of
+            // pages, with CDF inflections aligned to data structures).
+            ds(
+                "hot_nuclide_grids",
+                mb(1.5 * grid_scale),
+                3.5,
+                Pattern::Zipf {
+                    s: 0.8,
+                    shuffled: false,
+                },
+            ),
+            ds(
+                "nuclide_grids",
+                mb(12.0 * grid_scale),
+                1.5,
+                Pattern::Zipf {
+                    s: skew,
+                    shuffled: false,
+                },
+            ),
+            ds(
+                "energy_grid",
+                mb(2.0 * grid_scale),
+                2.5,
+                Pattern::Zipf {
+                    s: 1.05,
+                    shuffled: false,
+                },
+            ),
+            ds("materials", mb(1.0), 0.5, Pattern::Uniform),
+        ],
+        compute_per_mem: 4,
+        warps_per_sm: 32,
+        mlp: 4,
+        write_frac: 0.05,
+        mem_ops: (220_000.0 * lookup_scale) as u64,
+        seed,
+    }
+}
+
+fn xsbench_datasets() -> Vec<WorkloadSpec> {
+    vec![
+        xsbench_sized(1.0, 1.0, 1.15, 0x5be), // training: small problem
+        xsbench_sized(1.4, 1.2, 1.1, 0x5c0),  // more nuclides & lookups
+        xsbench_sized(0.7, 0.8, 1.2, 0x5c1),  // fewer gridpoints
+        xsbench_sized(1.0, 1.5, 1.15, 0x5c2), // same grid, more lookups
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_19_workloads_validate() {
+        let ws = all();
+        assert_eq!(ws.len(), 19);
+        for w in &ws {
+            w.validate();
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names = names();
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), 19);
+    }
+
+    #[test]
+    fn by_name_finds_each() {
+        for name in names() {
+            assert_eq!(by_name(name).unwrap().name, name);
+        }
+        assert!(by_name("not-a-benchmark").is_none());
+    }
+
+    #[test]
+    fn class_distribution_matches_paper() {
+        let ws = all();
+        let latency: Vec<_> = ws
+            .iter()
+            .filter(|w| w.class == Sensitivity::Latency)
+            .map(|w| w.name)
+            .collect();
+        let compute: Vec<_> = ws
+            .iter()
+            .filter(|w| w.class == Sensitivity::Compute)
+            .map(|w| w.name)
+            .collect();
+        assert_eq!(latency, vec!["sgemm"]);
+        assert_eq!(compute, vec!["comd"]);
+        assert_eq!(
+            ws.iter()
+                .filter(|w| w.class == Sensitivity::Bandwidth)
+                .count(),
+            17
+        );
+    }
+
+    #[test]
+    fn footprints_are_simulation_scale() {
+        for w in all() {
+            let fp = w.footprint_bytes();
+            assert!(
+                (4 * MB as u64..=32 * MB as u64).contains(&fp),
+                "{}: footprint {} out of range",
+                w.name,
+                fp
+            );
+        }
+    }
+
+    #[test]
+    fn variable_workloads_have_multiple_datasets() {
+        for name in ["bfs", "xsbench", "minife", "mummergpu"] {
+            let sets = datasets(name);
+            assert!(sets.len() >= 3, "{name} needs >= 3 datasets");
+            // Dataset 0 is the training input == catalog spec.
+            assert_eq!(sets[0], by_name(name).unwrap());
+            for s in &sets {
+                s.validate();
+                assert_eq!(s.name, name);
+            }
+            // Datasets must actually differ.
+            assert!(sets.windows(2).any(|w| w[0] != w[1]));
+        }
+    }
+
+    #[test]
+    fn fixed_workloads_have_single_dataset() {
+        let sets = datasets("lbm");
+        assert_eq!(sets.len(), 1);
+        assert_eq!(sets[0], by_name("lbm").unwrap());
+    }
+
+    #[test]
+    fn bfs_hot_structures_match_paper_shape() {
+        // The paper reports d_graph_visited, d_updating_graph_mask and
+        // d_cost carry ~80% of traffic in ~20% of footprint.
+        let w = by_name("bfs").unwrap();
+        let hot: Vec<_> = ["d_graph_visited", "d_updating_graph_mask", "d_cost"]
+            .iter()
+            .map(|n| w.structures.iter().find(|s| s.name == *n).unwrap())
+            .collect();
+        let hot_bytes: u64 = hot.iter().map(|s| s.bytes).sum();
+        let hot_weight: f64 = hot.iter().map(|s| s.weight).sum();
+        assert!((hot_bytes as f64 / w.footprint_bytes() as f64) < 0.25);
+        assert!(hot_weight / w.total_weight() > 0.6);
+    }
+}

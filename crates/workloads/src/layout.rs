@@ -1,0 +1,99 @@
+//! A standalone virtual-address layout for workloads.
+//!
+//! The real placement pipeline allocates structures through
+//! `mempolicy::AddressSpace::mmap_named`; this helper mirrors that layout
+//! (page-aligned allocations with one-page guard gaps, starting past a
+//! null-guard region) for uses that do not need an OS model — workload
+//! unit tests and the profiler's standalone mode.
+
+use hmtypes::{VirtAddr, PAGE_SIZE};
+
+use crate::spec::WorkloadSpec;
+
+/// First page of the layout (mirrors `AddressSpace`'s mmap base).
+const BASE_PAGE: u64 = 16;
+
+/// Page-aligned base addresses for each structure of a workload.
+///
+/// # Examples
+///
+/// ```
+/// use workloads::{catalog, LinearLayout};
+///
+/// let spec = catalog::by_name("needle").unwrap();
+/// let layout = LinearLayout::new(&spec);
+/// assert_eq!(layout.bases().len(), spec.structures.len());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinearLayout {
+    bases: Vec<VirtAddr>,
+}
+
+impl LinearLayout {
+    /// Lays out `spec`'s structures in allocation order.
+    pub fn new(spec: &WorkloadSpec) -> Self {
+        let mut bases = Vec::with_capacity(spec.structures.len());
+        let mut page = BASE_PAGE;
+        for s in &spec.structures {
+            bases.push(VirtAddr::new(page * PAGE_SIZE as u64));
+            page += s.pages() + 1; // one-page guard gap
+        }
+        LinearLayout { bases }
+    }
+
+    /// The structure base addresses, in spec order.
+    pub fn bases(&self) -> &[VirtAddr] {
+        &self.bases
+    }
+
+    /// `(name, start, end)` for each structure (end exclusive,
+    /// page-rounded).
+    pub fn ranges(&self, spec: &WorkloadSpec) -> Vec<(&'static str, VirtAddr, VirtAddr)> {
+        self.bases
+            .iter()
+            .zip(&spec.structures)
+            .map(|(&base, s)| {
+                (
+                    s.name,
+                    base,
+                    base.offset(s.pages() * PAGE_SIZE as u64),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn ranges_do_not_overlap() {
+        let spec = catalog::by_name("bfs").unwrap();
+        let layout = LinearLayout::new(&spec);
+        let ranges = layout.ranges(&spec);
+        for w in ranges.windows(2) {
+            assert!(w[0].2.raw() < w[1].1.raw(), "gap between structures");
+        }
+    }
+
+    #[test]
+    fn bases_are_page_aligned_and_past_guard() {
+        let spec = catalog::by_name("sgemm").unwrap();
+        for &b in LinearLayout::new(&spec).bases() {
+            assert_eq!(b.page_offset(), 0);
+            assert!(b.page().index() >= BASE_PAGE);
+        }
+    }
+
+    #[test]
+    fn range_sizes_match_structure_pages() {
+        let spec = catalog::by_name("xsbench").unwrap();
+        let layout = LinearLayout::new(&spec);
+        for ((name, start, end), s) in layout.ranges(&spec).into_iter().zip(&spec.structures) {
+            assert_eq!(name, s.name);
+            assert_eq!((end.raw() - start.raw()) / PAGE_SIZE as u64, s.pages());
+        }
+    }
+}

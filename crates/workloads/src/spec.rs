@@ -1,0 +1,285 @@
+//! Workload and data-structure specifications.
+//!
+//! A [`WorkloadSpec`] is a synthetic model of one GPU benchmark: its
+//! program-level data structures (sizes, access patterns, relative
+//! hotness) and its execution shape (warp concurrency, memory-level
+//! parallelism, compute per access). These are the two ingredients the
+//! paper shows matter for page placement — the per-page access histogram
+//! and the latency/bandwidth sensitivity of the access stream.
+
+use hmtypes::PAGE_SIZE;
+
+/// Benchmark suite of origin (paper §3.2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// Rodinia [Che et al., IISWC'09].
+    Rodinia,
+    /// Parboil [Stratton et al., 2012].
+    Parboil,
+    /// DOE HPC proxy applications (CoMD, MiniFE, XSBench, CNS).
+    Hpc,
+}
+
+impl core::fmt::Display for Suite {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            Suite::Rodinia => "Rodinia",
+            Suite::Parboil => "Parboil",
+            Suite::Hpc => "HPC",
+        })
+    }
+}
+
+/// Qualitative memory-system sensitivity class (paper Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sensitivity {
+    /// Performance scales with memory bandwidth (17 of the 19 workloads).
+    Bandwidth,
+    /// Performance suffers from added memory latency (`sgemm`).
+    Latency,
+    /// Compute-bound; insensitive to the memory system (`comd`).
+    Compute,
+}
+
+/// How accesses distribute over one data structure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Pattern {
+    /// Sequential tiled streaming (uniform page histogram).
+    Stream,
+    /// Uniformly random lines (uniform page histogram, no spatial reuse).
+    Uniform,
+    /// Zipf-distributed page popularity with exponent `s`; `shuffled`
+    /// decorrelates popularity from the virtual address order (so hotness
+    /// does NOT cluster at the structure's start, as in `mummergpu`).
+    Zipf {
+        /// Zipf exponent (larger = more skew).
+        s: f64,
+        /// Spread hot pages pseudo-randomly over the structure.
+        shuffled: bool,
+    },
+    /// A hot subset of pages takes most accesses: the first `hot_frac`
+    /// of the structure's pages receives `hot_prob` of the traffic.
+    Clustered {
+        /// Fraction of pages in the hot cluster, in `(0, 1]`.
+        hot_frac: f64,
+        /// Probability an access goes to the hot cluster, in `[0, 1]`.
+        hot_prob: f64,
+    },
+}
+
+/// One program data structure (one `cudaMalloc` in the original source).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataStructureSpec {
+    /// Source-level name (e.g. `"d_graph_visited"`).
+    pub name: &'static str,
+    /// Allocation size in bytes.
+    pub bytes: u64,
+    /// Relative traffic share of this structure (weights are normalized
+    /// across the workload's structures; hotness *density* — the paper's
+    /// annotation metric — is `weight / bytes`).
+    pub weight: f64,
+    /// Access distribution within the structure.
+    pub pattern: Pattern,
+    /// Fraction of the structure ever touched; the rest is allocated but
+    /// never accessed (paper Fig. 7b observes such ranges in mummergpu).
+    pub live_frac: f64,
+}
+
+impl DataStructureSpec {
+    /// Creates a fully-live structure spec.
+    pub const fn new(name: &'static str, bytes: u64, weight: f64, pattern: Pattern) -> Self {
+        DataStructureSpec {
+            name,
+            bytes,
+            weight,
+            pattern,
+            live_frac: 1.0,
+        }
+    }
+
+    /// Marks only the first `live_frac` of the structure as ever-accessed.
+    pub const fn with_live_frac(mut self, live_frac: f64) -> Self {
+        self.live_frac = live_frac;
+        self
+    }
+
+    /// Size in whole pages (ceiling).
+    pub fn pages(&self) -> u64 {
+        self.bytes.div_ceil(PAGE_SIZE as u64)
+    }
+}
+
+/// A complete synthetic benchmark model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Benchmark name as the paper uses it (e.g. `"bfs"`).
+    pub name: &'static str,
+    /// Suite of origin.
+    pub suite: Suite,
+    /// Sensitivity class (calibration target from paper Fig. 2).
+    pub class: Sensitivity,
+    /// The program's data structures, in allocation order.
+    pub structures: Vec<DataStructureSpec>,
+    /// SM cycles of compute per memory operation.
+    pub compute_per_mem: u32,
+    /// Warps per SM the kernel launches.
+    pub warps_per_sm: u32,
+    /// Outstanding loads one warp sustains.
+    pub mlp: u32,
+    /// Fraction of memory operations that are stores.
+    pub write_frac: f64,
+    /// Total memory operations to simulate across all warps.
+    pub mem_ops: u64,
+    /// Base RNG seed (dataset variants shift it).
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// Total allocated footprint in bytes.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.structures.iter().map(|s| s.bytes).sum()
+    }
+
+    /// Total allocated footprint in pages (per-structure page rounding,
+    /// matching how the OS backs each allocation).
+    pub fn footprint_pages(&self) -> u64 {
+        self.structures.iter().map(DataStructureSpec::pages).sum()
+    }
+
+    /// Sum of structure weights (normalization denominator).
+    pub fn total_weight(&self) -> f64 {
+        self.structures.iter().map(|s| s.weight).sum()
+    }
+
+    /// The hotness *density* of each structure — accesses per byte,
+    /// relative — which is what the paper's `GetAllocation` annotations
+    /// carry (Fig. 9: `hotness[i]`).
+    pub fn hotness_densities(&self) -> Vec<f64> {
+        self.structures
+            .iter()
+            .map(|s| {
+                if s.bytes == 0 {
+                    0.0
+                } else {
+                    s.weight / s.bytes as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Basic validity checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unusable spec (no structures, zero footprint, zero
+    /// ops, no warps, weight sum of zero, or out-of-range fractions).
+    pub fn validate(&self) {
+        assert!(!self.structures.is_empty(), "{}: no structures", self.name);
+        assert!(self.footprint_bytes() > 0, "{}: empty footprint", self.name);
+        assert!(self.mem_ops > 0, "{}: no memory operations", self.name);
+        assert!(self.warps_per_sm > 0, "{}: no warps", self.name);
+        assert!(self.total_weight() > 0.0, "{}: zero total weight", self.name);
+        assert!(
+            (0.0..=1.0).contains(&self.write_frac),
+            "{}: write_frac out of range",
+            self.name
+        );
+        for s in &self.structures {
+            assert!(s.bytes > 0, "{}/{}: empty structure", self.name, s.name);
+            assert!(
+                s.weight >= 0.0,
+                "{}/{}: negative weight",
+                self.name,
+                s.name
+            );
+            assert!(
+                s.live_frac > 0.0 && s.live_frac <= 1.0,
+                "{}/{}: live_frac out of range",
+                self.name,
+                s.name
+            );
+            match s.pattern {
+                Pattern::Zipf { s: exp, .. } => {
+                    assert!(exp > 0.0, "{}/{}: zipf exponent", self.name, s.name)
+                }
+                Pattern::Clustered { hot_frac, hot_prob } => {
+                    assert!(
+                        hot_frac > 0.0 && hot_frac <= 1.0 && (0.0..=1.0).contains(&hot_prob),
+                        "{}/{}: clustered params",
+                        self.name,
+                        s.name
+                    );
+                }
+                Pattern::Stream | Pattern::Uniform => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "toy",
+            suite: Suite::Rodinia,
+            class: Sensitivity::Bandwidth,
+            structures: vec![
+                DataStructureSpec::new("a", 8192, 3.0, Pattern::Stream),
+                DataStructureSpec::new("b", 4096, 1.0, Pattern::Uniform),
+            ],
+            compute_per_mem: 0,
+            warps_per_sm: 4,
+            mlp: 4,
+            write_frac: 0.1,
+            mem_ops: 1000,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn footprint_sums_structures() {
+        let s = spec();
+        assert_eq!(s.footprint_bytes(), 12288);
+        assert_eq!(s.footprint_pages(), 3);
+        assert_eq!(s.total_weight(), 4.0);
+        s.validate();
+    }
+
+    #[test]
+    fn hotness_density_is_weight_per_byte() {
+        let s = spec();
+        let d = s.hotness_densities();
+        // "a": 3.0/8192 < "b": 1.0/4096? 3/8192 = 0.000366, 1/4096 = 0.000244.
+        assert!(d[0] > d[1]);
+    }
+
+    #[test]
+    fn pages_round_up() {
+        let d = DataStructureSpec::new("x", 4097, 1.0, Pattern::Stream);
+        assert_eq!(d.pages(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no structures")]
+    fn empty_spec_rejected() {
+        let mut s = spec();
+        s.structures.clear();
+        s.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "live_frac out of range")]
+    fn bad_live_frac_rejected() {
+        let mut s = spec();
+        s.structures[0] = s.structures[0].clone().with_live_frac(0.0);
+        s.validate();
+    }
+
+    #[test]
+    fn suite_display() {
+        assert_eq!(Suite::Hpc.to_string(), "HPC");
+        assert_eq!(Suite::Rodinia.to_string(), "Rodinia");
+    }
+}

@@ -1,0 +1,455 @@
+//! Trace generation: turning a [`WorkloadSpec`] into a [`WarpProgram`].
+//!
+//! Each warp owns an independent, seeded RNG stream, so the generated
+//! trace is deterministic regardless of how the simulator interleaves
+//! warp execution — a property the reproduction's experiments (and the
+//! two-phase oracle, which replays the same trace twice) depend on.
+
+use gpusim::{WarpId, WarpOp, WarpProgram};
+use hmtypes::{AccessKind, SplitMix64, VirtAddr, LINE_SIZE, PAGE_SIZE};
+
+use crate::spec::{Pattern, WorkloadSpec};
+
+/// Lines per work tile for streaming patterns (2 kB, one DRAM row).
+const TILE_LINES: u64 = 16;
+/// Lines per page.
+const LINES_PER_PAGE: u64 = (PAGE_SIZE / LINE_SIZE) as u64;
+
+#[derive(Debug, Clone)]
+struct StructureState {
+    base_line: u64,
+    live_lines: u64,
+    live_pages: u64,
+    pattern: Pattern,
+    /// Cumulative probability by page rank, for Zipf sampling.
+    zipf_cum: Vec<f64>,
+    /// Multiplier for the rank→page bijection when shuffled.
+    shuffle_mult: u64,
+}
+
+impl StructureState {
+    fn sample_line(&self, rng: &mut SplitMix64, cursor: &mut StreamCursor, warps: u64) -> u64 {
+        let page = match self.pattern {
+            Pattern::Stream => {
+                return self.base_line + cursor.next(self.live_lines, warps);
+            }
+            Pattern::Uniform => rng.next_below(self.live_pages),
+            Pattern::Zipf { shuffled, .. } => {
+                let u = rng.next_f64();
+                let rank = self.zipf_cum.partition_point(|&c| c < u) as u64;
+                let rank = rank.min(self.live_pages - 1);
+                if shuffled {
+                    // Bijective rank→page spread over the structure.
+                    (rank * self.shuffle_mult) % self.live_pages
+                } else {
+                    rank
+                }
+            }
+            Pattern::Clustered { hot_frac, hot_prob } => {
+                let hot_pages = ((self.live_pages as f64 * hot_frac) as u64).max(1);
+                if rng.next_f64() < hot_prob || hot_pages >= self.live_pages {
+                    rng.next_below(hot_pages)
+                } else {
+                    hot_pages + rng.next_below(self.live_pages - hot_pages)
+                }
+            }
+        };
+        let line_in_page = rng.next_below(LINES_PER_PAGE);
+        let line = page * LINES_PER_PAGE + line_in_page;
+        self.base_line + line.min(self.live_lines - 1)
+    }
+}
+
+/// Per-(warp, structure) streaming cursor: tiles round-robin over warps,
+/// wrapping at the end of the structure.
+#[derive(Debug, Clone, Copy, Default)]
+struct StreamCursor {
+    tile_ord: u64,
+    off: u64,
+    warp_index: u64,
+}
+
+impl StreamCursor {
+    fn next(&mut self, live_lines: u64, warps: u64) -> u64 {
+        let tiles = live_lines.div_ceil(TILE_LINES).max(1);
+        let my_tiles = {
+            // Number of tiles owned by this warp (round-robin assignment).
+            let base = tiles / warps;
+            let extra = u64::from(self.warp_index < tiles % warps);
+            (base + extra).max(1)
+        };
+        let tile = (self.warp_index + (self.tile_ord % my_tiles) * warps) % tiles.max(1);
+        let line = (tile * TILE_LINES + self.off).min(live_lines - 1);
+        if self.off + 1 < TILE_LINES && tile * TILE_LINES + self.off + 1 < live_lines {
+            self.off += 1;
+        } else {
+            self.off = 0;
+            self.tile_ord += 1;
+        }
+        line
+    }
+}
+
+/// A [`WarpProgram`] that plays a [`WorkloadSpec`]'s access stream over
+/// concrete base addresses (one per structure, in spec order).
+///
+/// # Examples
+///
+/// ```
+/// use gpusim::{SimConfig, WarpProgram, WarpId};
+/// use workloads::{catalog, LinearLayout, TraceProgram};
+///
+/// let spec = catalog::by_name("bfs").unwrap();
+/// let layout = LinearLayout::new(&spec);
+/// let mut prog = TraceProgram::new(&spec, layout.bases(), 15);
+/// assert!(prog.next_op(WarpId(0)).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceProgram {
+    warps_per_sm: u32,
+    mlp: u32,
+    compute: u32,
+    write_frac: f64,
+    total_warps: u64,
+    cum_weight: Vec<f64>,
+    structures: Vec<StructureState>,
+    quota: Vec<u64>,
+    rngs: Vec<SplitMix64>,
+    cursors: Vec<StreamCursor>,
+    compute_phase: Vec<bool>,
+}
+
+impl TraceProgram {
+    /// Builds the trace generator for `spec`, with each structure based
+    /// at the corresponding address in `bases`, running on `num_sms` SMs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bases.len()` differs from the spec's structure count or
+    /// the spec fails validation.
+    pub fn new(spec: &WorkloadSpec, bases: &[VirtAddr], num_sms: u32) -> Self {
+        spec.validate();
+        assert_eq!(
+            bases.len(),
+            spec.structures.len(),
+            "one base address per structure"
+        );
+        let total_warps = u64::from(num_sms) * u64::from(spec.warps_per_sm);
+        assert!(total_warps > 0, "need at least one warp");
+
+        let total_weight = spec.total_weight();
+        let mut cum = 0.0;
+        let mut cum_weight = Vec::with_capacity(spec.structures.len());
+        let mut structures = Vec::with_capacity(spec.structures.len());
+        for (ds, &base) in spec.structures.iter().zip(bases) {
+            cum += ds.weight / total_weight;
+            cum_weight.push(cum);
+
+            let lines = (ds.bytes / LINE_SIZE as u64).max(1);
+            let live_lines = ((lines as f64 * ds.live_frac) as u64).max(1);
+            let live_pages = live_lines.div_ceil(LINES_PER_PAGE).max(1);
+            let zipf_cum = if let Pattern::Zipf { s, .. } = ds.pattern {
+                zipf_cumulative(live_pages, s)
+            } else {
+                Vec::new()
+            };
+            structures.push(StructureState {
+                base_line: base.line_index(),
+                live_lines,
+                live_pages,
+                pattern: ds.pattern,
+                zipf_cum,
+                shuffle_mult: coprime_multiplier(live_pages),
+            });
+        }
+        // Ensure the final cumulative bucket catches u = 1.0 - eps.
+        if let Some(last) = cum_weight.last_mut() {
+            *last = 1.0 + f64::EPSILON;
+        }
+
+        let per_warp = (spec.mem_ops / total_warps).max(1);
+        let mut seed_rng = SplitMix64::new(spec.seed);
+        let rngs = (0..total_warps).map(|_| seed_rng.fork()).collect();
+        let mut cursors = Vec::with_capacity((total_warps as usize) * structures.len());
+        for w in 0..total_warps {
+            for _ in 0..structures.len() {
+                cursors.push(StreamCursor {
+                    warp_index: w,
+                    ..StreamCursor::default()
+                });
+            }
+        }
+        TraceProgram {
+            warps_per_sm: spec.warps_per_sm,
+            mlp: spec.mlp,
+            compute: spec.compute_per_mem,
+            write_frac: spec.write_frac,
+            total_warps,
+            cum_weight,
+            structures,
+            quota: vec![per_warp; total_warps as usize],
+            rngs,
+            cursors,
+            compute_phase: vec![false; total_warps as usize],
+        }
+    }
+
+    /// Total memory operations this program will issue.
+    pub fn total_ops(&self) -> u64 {
+        self.quota.iter().sum()
+    }
+}
+
+impl WarpProgram for TraceProgram {
+    fn warps_per_sm(&self) -> u32 {
+        self.warps_per_sm
+    }
+
+    fn mem_level_parallelism(&self) -> u32 {
+        self.mlp
+    }
+
+    fn next_op(&mut self, warp: WarpId) -> Option<WarpOp> {
+        let w = warp.index();
+        if self.quota[w] == 0 {
+            return None;
+        }
+        if self.compute > 0 && !self.compute_phase[w] {
+            self.compute_phase[w] = true;
+            return Some(WarpOp::Compute(self.compute));
+        }
+        self.compute_phase[w] = false;
+        self.quota[w] -= 1;
+
+        let rng = &mut self.rngs[w];
+        let u = rng.next_f64();
+        let s_idx = self.cum_weight.partition_point(|&c| c < u);
+        let s_idx = s_idx.min(self.structures.len() - 1);
+        let cursor = &mut self.cursors[w * self.structures.len() + s_idx];
+        let line = self.structures[s_idx].sample_line(rng, cursor, self.total_warps);
+        let kind = if rng.next_f64() < self.write_frac {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        Some(WarpOp::Mem {
+            addr: VirtAddr::new(line * LINE_SIZE as u64),
+            kind,
+        })
+    }
+}
+
+/// Cumulative Zipf distribution over `n` ranks with exponent `s`.
+fn zipf_cumulative(n: u64, s: f64) -> Vec<f64> {
+    let n = n as usize;
+    let mut cum = Vec::with_capacity(n);
+    let mut total = 0.0;
+    for i in 0..n {
+        total += 1.0 / ((i + 1) as f64).powf(s);
+        cum.push(total);
+    }
+    for c in &mut cum {
+        *c /= total;
+    }
+    cum
+}
+
+/// A multiplier coprime with `n`, used as a cheap bijective permutation
+/// `rank -> (rank * m) % n` to spread hot ranks over a structure.
+fn coprime_multiplier(n: u64) -> u64 {
+    if n <= 2 {
+        return 1;
+    }
+    // Start near the golden-ratio point and walk to coprimality.
+    let mut m = (n as f64 * 0.618_033_99) as u64 | 1;
+    while gcd(m, n) != 1 {
+        m += 2;
+    }
+    m % n
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use crate::layout::LinearLayout;
+    use std::collections::HashMap;
+
+    fn histogram(spec: &WorkloadSpec, ops_cap: u64) -> HashMap<u64, u64> {
+        let layout = LinearLayout::new(spec);
+        let mut prog = TraceProgram::new(spec, layout.bases(), 4);
+        let mut hist = HashMap::new();
+        let mut issued = 0;
+        'outer: for w in 0..(4 * spec.warps_per_sm) {
+            while let Some(op) = prog.next_op(WarpId(w)) {
+                if let WarpOp::Mem { addr, .. } = op {
+                    *hist.entry(addr.page().index()).or_insert(0) += 1;
+                    issued += 1;
+                    if issued >= ops_cap {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        hist
+    }
+
+    #[test]
+    fn zipf_cumulative_is_monotone_and_normalized() {
+        let cum = zipf_cumulative(100, 1.2);
+        assert_eq!(cum.len(), 100);
+        assert!(cum.windows(2).all(|w| w[0] <= w[1]));
+        assert!((cum[99] - 1.0).abs() < 1e-12);
+        // Rank 0 dominates.
+        assert!(cum[0] > 0.1);
+    }
+
+    #[test]
+    fn coprime_multiplier_is_bijective() {
+        for n in [2u64, 3, 7, 16, 100, 1024, 4097] {
+            let m = coprime_multiplier(n);
+            let mut seen = std::collections::HashSet::new();
+            for r in 0..n {
+                assert!(seen.insert((r * m) % n));
+            }
+            assert_eq!(seen.len() as u64, n);
+        }
+    }
+
+    #[test]
+    fn trace_is_deterministic_per_warp_regardless_of_interleave() {
+        let spec = catalog::by_name("bfs").unwrap();
+        let layout = LinearLayout::new(&spec);
+        let mut a = TraceProgram::new(&spec, layout.bases(), 2);
+        let mut b = TraceProgram::new(&spec, layout.bases(), 2);
+        // Drain a's warp 0 fully first; interleave b's warps 0 and 1.
+        let seq_a: Vec<_> = std::iter::from_fn(|| a.next_op(WarpId(0))).take(500).collect();
+        let mut seq_b = Vec::new();
+        while seq_b.len() < 500 {
+            if let Some(op) = b.next_op(WarpId(0)) {
+                seq_b.push(op);
+            } else {
+                break;
+            }
+            let _ = b.next_op(WarpId(1));
+        }
+        assert_eq!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn quota_limits_total_ops() {
+        let spec = catalog::by_name("hotspot").unwrap();
+        let layout = LinearLayout::new(&spec);
+        let mut prog = TraceProgram::new(&spec, layout.bases(), 4);
+        let expected = prog.total_ops();
+        let mut count = 0;
+        for w in 0..(4 * spec.warps_per_sm) {
+            while let Some(op) = prog.next_op(WarpId(w)) {
+                if matches!(op, WarpOp::Mem { .. }) {
+                    count += 1;
+                }
+            }
+            assert!(prog.next_op(WarpId(w)).is_none(), "warp stays retired");
+        }
+        assert_eq!(count, expected);
+    }
+
+    #[test]
+    fn accesses_stay_within_structures() {
+        let spec = catalog::by_name("xsbench").unwrap();
+        let layout = LinearLayout::new(&spec);
+        let ranges = layout.ranges(&spec);
+        let mut prog = TraceProgram::new(&spec, layout.bases(), 2);
+        for w in 0..(2 * spec.warps_per_sm) {
+            for _ in 0..200 {
+                match prog.next_op(WarpId(w)) {
+                    Some(WarpOp::Mem { addr, .. }) => {
+                        assert!(
+                            ranges.iter().any(|(_, start, end)| {
+                                addr.raw() >= start.raw() && addr.raw() < end.raw()
+                            }),
+                            "address {addr} outside all structures"
+                        );
+                    }
+                    Some(WarpOp::Compute(_)) => {}
+                    None => break,
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_workload_concentrates_traffic() {
+        // bfs: the paper reports >60% of traffic from ~10% of pages.
+        let spec = catalog::by_name("bfs").unwrap();
+        let hist = histogram(&spec, 60_000);
+        let mut counts: Vec<u64> = hist.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u64 = counts.iter().sum();
+        let top10 = counts.len() / 10;
+        let hot: u64 = counts.iter().take(top10).sum();
+        assert!(
+            hot as f64 / total as f64 > 0.5,
+            "top 10% of pages carry {:.2} of traffic",
+            hot as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn linear_workload_spreads_traffic() {
+        // needle: fairly linear CDF.
+        let spec = catalog::by_name("needle").unwrap();
+        let hist = histogram(&spec, 60_000);
+        let mut counts: Vec<u64> = hist.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u64 = counts.iter().sum();
+        let top10 = (counts.len() / 10).max(1);
+        let hot: u64 = counts.iter().take(top10).sum();
+        assert!(
+            (hot as f64 / total as f64) < 0.35,
+            "needle should be near-linear, top-10% carries {:.2}",
+            hot as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn dead_ranges_are_never_touched() {
+        let spec = catalog::by_name("mummergpu").unwrap();
+        let layout = LinearLayout::new(&spec);
+        let dead_structure = spec
+            .structures
+            .iter()
+            .position(|s| s.live_frac < 1.0)
+            .expect("mummergpu models dead ranges");
+        let (_, start, end) = layout.ranges(&spec)[dead_structure];
+        let live_end = start.raw()
+            + ((end.raw() - start.raw()) as f64 * spec.structures[dead_structure].live_frac)
+                as u64;
+        let mut prog = TraceProgram::new(&spec, layout.bases(), 2);
+        for w in 0..(2 * spec.warps_per_sm) {
+            for _ in 0..500 {
+                match prog.next_op(WarpId(w)) {
+                    Some(WarpOp::Mem { addr, .. }) => {
+                        let a = addr.raw();
+                        if a >= start.raw() && a < end.raw() {
+                            assert!(
+                                a < live_end + LINE_SIZE as u64,
+                                "access into dead range at {addr}"
+                            );
+                        }
+                    }
+                    Some(_) => {}
+                    None => break,
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Annotation-hinted placement — the runnable version of the paper's
+//! Fig. 9 pseudo-code.
+//!
+//! Flow (paper §5): profile the app once to learn per-structure hotness,
+//! feed the (size, hotness) annotation arrays plus the machine's SBIT
+//! bandwidth topology to `GetAllocation`, and allocate each structure
+//! with the returned hint on a capacity-constrained machine.
+//!
+//! ```text
+//! cargo run --release --example annotation_hints [workload]
+//! ```
+
+use gpusim::SimConfig;
+use hetmem::runner::{
+    bo_traffic_target, profile_workload, run_workload, Capacity, Placement,
+};
+use hetmem::topology_for;
+use hmtypes::PAGE_SIZE;
+use mempolicy::Mempolicy;
+use profiler::get_allocation;
+use workloads::catalog;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "bfs".to_string());
+    let spec = catalog::by_name(&name)
+        .unwrap_or_else(|| panic!("unknown workload {name}; try one of {:?}", catalog::names()));
+    let sim = SimConfig::paper_baseline();
+    // A machine whose BO pool holds only 10% of the footprint.
+    let cap = Capacity::FractionOfFootprint(0.10);
+
+    // Phase 1: the profiling run (nvcc-instrumentation analog).
+    println!("profiling {} ...", spec.name);
+    let (_, profile) = profile_workload(&spec, &sim);
+
+    // Phase 2: the Fig. 9 annotation arrays.
+    let (sizes, hotness) = profile.annotation_arrays();
+    println!("\n// size[i]: Size of data structures");
+    println!("// hotness[i]: Hotness of data structures");
+    for (s, (&size, &hot)) in profile
+        .structures()
+        .iter()
+        .zip(sizes.iter().zip(&hotness))
+    {
+        println!(
+            "size[{:<24}] = {:>9};  hotness = {:.6}",
+            s.range.name, size, hot
+        );
+    }
+
+    // Phase 3: GetAllocation computes machine-abstract hints.
+    let bo_bytes = cap.bo_pages(spec.footprint_pages()) * PAGE_SIZE as u64;
+    let hints = get_allocation(&sizes, &hotness, bo_bytes, bo_traffic_target(&sim));
+    println!("\n// hint[i] = GetAllocation(size[], hotness[])  (BO holds {bo_bytes} bytes)");
+    for (s, h) in profile.structures().iter().zip(&hints) {
+        println!("cudaMalloc(&{:<24}, size, {h});", s.range.name);
+    }
+
+    // Phase 4: run annotated vs the OS policies on the constrained box.
+    let topo = topology_for(&sim, &[1, 1]);
+    let inter = run_workload(
+        &spec,
+        &sim,
+        cap,
+        &Placement::Policy(Mempolicy::interleave_all(&topo)),
+    );
+    let bwa = run_workload(
+        &spec,
+        &sim,
+        cap,
+        &Placement::Policy(Mempolicy::bw_aware_for(&topo)),
+    );
+    let annotated = run_workload(&spec, &sim, cap, &Placement::Hinted(hints));
+
+    println!("\nresults at 10% BO capacity:");
+    println!("  INTERLEAVE {:>10} cycles  (1.00x)", inter.report.cycles);
+    println!(
+        "  BW-AWARE   {:>10} cycles  ({:.2}x)",
+        bwa.report.cycles,
+        bwa.speedup_over(&inter)
+    );
+    println!(
+        "  Annotated  {:>10} cycles  ({:.2}x)",
+        annotated.report.cycles,
+        annotated.speedup_over(&inter)
+    );
+}

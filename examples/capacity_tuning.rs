@@ -1,0 +1,55 @@
+//! Capacity tuning: how much of a workload's footprint must fit in the
+//! bandwidth-optimized pool before performance degrades?
+//!
+//! Reproduces the paper's §3.2.3 insight: with BW-AWARE placement only
+//! ~70% of the footprint needs to live in BO memory (the other 30% is
+//! served from the CO pool anyway), so a GPU programmer gains ~30%
+//! *effective* memory capacity for free.
+//!
+//! ```text
+//! cargo run --release --example capacity_tuning [workload]
+//! ```
+
+use gpusim::SimConfig;
+use hetmem::runner::{run_workload, Capacity, Placement};
+use hetmem::topology_for;
+use mempolicy::Mempolicy;
+use workloads::catalog;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "srad".to_string());
+    let spec = catalog::by_name(&name)
+        .unwrap_or_else(|| panic!("unknown workload {name}; try one of {:?}", catalog::names()));
+    let sim = SimConfig::paper_baseline();
+    let topo = topology_for(&sim, &[1, 1]);
+
+    println!(
+        "BW-AWARE performance for {} as BO capacity shrinks (footprint {:.1} MiB):\n",
+        spec.name,
+        spec.footprint_bytes() as f64 / (1 << 20) as f64
+    );
+    println!("{:>14} {:>12} {:>16} {:>16}", "BO capacity", "cycles", "vs 100% cap", "CO traffic");
+
+    let mut base = None;
+    for pct in [100u32, 90, 80, 70, 60, 50, 40, 30, 20, 10] {
+        let run = run_workload(
+            &spec,
+            &sim,
+            Capacity::FractionOfFootprint(f64::from(pct) / 100.0),
+            &Placement::Policy(Mempolicy::bw_aware_for(&topo)),
+        );
+        let cycles = run.report.cycles;
+        let b = *base.get_or_insert(cycles);
+        println!(
+            "{:>13}% {:>12} {:>15.3}x {:>15.1}%",
+            pct,
+            cycles,
+            b as f64 / cycles as f64,
+            run.report.pool_traffic_fraction(1) * 100.0
+        );
+    }
+    println!(
+        "\nPerformance holds until the BO pool drops below ~70% of the footprint\n\
+         because BW-AWARE only places 70% of pages there to begin with."
+    );
+}

@@ -1,0 +1,58 @@
+//! Page-access profiling: print a workload's bandwidth CDF and its
+//! per-data-structure attribution (the paper's Figs. 6 & 7 for any
+//! workload).
+//!
+//! ```text
+//! cargo run --release --example profile_cdf [workload]
+//! ```
+
+use gpusim::SimConfig;
+use hetmem::runner::profile_workload;
+use workloads::catalog;
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "xsbench".to_string());
+    let spec = catalog::by_name(&name)
+        .unwrap_or_else(|| panic!("unknown workload {name}; try one of {:?}", catalog::names()));
+    let sim = SimConfig::paper_baseline();
+
+    println!("profiling {} ...\n", spec.name);
+    let (hist, profile) = profile_workload(&spec, &sim);
+    let cdf = hist.cdf();
+
+    println!(
+        "{} pages touched, {} DRAM accesses (post-cache)\n",
+        hist.touched_pages(),
+        hist.total_accesses()
+    );
+
+    // A 20-bucket text rendering of the Fig. 6 CDF.
+    println!("bandwidth CDF (pages sorted hot -> cold):");
+    for step in 1..=20 {
+        let frac = f64::from(step) / 20.0;
+        let y = cdf.traffic_in_top(frac);
+        let bar = "#".repeat((y * 50.0).round() as usize);
+        println!("{:>4.0}% pages |{bar:<50}| {:>5.1}% traffic", frac * 100.0, y * 100.0);
+    }
+
+    println!("\nper-structure attribution (Fig. 7 coloring):");
+    println!(
+        "  {:<24}{:>10}{:>12}{:>14}",
+        "structure", "pages", "traffic%", "hotness/byte"
+    );
+    for s in profile.structures() {
+        println!(
+            "  {:<24}{:>10}{:>11.1}%{:>14.6}",
+            s.range.name,
+            s.range.bytes() / 4096,
+            s.traffic_share * 100.0,
+            s.hotness
+        );
+    }
+    println!(
+        "\nskew: the hottest 10% of pages carry {:.1}% of DRAM traffic",
+        cdf.skewness() * 100.0
+    );
+}

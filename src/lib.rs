@@ -1,0 +1,15 @@
+//! # hetmem-repro — umbrella crate
+//!
+//! Re-exports every crate of the reproduction of *Page Placement Strategies
+//! for GPUs within Heterogeneous Memory Systems* (ASPLOS 2015) so the
+//! runnable examples in `examples/` and the cross-crate integration tests
+//! in `tests/` can reach the whole system through one dependency.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use gpusim;
+pub use hetmem;
+pub use hmtypes;
+pub use mempolicy;
+pub use profiler;
+pub use workloads;

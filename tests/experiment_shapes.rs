@@ -1,0 +1,112 @@
+//! Shape tests for the experiment drivers: quick-scale versions of the
+//! figure generators must reproduce the paper's qualitative curves.
+
+use hetmem::experiments::{self, ExpOptions};
+
+#[test]
+fn fig4_holds_until_70pct_then_falls() {
+    let mut opts = ExpOptions::quick();
+    opts.workloads = Some(vec!["srad".to_string()]);
+    let t = experiments::fig4(&opts);
+    let at = |c: &str| t.value("srad", c).unwrap();
+    // Near-flat from 100% to 70% of footprint...
+    assert!(at("70%") > 0.93, "70% point: {}", at("70%"));
+    // ...then clearly degraded at 10%.
+    assert!(at("10%") < 0.85, "10% point: {}", at("10%"));
+    assert!(at("10%") < at("70%"));
+}
+
+#[test]
+fn fig5_bw_aware_dominates_interleave_and_tracks_co_bandwidth() {
+    let mut opts = ExpOptions::quick();
+    opts.workloads = Some(vec!["lbm".to_string(), "srad".to_string()]);
+    let t = experiments::fig5(&opts);
+    for col in &t.columns.clone() {
+        let bwa = t.value("BW-AWARE", col).unwrap();
+        let inter = t.value("INTERLEAVE", col).unwrap();
+        // At symmetric bandwidth the two policies place identically in
+        // expectation; the random-draw fast path may trail the exact
+        // round-robin by a few percent, never more.
+        assert!(
+            bwa >= inter * 0.95,
+            "BW-AWARE ({bwa}) must not lose to INTERLEAVE ({inter}) at {col}"
+        );
+    }
+    // LOCAL ignores the CO pool: flat in CO bandwidth.
+    let local_lo = t.value("LOCAL", "10GB/s").unwrap();
+    let local_hi = t.value("LOCAL", "200GB/s").unwrap();
+    assert!((local_lo - local_hi).abs() < 0.05);
+    // BW-AWARE exploits added CO bandwidth.
+    let bwa_lo = t.value("BW-AWARE", "10GB/s").unwrap();
+    let bwa_hi = t.value("BW-AWARE", "200GB/s").unwrap();
+    assert!(bwa_hi > bwa_lo + 0.1, "BW-AWARE {bwa_lo} -> {bwa_hi}");
+    // At symmetric 200/200 bandwidth the two spreading policies converge.
+    let inter_hi = t.value("INTERLEAVE", "200GB/s").unwrap();
+    assert!(
+        (bwa_hi - inter_hi).abs() / bwa_hi < 0.1,
+        "symmetric pools: BW-AWARE {bwa_hi} ~= INTERLEAVE {inter_hi}"
+    );
+}
+
+#[test]
+fn fig6_skew_ordering_matches_paper() {
+    let mut opts = ExpOptions::quick();
+    opts.workloads = Some(vec![
+        "bfs".to_string(),
+        "xsbench".to_string(),
+        "needle".to_string(),
+    ]);
+    let (cdfs, t) = experiments::fig6(&opts);
+    assert_eq!(cdfs.len(), 3);
+    let top10 = |w: &str| t.value(w, "top10%").unwrap();
+    // bfs and xsbench are the paper's skew exemplars; needle is linear.
+    assert!(top10("bfs") > 0.45, "bfs top10: {}", top10("bfs"));
+    assert!(top10("xsbench") > 0.45, "xsbench top10: {}", top10("xsbench"));
+    assert!(top10("needle") < 0.30, "needle top10: {}", top10("needle"));
+    for (_, cdf) in &cdfs {
+        assert!(cdf.is_monotone());
+    }
+}
+
+#[test]
+fn fig7_attribution_shapes() {
+    let opts = ExpOptions::quick();
+    let ws = experiments::fig7(&opts);
+    let bfs = ws.iter().find(|w| w.name == "bfs").unwrap();
+    // bfs: the three hot structures carry most traffic in a small share
+    // of the footprint (paper: ~80% traffic in ~20% of pages).
+    let hot: f64 = bfs
+        .structures
+        .iter()
+        .filter(|(n, ..)| {
+            ["d_graph_visited", "d_updating_graph_mask", "d_cost"].contains(&n.as_str())
+        })
+        .map(|(_, _, traffic, _)| traffic)
+        .sum();
+    assert!(hot > 0.55, "bfs hot-structure traffic share: {hot}");
+
+    let mummer = ws.iter().find(|w| w.name == "mummergpu").unwrap();
+    assert!(
+        mummer.untouched_frac > 0.1,
+        "mummergpu models dead ranges: {}",
+        mummer.untouched_frac
+    );
+
+    let needle = ws.iter().find(|w| w.name == "needle").unwrap();
+    assert!(needle.top10 < 0.3, "needle is near-linear: {}", needle.top10);
+}
+
+#[test]
+fn fig8_oracle_shape() {
+    let mut opts = ExpOptions::quick();
+    opts.workloads = Some(vec!["xsbench".to_string()]);
+    let t = experiments::fig8(&opts);
+    let o100 = t.value("xsbench", "Oracle@100%").unwrap();
+    let b10 = t.value("xsbench", "BWA@10%").unwrap();
+    let o10 = t.value("xsbench", "Oracle@10%").unwrap();
+    // Unconstrained: oracle ~ BW-AWARE.
+    assert!((0.9..=1.15).contains(&o100), "Oracle@100%: {o100}");
+    // Constrained: oracle clearly above BW-AWARE, below unconstrained.
+    assert!(o10 > b10 * 1.05, "Oracle@10% {o10} vs BWA@10% {b10}");
+    assert!(o10 <= 1.05, "capacity constraint costs something: {o10}");
+}

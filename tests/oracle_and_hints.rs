@@ -1,0 +1,172 @@
+//! Integration tests for the capacity-constrained flows: the two-phase
+//! oracle (paper §4.2) and profile-annotated hints (paper §5).
+
+use gpusim::SimConfig;
+use hetmem::runner::{
+    hints_from_profile, profile_workload, run_workload, Capacity, Placement,
+};
+use hetmem::topology_for;
+use mempolicy::Mempolicy;
+use profiler::MemHint;
+use workloads::{catalog, WorkloadSpec};
+
+fn quick_sim() -> SimConfig {
+    let mut sim = SimConfig::paper_baseline();
+    sim.num_sms = 4;
+    sim
+}
+
+fn quick(name: &str, ops: u64) -> WorkloadSpec {
+    let mut spec = catalog::by_name(name).expect("catalog name");
+    spec.mem_ops = ops;
+    spec
+}
+
+#[test]
+fn oracle_beats_bw_aware_for_skewed_workloads_at_10pct() {
+    let sim = quick_sim();
+    let topo = topology_for(&sim, &[1, 1]);
+    let cap = Capacity::FractionOfFootprint(0.10);
+    for name in ["bfs", "xsbench"] {
+        let spec = quick(name, 40_000);
+        let (hist, _) = profile_workload(&spec, &sim);
+        let bwa = run_workload(
+            &spec,
+            &sim,
+            cap,
+            &Placement::Policy(Mempolicy::bw_aware_for(&topo)),
+        );
+        let oracle = run_workload(&spec, &sim, cap, &Placement::Oracle(hist));
+        assert!(
+            oracle.speedup_over(&bwa) > 1.05,
+            "{name}: oracle vs BW-AWARE at 10% = {}",
+            oracle.speedup_over(&bwa)
+        );
+    }
+}
+
+#[test]
+fn oracle_matches_bw_aware_when_unconstrained() {
+    // Paper Fig. 8: without a capacity constraint both reach the ideal
+    // traffic split, so the oracle adds (almost) nothing.
+    let sim = quick_sim();
+    let topo = topology_for(&sim, &[1, 1]);
+    let spec = quick("srad", 40_000);
+    let (hist, _) = profile_workload(&spec, &sim);
+    let bwa = run_workload(
+        &spec,
+        &sim,
+        Capacity::Unconstrained,
+        &Placement::Policy(Mempolicy::bw_aware_for(&topo)),
+    );
+    let oracle = run_workload(&spec, &sim, Capacity::Unconstrained, &Placement::Oracle(hist));
+    let rel = oracle.speedup_over(&bwa);
+    assert!(
+        (0.9..=1.15).contains(&rel),
+        "unconstrained oracle should be ~= BW-AWARE, got {rel}"
+    );
+}
+
+#[test]
+fn annotated_sits_between_bw_aware_and_oracle_for_structured_skew() {
+    // bfs's hotness aligns with structures, so hints capture most of the
+    // oracle's win (paper: within 90% of oracle on average).
+    let sim = quick_sim();
+    let topo = topology_for(&sim, &[1, 1]);
+    let cap = Capacity::FractionOfFootprint(0.10);
+    let spec = quick("bfs", 40_000);
+    let (hist, profile) = profile_workload(&spec, &sim);
+    let hints = hints_from_profile(&profile, &spec, &sim, cap);
+
+    let bwa = run_workload(
+        &spec,
+        &sim,
+        cap,
+        &Placement::Policy(Mempolicy::bw_aware_for(&topo)),
+    );
+    let annotated = run_workload(&spec, &sim, cap, &Placement::Hinted(hints));
+    let oracle = run_workload(&spec, &sim, cap, &Placement::Oracle(hist));
+
+    assert!(
+        annotated.speedup_over(&bwa) > 1.0,
+        "annotated vs BW-AWARE: {}",
+        annotated.speedup_over(&bwa)
+    );
+    assert!(
+        annotated.speedup_over(&oracle) > 0.7,
+        "annotated should capture most of oracle: {}",
+        annotated.speedup_over(&oracle)
+    );
+}
+
+#[test]
+fn hints_are_bo_for_hot_structures_under_constraint() {
+    let sim = quick_sim();
+    let cap = Capacity::FractionOfFootprint(0.10);
+    let spec = quick("bfs", 40_000);
+    let (_, profile) = profile_workload(&spec, &sim);
+    let hints = hints_from_profile(&profile, &spec, &sim, cap);
+    // The hot mask/visited/cost structures are small and hot: at least
+    // one must be steered to BO; the big cold edges array must not be.
+    let by_name: std::collections::HashMap<&str, MemHint> = spec
+        .structures
+        .iter()
+        .map(|s| s.name)
+        .zip(hints.iter().copied())
+        .collect();
+    assert_eq!(by_name["d_graph_edges"], MemHint::CO, "cold big structure");
+    assert!(
+        [
+            by_name["d_graph_visited"],
+            by_name["d_updating_graph_mask"],
+            by_name["d_cost"]
+        ]
+        .contains(&MemHint::BO),
+        "a hot structure should get a BO hint: {by_name:?}"
+    );
+}
+
+#[test]
+fn unconstrained_hints_degenerate_to_bw_aware() {
+    let sim = quick_sim();
+    let spec = quick("minife", 30_000);
+    let (_, profile) = profile_workload(&spec, &sim);
+    let hints = hints_from_profile(&profile, &spec, &sim, Capacity::Unconstrained);
+    assert!(
+        hints.iter().all(|&h| h == MemHint::BwAware),
+        "no capacity pressure -> all BW hints, got {hints:?}"
+    );
+}
+
+#[test]
+fn training_hints_transfer_across_datasets() {
+    // The Fig. 11 property: hints trained on dataset 0 still beat
+    // INTERLEAVE on other datasets.
+    let sim = quick_sim();
+    let topo = topology_for(&sim, &[1, 1]);
+    let cap = Capacity::FractionOfFootprint(0.10);
+    let sets: Vec<WorkloadSpec> = catalog::datasets("xsbench")
+        .into_iter()
+        .map(|mut s| {
+            s.mem_ops = 30_000;
+            s
+        })
+        .collect();
+    let (_, train_profile) = profile_workload(&sets[0], &sim);
+    for spec in &sets[1..] {
+        let hints = hints_from_profile(&train_profile, spec, &sim, cap);
+        let inter = run_workload(
+            spec,
+            &sim,
+            cap,
+            &Placement::Policy(Mempolicy::interleave_all(&topo)),
+        );
+        let annotated = run_workload(spec, &sim, cap, &Placement::Hinted(hints));
+        assert!(
+            annotated.speedup_over(&inter) > 1.0,
+            "trained hints vs INTERLEAVE on {}: {}",
+            spec.seed,
+            annotated.speedup_over(&inter)
+        );
+    }
+}
