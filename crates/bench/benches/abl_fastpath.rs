@@ -1,12 +1,12 @@
 //! Ablation: allocation fast-path cost. The paper stresses BW-AWARE
 //! stays on the allocation fast path (one random draw, no history);
 //! this measures the policy-decision cost per page fault.
-use criterion::{criterion_group, criterion_main, Criterion};
 use gpusim::SimConfig;
 use hetmem::topology_for;
+use hetmem_harness::Bencher;
 use mempolicy::{AddressSpace, Mempolicy};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let sim = SimConfig::paper_baseline();
     type NamedPolicy = (&'static str, fn(&mempolicy::NumaTopology) -> Mempolicy);
     let policies: [NamedPolicy; 3] = [
@@ -14,26 +14,23 @@ fn bench(c: &mut Criterion) {
         ("interleave", Mempolicy::interleave_all),
         ("bw_aware", Mempolicy::bw_aware_for),
     ];
+    let mut b = Bencher::from_env("abl_fastpath");
     for (name, mk) in policies {
-        c.bench_function(&format!("abl_fastpath/fault_{name}"), |b| {
-            b.iter_batched(
-                || {
-                    let topo = topology_for(&sim, &[100_000, 100_000]);
-                    let mut mm = AddressSpace::new(topo.clone());
-                    mm.set_mempolicy(mk(&topo));
-                    let range = mm.mmap(4096 * 65_536).unwrap();
-                    (mm, range)
-                },
-                |(mut mm, range)| {
-                    for page in range.pages() {
-                        std::hint::black_box(mm.ensure_mapped(page).unwrap());
-                    }
-                },
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        b.bench_with_setup(
+            &format!("abl_fastpath/fault_{name}"),
+            || {
+                let topo = topology_for(&sim, &[100_000, 100_000]);
+                let mut mm = AddressSpace::new(topo.clone());
+                mm.set_mempolicy(mk(&topo));
+                let range = mm.mmap(4096 * 65_536).unwrap();
+                (mm, range)
+            },
+            |(mut mm, range)| {
+                for page in range.pages() {
+                    std::hint::black_box(mm.ensure_mapped(page).unwrap());
+                }
+            },
+        );
     }
+    b.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,10 +1,10 @@
 //! Ablation: memory-side L2 capacity per channel (Table 1 uses 128 kB).
-use criterion::{criterion_group, criterion_main, Criterion};
 use gpusim::CacheConfig;
 use hetmem::runner::{run_workload, Capacity, Placement};
+use hetmem_harness::Bencher;
 use mempolicy::Mempolicy;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let opts = hetmem_bench::bench_opts();
     let spec = opts.scale(workloads::catalog::by_name("xsbench").unwrap());
     eprintln!("Ablation — L2 slice capacity vs relative performance (xsbench, LOCAL):");
@@ -31,17 +31,14 @@ fn bench(c: &mut Criterion) {
     }
     let mut big = opts.sim.clone();
     big.l2 = CacheConfig::new(512 * 1024, 8);
-    c.bench_function("abl_l2/512kb_xsbench", |b| {
-        b.iter(|| {
-            run_workload(
-                &spec,
-                &big,
-                Capacity::Unconstrained,
-                &Placement::Policy(Mempolicy::local()),
-            )
-        })
+    let mut b = Bencher::from_env("abl_l2");
+    b.bench("abl_l2/512kb_xsbench", || {
+        run_workload(
+            &spec,
+            &big,
+            Capacity::Unconstrained,
+            &Placement::Policy(Mempolicy::local()),
+        )
     });
+    b.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

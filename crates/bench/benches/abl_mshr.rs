@@ -1,11 +1,11 @@
 //! Ablation: MSHR capacity. The paper (§3.2.1) argues its baseline MSHR
 //! count suffices to hide the extra interconnect hop; this sweep shows
 //! where latency tolerance collapses.
-use criterion::{criterion_group, criterion_main, Criterion};
 use hetmem::runner::{run_workload, Capacity, Placement};
+use hetmem_harness::Bencher;
 use mempolicy::Mempolicy;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let opts = hetmem_bench::bench_opts();
     let spec = opts.scale(workloads::catalog::by_name("lbm").unwrap());
     eprintln!("Ablation — L2 MSHRs per slice vs relative performance (lbm, LOCAL):");
@@ -32,17 +32,14 @@ fn bench(c: &mut Criterion) {
     }
     let mut small = opts.sim.clone();
     small.l2_mshrs = 16;
-    c.bench_function("abl_mshr/16_mshrs_lbm", |b| {
-        b.iter(|| {
-            run_workload(
-                &spec,
-                &small,
-                Capacity::Unconstrained,
-                &Placement::Policy(Mempolicy::local()),
-            )
-        })
+    let mut b = Bencher::from_env("abl_mshr");
+    b.bench("abl_mshr/16_mshrs_lbm", || {
+        run_workload(
+            &spec,
+            &small,
+            Capacity::Unconstrained,
+            &Placement::Policy(Mempolicy::local()),
+        )
     });
+    b.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,8 +1,8 @@
 //! Ablation: the paper's randomized BW-AWARE fast path (one RNG draw per
 //! allocation) vs exact round-robin-weighted placement. Shows the random
 //! draw converges to the same traffic split and performance.
-use criterion::{criterion_group, criterion_main, Criterion};
 use hetmem::runner::{run_workload, Capacity, Placement};
+use hetmem_harness::Bencher;
 use hmtypes::Percent;
 use mempolicy::{Mempolicy, PolicyMode, ZoneId};
 
@@ -11,12 +11,16 @@ use mempolicy::{Mempolicy, PolicyMode, ZoneId};
 fn exact_30c() -> Mempolicy {
     let mut nodes = Vec::new();
     for i in 0..10 {
-        nodes.push(if i < 3 { ZoneId::new(1) } else { ZoneId::new(0) });
+        nodes.push(if i < 3 {
+            ZoneId::new(1)
+        } else {
+            ZoneId::new(0)
+        });
     }
     Mempolicy::from_mode(PolicyMode::Interleave { nodes })
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let opts = hetmem_bench::bench_opts();
     let spec = opts.scale(workloads::catalog::by_name("srad").unwrap());
     let random = run_workload(
@@ -46,17 +50,14 @@ fn bench(c: &mut Criterion) {
         "  exact/random performance: {:.3} (paper argues the random fast path suffices)",
         random.report.cycles as f64 / exact.report.cycles as f64
     );
-    c.bench_function("abl_random_vs_exact/random_srad", |b| {
-        b.iter(|| {
-            run_workload(
-                &spec,
-                &opts.sim,
-                Capacity::Unconstrained,
-                &Placement::Policy(Mempolicy::ratio_co(Percent::new(30))),
-            )
-        })
+    let mut b = Bencher::from_env("abl_random_vs_exact");
+    b.bench("abl_random_vs_exact/random_srad", || {
+        run_workload(
+            &spec,
+            &opts.sim,
+            Capacity::Unconstrained,
+            &Placement::Policy(Mempolicy::ratio_co(Percent::new(30))),
+        )
     });
+    b.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,17 +1,14 @@
 //! Fig. 1: prints the BW-Ratio table and benches topology derivation.
-use criterion::{criterion_group, criterion_main, Criterion};
 use gpusim::SimConfig;
+use hetmem_harness::Bencher;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     eprintln!("{}", hetmem::experiments::fig1());
     let sim = SimConfig::paper_baseline();
-    c.bench_function("fig1/topology_and_sbit", |b| {
-        b.iter(|| {
-            let topo = hetmem::topology_for(&sim, &[4096, 16384]);
-            std::hint::black_box(topo.sbit().weights_per_mille())
-        })
+    let mut b = Bencher::from_env("fig01_bw_ratio");
+    b.bench("fig1/topology_and_sbit", || {
+        let topo = hetmem::topology_for(&sim, &[4096, 16384]);
+        std::hint::black_box(topo.sbit().weights_per_mille())
     });
+    b.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

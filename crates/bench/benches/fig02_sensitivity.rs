@@ -1,25 +1,22 @@
 //! Fig. 2: prints the bandwidth/latency sensitivity series (scaled) and
 //! benches one LOCAL-placement workload run.
-use criterion::{criterion_group, criterion_main, Criterion};
 use hetmem::runner::{run_workload, Capacity, Placement};
+use hetmem_harness::Bencher;
 use mempolicy::Mempolicy;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let opts = hetmem_bench::bench_opts();
     eprintln!("{}", hetmem::experiments::fig2a(&opts));
     eprintln!("{}", hetmem::experiments::fig2b(&opts));
     let spec = opts.scale(workloads::catalog::by_name("hotspot").unwrap());
-    c.bench_function("fig2/local_run_hotspot", |b| {
-        b.iter(|| {
-            run_workload(
-                &spec,
-                &opts.sim,
-                Capacity::Unconstrained,
-                &Placement::Policy(Mempolicy::local()),
-            )
-        })
+    let mut b = Bencher::from_env("fig02_sensitivity");
+    b.bench("fig2/local_run_hotspot", || {
+        run_workload(
+            &spec,
+            &opts.sim,
+            Capacity::Unconstrained,
+            &Placement::Policy(Mempolicy::local()),
+        )
     });
+    b.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,11 +1,11 @@
 //! Fig. 3: prints the placement-ratio sweep (scaled) and benches one
 //! BW-AWARE run.
-use criterion::{criterion_group, criterion_main, Criterion};
 use hetmem::runner::{run_workload, Capacity, Placement};
+use hetmem_harness::Bencher;
 use hmtypes::Percent;
 use mempolicy::Mempolicy;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let opts = hetmem_bench::bench_opts();
     let t = hetmem::experiments::fig3(&opts);
     eprintln!("{t}");
@@ -20,17 +20,14 @@ fn bench(c: &mut Criterion) {
         );
     }
     let spec = opts.scale(workloads::catalog::by_name("lbm").unwrap());
-    c.bench_function("fig3/bw_aware_run_lbm", |b| {
-        b.iter(|| {
-            run_workload(
-                &spec,
-                &opts.sim,
-                Capacity::Unconstrained,
-                &Placement::Policy(Mempolicy::ratio_co(Percent::new(30))),
-            )
-        })
+    let mut b = Bencher::from_env("fig03_placement_ratio");
+    b.bench("fig3/bw_aware_run_lbm", || {
+        run_workload(
+            &spec,
+            &opts.sim,
+            Capacity::Unconstrained,
+            &Placement::Policy(Mempolicy::ratio_co(Percent::new(30))),
+        )
     });
+    b.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,26 +1,23 @@
 //! Fig. 4: prints the capacity sweep (scaled) and benches one
 //! capacity-constrained run.
-use criterion::{criterion_group, criterion_main, Criterion};
 use hetmem::runner::{run_workload, Capacity, Placement};
 use hetmem::topology_for;
+use hetmem_harness::Bencher;
 use mempolicy::Mempolicy;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let opts = hetmem_bench::bench_opts();
     eprintln!("{}", hetmem::experiments::fig4(&opts));
     let spec = opts.scale(workloads::catalog::by_name("bfs").unwrap());
     let topo = topology_for(&opts.sim, &[1, 1]);
-    c.bench_function("fig4/bw_aware_at_50pct_capacity", |b| {
-        b.iter(|| {
-            run_workload(
-                &spec,
-                &opts.sim,
-                Capacity::FractionOfFootprint(0.5),
-                &Placement::Policy(Mempolicy::bw_aware_for(&topo)),
-            )
-        })
+    let mut b = Bencher::from_env("fig04_capacity");
+    b.bench("fig4/bw_aware_at_50pct_capacity", || {
+        run_workload(
+            &spec,
+            &opts.sim,
+            Capacity::FractionOfFootprint(0.5),
+            &Placement::Policy(Mempolicy::bw_aware_for(&topo)),
+        )
     });
+    b.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,28 +1,28 @@
 //! Fig. 5: prints the CO-bandwidth sweep (scaled) and benches one run on
 //! a doubled-CO machine.
-use criterion::{criterion_group, criterion_main, Criterion};
 use hetmem::runner::{run_workload, Capacity, Placement};
 use hetmem::topology_for;
+use hetmem_harness::Bencher;
 use hmtypes::Bandwidth;
 use mempolicy::Mempolicy;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let opts = hetmem_bench::bench_opts();
     eprintln!("{}", hetmem::experiments::fig5(&opts));
-    let sim = opts.sim.clone().with_co_bandwidth(Bandwidth::from_gbps(160.0));
+    let sim = opts
+        .sim
+        .clone()
+        .with_co_bandwidth(Bandwidth::from_gbps(160.0));
     let topo = topology_for(&sim, &[1, 1]);
     let spec = opts.scale(workloads::catalog::by_name("srad").unwrap());
-    c.bench_function("fig5/bw_aware_on_160gbps_co", |b| {
-        b.iter(|| {
-            run_workload(
-                &spec,
-                &sim,
-                Capacity::Unconstrained,
-                &Placement::Policy(Mempolicy::bw_aware_for(&topo)),
-            )
-        })
+    let mut b = Bencher::from_env("fig05_bw_sweep");
+    b.bench("fig5/bw_aware_on_160gbps_co", || {
+        run_workload(
+            &spec,
+            &sim,
+            Capacity::Unconstrained,
+            &Placement::Policy(Mempolicy::bw_aware_for(&topo)),
+        )
     });
+    b.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,20 +1,17 @@
 //! Fig. 6: prints the CDF summary (scaled) and benches profile+CDF
 //! construction.
-use criterion::{criterion_group, criterion_main, Criterion};
 use hetmem::runner::profile_workload;
+use hetmem_harness::Bencher;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let opts = hetmem_bench::bench_opts();
     let (_, table) = hetmem::experiments::fig6(&opts);
     eprintln!("{table}");
     let spec = opts.scale(workloads::catalog::by_name("xsbench").unwrap());
-    c.bench_function("fig6/profile_and_cdf_xsbench", |b| {
-        b.iter(|| {
-            let (hist, _) = profile_workload(&spec, &opts.sim);
-            std::hint::black_box(hist.cdf().skewness())
-        })
+    let mut b = Bencher::from_env("fig06_cdf");
+    b.bench("fig6/profile_and_cdf_xsbench", || {
+        let (hist, _) = profile_workload(&spec, &opts.sim);
+        std::hint::black_box(hist.cdf().skewness())
     });
+    b.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,10 +1,10 @@
 //! Fig. 7: prints per-structure attribution for bfs/mummergpu/needle
 //! (scaled) and benches the attribution step.
-use criterion::{criterion_group, criterion_main, Criterion};
 use hetmem::runner::profile_workload;
+use hetmem_harness::Bencher;
 use profiler::RunProfile;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let opts = hetmem_bench::bench_opts();
     for w in hetmem::experiments::fig7(&opts) {
         eprintln!(
@@ -12,19 +12,24 @@ fn bench(c: &mut Criterion) {
             w.name, w.top10, w.untouched_frac
         );
         for (name, fp, tr, _) in &w.structures {
-            eprintln!("    {name:<24} footprint {:>5.1}% traffic {:>5.1}%", fp * 100.0, tr * 100.0);
+            eprintln!(
+                "    {name:<24} footprint {:>5.1}% traffic {:>5.1}%",
+                fp * 100.0,
+                tr * 100.0
+            );
         }
     }
     let spec = opts.scale(workloads::catalog::by_name("bfs").unwrap());
     let (hist, profile) = profile_workload(&spec, &opts.sim);
-    let ranges: Vec<_> = profile.structures().iter().map(|s| s.range.clone()).collect();
-    c.bench_function("fig7/attribute_and_scatter_bfs", |b| {
-        b.iter(|| {
-            let p = RunProfile::attribute(ranges.clone(), &hist);
-            std::hint::black_box(p.scatter(&hist).len())
-        })
+    let ranges: Vec<_> = profile
+        .structures()
+        .iter()
+        .map(|s| s.range.clone())
+        .collect();
+    let mut b = Bencher::from_env("fig07_structures");
+    b.bench("fig7/attribute_and_scatter_bfs", || {
+        let p = RunProfile::attribute(ranges.clone(), &hist);
+        std::hint::black_box(p.scatter(&hist).len())
     });
+    b.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,24 +1,21 @@
 //! Fig. 8: prints the oracle-vs-BW-AWARE table (scaled) and benches an
 //! oracle-placed run at 10% capacity.
-use criterion::{criterion_group, criterion_main, Criterion};
 use hetmem::runner::{profile_workload, run_workload, Capacity, Placement};
+use hetmem_harness::Bencher;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let opts = hetmem_bench::bench_opts();
     eprintln!("{}", hetmem::experiments::fig8(&opts));
     let spec = opts.scale(workloads::catalog::by_name("xsbench").unwrap());
     let (hist, _) = profile_workload(&spec, &opts.sim);
-    c.bench_function("fig8/oracle_run_10pct_xsbench", |b| {
-        b.iter(|| {
-            run_workload(
-                &spec,
-                &opts.sim,
-                Capacity::FractionOfFootprint(0.10),
-                &Placement::Oracle(hist.clone()),
-            )
-        })
+    let mut b = Bencher::from_env("fig08_oracle");
+    b.bench("fig8/oracle_run_10pct_xsbench", || {
+        run_workload(
+            &spec,
+            &opts.sim,
+            Capacity::FractionOfFootprint(0.10),
+            &Placement::Oracle(hist.clone()),
+        )
     });
+    b.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

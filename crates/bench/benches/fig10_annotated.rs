@@ -1,21 +1,18 @@
 //! Fig. 10: prints the annotated-placement table (scaled) and benches a
 //! hinted run at 10% capacity.
-use criterion::{criterion_group, criterion_main, Criterion};
-use hetmem::runner::{
-    hints_from_profile, profile_workload, run_workload, Capacity, Placement,
-};
+use hetmem::runner::{hints_from_profile, profile_workload, run_workload, Capacity, Placement};
+use hetmem_harness::Bencher;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let opts = hetmem_bench::bench_opts();
     eprintln!("{}", hetmem::experiments::fig10(&opts));
     let spec = opts.scale(workloads::catalog::by_name("bfs").unwrap());
     let cap = Capacity::FractionOfFootprint(0.10);
     let (_, profile) = profile_workload(&spec, &opts.sim);
     let hints = hints_from_profile(&profile, &spec, &opts.sim, cap);
-    c.bench_function("fig10/hinted_run_10pct_bfs", |b| {
-        b.iter(|| run_workload(&spec, &opts.sim, cap, &Placement::Hinted(hints.clone())))
+    let mut b = Bencher::from_env("fig10_annotated");
+    b.bench("fig10/hinted_run_10pct_bfs", || {
+        run_workload(&spec, &opts.sim, cap, &Placement::Hinted(hints.clone()))
     });
+    b.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,26 +1,23 @@
 //! Fig. 11: prints the dataset-robustness table (scaled) and benches the
 //! hint recomputation.
-use criterion::{criterion_group, criterion_main, Criterion};
 use hetmem::runner::{hints_from_profile, profile_workload, Capacity};
+use hetmem_harness::Bencher;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let mut opts = hetmem_bench::bench_opts();
     opts.ops_scale = 0.08; // fig11 runs 4 workloads x datasets x 5 sims
     eprintln!("{}", hetmem::experiments::fig11(&opts));
     let train = opts.scale(workloads::catalog::datasets("bfs")[0].clone());
     let eval = opts.scale(workloads::catalog::datasets("bfs")[1].clone());
     let (_, profile) = profile_workload(&train, &opts.sim);
-    c.bench_function("fig11/get_allocation_cross_dataset", |b| {
-        b.iter(|| {
-            hints_from_profile(
-                &profile,
-                &eval,
-                &opts.sim,
-                Capacity::FractionOfFootprint(0.10),
-            )
-        })
+    let mut b = Bencher::from_env("fig11_datasets");
+    b.bench("fig11/get_allocation_cross_dataset", || {
+        hints_from_profile(
+            &profile,
+            &eval,
+            &opts.sim,
+            Capacity::FractionOfFootprint(0.10),
+        )
     });
+    b.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

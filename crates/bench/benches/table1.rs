@@ -1,18 +1,18 @@
 //! Table 1: prints the simulated system configuration and benches
 //! simulator construction cost.
-use criterion::{criterion_group, criterion_main, Criterion};
 use gpusim::{FixedPoolTranslator, SimConfig, Simulator, StreamKernel};
+use hetmem_harness::Bencher;
 
-fn bench(c: &mut Criterion) {
-    eprintln!("{}", hetmem::experiments::table1(&SimConfig::paper_baseline()));
-    c.bench_function("table1/simulator_construction", |b| {
-        b.iter(|| {
-            let cfg = SimConfig::paper_baseline();
-            let k = StreamKernel::new(&cfg, 4, 1 << 20);
-            std::hint::black_box(Simulator::new(cfg, FixedPoolTranslator::new(0), k))
-        })
+fn main() {
+    eprintln!(
+        "{}",
+        hetmem::experiments::table1(&SimConfig::paper_baseline())
+    );
+    let mut b = Bencher::from_env("table1");
+    b.bench("table1/simulator_construction", || {
+        let cfg = SimConfig::paper_baseline();
+        let k = StreamKernel::new(&cfg, 4, 1 << 20);
+        std::hint::black_box(Simulator::new(cfg, FixedPoolTranslator::new(0), k))
     });
+    b.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

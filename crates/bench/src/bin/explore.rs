@@ -14,9 +14,7 @@
 //! ```
 
 use gpusim::SimConfig;
-use hetmem::runner::{
-    hints_from_profile, profile_workload, run_workload, Capacity, Placement,
-};
+use hetmem::runner::{hints_from_profile, profile_workload, run_workload, Capacity, Placement};
 use hetmem::topology_for;
 use hmtypes::Percent;
 use mempolicy::Mempolicy;
@@ -32,7 +30,10 @@ fn main() {
         .unwrap_or(100.0);
 
     let spec = catalog::by_name(workload).unwrap_or_else(|| {
-        panic!("unknown workload {workload}; options: {:?}", catalog::names())
+        panic!(
+            "unknown workload {workload}; options: {:?}",
+            catalog::names()
+        )
     });
     let sim = SimConfig::paper_baseline();
     let topo = topology_for(&sim, &[1, 1]);
@@ -64,25 +65,34 @@ fn main() {
         }
     };
 
-    eprintln!(
-        "running {workload} under {policy} at {capacity_pct:.0}% BO capacity..."
-    );
+    eprintln!("running {workload} under {policy} at {capacity_pct:.0}% BO capacity...");
     let run = run_workload(&spec, &sim, capacity, &placement);
     let r = &run.report;
     let ghz = sim.sm_clock_ghz;
 
-    println!("workload          {workload} ({} structures, {:.1} MiB footprint)",
+    println!(
+        "workload          {workload} ({} structures, {:.1} MiB footprint)",
         spec.structures.len(),
-        spec.footprint_bytes() as f64 / (1 << 20) as f64);
-    println!("placement         {policy}  |  BO budget {} of {} pages", run.bo_pages, run.footprint_pages);
+        spec.footprint_bytes() as f64 / (1 << 20) as f64
+    );
+    println!(
+        "placement         {policy}  |  BO budget {} of {} pages",
+        run.bo_pages, run.footprint_pages
+    );
     println!("cycles            {}", r.cycles);
     println!("runtime           {:.1} us", r.cycles as f64 / (ghz * 1e3));
     println!("achieved BW       {}", r.achieved_bandwidth(ghz));
-    println!("DRAM traffic      {:.2} MiB  ({:.1}% from CO)",
+    println!(
+        "DRAM traffic      {:.2} MiB  ({:.1}% from CO)",
         r.dram_bytes() as f64 / (1 << 20) as f64,
-        r.pool_traffic_fraction(1) * 100.0);
+        r.pool_traffic_fraction(1) * 100.0
+    );
     println!("DRAM energy       {:.3} mJ", r.dram_energy_joules() * 1e3);
-    println!("L1 / L2 hit rate  {:.1}% / {:.1}%", r.l1_hit_rate() * 100.0, r.l2_hit_rate() * 100.0);
+    println!(
+        "L1 / L2 hit rate  {:.1}% / {:.1}%",
+        r.l1_hit_rate() * 100.0,
+        r.l2_hit_rate() * 100.0
+    );
     for p in &r.pools {
         println!(
             "  {:<8} {:>8.2} MiB read {:>8.2} MiB written  row-hit {:>4.1}%",
@@ -92,8 +102,5 @@ fn main() {
             p.row_hit_rate * 100.0
         );
     }
-    println!(
-        "pages mapped      {:?} (per zone)",
-        run.placement
-    );
+    println!("pages mapped      {:?} (per zone)", run.placement);
 }

@@ -33,4 +33,8 @@ fn main() {
         eprintln!("== {name} done ==");
         println!("{table}");
     }
+    if let Some(sink) = &opts.telemetry {
+        println!("{}", sink.summary());
+        eprintln!("telemetry JSONL written under {}", sink.dir().display());
+    }
 }

@@ -13,8 +13,13 @@
 //! * `--sms <n>` — simulate `n` SMs instead of 15
 //! * `--workloads a,b,c` — restrict the workload set
 //! * `--quiet` — suppress per-run progress
+//! * `--threads <n>` — sweep worker threads (0 / omitted = one per core)
+//! * `--out <dir>` — stream per-run JSONL telemetry into `<dir>/<figure>.jsonl`
+
+use std::sync::Arc;
 
 use hetmem::experiments::ExpOptions;
+use hetmem::TelemetrySink;
 
 /// Parses the common experiment flags from `std::env::args`.
 ///
@@ -30,9 +35,12 @@ pub fn opts_from_args() -> ExpOptions {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => {
-                let verbose = opts.verbose;
+                let (verbose, threads, telemetry) =
+                    (opts.verbose, opts.threads, opts.telemetry.take());
                 opts = ExpOptions::quick();
                 opts.verbose = verbose;
+                opts.threads = threads;
+                opts.telemetry = telemetry;
             }
             "--scale" => {
                 let v = args.next().expect("--scale needs a value");
@@ -47,6 +55,16 @@ pub fn opts_from_args() -> ExpOptions {
                 opts.workloads = Some(v.split(',').map(str::to_string).collect());
             }
             "--quiet" => opts.verbose = false,
+            "--threads" => {
+                let v = args.next().expect("--threads needs a value");
+                opts.threads = v.parse().expect("--threads takes an integer");
+            }
+            "--out" => {
+                let dir = args.next().expect("--out needs a directory");
+                let sink = TelemetrySink::create(&dir)
+                    .unwrap_or_else(|e| panic!("cannot create telemetry dir {dir}: {e}"));
+                opts.telemetry = Some(Arc::new(sink));
+            }
             other => panic!("unknown flag {other}; see hetmem-bench docs"),
         }
     }

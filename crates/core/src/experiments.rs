@@ -8,15 +8,16 @@
 //! *shapes* — who wins, by what factor, where crossovers fall — are the
 //! reproduction targets recorded in `EXPERIMENTS.md`.
 
+use std::sync::Arc;
+
 use gpusim::SimConfig;
 use hmtypes::{Bandwidth, Percent};
 use mempolicy::Mempolicy;
-use profiler::Cdf;
+use profiler::{Cdf, PageHistogram, RunProfile};
 use workloads::{catalog, WorkloadSpec};
 
-use crate::runner::{
-    geomean, hints_from_profile, profile_workload, run_workload, Capacity, Placement,
-};
+use crate::grid::{self, RunPoint, TelemetrySink};
+use crate::runner::{geomean, hints_from_profile, profile_workload, Capacity, Placement};
 use crate::translate::topology_for;
 
 /// Options shared by all experiment drivers.
@@ -31,6 +32,12 @@ pub struct ExpOptions {
     pub workloads: Option<Vec<String>>,
     /// Print per-run progress to stderr.
     pub verbose: bool,
+    /// Worker threads for grid sweeps (`0` = one per available CPU).
+    /// Results are identical at any thread count.
+    pub threads: usize,
+    /// When set, every sweep appends its run records to the sink's
+    /// per-figure JSONL files.
+    pub telemetry: Option<Arc<TelemetrySink>>,
 }
 
 impl Default for ExpOptions {
@@ -40,6 +47,8 @@ impl Default for ExpOptions {
             ops_scale: 1.0,
             workloads: None,
             verbose: false,
+            threads: 0,
+            telemetry: None,
         }
     }
 }
@@ -59,6 +68,8 @@ impl ExpOptions {
                 "sgemm".to_string(),
             ]),
             verbose: false,
+            threads: 0,
+            telemetry: None,
         }
     }
 
@@ -79,12 +90,6 @@ impl ExpOptions {
     pub fn scale(&self, mut spec: WorkloadSpec) -> WorkloadSpec {
         spec.mem_ops = ((spec.mem_ops as f64 * self.ops_scale) as u64).max(5_000);
         spec
-    }
-
-    fn progress(&self, msg: &str) {
-        if self.verbose {
-            eprintln!("  [{msg}]");
-        }
     }
 }
 
@@ -227,24 +232,28 @@ pub fn fig2a(opts: &ExpOptions) -> Table {
         "Fig. 2a — GPU performance sensitivity to bandwidth scaling (vs 1.0x)",
         factors.iter().map(|f| format!("{f:.2}x")).collect(),
     );
-    for spec in opts.specs() {
-        opts.progress(spec.name);
-        let runs: Vec<_> = factors
-            .iter()
-            .map(|&f| {
-                let sim = opts.sim.clone().with_bo_bandwidth_scaled(f);
-                run_workload(
-                    &spec,
-                    &sim,
-                    Capacity::Unconstrained,
-                    &Placement::Policy(Mempolicy::local()),
-                )
+    let specs = opts.specs();
+    let points: Vec<RunPoint> = specs
+        .iter()
+        .flat_map(|spec| {
+            factors.iter().map(move |&f| RunPoint {
+                spec: spec.clone(),
+                config: format!("{f:.2}x"),
+                sim: opts.sim.clone().with_bo_bandwidth_scaled(f),
+                capacity: Capacity::Unconstrained,
+                placement: Placement::Policy(Mempolicy::local()),
             })
-            .collect();
-        let base = runs[2].report.cycles as f64;
+        })
+        .collect();
+    let runs = grid::run_point_sweep("fig2a", opts, &points);
+    for (spec, chunk) in specs.iter().zip(runs.chunks(factors.len())) {
+        let base = chunk[2].report.cycles as f64;
         t.push_row(
             spec.name,
-            runs.iter().map(|r| base / r.report.cycles as f64).collect(),
+            chunk
+                .iter()
+                .map(|r| base / r.report.cycles as f64)
+                .collect(),
         );
     }
     t.push_geomean();
@@ -259,24 +268,28 @@ pub fn fig2b(opts: &ExpOptions) -> Table {
         "Fig. 2b — GPU performance sensitivity to added latency (vs +0)",
         extra.iter().map(|e| format!("+{e}cyc")).collect(),
     );
-    for spec in opts.specs() {
-        opts.progress(spec.name);
-        let runs: Vec<_> = extra
-            .iter()
-            .map(|&e| {
-                let sim = opts.sim.clone().with_extra_latency(e);
-                run_workload(
-                    &spec,
-                    &sim,
-                    Capacity::Unconstrained,
-                    &Placement::Policy(Mempolicy::local()),
-                )
+    let specs = opts.specs();
+    let points: Vec<RunPoint> = specs
+        .iter()
+        .flat_map(|spec| {
+            extra.iter().map(move |&e| RunPoint {
+                spec: spec.clone(),
+                config: format!("+{e}cyc"),
+                sim: opts.sim.clone().with_extra_latency(e),
+                capacity: Capacity::Unconstrained,
+                placement: Placement::Policy(Mempolicy::local()),
             })
-            .collect();
-        let base = runs[0].report.cycles as f64;
+        })
+        .collect();
+    let runs = grid::run_point_sweep("fig2b", opts, &points);
+    for (spec, chunk) in specs.iter().zip(runs.chunks(extra.len())) {
+        let base = chunk[0].report.cycles as f64;
         t.push_row(
             spec.name,
-            runs.iter().map(|r| base / r.report.cycles as f64).collect(),
+            chunk
+                .iter()
+                .map(|r| base / r.report.cycles as f64)
+                .collect(),
         );
     }
     t.push_geomean();
@@ -295,31 +308,36 @@ pub fn fig3(opts: &ExpOptions) -> Table {
         columns,
     );
     let topo = topology_for(&opts.sim, &[1, 1]);
-    for spec in opts.specs() {
-        opts.progress(spec.name);
-        let local = run_workload(
-            &spec,
-            &opts.sim,
-            Capacity::Unconstrained,
-            &Placement::Policy(Mempolicy::local()),
+    let mut policies: Vec<(String, Mempolicy)> = vec![
+        ("LOCAL".to_string(), Mempolicy::local()),
+        ("INTERLEAVE".to_string(), Mempolicy::interleave_all(&topo)),
+    ];
+    policies.extend(ratios.iter().map(|&r| {
+        (
+            format!("{}C-{}B", r, 100 - r),
+            Mempolicy::ratio_co(Percent::new(r)),
+        )
+    }));
+    let specs = opts.specs();
+    let points: Vec<RunPoint> = specs
+        .iter()
+        .flat_map(|spec| {
+            policies.iter().map(move |(config, policy)| RunPoint {
+                spec: spec.clone(),
+                config: config.clone(),
+                sim: opts.sim.clone(),
+                capacity: Capacity::Unconstrained,
+                placement: Placement::Policy(policy.clone()),
+            })
+        })
+        .collect();
+    let runs = grid::run_point_sweep("fig3", opts, &points);
+    for (spec, chunk) in specs.iter().zip(runs.chunks(policies.len())) {
+        let local = &chunk[0];
+        t.push_row(
+            spec.name,
+            chunk.iter().map(|r| r.speedup_over(local)).collect(),
         );
-        let inter = run_workload(
-            &spec,
-            &opts.sim,
-            Capacity::Unconstrained,
-            &Placement::Policy(Mempolicy::interleave_all(&topo)),
-        );
-        let mut values = vec![1.0, inter.speedup_over(&local)];
-        for &r in &ratios {
-            let run = run_workload(
-                &spec,
-                &opts.sim,
-                Capacity::Unconstrained,
-                &Placement::Policy(Mempolicy::ratio_co(Percent::new(r))),
-            );
-            values.push(run.speedup_over(&local));
-        }
-        t.push_row(spec.name, values);
     }
     t.push_geomean();
     t
@@ -337,23 +355,29 @@ pub fn fig4(opts: &ExpOptions) -> Table {
             .collect(),
     );
     let topo = topology_for(&opts.sim, &[1, 1]);
-    for spec in opts.specs() {
-        opts.progress(spec.name);
-        let runs: Vec<_> = fractions
-            .iter()
-            .map(|&f| {
-                run_workload(
-                    &spec,
-                    &opts.sim,
-                    Capacity::FractionOfFootprint(f),
-                    &Placement::Policy(Mempolicy::bw_aware_for(&topo)),
-                )
+    let specs = opts.specs();
+    let points: Vec<RunPoint> = specs
+        .iter()
+        .flat_map(|spec| {
+            let topo = &topo;
+            fractions.iter().map(move |&f| RunPoint {
+                spec: spec.clone(),
+                config: format!("{:.0}%", f * 100.0),
+                sim: opts.sim.clone(),
+                capacity: Capacity::FractionOfFootprint(f),
+                placement: Placement::Policy(Mempolicy::bw_aware_for(topo)),
             })
-            .collect();
-        let base = runs[0].report.cycles as f64;
+        })
+        .collect();
+    let runs = grid::run_point_sweep("fig4", opts, &points);
+    for (spec, chunk) in specs.iter().zip(runs.chunks(fractions.len())) {
+        let base = chunk[0].report.cycles as f64;
         t.push_row(
             spec.name,
-            runs.iter().map(|r| base / r.report.cycles as f64).collect(),
+            chunk
+                .iter()
+                .map(|r| base / r.report.cycles as f64)
+                .collect(),
         );
     }
     t.push_geomean();
@@ -370,18 +394,19 @@ pub fn fig5(opts: &ExpOptions) -> Table {
     );
     let specs = opts.specs();
     // Per-workload LOCAL baseline at 80 GB/s CO (the Table 1 machine).
-    let baselines: Vec<f64> = specs
+    let base_points: Vec<RunPoint> = specs
         .iter()
-        .map(|spec| {
-            run_workload(
-                spec,
-                &opts.sim,
-                Capacity::Unconstrained,
-                &Placement::Policy(Mempolicy::local()),
-            )
-            .report
-            .cycles as f64
+        .map(|spec| RunPoint {
+            spec: spec.clone(),
+            config: "LOCAL@80".to_string(),
+            sim: opts.sim.clone(),
+            capacity: Capacity::Unconstrained,
+            placement: Placement::Policy(Mempolicy::local()),
         })
+        .collect();
+    let baselines: Vec<f64> = grid::run_point_sweep("fig5", opts, &base_points)
+        .iter()
+        .map(|r| r.report.cycles as f64)
         .collect();
 
     /// A named policy constructor over a topology.
@@ -391,28 +416,37 @@ pub fn fig5(opts: &ExpOptions) -> Table {
         ("INTERLEAVE", Mempolicy::interleave_all),
         ("BW-AWARE", Mempolicy::bw_aware_for),
     ];
+    let mut points = Vec::new();
     for (name, make_policy) in policies {
-        opts.progress(name);
-        let mut values = Vec::new();
         for &bw in &co_gbps {
             let sim = opts.sim.clone().with_co_bandwidth(Bandwidth::from_gbps(bw));
             let topo = topology_for(&sim, &[1, 1]);
-            let speedups: Vec<f64> = specs
-                .iter()
-                .zip(&baselines)
-                .map(|(spec, &base)| {
-                    let run = run_workload(
-                        spec,
-                        &sim,
-                        Capacity::Unconstrained,
-                        &Placement::Policy(make_policy(&topo)),
-                    );
-                    base / run.report.cycles as f64
-                })
-                .collect();
-            values.push(geomean(&speedups));
+            let policy = make_policy(&topo);
+            for spec in &specs {
+                points.push(RunPoint {
+                    spec: spec.clone(),
+                    config: format!("{name}@{bw:.0}"),
+                    sim: sim.clone(),
+                    capacity: Capacity::Unconstrained,
+                    placement: Placement::Policy(policy.clone()),
+                });
+            }
         }
-        t.push_row(name, values);
+    }
+    let runs = grid::run_point_sweep("fig5", opts, &points);
+    for (pi, (name, _)) in policies.iter().enumerate() {
+        let values: Vec<f64> = (0..co_gbps.len())
+            .map(|bi| {
+                let chunk = &runs[(pi * co_gbps.len() + bi) * specs.len()..][..specs.len()];
+                let speedups: Vec<f64> = chunk
+                    .iter()
+                    .zip(&baselines)
+                    .map(|(r, &base)| base / r.report.cycles as f64)
+                    .collect();
+                geomean(&speedups)
+            })
+            .collect();
+        t.push_row(*name, values);
     }
     t
 }
@@ -430,9 +464,16 @@ pub fn fig6(opts: &ExpOptions) -> (Vec<(String, Cdf)>, Table) {
             "pages".to_string(),
         ],
     );
-    for spec in opts.specs() {
-        opts.progress(spec.name);
-        let (hist, _) = profile_workload(&spec, &opts.sim);
+    let specs = opts.specs();
+    let hists = grid::sweep(
+        "fig6",
+        opts,
+        &specs,
+        |s| format!("{}/profile", s.name),
+        |s| profile_workload(s, &opts.sim).0,
+        |_, _| Vec::new(),
+    );
+    for (spec, hist) in specs.iter().zip(&hists) {
         let cdf = hist.cdf();
         t.push_row(
             spec.name,
@@ -464,12 +505,22 @@ pub struct Fig7Workload {
 /// Fig. 7: CDF vs virtual-address layout for `bfs`, `mummergpu`, and
 /// `needle` (the paper's three contrasting examples).
 pub fn fig7(opts: &ExpOptions) -> Vec<Fig7Workload> {
-    ["bfs", "mummergpu", "needle"]
+    let specs: Vec<WorkloadSpec> = ["bfs", "mummergpu", "needle"]
         .iter()
-        .map(|name| {
-            opts.progress(name);
-            let spec = opts.scale(catalog::by_name(name).expect("catalog workload"));
-            let (hist, profile) = profile_workload(&spec, &opts.sim);
+        .map(|name| opts.scale(catalog::by_name(name).expect("catalog workload")))
+        .collect();
+    let profiles = grid::sweep(
+        "fig7",
+        opts,
+        &specs,
+        |s| format!("{}/profile", s.name),
+        |s| profile_workload(s, &opts.sim),
+        |_, _| Vec::new(),
+    );
+    specs
+        .iter()
+        .zip(profiles)
+        .map(|(spec, (hist, profile))| {
             let footprint: u64 = spec.structures.iter().map(|s| s.bytes).sum();
             let structures = profile
                 .structures()
@@ -485,7 +536,7 @@ pub fn fig7(opts: &ExpOptions) -> Vec<Fig7Workload> {
                 .collect();
             let allocated_pages: u64 = spec.structures.iter().map(|s| s.pages()).sum();
             Fig7Workload {
-                name: name.to_string(),
+                name: spec.name.to_string(),
                 structures,
                 top10: hist.cdf().traffic_in_top(0.10),
                 untouched_frac: 1.0 - hist.touched_pages() as f64 / allocated_pages as f64,
@@ -507,26 +558,42 @@ pub fn fig8(opts: &ExpOptions) -> Table {
         ],
     );
     let topo = topology_for(&opts.sim, &[1, 1]);
-    for spec in opts.specs() {
-        opts.progress(spec.name);
-        let (hist, _) = profile_workload(&spec, &opts.sim);
+    let specs = opts.specs();
+    let hists: Vec<PageHistogram> = grid::sweep(
+        "fig8",
+        opts,
+        &specs,
+        |s| format!("{}/profile", s.name),
+        |s| profile_workload(s, &opts.sim).0,
+        |_, _| Vec::new(),
+    );
+    let mut points = Vec::new();
+    for (spec, hist) in specs.iter().zip(&hists) {
         let bwa = Placement::Policy(Mempolicy::bw_aware_for(&topo));
-        let oracle = Placement::Oracle(hist);
-        let base = run_workload(&spec, &opts.sim, Capacity::Unconstrained, &bwa);
-        let runs = [
-            run_workload(&spec, &opts.sim, Capacity::Unconstrained, &oracle),
-            run_workload(&spec, &opts.sim, Capacity::FractionOfFootprint(0.10), &bwa),
-            run_workload(
-                &spec,
-                &opts.sim,
-                Capacity::FractionOfFootprint(0.10),
-                &oracle,
-            ),
+        let oracle = Placement::Oracle(hist.clone());
+        let configs = [
+            ("BWA@100%", Capacity::Unconstrained, bwa.clone()),
+            ("Oracle@100%", Capacity::Unconstrained, oracle.clone()),
+            ("BWA@10%", Capacity::FractionOfFootprint(0.10), bwa),
+            ("Oracle@10%", Capacity::FractionOfFootprint(0.10), oracle),
         ];
+        for (config, capacity, placement) in configs {
+            points.push(RunPoint {
+                spec: spec.clone(),
+                config: config.to_string(),
+                sim: opts.sim.clone(),
+                capacity,
+                placement,
+            });
+        }
+    }
+    let runs = grid::run_point_sweep("fig8", opts, &points);
+    for (spec, chunk) in specs.iter().zip(runs.chunks(4)) {
+        let base = &chunk[0];
         t.push_row(
             spec.name,
             std::iter::once(1.0)
-                .chain(runs.iter().map(|r| r.speedup_over(&base)))
+                .chain(chunk[1..].iter().map(|r| r.speedup_over(base)))
                 .collect(),
         );
     }
@@ -548,32 +615,48 @@ pub fn fig10(opts: &ExpOptions) -> Table {
     );
     let cap = Capacity::FractionOfFootprint(0.10);
     let topo = topology_for(&opts.sim, &[1, 1]);
-    for spec in opts.specs() {
-        opts.progress(spec.name);
-        let (hist, profile) = profile_workload(&spec, &opts.sim);
-        let hints = hints_from_profile(&profile, &spec, &opts.sim, cap);
-        let inter = run_workload(
-            &spec,
-            &opts.sim,
-            cap,
-            &Placement::Policy(Mempolicy::interleave_all(&topo)),
-        );
-        let bwa = run_workload(
-            &spec,
-            &opts.sim,
-            cap,
-            &Placement::Policy(Mempolicy::bw_aware_for(&topo)),
-        );
-        let annotated = run_workload(&spec, &opts.sim, cap, &Placement::Hinted(hints));
-        let oracle = run_workload(&spec, &opts.sim, cap, &Placement::Oracle(hist));
+    let specs = opts.specs();
+    let profiles = grid::sweep(
+        "fig10",
+        opts,
+        &specs,
+        |s| format!("{}/profile", s.name),
+        |s| profile_workload(s, &opts.sim),
+        |_, _| Vec::new(),
+    );
+    let mut points = Vec::new();
+    for (spec, (hist, profile)) in specs.iter().zip(&profiles) {
+        let hints = hints_from_profile(profile, spec, &opts.sim, cap);
+        let configs = [
+            (
+                "INTERLEAVE",
+                Placement::Policy(Mempolicy::interleave_all(&topo)),
+            ),
+            (
+                "BW-AWARE",
+                Placement::Policy(Mempolicy::bw_aware_for(&topo)),
+            ),
+            ("Annotated", Placement::Hinted(hints)),
+            ("Oracle", Placement::Oracle(hist.clone())),
+        ];
+        for (config, placement) in configs {
+            points.push(RunPoint {
+                spec: spec.clone(),
+                config: config.to_string(),
+                sim: opts.sim.clone(),
+                capacity: cap,
+                placement,
+            });
+        }
+    }
+    let runs = grid::run_point_sweep("fig10", opts, &points);
+    for (spec, chunk) in specs.iter().zip(runs.chunks(4)) {
+        let inter = &chunk[0];
         t.push_row(
             spec.name,
-            vec![
-                1.0,
-                bwa.speedup_over(&inter),
-                annotated.speedup_over(&inter),
-                oracle.speedup_over(&inter),
-            ],
+            std::iter::once(1.0)
+                .chain(chunk[1..].iter().map(|r| r.speedup_over(inter)))
+                .collect(),
         );
     }
     t.push_geomean();
@@ -595,42 +678,84 @@ pub fn fig11(opts: &ExpOptions) -> Table {
     );
     let cap = Capacity::FractionOfFootprint(0.10);
     let topo = topology_for(&opts.sim, &[1, 1]);
-    for name in ["bfs", "xsbench", "minife", "mummergpu"] {
-        let sets: Vec<WorkloadSpec> = catalog::datasets(name)
-            .into_iter()
-            .map(|s| opts.scale(s))
-            .collect();
-        // Train on dataset 0.
-        opts.progress(&format!("{name}: training"));
-        let (_, train_profile) = profile_workload(&sets[0], &opts.sim);
-        for (i, spec) in sets.iter().enumerate().skip(1) {
-            opts.progress(&format!("{name}: dataset {i}"));
-            let hints = hints_from_profile(&train_profile, spec, &opts.sim, cap);
-            let (eval_hist, _) = profile_workload(spec, &opts.sim);
-            let inter = run_workload(
-                spec,
-                &opts.sim,
-                cap,
-                &Placement::Policy(Mempolicy::interleave_all(&topo)),
-            );
-            let bwa = run_workload(
-                spec,
-                &opts.sim,
-                cap,
-                &Placement::Policy(Mempolicy::bw_aware_for(&topo)),
-            );
-            let annotated = run_workload(spec, &opts.sim, cap, &Placement::Hinted(hints));
-            let oracle = run_workload(spec, &opts.sim, cap, &Placement::Oracle(eval_hist));
-            t.push_row(
-                format!("{name}/ds{i}"),
-                vec![
-                    1.0,
-                    bwa.speedup_over(&inter),
-                    annotated.speedup_over(&inter),
-                    oracle.speedup_over(&inter),
-                ],
-            );
+    let names = ["bfs", "xsbench", "minife", "mummergpu"];
+    let families: Vec<(&str, Vec<WorkloadSpec>)> = names
+        .iter()
+        .map(|&name| {
+            (
+                name,
+                catalog::datasets(name)
+                    .into_iter()
+                    .map(|s| opts.scale(s))
+                    .collect(),
+            )
+        })
+        .collect();
+    // Train on each family's dataset 0.
+    let train_specs: Vec<WorkloadSpec> = families.iter().map(|(_, sets)| sets[0].clone()).collect();
+    let train_profiles: Vec<RunProfile> = grid::sweep(
+        "fig11",
+        opts,
+        &train_specs,
+        |s| format!("{}/train", s.name),
+        |s| profile_workload(s, &opts.sim).1,
+        |_, _| Vec::new(),
+    );
+    // Evaluate every other dataset: profile (for the oracle), then the
+    // four placements.
+    let evals: Vec<(usize, usize, WorkloadSpec)> = families
+        .iter()
+        .enumerate()
+        .flat_map(|(fi, (_, sets))| {
+            sets.iter()
+                .enumerate()
+                .skip(1)
+                .map(move |(i, spec)| (fi, i, spec.clone()))
+        })
+        .collect();
+    let eval_specs: Vec<WorkloadSpec> = evals.iter().map(|(_, _, s)| s.clone()).collect();
+    let eval_hists: Vec<PageHistogram> = grid::sweep(
+        "fig11",
+        opts,
+        &eval_specs,
+        |s| format!("{}/profile", s.name),
+        |s| profile_workload(s, &opts.sim).0,
+        |_, _| Vec::new(),
+    );
+    let mut points = Vec::new();
+    for ((fi, i, spec), hist) in evals.iter().zip(&eval_hists) {
+        let hints = hints_from_profile(&train_profiles[*fi], spec, &opts.sim, cap);
+        let configs = [
+            (
+                "INTERLEAVE",
+                Placement::Policy(Mempolicy::interleave_all(&topo)),
+            ),
+            (
+                "BW-AWARE",
+                Placement::Policy(Mempolicy::bw_aware_for(&topo)),
+            ),
+            ("Annotated", Placement::Hinted(hints)),
+            ("Oracle", Placement::Oracle(hist.clone())),
+        ];
+        for (config, placement) in configs {
+            points.push(RunPoint {
+                spec: spec.clone(),
+                config: format!("{config}/ds{i}"),
+                sim: opts.sim.clone(),
+                capacity: cap,
+                placement,
+            });
         }
+    }
+    let runs = grid::run_point_sweep("fig11", opts, &points);
+    for ((fi, i, _), chunk) in evals.iter().zip(runs.chunks(4)) {
+        let inter = &chunk[0];
+        t.push_row(
+            format!("{}/ds{i}", families[*fi].0),
+            std::iter::once(1.0)
+                .chain(chunk[1..].iter().map(|r| r.speedup_over(inter)))
+                .collect(),
+        );
     }
     t.push_geomean();
     t
@@ -653,26 +778,34 @@ pub fn ext_energy(opts: &ExpOptions) -> Table {
     );
     let topo = topology_for(&opts.sim, &[1, 1]);
     let ghz = opts.sim.sm_clock_ghz;
-    for spec in opts.specs() {
-        opts.progress(spec.name);
-        let runs: Vec<_> = [
-            Mempolicy::local(),
-            Mempolicy::interleave_all(&topo),
-            Mempolicy::bw_aware_for(&topo),
-        ]
-        .into_iter()
-        .map(|p| {
-            run_workload(&spec, &opts.sim, Capacity::Unconstrained, &Placement::Policy(p))
+    let policies = [
+        ("LOCAL", Mempolicy::local()),
+        ("INTERLEAVE", Mempolicy::interleave_all(&topo)),
+        ("BW-AWARE", Mempolicy::bw_aware_for(&topo)),
+    ];
+    let specs = opts.specs();
+    let points: Vec<RunPoint> = specs
+        .iter()
+        .flat_map(|spec| {
+            policies.iter().map(move |(config, policy)| RunPoint {
+                spec: spec.clone(),
+                config: config.to_string(),
+                sim: opts.sim.clone(),
+                capacity: Capacity::Unconstrained,
+                placement: Placement::Policy(policy.clone()),
+            })
         })
         .collect();
-        let edp_rel = runs[2].report.energy_delay_product(ghz)
-            / runs[0].report.energy_delay_product(ghz);
+    let runs = grid::run_point_sweep("ext_energy", opts, &points);
+    for (spec, chunk) in specs.iter().zip(runs.chunks(policies.len())) {
+        let edp_rel =
+            chunk[2].report.energy_delay_product(ghz) / chunk[0].report.energy_delay_product(ghz);
         t.push_row(
             spec.name,
             vec![
-                runs[0].report.dram_energy_joules() * 1e3,
-                runs[1].report.dram_energy_joules() * 1e3,
-                runs[2].report.dram_energy_joules() * 1e3,
+                chunk[0].report.dram_energy_joules() * 1e3,
+                chunk[1].report.dram_energy_joules() * 1e3,
+                chunk[2].report.dram_energy_joules() * 1e3,
                 edp_rel,
             ],
         );

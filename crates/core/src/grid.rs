@@ -1,0 +1,326 @@
+//! The core ↔ harness glue: every figure's grid runs through the
+//! `hetmem-harness` sweep engine, optionally streaming JSONL telemetry.
+//!
+//! The experiment drivers in [`experiments`](crate::experiments) and
+//! [`migration`](crate::migration) build flat point lists (workload ×
+//! configuration) and hand them to [`sweep`]; the engine executes them
+//! on a worker pool with results in stable grid order, so tables and
+//! telemetry files are byte-identical at any thread count. When
+//! [`ExpOptions::telemetry`](crate::experiments::ExpOptions) carries a
+//! [`TelemetrySink`], each sweep appends one [`RunRecord`] per simulated
+//! run to `<dir>/<figure>.jsonl`.
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use gpusim::SimConfig;
+use hetmem_harness::sweep::{run_grid, SweepOptions};
+use hetmem_harness::telemetry::{fnv1a, summary, PoolTelemetry, RunRecord};
+use workloads::WorkloadSpec;
+
+use crate::experiments::ExpOptions;
+use crate::runner::{run_workload, Capacity, Placement, WorkloadRun};
+
+/// Collects per-run telemetry across sweeps and streams it to one JSONL
+/// file per figure.
+///
+/// Records are appended in grid order and without timing fields, so a
+/// sweep's file is byte-identical across runs and thread counts. The
+/// sink also keeps every record in memory for the end-of-run
+/// [`TelemetrySink::summary`].
+#[derive(Debug)]
+pub struct TelemetrySink {
+    dir: PathBuf,
+    files: Mutex<Vec<(String, File)>>,
+    records: Mutex<Vec<RunRecord>>,
+}
+
+impl TelemetrySink {
+    /// Creates the sink, creating `dir` (and parents) if needed.
+    /// Existing `<figure>.jsonl` files are truncated the first time the
+    /// figure records into this sink.
+    pub fn create(dir: impl AsRef<Path>) -> io::Result<Self> {
+        fs::create_dir_all(dir.as_ref())?;
+        Ok(TelemetrySink {
+            dir: dir.as_ref().to_path_buf(),
+            files: Mutex::new(Vec::new()),
+            records: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The directory JSONL files land in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Appends `records` to `<dir>/<figure>.jsonl` (created on first
+    /// use) and to the in-memory record list.
+    pub fn record(&self, figure: &str, records: &[RunRecord]) -> io::Result<()> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        let mut files = self.files.lock().unwrap_or_else(|e| e.into_inner());
+        if !files.iter().any(|(name, _)| name == figure) {
+            let file = File::create(self.dir.join(format!("{figure}.jsonl")))?;
+            files.push((figure.to_string(), file));
+        }
+        let (_, file) = files
+            .iter_mut()
+            .find(|(name, _)| name == figure)
+            .expect("just ensured");
+        let mut buf = String::new();
+        for r in records {
+            buf.push_str(&r.jsonl(false));
+            buf.push('\n');
+        }
+        file.write_all(buf.as_bytes())?;
+        file.flush()?;
+        self.records
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .extend_from_slice(records);
+        Ok(())
+    }
+
+    /// Every record written so far, in write order.
+    pub fn records(&self) -> Vec<RunRecord> {
+        self.records
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// The end-of-run summary table over everything recorded.
+    pub fn summary(&self) -> String {
+        summary(&self.records())
+    }
+}
+
+/// Builds the canonical [`RunRecord`] for one simulated run: stable
+/// config hash over the machine + configuration, aggregate and per-pool
+/// achieved bandwidth derived from cycles at the SM clock.
+pub fn record_for(
+    figure: &str,
+    workload: &str,
+    config: &str,
+    sim: &SimConfig,
+    run: &WorkloadRun,
+) -> RunRecord {
+    // Canonical machine+configuration description behind the hash: two
+    // records with equal hashes ran the same machine and placement.
+    let mut canon = format!(
+        "{figure}|{workload}|{config}|sms={}|clk={}|mshrs={}",
+        sim.num_sms, sim.sm_clock_ghz, sim.l2_mshrs
+    );
+    for p in &sim.pools {
+        use core::fmt::Write as _;
+        let _ = write!(
+            canon,
+            "|{}:{}ch:{}gbps:+{}cyc",
+            p.name,
+            p.channels,
+            p.bandwidth.gbps(),
+            p.extra_latency
+        );
+    }
+    let ghz = sim.sm_clock_ghz;
+    let seconds = run.report.cycles as f64 / (ghz * 1e9);
+    let pools = run
+        .report
+        .pools
+        .iter()
+        .map(|p| PoolTelemetry {
+            name: p.name.clone(),
+            bytes_read: p.bytes_read,
+            bytes_written: p.bytes_written,
+            achieved_gbps: if seconds > 0.0 {
+                p.bytes_total() as f64 / seconds / 1e9
+            } else {
+                0.0
+            },
+        })
+        .collect();
+    RunRecord {
+        sweep: figure.to_string(),
+        workload: workload.to_string(),
+        config: config.to_string(),
+        config_hash: fnv1a(canon.as_bytes()),
+        cycles: run.report.cycles,
+        mem_ops: run.report.mem_ops,
+        achieved_gbps: run.report.achieved_bandwidth(ghz).gbps(),
+        pools,
+        wall_ms: None,
+    }
+}
+
+/// One `(workload, configuration)` grid point of a figure sweep.
+#[derive(Debug, Clone)]
+pub(crate) struct RunPoint {
+    pub spec: WorkloadSpec,
+    pub config: String,
+    pub sim: SimConfig,
+    pub capacity: Capacity,
+    pub placement: Placement,
+}
+
+impl RunPoint {
+    fn label(&self) -> String {
+        format!("{}/{}", self.spec.name, self.config)
+    }
+
+    fn run(&self) -> WorkloadRun {
+        run_workload(&self.spec, &self.sim, self.capacity, &self.placement)
+    }
+}
+
+/// Runs a figure's grid through the harness sweep engine. `records`
+/// turns each `(point, result)` into telemetry records (empty for
+/// profiling passes); they are written only when the options carry a
+/// sink.
+///
+/// # Panics
+///
+/// Panics with the failing point's identity if any grid point panics,
+/// or if the telemetry sink cannot be written.
+pub(crate) fn sweep<P, R>(
+    figure: &str,
+    opts: &ExpOptions,
+    points: &[P],
+    label: impl Fn(&P) -> String + Sync,
+    run: impl Fn(&P) -> R + Sync,
+    records: impl Fn(&P, &R) -> Vec<RunRecord>,
+) -> Vec<R>
+where
+    P: Sync,
+    R: Send,
+{
+    let sweep_opts = SweepOptions {
+        threads: opts.threads,
+        progress: opts.verbose,
+        ..SweepOptions::default()
+    };
+    let results = run_grid(points, &sweep_opts, &label, |p, _ctx| run(p))
+        .unwrap_or_else(|e| panic!("{figure}: {e}"));
+    if let Some(sink) = &opts.telemetry {
+        let recs: Vec<RunRecord> = points
+            .iter()
+            .zip(&results)
+            .flat_map(|(p, r)| records(p, r))
+            .collect();
+        sink.record(figure, &recs)
+            .unwrap_or_else(|e| panic!("{figure}: telemetry write failed: {e}"));
+    }
+    results
+}
+
+/// [`sweep`] specialized to [`RunPoint`] grids: runs every point's
+/// workload and records one [`RunRecord`] per run.
+pub(crate) fn run_point_sweep(
+    figure: &'static str,
+    opts: &ExpOptions,
+    points: &[RunPoint],
+) -> Vec<WorkloadRun> {
+    sweep(
+        figure,
+        opts,
+        points,
+        RunPoint::label,
+        RunPoint::run,
+        |p, r| vec![record_for(figure, p.spec.name, &p.config, &p.sim, r)],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mempolicy::Mempolicy;
+    use workloads::catalog;
+
+    fn quick_run() -> (SimConfig, WorkloadRun) {
+        let mut sim = SimConfig::paper_baseline();
+        sim.num_sms = 2;
+        let mut spec = catalog::by_name("hotspot").unwrap();
+        spec.mem_ops = 5_000;
+        let run = run_workload(
+            &spec,
+            &sim,
+            Capacity::Unconstrained,
+            &Placement::Policy(Mempolicy::local()),
+        );
+        (sim, run)
+    }
+
+    #[test]
+    fn record_matches_report() {
+        let (sim, run) = quick_run();
+        let rec = record_for("fig3", "hotspot", "LOCAL", &sim, &run);
+        assert_eq!(rec.cycles, run.report.cycles);
+        assert_eq!(rec.mem_ops, run.report.mem_ops);
+        assert_eq!(rec.pools.len(), run.report.pools.len());
+        let total: u64 = rec
+            .pools
+            .iter()
+            .map(|p| p.bytes_read + p.bytes_written)
+            .sum();
+        assert_eq!(total, run.report.dram_bytes());
+        // Pool bandwidths sum to the aggregate (same cycle base).
+        let pool_sum: f64 = rec.pools.iter().map(|p| p.achieved_gbps).sum();
+        assert!((pool_sum - rec.achieved_gbps).abs() < 1e-9);
+        // The hash covers the config label.
+        let other = record_for("fig3", "hotspot", "INTERLEAVE", &sim, &run);
+        assert_ne!(rec.config_hash, other.config_hash);
+    }
+
+    #[test]
+    fn sink_streams_one_file_per_figure() {
+        let dir = std::env::temp_dir().join(format!("hetmem-sink-{}", std::process::id()));
+        let sink = TelemetrySink::create(&dir).unwrap();
+        let (sim, run) = quick_run();
+        let rec = record_for("figX", "hotspot", "LOCAL", &sim, &run);
+        sink.record("figX", &[rec.clone()]).unwrap();
+        sink.record("figX", &[rec.clone()]).unwrap();
+        sink.record("figY", std::slice::from_ref(&rec)).unwrap();
+        // Empty batches create no file.
+        sink.record("figZ", &[]).unwrap();
+
+        let x = fs::read_to_string(dir.join("figX.jsonl")).unwrap();
+        assert_eq!(x.lines().count(), 2, "appended across batches");
+        assert_eq!(x.lines().next().unwrap(), rec.jsonl(false));
+        assert!(dir.join("figY.jsonl").exists());
+        assert!(!dir.join("figZ.jsonl").exists());
+        assert_eq!(sink.records().len(), 3);
+        assert!(sink.summary().contains("total: 3 runs"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn run_point_sweep_is_thread_count_invariant() {
+        let mut sim = SimConfig::paper_baseline();
+        sim.num_sms = 2;
+        let mut spec = catalog::by_name("hotspot").unwrap();
+        spec.mem_ops = 5_000;
+        let points: Vec<RunPoint> = ["LOCAL", "INTERLEAVE"]
+            .iter()
+            .map(|&config| RunPoint {
+                spec: spec.clone(),
+                config: config.to_string(),
+                sim: sim.clone(),
+                capacity: Capacity::Unconstrained,
+                placement: Placement::Policy(Mempolicy::local()),
+            })
+            .collect();
+        let cycles = |threads: usize| {
+            let opts = ExpOptions {
+                threads,
+                ..ExpOptions::quick()
+            };
+            run_point_sweep("t", &opts, &points)
+                .iter()
+                .map(|r| r.report.cycles)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(cycles(1), cycles(2));
+    }
+}

@@ -44,11 +44,13 @@
 //! ```
 
 pub mod experiments;
+pub mod grid;
 pub mod migration;
 pub mod runner;
 pub mod runtime;
 pub mod translate;
 
+pub use grid::{record_for, TelemetrySink};
 pub use migration::{
     evaluate_migration, ext_migration, ext_online, run_online, MigrationModel, MigrationOutcome,
     OnlineOutcome,

@@ -16,9 +16,7 @@ use mempolicy::Mempolicy;
 use profiler::OraclePlacement;
 
 use crate::experiments::{ExpOptions, Table};
-use crate::runner::{
-    bo_traffic_target, profile_workload, run_workload, Capacity, Placement,
-};
+use crate::runner::{bo_traffic_target, profile_workload, run_workload, Capacity, Placement};
 use crate::translate::topology_for;
 
 /// Cost model for moving pages between memory zones.
@@ -46,8 +44,7 @@ impl MigrationModel {
     /// SM cycles to migrate `pages` pages at `sm_clock_ghz`.
     pub fn cost_cycles(&self, pages: u64, sm_clock_ghz: f64) -> u64 {
         let bytes = pages as f64 * PAGE_SIZE as f64;
-        let seconds = bytes / self.copy_bandwidth.bytes_per_sec()
-            + self.pipeline_latency_us * 1e-6;
+        let seconds = bytes / self.copy_bandwidth.bytes_per_sec() + self.pipeline_latency_us * 1e-6;
         (seconds * sm_clock_ghz * 1e9).ceil() as u64
     }
 }
@@ -122,13 +119,16 @@ pub fn ext_migration(opts: &ExpOptions) -> Table {
             "breakeven(iters)".to_string(),
         ],
     );
-    for spec in opts.specs() {
-        let o = evaluate_migration(
-            &spec,
-            &opts.sim,
-            Capacity::FractionOfFootprint(0.10),
-            model,
-        );
+    let specs = opts.specs();
+    let outcomes = crate::grid::sweep(
+        "ext_migration",
+        opts,
+        &specs,
+        |s| s.name.to_string(),
+        |s| evaluate_migration(s, &opts.sim, Capacity::FractionOfFootprint(0.10), model),
+        |_, _| Vec::new(),
+    );
+    for (spec, o) in specs.iter().zip(&outcomes) {
         t.push_row(
             spec.name,
             vec![
@@ -227,8 +227,12 @@ pub fn run_online(
     let budget = total_ops.div_ceil(u64::from(epochs));
 
     let mm = rt.address_space();
-    let bo = topo.zone_of_kind(MemKind::BandwidthOptimized).expect("BO zone");
-    let co = topo.zone_of_kind(MemKind::CapacityOptimized).expect("CO zone");
+    let bo = topo
+        .zone_of_kind(MemKind::BandwidthOptimized)
+        .expect("BO zone");
+    let co = topo
+        .zone_of_kind(MemKind::CapacityOptimized)
+        .expect("CO zone");
     let target = bo_traffic_target(sim);
 
     let mut compute_cycles = 0u64;
@@ -250,9 +254,7 @@ pub fn run_online(
         }
         // Reshuffle toward this epoch's hot set (the online predictor:
         // last epoch's histogram predicts the next).
-        let hist = PageHistogram::from_counts(
-            report.page_accesses.expect("profiling enabled"),
-        );
+        let hist = PageHistogram::from_counts(report.page_accesses.expect("profiling enabled"));
         let desired = OraclePlacement::compute(&hist, bo_pages, target);
         let mut mm_mut = mm.borrow_mut();
         let mapped: Vec<_> = mm_mut.mappings().collect();
@@ -302,10 +304,22 @@ pub fn ext_online(opts: &ExpOptions) -> Table {
         ],
     );
     let cap = Capacity::FractionOfFootprint(0.10);
-    for spec in opts.specs() {
-        let epochs = 4;
-        let baseline = run_online(&spec, &opts.sim, cap, epochs, model, false);
-        let online = run_online(&spec, &opts.sim, cap, epochs, model, true);
+    let epochs = 4;
+    let specs = opts.specs();
+    let outcomes = crate::grid::sweep(
+        "ext_online",
+        opts,
+        &specs,
+        |s| s.name.to_string(),
+        |s| {
+            (
+                run_online(s, &opts.sim, cap, epochs, model, false),
+                run_online(s, &opts.sim, cap, epochs, model, true),
+            )
+        },
+        |_, _| Vec::new(),
+    );
+    for (spec, (baseline, online)) in specs.iter().zip(&outcomes) {
         t.push_row(
             spec.name,
             vec![

@@ -145,11 +145,7 @@ fn run_workload_impl(
             }
         }
         Placement::Hinted(hints) => {
-            assert_eq!(
-                hints.len(),
-                spec.structures.len(),
-                "one hint per structure"
-            );
+            assert_eq!(hints.len(), spec.structures.len(), "one hint per structure");
             for (s, &h) in spec.structures.iter().zip(hints) {
                 rt.malloc_with_hint(s.name, s.bytes, h).expect("allocation");
             }
@@ -201,12 +197,14 @@ fn preplace_oracle(rt: &HmRuntime, histogram: &PageHistogram, bo_pages: u64, tar
     let mut bo_set: Vec<PageNum> = oracle.bo_pages().collect();
     bo_set.sort_unstable();
     for page in bo_set {
-        mm.ensure_mapped_in(page, &[bo, co]).expect("oracle BO page");
+        mm.ensure_mapped_in(page, &[bo, co])
+            .expect("oracle BO page");
     }
     for range in &ranges {
         for page in range.pages() {
             if !oracle.is_bo(page) {
-                mm.ensure_mapped_in(page, &[co, bo]).expect("oracle CO page");
+                mm.ensure_mapped_in(page, &[co, bo])
+                    .expect("oracle CO page");
             }
         }
     }

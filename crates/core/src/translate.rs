@@ -96,7 +96,7 @@ impl AddressTranslator for OsTranslator {
 mod tests {
     use super::*;
     use gpusim::SimConfig;
-    use hmtypes::{PAGE_SIZE};
+    use hmtypes::PAGE_SIZE;
     use mempolicy::Mempolicy;
 
     #[test]
@@ -109,7 +109,10 @@ mod tests {
             assert_eq!(zone.bandwidth, pool.bandwidth);
             assert_eq!(zone.extra_latency_cycles, pool.extra_latency);
         }
-        assert_eq!(topo.zone(mempolicy::ZoneId::new(0)).unwrap().capacity_pages, 100);
+        assert_eq!(
+            topo.zone(mempolicy::ZoneId::new(0)).unwrap().capacity_pages,
+            100
+        );
     }
 
     #[test]

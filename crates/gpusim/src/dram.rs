@@ -195,7 +195,10 @@ impl DramChannel {
                     (t.max(bank.row_ready), true)
                 } else {
                     let activate = t.max(bank.next_activate);
-                    (activate + self.timing.rp as f64 + self.timing.rcd as f64, false)
+                    (
+                        activate + self.timing.rp as f64 + self.timing.rcd as f64,
+                        false,
+                    )
                 };
                 let col = if req.read {
                     self.timing.cl as f64

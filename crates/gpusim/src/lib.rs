@@ -45,8 +45,7 @@ pub use config::{CacheConfig, DramTiming, PoolConfig, SimConfig};
 pub use dram::{ChannelStats, DramChannel};
 pub use kernels::StreamKernel;
 pub use request::{
-    AddressTranslator, FixedPoolTranslator, Placement, RatioTranslator, WarpId, WarpOp,
-    WarpProgram,
+    AddressTranslator, FixedPoolTranslator, Placement, RatioTranslator, WarpId, WarpOp, WarpProgram,
 };
 pub use sim::Simulator;
 pub use stats::{PoolReport, SimReport};

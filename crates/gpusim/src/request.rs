@@ -150,9 +150,7 @@ mod tests {
     fn ratio_translator_splits_by_page() {
         let mut t = RatioTranslator { co_pct: 30 };
         let co_pages = (0..1000u64)
-            .filter(|&i| {
-                t.translate(VirtAddr::new(i * PAGE_SIZE as u64)).pool == 1
-            })
+            .filter(|&i| t.translate(VirtAddr::new(i * PAGE_SIZE as u64)).pool == 1)
             .count();
         assert_eq!(co_pages, 300);
     }

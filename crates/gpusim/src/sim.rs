@@ -132,7 +132,10 @@ impl<T: AddressTranslator, P: WarpProgram> Simulator<T, P> {
     pub fn new(cfg: SimConfig, translator: T, program: P) -> Self {
         cfg.validate();
         let warps_per_sm = program.warps_per_sm().min(cfg.max_warps_per_sm);
-        assert!(warps_per_sm > 0, "program must use at least one warp per SM");
+        assert!(
+            warps_per_sm > 0,
+            "program must use at least one warp per SM"
+        );
         let mlp = program.mem_level_parallelism().max(1);
 
         let sms = (0..cfg.num_sms)
@@ -568,7 +571,10 @@ mod tests {
             achieved > 140.0,
             "a saturating stream should approach 200 GB/s, got {achieved:.1}"
         );
-        assert!(achieved <= 205.0, "cannot exceed pool bandwidth, got {achieved:.1}");
+        assert!(
+            achieved <= 205.0,
+            "cannot exceed pool bandwidth, got {achieved:.1}"
+        );
     }
 
     #[test]
@@ -592,12 +598,7 @@ mod tests {
     fn split_traffic_uses_both_pools() {
         let cfg = small_cfg();
         let program = StreamKernel::new(&cfg, 16, 4 << 20);
-        let r = Simulator::new(
-            cfg,
-            crate::request::RatioTranslator { co_pct: 30 },
-            program,
-        )
-        .run();
+        let r = Simulator::new(cfg, crate::request::RatioTranslator { co_pct: 30 }, program).run();
         let co_frac = r.pool_traffic_fraction(1);
         assert!((co_frac - 0.30).abs() < 0.05, "got {co_frac}");
     }

@@ -1,4 +1,5 @@
-//! Property-based tests for the GPU memory-system simulator.
+//! Property-based tests for the GPU memory-system simulator, on the
+//! in-tree `hetmem_harness::props!` kit.
 
 use gpusim::engine::Calendar;
 use gpusim::{
@@ -6,22 +7,22 @@ use gpusim::{
     Simulator, StreamKernel,
 };
 use hmtypes::LINE_SIZE;
-use proptest::prelude::*;
 
-proptest! {
+hetmem_harness::props! {
+    cases = 32;
+
     /// The calendar pops events in non-decreasing time order and FIFO
     /// within equal timestamps.
-    #[test]
-    fn calendar_orders_events(times in proptest::collection::vec(0u64..1000, 1..200)) {
+    fn calendar_orders_events(times in hetmem_harness::vec_of(0u64..1000, 1..200)) {
         let mut cal = Calendar::new();
         for (i, &t) in times.iter().enumerate() {
             cal.schedule(t, (t, i));
         }
         let mut last: Option<(u64, usize)> = None;
         while let Some((at, (t, i))) = cal.pop() {
-            prop_assert_eq!(at, t);
+            assert_eq!(at, t);
             if let Some((lt, li)) = last {
-                prop_assert!(t > lt || (t == lt && i > li), "ordering violated");
+                assert!(t > lt || (t == lt && i > li), "ordering violated");
             }
             last = Some((t, i));
         }
@@ -29,24 +30,22 @@ proptest! {
 
     /// Cache stats are consistent and an access immediately after an
     /// access to the same line always hits.
-    #[test]
-    fn cache_immediate_reaccess_hits(lines in proptest::collection::vec(0u64..4096, 1..500)) {
+    fn cache_immediate_reaccess_hits(lines in hetmem_harness::vec_of(0u64..4096, 1..500)) {
         let mut c = SetAssocCache::new(CacheConfig::new(64 * 128, 4));
         let mut accesses = 0u64;
         for &l in &lines {
             c.access(l);
             accesses += 1;
-            prop_assert!(c.access(l).is_hit(), "immediate re-access of {l} missed");
+            assert!(c.access(l).is_hit(), "immediate re-access of {l} missed");
             accesses += 1;
         }
         let (h, m) = c.stats();
-        prop_assert_eq!(h + m, accesses);
-        prop_assert!(h >= lines.len() as u64, "every second access hit");
+        assert_eq!(h + m, accesses);
+        assert!(h >= lines.len() as u64, "every second access hit");
     }
 
     /// A DRAM channel never exceeds its configured peak bandwidth, and
     /// moves exactly the bytes requested.
-    #[test]
     fn dram_never_exceeds_peak(seed in 0u64..5000, n in 16u64..512) {
         let cfg = SimConfig::paper_baseline();
         let mut chan = DramChannel::new(&cfg.pools[0], cfg.sm_clock_ghz);
@@ -56,41 +55,43 @@ proptest! {
             .collect();
         let finish = gpusim::dram::drain_channel(&mut chan, &accesses);
         let stats = chan.stats();
-        prop_assert_eq!(stats.bytes, n * LINE_SIZE as u64);
+        assert_eq!(stats.bytes, n * LINE_SIZE as u64);
         let peak_bpc = LINE_SIZE as f64 / chan.burst_cycles();
         let achieved = stats.bytes as f64 / finish as f64;
-        prop_assert!(achieved <= peak_bpc * 1.001,
-            "achieved {achieved} B/cyc exceeds peak {peak_bpc}");
-        prop_assert_eq!(stats.row_hits + stats.row_misses, n);
+        assert!(
+            achieved <= peak_bpc * 1.001,
+            "achieved {achieved} B/cyc exceeds peak {peak_bpc}"
+        );
+        assert_eq!(stats.row_hits + stats.row_misses, n);
     }
 
     /// End-to-end: a streaming run reads exactly its footprint from DRAM,
     /// completes, and splits traffic per the translator's page ratio.
-    #[test]
     fn sim_streaming_invariants(kb in 64u64..512, co_pct in 0u8..=100) {
         let mut cfg = SimConfig::paper_baseline();
         cfg.num_sms = 2;
         let bytes = kb * 1024;
         let program = StreamKernel::new(&cfg, 8, bytes);
         let r = Simulator::new(cfg, RatioTranslator { co_pct }, program).run();
-        prop_assert!(r.completed);
-        prop_assert_eq!(r.dram_bytes(), bytes / 128 * 128);
+        assert!(r.completed);
+        assert_eq!(r.dram_bytes(), bytes / 128 * 128);
         let f0 = r.pool_traffic_fraction(0);
         let f1 = r.pool_traffic_fraction(1);
-        prop_assert!((f0 + f1 - 1.0).abs() < 1e-9);
+        assert!((f0 + f1 - 1.0).abs() < 1e-9);
         // The modulo translator's split is exactly computable: pages with
         // index % 100 < co_pct are CO, and a uniform stream touches every
         // page's lines equally often.
         let pages = bytes / 4096;
         let co_pages = (0..pages).filter(|p| p % 100 < u64::from(co_pct)).count();
         let expected = co_pages as f64 / pages as f64;
-        prop_assert!((f1 - expected).abs() < 0.05,
-            "co fraction {f1} vs expected {expected}");
+        assert!(
+            (f1 - expected).abs() < 0.05,
+            "co fraction {f1} vs expected {expected}"
+        );
     }
 
     /// Determinism: identical configuration and program produce identical
     /// reports.
-    #[test]
     fn sim_is_deterministic(kb in 64u64..256) {
         let run = || {
             let mut cfg = SimConfig::paper_baseline();
@@ -100,12 +101,11 @@ proptest! {
         };
         let a = run();
         let b = run();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
 
     /// Performance is monotone in bandwidth: doubling BO pool bandwidth
     /// never makes a BO-resident stream slower.
-    #[test]
     fn more_bandwidth_never_hurts(kb in 128u64..512) {
         let run = |scale: f64| {
             let mut cfg = SimConfig::paper_baseline().with_bo_bandwidth_scaled(scale);
@@ -113,6 +113,6 @@ proptest! {
             let program = StreamKernel::new(&cfg, 16, kb * 1024);
             Simulator::new(cfg, FixedPoolTranslator::new(0), program).run().cycles
         };
-        prop_assert!(run(2.0) <= run(1.0));
+        assert!(run(2.0) <= run(1.0));
     }
 }

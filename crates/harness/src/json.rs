@@ -1,0 +1,178 @@
+//! A hand-rolled, deterministic JSON writer (no serde).
+//!
+//! The telemetry layer needs exactly one thing from JSON: emitting flat
+//! records whose bytes are identical for identical inputs. This module
+//! provides an append-only object builder — insertion order is
+//! preserved, `f64`s use Rust's shortest-roundtrip formatting (stable
+//! across runs and platforms), and non-finite floats become `null`
+//! (JSON has no NaN).
+//!
+//! ```
+//! use hetmem_harness::json::JsonObject;
+//!
+//! let line = JsonObject::new()
+//!     .str("workload", "bfs")
+//!     .u64("cycles", 12345)
+//!     .f64("gbps", 1.5)
+//!     .finish();
+//! assert_eq!(line, r#"{"workload":"bfs","cycles":12345,"gbps":1.5}"#);
+//! ```
+
+/// An append-only JSON object builder.
+#[derive(Debug, Clone)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        JsonObject {
+            buf: String::from("{"),
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if self.buf.len() > 1 {
+            self.buf.push(',');
+        }
+        self.buf.push('"');
+        escape_into(key, &mut self.buf);
+        self.buf.push_str("\":");
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        self.buf.push('"');
+        escape_into(value, &mut self.buf);
+        self.buf.push('"');
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        self.key(key);
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    /// Adds a float field (`null` when not finite).
+    pub fn f64(mut self, key: &str, value: f64) -> Self {
+        self.key(key);
+        self.buf.push_str(&fmt_f64(value));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a pre-serialized JSON value (e.g. a nested array built from
+    /// other [`JsonObject`]s).
+    pub fn raw(mut self, key: &str, json: &str) -> Self {
+        self.key(key);
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for JsonObject {
+    fn default() -> Self {
+        JsonObject::new()
+    }
+}
+
+/// Serializes a list of pre-serialized values as a JSON array.
+pub fn array(items: impl IntoIterator<Item = String>) -> String {
+    let mut buf = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        buf.push_str(&item);
+    }
+    buf.push(']');
+    buf
+}
+
+/// Formats an `f64` deterministically: shortest roundtrip via `{}`,
+/// `null` for NaN/infinity.
+pub fn fmt_f64(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn escape_into(s: &str, buf: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                buf.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => buf.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_flat_objects() {
+        let line = JsonObject::new()
+            .str("a", "x")
+            .u64("b", 7)
+            .bool("c", true)
+            .finish();
+        assert_eq!(line, r#"{"a":"x","b":7,"c":true}"#);
+    }
+
+    #[test]
+    fn empty_object() {
+        assert_eq!(JsonObject::new().finish(), "{}");
+    }
+
+    #[test]
+    fn escapes_specials() {
+        let line = JsonObject::new().str("k", "a\"b\\c\nd\u{1}").finish();
+        assert_eq!(line, r#"{"k":"a\"b\\c\nd\u0001"}"#);
+    }
+
+    #[test]
+    fn floats_are_shortest_roundtrip_and_null_for_nan() {
+        assert_eq!(fmt_f64(1.5), "1.5");
+        assert_eq!(fmt_f64(0.1 + 0.2), "0.30000000000000004");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+        let line = JsonObject::new().f64("x", 2.0).finish();
+        assert_eq!(line, r#"{"x":2}"#);
+    }
+
+    #[test]
+    fn arrays_and_raw_nesting() {
+        let inner = array(vec![
+            JsonObject::new().u64("i", 0).finish(),
+            JsonObject::new().u64("i", 1).finish(),
+        ]);
+        let line = JsonObject::new().raw("items", &inner).finish();
+        assert_eq!(line, r#"{"items":[{"i":0},{"i":1}]}"#);
+    }
+}

@@ -1,0 +1,54 @@
+//! # hetmem-harness — the deterministic experiment engine
+//!
+//! The execution subsystem the whole hetmem workspace runs through,
+//! built on **std only** (this crate has zero dependencies, which is
+//! what lets `cargo build --release && cargo test -q` succeed with no
+//! network and no crates-io index). Three layers:
+//!
+//! 1. **[`sweep`]** — a scoped-thread worker pool executing
+//!    `(workload × config)` grid points concurrently, with deterministic
+//!    per-point seeding and results in stable grid order: identical
+//!    output at any thread count.
+//! 2. **[`telemetry`] / [`json`]** — per-run records emitted as JSON
+//!    Lines through a hand-rolled serializer (no serde), plus the
+//!    end-of-sweep summary. Byte-identical across runs and thread
+//!    counts.
+//! 3. **The determinism/testing kit** — [`rng`] (SplitMix64 +
+//!    xoshiro256**, replacing `rand`), [`prop`] and the [`props!`]
+//!    macro (seeded case generation with shrinking-lite, replacing
+//!    `proptest`), and [`timing`] (a micro-benchmark runner, replacing
+//!    `criterion`).
+//!
+//! # Examples
+//!
+//! A parallel sweep with stable output order:
+//!
+//! ```
+//! use hetmem_harness::sweep::{run_grid, SweepOptions};
+//!
+//! let grid: Vec<(u64, u64)> =
+//!     (0..4).flat_map(|w| (0..3).map(move |c| (w, c))).collect();
+//! let opts = SweepOptions { threads: 8, ..SweepOptions::default() };
+//! let results = run_grid(
+//!     &grid,
+//!     &opts,
+//!     |(w, c)| format!("w{w}/c{c}"),
+//!     |(w, c), ctx| w * 100 + c + (ctx.seed & 0), // deterministic work
+//! )
+//! .unwrap();
+//! assert_eq!(results.len(), 12);
+//! assert_eq!(results[7], 201); // grid order: (2, 1)
+//! ```
+
+pub mod json;
+pub mod prop;
+pub mod rng;
+pub mod sweep;
+pub mod telemetry;
+pub mod timing;
+
+pub use prop::{any_u64, vec_of, Gen, Sample};
+pub use rng::{SplitMix64, Xoshiro256StarStar};
+pub use sweep::{run_grid, PointCtx, SweepError, SweepOptions};
+pub use telemetry::{fnv1a, summary, PoolTelemetry, RunRecord};
+pub use timing::{BenchResult, Bencher};

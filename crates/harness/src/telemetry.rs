@@ -1,0 +1,210 @@
+//! Run telemetry: per-run JSONL records and the end-of-sweep summary.
+//!
+//! Each simulated run produces one [`RunRecord`] — workload, config
+//! label, a stable config hash, cycles, per-pool traffic, achieved
+//! bandwidth. Records serialize to JSON Lines through the in-tree
+//! [`json`](crate::json) writer, so a sweep's telemetry file is
+//! **byte-identical** across repeated runs and across thread counts
+//! (results are collected in grid order; see
+//! [`sweep`](crate::sweep)).
+//!
+//! Wall-clock time is the one nondeterministic field: it is carried on
+//! the record for progress/summary display but **excluded from the
+//! JSONL by default** (`include_timing` opts it in for ad-hoc
+//! profiling, forfeiting byte-identity).
+
+use crate::json::{array, JsonObject};
+
+/// Per-pool traffic telemetry for one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolTelemetry {
+    /// Pool name (e.g. `GDDR5`).
+    pub name: String,
+    /// Bytes read from DRAM in this pool.
+    pub bytes_read: u64,
+    /// Bytes written to DRAM in this pool.
+    pub bytes_written: u64,
+    /// Achieved bandwidth over the run for this pool, GB/s.
+    pub achieved_gbps: f64,
+}
+
+/// One run of one `(workload, config)` grid point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// The sweep this run belongs to (e.g. `fig3`).
+    pub sweep: String,
+    /// Workload name.
+    pub workload: String,
+    /// Configuration label within the sweep (e.g. `30C-70B`).
+    pub config: String,
+    /// FNV-1a hash over the canonical configuration description; two
+    /// records with equal hashes ran the same machine + placement.
+    pub config_hash: u64,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Warp memory operations issued.
+    pub mem_ops: u64,
+    /// Aggregate achieved DRAM bandwidth, GB/s.
+    pub achieved_gbps: f64,
+    /// Per-pool traffic.
+    pub pools: Vec<PoolTelemetry>,
+    /// Host wall-clock for the point, milliseconds (nondeterministic;
+    /// not serialized unless asked).
+    pub wall_ms: Option<f64>,
+}
+
+impl RunRecord {
+    /// Serializes the record as one JSON line (no trailing newline).
+    /// `include_timing` adds the nondeterministic `wall_ms` field.
+    pub fn jsonl(&self, include_timing: bool) -> String {
+        let pools = array(self.pools.iter().map(|p| {
+            JsonObject::new()
+                .str("name", &p.name)
+                .u64("bytes_read", p.bytes_read)
+                .u64("bytes_written", p.bytes_written)
+                .f64("achieved_gbps", p.achieved_gbps)
+                .finish()
+        }));
+        let mut obj = JsonObject::new()
+            .str("sweep", &self.sweep)
+            .str("workload", &self.workload)
+            .str("config", &self.config)
+            .str("config_hash", &format!("{:016x}", self.config_hash))
+            .u64("cycles", self.cycles)
+            .u64("mem_ops", self.mem_ops)
+            .f64("achieved_gbps", self.achieved_gbps)
+            .raw("pools", &pools);
+        if include_timing {
+            if let Some(ms) = self.wall_ms {
+                obj = obj.f64("wall_ms", ms);
+            }
+        }
+        obj.finish()
+    }
+}
+
+/// FNV-1a over a byte string — the stable hash behind
+/// [`RunRecord::config_hash`].
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Formats the end-of-sweep summary table: per-config run counts, cycle
+/// totals, and aggregate achieved bandwidth, plus a grand total line.
+pub fn summary(records: &[RunRecord]) -> String {
+    use std::fmt::Write;
+
+    let mut out = String::new();
+    if records.is_empty() {
+        out.push_str("sweep summary: no runs recorded\n");
+        return out;
+    }
+    // Group by (sweep, config) preserving first-appearance order.
+    let mut groups: Vec<(String, u64, u64, f64)> = Vec::new();
+    for r in records {
+        let key = format!("{}/{}", r.sweep, r.config);
+        match groups.iter_mut().find(|(k, ..)| *k == key) {
+            Some((_, n, cycles, gbps)) => {
+                *n += 1;
+                *cycles += r.cycles;
+                *gbps += r.achieved_gbps;
+            }
+            None => groups.push((key, 1, r.cycles, r.achieved_gbps)),
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{:<34}{:>6}{:>16}{:>14}",
+        "sweep/config", "runs", "total kcycles", "mean GB/s"
+    );
+    for (key, n, cycles, gbps) in &groups {
+        let _ = writeln!(
+            out,
+            "{:<34}{:>6}{:>16.1}{:>14.2}",
+            key,
+            n,
+            *cycles as f64 / 1e3,
+            gbps / *n as f64
+        );
+    }
+    let total_runs = records.len();
+    let total_cycles: u64 = records.iter().map(|r| r.cycles).sum();
+    let wall: f64 = records.iter().filter_map(|r| r.wall_ms).sum();
+    let _ = writeln!(
+        out,
+        "total: {total_runs} runs, {:.1} Mcycles simulated{}",
+        total_cycles as f64 / 1e6,
+        if wall > 0.0 {
+            format!(", {:.2}s wall", wall / 1e3)
+        } else {
+            String::new()
+        }
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(config: &str, cycles: u64) -> RunRecord {
+        RunRecord {
+            sweep: "fig3".into(),
+            workload: "bfs".into(),
+            config: config.into(),
+            config_hash: fnv1a(config.as_bytes()),
+            cycles,
+            mem_ops: 100,
+            achieved_gbps: 12.5,
+            pools: vec![PoolTelemetry {
+                name: "GDDR5".into(),
+                bytes_read: 4096,
+                bytes_written: 1024,
+                achieved_gbps: 10.0,
+            }],
+            wall_ms: Some(3.25),
+        }
+    }
+
+    #[test]
+    fn jsonl_is_deterministic_and_excludes_timing_by_default() {
+        let r = record("30C-70B", 1000);
+        let line = r.jsonl(false);
+        assert_eq!(line, r.clone().jsonl(false));
+        assert!(!line.contains("wall_ms"));
+        assert!(line.starts_with(r#"{"sweep":"fig3","workload":"bfs""#));
+        assert!(line.contains(r#""pools":[{"name":"GDDR5""#));
+        assert!(r.jsonl(true).contains(r#""wall_ms":3.25"#));
+    }
+
+    #[test]
+    fn config_hash_is_stable() {
+        assert_eq!(fnv1a(b"abc"), fnv1a(b"abc"));
+        assert_ne!(fnv1a(b"abc"), fnv1a(b"abd"));
+        // FNV-1a known answer for the empty string.
+        assert_eq!(fnv1a(b""), 0xCBF2_9CE4_8422_2325);
+    }
+
+    #[test]
+    fn summary_groups_by_config() {
+        let records = vec![
+            record("LOCAL", 1000),
+            record("LOCAL", 2000),
+            record("30C-70B", 1500),
+        ];
+        let s = summary(&records);
+        assert!(s.contains("fig3/LOCAL"), "{s}");
+        assert!(s.contains("fig3/30C-70B"), "{s}");
+        assert!(s.contains("total: 3 runs"), "{s}");
+    }
+
+    #[test]
+    fn summary_of_nothing() {
+        assert!(summary(&[]).contains("no runs"));
+    }
+}

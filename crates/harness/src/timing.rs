@@ -1,0 +1,186 @@
+//! A micro-benchmark timing runner replacing `criterion`.
+//!
+//! Criterion is excellent, but it is a third-party crate and this
+//! workspace builds with zero network access. The bench targets in
+//! `crates/bench/benches` need far less: run a closure repeatedly for a
+//! small time budget and report min/mean per-iteration time. That is
+//! exactly what [`Bencher`] does.
+//!
+//! Environment knobs: `HM_BENCH_SECS` (per-benchmark time budget,
+//! default 1.0) and `HM_BENCH_ITERS` (fixed iteration count overriding
+//! the budget — useful for smoke runs in CI).
+
+use std::time::Instant;
+
+/// One benchmark's measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Benchmark id (e.g. `fig3/bw_aware_run_lbm`).
+    pub name: String,
+    /// Measured iterations (after one warm-up call).
+    pub iters: u64,
+    /// Mean wall time per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest iteration, nanoseconds.
+    pub min_ns: f64,
+}
+
+impl BenchResult {
+    fn fmt_line(&self) -> String {
+        format!(
+            "{:<44}{:>8} iters   mean {:>12}   min {:>12}",
+            self.name,
+            self.iters,
+            fmt_ns(self.mean_ns),
+            fmt_ns(self.min_ns)
+        )
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// The timing runner: measures closures and prints a summary table on
+/// [`Bencher::finish`].
+#[derive(Debug)]
+pub struct Bencher {
+    suite: String,
+    budget_secs: f64,
+    fixed_iters: Option<u64>,
+    results: Vec<BenchResult>,
+}
+
+impl Bencher {
+    /// Creates a runner for `suite`, honoring `HM_BENCH_SECS` /
+    /// `HM_BENCH_ITERS`.
+    pub fn from_env(suite: &str) -> Self {
+        let budget_secs = std::env::var("HM_BENCH_SECS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1.0);
+        let fixed_iters = std::env::var("HM_BENCH_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok());
+        Bencher {
+            suite: suite.to_string(),
+            budget_secs,
+            fixed_iters,
+            results: Vec::new(),
+        }
+    }
+
+    /// Measures `f` (one warm-up call, then iterations until the time
+    /// budget or the fixed iteration count is reached) and records the
+    /// result.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) -> &BenchResult {
+        self.bench_with_setup(name, || (), |()| f())
+    }
+
+    /// Like [`Bencher::bench`] for closures that consume fresh state per
+    /// iteration (criterion's `iter_batched`); `setup` time is excluded
+    /// from the measurement.
+    pub fn bench_with_setup<S, R>(
+        &mut self,
+        name: &str,
+        mut setup: impl FnMut() -> S,
+        mut f: impl FnMut(S) -> R,
+    ) -> &BenchResult {
+        // Warm-up (also primes lazy state so the first sample is honest).
+        std::hint::black_box(f(setup()));
+
+        let budget_ns = self.budget_secs * 1e9;
+        let max_iters = self.fixed_iters.unwrap_or(u64::MAX).max(1);
+        let mut iters = 0u64;
+        let mut total_ns = 0.0f64;
+        let mut min_ns = f64::INFINITY;
+        while iters < max_iters {
+            let state = setup();
+            let start = Instant::now();
+            std::hint::black_box(f(state));
+            let ns = start.elapsed().as_nanos() as f64;
+            total_ns += ns;
+            min_ns = min_ns.min(ns);
+            iters += 1;
+            if self.fixed_iters.is_none() && total_ns >= budget_ns {
+                break;
+            }
+        }
+        let result = BenchResult {
+            name: name.to_string(),
+            iters,
+            mean_ns: total_ns / iters as f64,
+            min_ns,
+        };
+        eprintln!("{}", result.fmt_line());
+        self.results.push(result);
+        self.results.last().expect("just pushed")
+    }
+
+    /// The results recorded so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Prints the suite summary table to stdout.
+    pub fn finish(self) {
+        println!("== {} — {} benchmark(s) ==", self.suite, self.results.len());
+        for r in &self.results {
+            println!("{}", r.fmt_line());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut b = Bencher {
+            suite: "t".into(),
+            budget_secs: 0.01,
+            fixed_iters: Some(5),
+            results: Vec::new(),
+        };
+        let r = b.bench("t/sum", || (0..1000u64).sum::<u64>()).clone();
+        assert_eq!(r.iters, 5);
+        assert!(r.min_ns <= r.mean_ns);
+        assert_eq!(b.results().len(), 1);
+        b.finish();
+    }
+
+    #[test]
+    fn setup_state_is_fresh_each_iteration() {
+        let mut b = Bencher {
+            suite: "t".into(),
+            budget_secs: 0.01,
+            fixed_iters: Some(3),
+            results: Vec::new(),
+        };
+        b.bench_with_setup(
+            "t/drain",
+            || vec![1u64, 2, 3],
+            |mut v| {
+                assert_eq!(v.len(), 3, "setup must rebuild per iteration");
+                v.clear();
+            },
+        );
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(500.0), "500 ns");
+        assert_eq!(fmt_ns(1500.0), "1.500 us");
+        assert_eq!(fmt_ns(2.5e6), "2.500 ms");
+        assert_eq!(fmt_ns(3.2e9), "3.200 s");
+    }
+}

@@ -1,0 +1,115 @@
+//! The harness's core guarantees, tested end-to-end: byte-identical
+//! JSONL at any thread count, and panic-with-identity instead of hangs.
+
+use hetmem_harness::sweep::{run_grid, SweepOptions};
+use hetmem_harness::telemetry::{fnv1a, PoolTelemetry, RunRecord};
+
+/// A stand-in for one simulated grid point: deterministic "work" whose
+/// result depends only on the point and its seed.
+fn simulate(workload: usize, config: usize, seed: u64) -> RunRecord {
+    let mut rng = hetmem_harness::Xoshiro256StarStar::new(seed);
+    let cycles = 10_000 + rng.next_below(5_000) + (workload * 137 + config * 11) as u64;
+    RunRecord {
+        sweep: "test".into(),
+        workload: format!("w{workload}"),
+        config: format!("c{config}"),
+        config_hash: fnv1a(format!("w{workload}/c{config}").as_bytes()),
+        cycles,
+        mem_ops: 1000,
+        achieved_gbps: cycles as f64 / 997.0,
+        pools: vec![PoolTelemetry {
+            name: "BO".into(),
+            bytes_read: cycles * 3,
+            bytes_written: cycles / 7,
+            achieved_gbps: cycles as f64 / 1003.0,
+        }],
+        wall_ms: None,
+    }
+}
+
+fn sweep_jsonl(threads: usize) -> String {
+    let grid: Vec<(usize, usize)> = (0..6).flat_map(|w| (0..5).map(move |c| (w, c))).collect();
+    let opts = SweepOptions {
+        threads,
+        ..SweepOptions::default()
+    };
+    let records = run_grid(
+        &grid,
+        &opts,
+        |(w, c)| format!("w{w}/c{c}"),
+        |&(w, c), ctx| simulate(w, c, ctx.seed),
+    )
+    .expect("sweep succeeds");
+    records
+        .iter()
+        .map(|r| r.jsonl(false) + "\n")
+        .collect::<String>()
+}
+
+#[test]
+fn same_sweep_at_1_2_and_8_threads_is_byte_identical() {
+    let base = sweep_jsonl(1);
+    assert_eq!(base.lines().count(), 30);
+    assert_eq!(base, sweep_jsonl(2), "2 threads diverged from 1");
+    assert_eq!(base, sweep_jsonl(8), "8 threads diverged from 1");
+    // And across repeated runs at the same thread count.
+    assert_eq!(base, sweep_jsonl(1), "repeat run diverged");
+}
+
+#[test]
+fn panicking_point_fails_the_sweep_with_its_identity() {
+    let grid: Vec<usize> = (0..10).collect();
+    let opts = SweepOptions {
+        threads: 4,
+        ..SweepOptions::default()
+    };
+    let err = run_grid(
+        &grid,
+        &opts,
+        |p| format!("point-{p}"),
+        |&p, _| {
+            if p == 7 {
+                panic!("injected failure in point {p}");
+            }
+            p * 2
+        },
+    )
+    .expect_err("sweep must fail");
+    assert_eq!(err.index, 7);
+    assert_eq!(err.label, "point-7");
+    assert!(
+        err.message.contains("injected failure in point 7"),
+        "panic message lost: {}",
+        err.message
+    );
+    // Display carries the identity too (what a caller would print).
+    let shown = err.to_string();
+    assert!(shown.contains("point-7") && shown.contains('7'), "{shown}");
+}
+
+#[test]
+fn multiple_panics_report_earliest_grid_point() {
+    let grid: Vec<usize> = (0..16).collect();
+    let opts = SweepOptions {
+        threads: 8,
+        ..SweepOptions::default()
+    };
+    let err = run_grid(
+        &grid,
+        &opts,
+        |p| p.to_string(),
+        |&p, _| {
+            if p % 5 == 3 {
+                panic!("boom {p}");
+            }
+            p
+        },
+    )
+    .expect_err("sweep must fail");
+    // Points 3, 8, 13 panic; with 8 threads several may run before the
+    // abort lands, but the reported one must be the earliest *started*
+    // failure in grid order — and point 3 always starts (threads >=
+    // 4 pick up indices 0..8 immediately).
+    assert_eq!(err.index % 5, 3);
+    assert!(err.message.contains("boom"));
+}

@@ -258,9 +258,7 @@ impl AddressSpace {
         let idx = self
             .vmas
             .iter()
-            .position(|v| {
-                v.range.start <= range.start && range.end().raw() <= v.range.end().raw()
-            })
+            .position(|v| v.range.start <= range.start && range.end().raw() <= v.range.end().raw())
             .ok_or(MemError::BadRange {
                 start: range.start,
                 len: range.len,
@@ -574,8 +572,10 @@ mod tests {
         let r = mm.mmap(4 * PAGE_SIZE as u64).unwrap();
         mm.mbind(
             r,
-            Mempolicy::bind(vec![topo.zone_of_kind(hmtypes::MemKind::CapacityOptimized).unwrap()])
-                .unwrap(),
+            Mempolicy::bind(vec![topo
+                .zone_of_kind(hmtypes::MemKind::CapacityOptimized)
+                .unwrap()])
+            .unwrap(),
         )
         .unwrap();
         mm.populate(r).unwrap();
@@ -586,11 +586,9 @@ mod tests {
     fn mbind_splits_vma() {
         let mut mm = mm(16, 16);
         let r = mm.mmap(6 * PAGE_SIZE as u64).unwrap();
-        let middle = VmaRange::new(
-            r.start.offset(2 * PAGE_SIZE as u64),
-            2 * PAGE_SIZE as u64,
-        );
-        mm.mbind(middle, Mempolicy::preferred(ZoneId::new(1))).unwrap();
+        let middle = VmaRange::new(r.start.offset(2 * PAGE_SIZE as u64), 2 * PAGE_SIZE as u64);
+        mm.mbind(middle, Mempolicy::preferred(ZoneId::new(1)))
+            .unwrap();
         assert_eq!(mm.vmas().len(), 3);
         let bound = mm.vma_at(middle.start).unwrap();
         assert!(bound.policy.is_some());

@@ -343,7 +343,10 @@ mod tests {
     fn preferred_falls_back_by_latency() {
         let t = topo();
         let mut p = Mempolicy::preferred(ZoneId::new(1));
-        assert_eq!(p.zonelist(&t).unwrap(), vec![ZoneId::new(1), ZoneId::new(0)]);
+        assert_eq!(
+            p.zonelist(&t).unwrap(),
+            vec![ZoneId::new(1), ZoneId::new(0)]
+        );
     }
 
     #[test]
@@ -359,10 +362,7 @@ mod tests {
     fn unknown_zone_in_policy_errors() {
         let t = topo();
         let mut p = Mempolicy::preferred(ZoneId::new(9));
-        assert!(matches!(
-            p.zonelist(&t),
-            Err(MemError::NoSuchZone { .. })
-        ));
+        assert!(matches!(p.zonelist(&t), Err(MemError::NoSuchZone { .. })));
     }
 
     #[test]

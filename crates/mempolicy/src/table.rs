@@ -39,7 +39,10 @@ impl Slit {
     ///
     /// Panics if `extra_cycles` is empty.
     pub fn new(extra_cycles: Vec<u64>) -> Self {
-        assert!(!extra_cycles.is_empty(), "slit must cover at least one zone");
+        assert!(
+            !extra_cycles.is_empty(),
+            "slit must cover at least one zone"
+        );
         Slit { extra_cycles }
     }
 
@@ -152,9 +155,7 @@ impl Sbit {
     ///
     /// Returns [`MemError::NoSuchZone`] if `zone` is not in the table.
     pub fn bandwidth_fraction(&self, zone: ZoneId) -> Result<f64, MemError> {
-        let bw = self
-            .bandwidth(zone)
-            .ok_or(MemError::NoSuchZone { zone })?;
+        let bw = self.bandwidth(zone).ok_or(MemError::NoSuchZone { zone })?;
         let total = self.total();
         if total.bytes_per_sec() == 0.0 {
             // Degenerate topology: fall back to uniform spreading.

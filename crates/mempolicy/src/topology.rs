@@ -309,10 +309,7 @@ mod tests {
     fn derived_tables_match_specs() {
         let topo = NumaTopology::paper_baseline(1, 1);
         assert_eq!(topo.slit().extra_latency(ZoneId::new(1)), Some(100));
-        assert_eq!(
-            topo.sbit().bandwidth(ZoneId::new(0)).unwrap().gbps(),
-            200.0
-        );
+        assert_eq!(topo.sbit().bandwidth(ZoneId::new(0)).unwrap().gbps(), 200.0);
     }
 
     #[test]

@@ -150,10 +150,7 @@ impl FrameAllocator {
             frame.index() < state.next_unused,
             "frame {frame} was never allocated"
         );
-        debug_assert!(
-            !state.free_list.contains(&frame),
-            "double free of {frame}"
-        );
+        debug_assert!(!state.free_list.contains(&frame), "double free of {frame}");
         state.free_list.push(frame);
     }
 

@@ -1,4 +1,5 @@
-//! Property-based tests for the mempolicy substrate.
+//! Property-based tests for the mempolicy substrate, on the in-tree
+//! `hetmem_harness::props!` kit.
 
 use std::collections::HashSet;
 
@@ -6,35 +7,45 @@ use hmtypes::{Bandwidth, MemKind, PageNum, Percent, PAGE_SIZE};
 use mempolicy::{
     AddressSpace, FrameAllocator, MemError, Mempolicy, NumaTopology, ZoneId, ZoneSpec,
 };
-use proptest::prelude::*;
 
-fn arb_topology() -> impl Strategy<Value = NumaTopology> {
-    // 1-4 zones, each with 1..512 pages and 0..512 GB/s.
-    proptest::collection::vec((1u64..512, 0u32..512, 0u64..300), 1..4).prop_map(|zones| {
-        let mut b = NumaTopology::builder();
-        for (i, (pages, gbps, lat)) in zones.into_iter().enumerate() {
-            let kind = if i == 0 {
-                MemKind::BandwidthOptimized
-            } else {
-                MemKind::CapacityOptimized
-            };
-            b = b.zone(ZoneSpec::new(
-                format!("z{i}"),
-                kind,
-                pages,
-                Bandwidth::from_gbps(f64::from(gbps)),
-                lat,
-            ));
-        }
-        b.build()
-    })
+/// Builds a 1-4 zone topology from generated `(pages, gbps, latency)`
+/// triples; zone 0 is the BO pool, the rest CO.
+fn topo_from(zones: Vec<(u64, u32, u64)>) -> NumaTopology {
+    let mut b = NumaTopology::builder();
+    for (i, (pages, gbps, lat)) in zones.into_iter().enumerate() {
+        let kind = if i == 0 {
+            MemKind::BandwidthOptimized
+        } else {
+            MemKind::CapacityOptimized
+        };
+        b = b.zone(ZoneSpec::new(
+            format!("z{i}"),
+            kind,
+            pages,
+            Bandwidth::from_gbps(f64::from(gbps)),
+            lat,
+        ));
+    }
+    b.build()
 }
 
-proptest! {
+/// The generator feeding [`topo_from`]: 1-4 zones, each with 1..512
+/// pages and 0..512 GB/s.
+fn arb_zones() -> hetmem_harness::prop::VecOf<(
+    std::ops::Range<u64>,
+    std::ops::Range<u32>,
+    std::ops::Range<u64>,
+)> {
+    hetmem_harness::vec_of((1u64..512, 0u32..512, 0u64..300), 1..4)
+}
+
+hetmem_harness::props! {
+    cases = 48;
+
     /// The allocator never hands out the same frame twice and never
     /// exceeds each zone's capacity.
-    #[test]
-    fn allocator_never_double_allocates(topo in arb_topology(), requests in 1usize..2048) {
+    fn allocator_never_double_allocates(zones in arb_zones(), requests in 1usize..2048) {
+        let topo = topo_from(zones);
         let mut alloc = FrameAllocator::new(&topo);
         let mut seen = HashSet::new();
         let zonelist: Vec<ZoneId> = topo.zone_ids().collect();
@@ -42,23 +53,23 @@ proptest! {
         for i in 0..requests {
             match alloc.allocate_with_fallback(&zonelist, PageNum::new(i as u64)) {
                 Ok((frame, zone)) => {
-                    prop_assert!(seen.insert(frame), "duplicate frame {frame}");
-                    prop_assert_eq!(alloc.zone_of(frame), Some(zone));
+                    assert!(seen.insert(frame), "duplicate frame {frame}");
+                    assert_eq!(alloc.zone_of(frame), Some(zone));
                     granted += 1;
                 }
                 Err(MemError::OutOfMemory { .. }) => {
-                    prop_assert_eq!(granted, topo.total_pages());
+                    assert_eq!(granted, topo.total_pages());
                     break;
                 }
-                Err(e) => prop_assert!(false, "unexpected {e}"),
+                Err(e) => panic!("unexpected {e}"),
             }
         }
     }
 
     /// Freeing everything returns every zone to fully-free state, and the
     /// freed frames can all be re-allocated.
-    #[test]
-    fn allocator_free_restores_capacity(topo in arb_topology()) {
+    fn allocator_free_restores_capacity(zones in arb_zones()) {
+        let topo = topo_from(zones);
         let mut alloc = FrameAllocator::new(&topo);
         let zonelist: Vec<ZoneId> = topo.zone_ids().collect();
         let mut frames = Vec::new();
@@ -69,30 +80,28 @@ proptest! {
             alloc.free(f);
         }
         for z in topo.zone_ids() {
-            prop_assert_eq!(alloc.stats(z).unwrap().allocated, 0);
+            assert_eq!(alloc.stats(z).unwrap().allocated, 0);
         }
         let mut again = 0;
         while alloc.allocate_with_fallback(&zonelist, PageNum::new(0)).is_ok() {
             again += 1;
         }
-        prop_assert_eq!(again as u64, topo.total_pages());
+        assert_eq!(again as u64, topo.total_pages());
     }
 
     /// INTERLEAVE is an exact round-robin: after n*k allocations each of
     /// the k zones received exactly n pages (capacity permitting).
-    #[test]
     fn interleave_is_exact(rounds in 1u64..64) {
         let topo = NumaTopology::paper_baseline(4096, 4096);
         let mut mm = AddressSpace::new(topo.clone());
         mm.set_mempolicy(Mempolicy::interleave_all(&topo));
         let r = mm.mmap(rounds * 2 * PAGE_SIZE as u64).unwrap();
         mm.populate(r).unwrap();
-        prop_assert_eq!(mm.placement_histogram(), vec![rounds, rounds]);
+        assert_eq!(mm.placement_histogram(), vec![rounds, rounds]);
     }
 
     /// BW-AWARE with ratio xC converges to x% CO placement within
     /// statistical tolerance.
-    #[test]
     fn bw_aware_ratio_converges(co_pct in 0u8..=100, seed in 0u64..1000) {
         let pages = 4000u64;
         let topo = NumaTopology::paper_baseline(pages, pages);
@@ -103,27 +112,27 @@ proptest! {
         let hist = mm.placement_histogram();
         let co_frac = hist[1] as f64 / (pages / 2) as f64;
         // 2000 Bernoulli draws: allow 4 sigma ~ 4.5% absolute.
-        prop_assert!((co_frac - f64::from(co_pct) / 100.0).abs() < 0.05,
-            "co_pct={co_pct} got {co_frac}");
+        assert!(
+            (co_frac - f64::from(co_pct) / 100.0).abs() < 0.05,
+            "co_pct={co_pct} got {co_frac}"
+        );
     }
 
     /// Translation round-trips: a mapped page translates to a physical
     /// address whose frame maps back to the same page's zone.
-    #[test]
     fn translate_roundtrip(offset in 0u64..(PAGE_SIZE as u64)) {
         let mut mm = AddressSpace::new(NumaTopology::paper_baseline(64, 64));
         let r = mm.mmap(8 * PAGE_SIZE as u64).unwrap();
         mm.populate(r).unwrap();
         let va = r.start.offset(3 * PAGE_SIZE as u64 + offset);
         let pa = mm.translate(va).unwrap();
-        prop_assert_eq!(pa.page_offset(), offset);
+        assert_eq!(pa.page_offset(), offset);
         let zone = mm.zone_of_page(va.page()).unwrap();
-        prop_assert_eq!(mm.allocator().zone_of(pa.frame()), Some(zone));
+        assert_eq!(mm.allocator().zone_of(pa.frame()), Some(zone));
     }
 
     /// The placement histogram always sums to the number of mapped pages
     /// regardless of which policy produced it.
-    #[test]
     fn histogram_sums_to_mapped(policy_idx in 0usize..4, pages in 1u64..256) {
         let topo = NumaTopology::paper_baseline(512, 512);
         let mut mm = AddressSpace::new(topo.clone());
@@ -137,12 +146,11 @@ proptest! {
         let r = mm.mmap(pages * PAGE_SIZE as u64).unwrap();
         mm.populate(r).unwrap();
         let hist = mm.placement_histogram();
-        prop_assert_eq!(hist.iter().sum::<u64>(), pages);
+        assert_eq!(hist.iter().sum::<u64>(), pages);
     }
 
     /// SBIT per-mille weights always sum to exactly 1000.
-    #[test]
-    fn sbit_weights_total_1000(gbps in proptest::collection::vec(0u32..2000, 1..6)) {
+    fn sbit_weights_total_1000(gbps in hetmem_harness::vec_of(0u32..2000, 1..6)) {
         let mut b = NumaTopology::builder();
         for (i, g) in gbps.iter().enumerate() {
             b = b.zone(ZoneSpec::new(
@@ -154,6 +162,6 @@ proptest! {
             ));
         }
         let topo = b.build();
-        prop_assert_eq!(topo.sbit().weights_per_mille().iter().sum::<u32>(), 1000);
+        assert_eq!(topo.sbit().weights_per_mille().iter().sum::<u32>(), 1000);
     }
 }

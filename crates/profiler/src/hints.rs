@@ -118,12 +118,7 @@ mod tests {
     #[test]
     fn unconstrained_footprint_uses_bw_aware() {
         // 10 MB footprint, fB = 5/7 -> ~7.2 MB in BO; 8 MB BO fits.
-        let hints = get_allocation(
-            &[5 << 20, 5 << 20],
-            &[1.0, 2.0],
-            8 << 20,
-            5.0 / 7.0,
-        );
+        let hints = get_allocation(&[5 << 20, 5 << 20], &[1.0, 2.0], 8 << 20, 5.0 / 7.0);
         assert_eq!(hints, vec![MemHint::BwAware; 2]);
     }
 

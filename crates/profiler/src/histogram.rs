@@ -191,10 +191,7 @@ mod tests {
 
     #[test]
     fn duplicate_pages_accumulate() {
-        let h = PageHistogram::from_counts([
-            (PageNum::new(3), 4),
-            (PageNum::new(3), 6),
-        ]);
+        let h = PageHistogram::from_counts([(PageNum::new(3), 4), (PageNum::new(3), 6)]);
         assert_eq!(h.accesses(PageNum::new(3)), 10);
         assert_eq!(h.touched_pages(), 1);
     }

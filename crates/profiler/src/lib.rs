@@ -30,12 +30,12 @@
 //! assert!(oracle.is_bo(PageNum::new(0)));
 //! ```
 
-pub mod histogram;
 pub mod hints;
+pub mod histogram;
 pub mod oracle;
 pub mod structures;
 
-pub use histogram::{Cdf, CdfPoint, PageHistogram};
 pub use hints::{get_allocation, MemHint};
+pub use histogram::{Cdf, CdfPoint, PageHistogram};
 pub use oracle::OraclePlacement;
 pub use structures::{AllocRange, RunProfile, ScatterPoint, StructureProfile};

@@ -107,8 +107,7 @@ impl OraclePlacement {
                 let bucket_target = bucket_traffic as f64 * target_bo_traffic;
                 let mut taken = 0u64;
                 for &(page, count) in &ranked[i..j] {
-                    if (taken as f64) >= bucket_target
-                        || bo_pages.len() as u64 >= bo_capacity_pages
+                    if (taken as f64) >= bucket_target || bo_pages.len() as u64 >= bo_capacity_pages
                     {
                         break;
                     }

@@ -1,0 +1,99 @@
+//! Property-based tests for the profiler: histogram/CDF invariants, the
+//! oracle's capacity guarantee, and `GetAllocation` hint shapes — on the
+//! in-tree `hetmem_harness::props!` kit.
+
+use hmtypes::PageNum;
+use profiler::{get_allocation, MemHint, OraclePlacement, PageHistogram};
+
+/// A histogram over consecutive pages with the given access counts.
+fn hist_from(counts: &[u64]) -> PageHistogram {
+    PageHistogram::from_counts(
+        counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (PageNum::new(i as u64), c)),
+    )
+}
+
+hetmem_harness::props! {
+    cases = 48;
+
+    /// The CDF is monotone, complete at fraction 1.0, and monotone in
+    /// the page fraction queried.
+    fn cdf_is_monotone_and_complete(counts in hetmem_harness::vec_of(1u64..5000, 1..200)) {
+        let hist = hist_from(&counts);
+        let cdf = hist.cdf();
+        assert!(cdf.is_monotone());
+        assert!((cdf.traffic_in_top(1.0) - 1.0).abs() < 1e-9);
+        let mut last = 0.0;
+        for i in 0..=10 {
+            let t = cdf.traffic_in_top(f64::from(i) / 10.0);
+            assert!(t + 1e-12 >= last, "traffic_in_top not monotone at {i}");
+            assert!((0.0..=1.0 + 1e-12).contains(&t));
+            last = t;
+        }
+    }
+
+    /// hot_to_cold ranks by descending count and conserves totals.
+    fn hot_to_cold_is_descending(counts in hetmem_harness::vec_of(1u64..5000, 1..200)) {
+        let hist = hist_from(&counts);
+        let ranked = hist.hot_to_cold();
+        assert_eq!(ranked.len(), hist.touched_pages());
+        assert!(ranked.windows(2).all(|w| w[0].1 >= w[1].1), "not descending");
+        let sum: u64 = ranked.iter().map(|r| r.1).sum();
+        assert_eq!(sum, hist.total_accesses());
+    }
+
+    /// The oracle never exceeds a constraining BO budget, its BO set is
+    /// self-consistent, and its claimed traffic fraction matches the
+    /// histogram.
+    fn oracle_respects_capacity(
+        counts in hetmem_harness::vec_of(1u64..5000, 8..200),
+        budget in 0u64..100,
+    ) {
+        let target = 5.0 / 7.0; // the paper machine's bB/(bB+bC)
+        let hist = hist_from(&counts);
+        let oracle = OraclePlacement::compute(&hist, budget, target);
+        let bo: Vec<PageNum> = oracle.bo_pages().collect();
+        assert_eq!(bo.len(), oracle.bo_page_count());
+        assert!(bo.iter().all(|&p| oracle.is_bo(p)));
+        let stratified = (counts.len() as f64 * target).ceil() as u64;
+        if budget < stratified {
+            assert!(
+                oracle.bo_page_count() as u64 <= budget,
+                "constrained oracle exceeded budget {budget}"
+            );
+        }
+        let bo_traffic: u64 = bo.iter().map(|&p| hist.accesses(p)).sum();
+        let expected = bo_traffic as f64 / hist.total_accesses() as f64;
+        assert!(
+            (oracle.bo_traffic_fraction() - expected).abs() < 1e-9,
+            "fraction {} vs recomputed {expected}",
+            oracle.bo_traffic_fraction()
+        );
+    }
+
+    /// GetAllocation returns one hint per structure; unconstrained
+    /// capacity means BW-AWARE everywhere, constrained capacity hints the
+    /// hottest structures BO and never BW-AWARE.
+    fn get_allocation_hint_shapes(
+        structs in hetmem_harness::vec_of((1u64..(1 << 20), 0.0f64..100.0), 1..12),
+        cap_kb in 0u64..4096,
+    ) {
+        let (sizes, hotness): (Vec<u64>, Vec<f64>) = structs.into_iter().unzip();
+        let target = 5.0 / 7.0;
+        let bo_capacity = cap_kb * 1024;
+        let hints = get_allocation(&sizes, &hotness, bo_capacity, target);
+        assert_eq!(hints.len(), sizes.len());
+        let footprint: u64 = sizes.iter().sum();
+        let bw_aware_bytes = (footprint as f64 * target).ceil() as u64;
+        if bw_aware_bytes <= bo_capacity {
+            assert!(hints.iter().all(|&h| h == MemHint::BwAware));
+        } else {
+            assert!(!hints.contains(&MemHint::BwAware));
+            if bo_capacity > 0 {
+                assert!(hints.contains(&MemHint::BO), "residual BO capacity unused");
+            }
+        }
+    }
+}

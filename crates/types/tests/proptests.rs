@@ -1,91 +1,87 @@
-//! Property-based tests for the shared vocabulary types.
+//! Property-based tests for the shared vocabulary types, on the
+//! in-tree `hetmem_harness::props!` kit.
 
-use hmtypes::{addr::pages_for, Bandwidth, FrameNum, PageNum, Percent, SplitMix64, VirtAddr, PAGE_SIZE};
-use proptest::prelude::*;
+use hmtypes::{
+    addr::pages_for, Bandwidth, FrameNum, PageNum, Percent, SplitMix64, VirtAddr, PAGE_SIZE,
+};
 
-proptest! {
+hetmem_harness::props! {
     /// Page/offset decomposition reconstructs the address.
-    #[test]
     fn virt_addr_decomposition_roundtrips(raw in 0u64..u64::MAX / 2) {
         let va = VirtAddr::new(raw);
         let rebuilt = va.page().base().offset(va.page_offset());
-        prop_assert_eq!(rebuilt, va);
-        prop_assert!(va.page_offset() < PAGE_SIZE as u64);
+        assert_eq!(rebuilt, va);
+        assert!(va.page_offset() < PAGE_SIZE as u64);
     }
 
     /// Line alignment is idempotent and never increases the address.
-    #[test]
     fn line_alignment_idempotent(raw in 0u64..u64::MAX / 2) {
         let va = VirtAddr::new(raw);
         let aligned = va.line_aligned();
-        prop_assert!(aligned.raw() <= raw);
-        prop_assert_eq!(aligned.line_aligned(), aligned);
-        prop_assert_eq!(aligned.line_index(), va.line_index());
+        assert!(aligned.raw() <= raw);
+        assert_eq!(aligned.line_aligned(), aligned);
+        assert_eq!(aligned.line_index(), va.line_index());
     }
 
     /// Frame base/index round-trips.
-    #[test]
     fn frame_roundtrip(idx in 0u64..(1 << 40)) {
         let f = FrameNum::new(idx);
-        prop_assert_eq!(f.base().frame(), f);
-        prop_assert_eq!(f.next().index(), idx + 1);
+        assert_eq!(f.base().frame(), f);
+        assert_eq!(f.next().index(), idx + 1);
     }
 
     /// pages_for is the exact ceiling division.
-    #[test]
     fn pages_for_is_ceiling(bytes in 0u64..(1 << 50)) {
         let pages = pages_for(bytes);
-        prop_assert!(pages * PAGE_SIZE as u64 >= bytes);
+        assert!(pages * PAGE_SIZE as u64 >= bytes);
         if pages > 0 {
             let prev = (pages - 1) * PAGE_SIZE as u64;
-            prop_assert!(prev < bytes);
+            assert!(prev < bytes);
         }
     }
 
     /// Bandwidth fractions of a two-pool system sum to one (or zero for
     /// an empty system).
-    #[test]
     fn bandwidth_fractions_sum_to_one(a in 0.0f64..5000.0, b in 0.0f64..5000.0) {
         let (ba, bb) = (Bandwidth::from_gbps(a), Bandwidth::from_gbps(b));
         let sum = ba.fraction_of_total(bb) + bb.fraction_of_total(ba);
         if a + b == 0.0 {
-            prop_assert_eq!(sum, 0.0);
+            assert_eq!(sum, 0.0);
         } else {
-            prop_assert!((sum - 1.0).abs() < 1e-9);
+            assert!((sum - 1.0).abs() < 1e-9);
         }
     }
 
     /// Percent round-trips through fractions within rounding error.
-    #[test]
     fn percent_fraction_roundtrip(v in 0u8..=100) {
         let p = Percent::new(v);
-        prop_assert_eq!(Percent::from_fraction(p.as_fraction()), p);
-        prop_assert_eq!(p.complement().complement(), p);
+        assert_eq!(Percent::from_fraction(p.as_fraction()), p);
+        assert_eq!(p.complement().complement(), p);
     }
 
     /// The RNG's bounded draw is always in range and roughly uniform in
     /// the aggregate.
-    #[test]
-    fn rng_bounded_draws(seed: u64, bound in 1u64..1000) {
+    fn rng_bounded_draws(seed in hetmem_harness::any_u64(), bound in 1u64..1000) {
         let mut rng = SplitMix64::new(seed);
         let mut sum = 0u64;
         let n = 2000;
         for _ in 0..n {
             let x = rng.next_below(bound);
-            prop_assert!(x < bound);
+            assert!(x < bound);
             sum += x;
         }
         // Mean within 15% of bound/2 (loose; catches gross bias only).
         let mean = sum as f64 / n as f64;
         let expected = (bound as f64 - 1.0) / 2.0;
-        prop_assert!((mean - expected).abs() <= expected * 0.15 + 1.0,
-            "mean {mean} vs expected {expected}");
+        assert!(
+            (mean - expected).abs() <= expected * 0.15 + 1.0,
+            "mean {mean} vs expected {expected}"
+        );
     }
 
     /// PageNum ordering matches base-address ordering.
-    #[test]
     fn page_order_matches_address_order(a in 0u64..(1 << 40), b in 0u64..(1 << 40)) {
         let (pa, pb) = (PageNum::new(a), PageNum::new(b));
-        prop_assert_eq!(pa.cmp(&pb), pa.base().cmp(&pb.base()));
+        assert_eq!(pa.cmp(&pb), pa.base().cmp(&pb.base()));
     }
 }

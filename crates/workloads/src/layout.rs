@@ -52,13 +52,7 @@ impl LinearLayout {
         self.bases
             .iter()
             .zip(&spec.structures)
-            .map(|(&base, s)| {
-                (
-                    s.name,
-                    base,
-                    base.offset(s.pages() * PAGE_SIZE as u64),
-                )
-            })
+            .map(|(&base, s)| (s.name, base, base.offset(s.pages() * PAGE_SIZE as u64)))
             .collect()
     }
 }

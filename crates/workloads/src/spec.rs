@@ -178,7 +178,11 @@ impl WorkloadSpec {
         assert!(self.footprint_bytes() > 0, "{}: empty footprint", self.name);
         assert!(self.mem_ops > 0, "{}: no memory operations", self.name);
         assert!(self.warps_per_sm > 0, "{}: no warps", self.name);
-        assert!(self.total_weight() > 0.0, "{}: zero total weight", self.name);
+        assert!(
+            self.total_weight() > 0.0,
+            "{}: zero total weight",
+            self.name
+        );
         assert!(
             (0.0..=1.0).contains(&self.write_frac),
             "{}: write_frac out of range",
@@ -186,12 +190,7 @@ impl WorkloadSpec {
         );
         for s in &self.structures {
             assert!(s.bytes > 0, "{}/{}: empty structure", self.name, s.name);
-            assert!(
-                s.weight >= 0.0,
-                "{}/{}: negative weight",
-                self.name,
-                s.name
-            );
+            assert!(s.weight >= 0.0, "{}/{}: negative weight", self.name, s.name);
             assert!(
                 s.live_frac > 0.0 && s.live_frac <= 1.0,
                 "{}/{}: live_frac out of range",

@@ -331,7 +331,9 @@ mod tests {
         let mut a = TraceProgram::new(&spec, layout.bases(), 2);
         let mut b = TraceProgram::new(&spec, layout.bases(), 2);
         // Drain a's warp 0 fully first; interleave b's warps 0 and 1.
-        let seq_a: Vec<_> = std::iter::from_fn(|| a.next_op(WarpId(0))).take(500).collect();
+        let seq_a: Vec<_> = std::iter::from_fn(|| a.next_op(WarpId(0)))
+            .take(500)
+            .collect();
         let mut seq_b = Vec::new();
         while seq_b.len() < 500 {
             if let Some(op) = b.next_op(WarpId(0)) {
@@ -431,8 +433,7 @@ mod tests {
             .expect("mummergpu models dead ranges");
         let (_, start, end) = layout.ranges(&spec)[dead_structure];
         let live_end = start.raw()
-            + ((end.raw() - start.raw()) as f64 * spec.structures[dead_structure].live_frac)
-                as u64;
+            + ((end.raw() - start.raw()) as f64 * spec.structures[dead_structure].live_frac) as u64;
         let mut prog = TraceProgram::new(&spec, layout.bases(), 2);
         for w in 0..(2 * spec.warps_per_sm) {
             for _ in 0..500 {

@@ -1,19 +1,15 @@
-//! Property-based tests over the whole workload catalog.
+//! Property-based tests over the whole workload catalog, on the
+//! in-tree `hetmem_harness::props!` kit.
 
 use gpusim::{WarpId, WarpOp, WarpProgram};
-use proptest::prelude::*;
 use workloads::{catalog, LinearLayout, TraceProgram};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+hetmem_harness::props! {
+    cases = 16;
 
     /// Every catalog workload generates only in-range, line-aligned
     /// addresses and honors its per-warp quota, for any SM count.
-    #[test]
-    fn any_workload_generates_valid_traces(
-        idx in 0usize..19,
-        num_sms in 1u32..6,
-    ) {
+    fn any_workload_generates_valid_traces(idx in 0usize..19, num_sms in 1u32..6) {
         let mut spec = catalog::all().swap_remove(idx);
         spec.mem_ops = 4_000;
         let layout = LinearLayout::new(&spec);
@@ -26,23 +22,23 @@ proptest! {
                 match prog.next_op(WarpId(w)) {
                     Some(WarpOp::Mem { addr, .. }) => {
                         mem_count += 1;
-                        prop_assert_eq!(addr.raw() % 128, 0, "line aligned");
-                        prop_assert!(
+                        assert_eq!(addr.raw() % 128, 0, "line aligned");
+                        assert!(
                             ranges.iter().any(|(_, s, e)| addr >= *s && addr.raw() < e.raw()),
-                            "address {} outside structures", addr
+                            "address {} outside structures",
+                            addr
                         );
                     }
-                    Some(WarpOp::Compute(c)) => prop_assert!(c > 0),
+                    Some(WarpOp::Compute(c)) => assert!(c > 0),
                     None => break,
                 }
             }
-            prop_assert!(prog.next_op(WarpId(w)).is_none(), "stays retired");
+            assert!(prog.next_op(WarpId(w)).is_none(), "stays retired");
         }
-        prop_assert_eq!(mem_count, expected);
+        assert_eq!(mem_count, expected);
     }
 
     /// Trace generation is deterministic for a fixed spec.
-    #[test]
     fn traces_are_reproducible(idx in 0usize..19) {
         let mut spec = catalog::all().swap_remove(idx);
         spec.mem_ops = 2_000;
@@ -52,7 +48,7 @@ proptest! {
         for w in 0..(2 * spec.warps_per_sm) {
             loop {
                 let (oa, ob) = (a.next_op(WarpId(w)), b.next_op(WarpId(w)));
-                prop_assert_eq!(oa, ob);
+                assert_eq!(oa, ob);
                 if oa.is_none() {
                     break;
                 }
@@ -61,15 +57,14 @@ proptest! {
     }
 
     /// Dataset variants keep the workload well-formed and distinct seeds.
-    #[test]
     fn dataset_variants_validate(name_idx in 0usize..4) {
         let name = ["bfs", "xsbench", "minife", "mummergpu"][name_idx];
         let sets = catalog::datasets(name);
-        prop_assert!(sets.len() >= 3);
+        assert!(sets.len() >= 3);
         let mut seeds = std::collections::HashSet::new();
         for s in &sets {
             s.validate();
-            prop_assert!(seeds.insert(s.seed), "duplicate seed across datasets");
+            assert!(seeds.insert(s.seed), "duplicate seed across datasets");
         }
     }
 }

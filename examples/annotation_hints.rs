@@ -11,9 +11,7 @@
 //! ```
 
 use gpusim::SimConfig;
-use hetmem::runner::{
-    bo_traffic_target, profile_workload, run_workload, Capacity, Placement,
-};
+use hetmem::runner::{bo_traffic_target, profile_workload, run_workload, Capacity, Placement};
 use hetmem::topology_for;
 use hmtypes::PAGE_SIZE;
 use mempolicy::Mempolicy;
@@ -36,11 +34,7 @@ fn main() {
     let (sizes, hotness) = profile.annotation_arrays();
     println!("\n// size[i]: Size of data structures");
     println!("// hotness[i]: Hotness of data structures");
-    for (s, (&size, &hot)) in profile
-        .structures()
-        .iter()
-        .zip(sizes.iter().zip(&hotness))
-    {
+    for (s, (&size, &hot)) in profile.structures().iter().zip(sizes.iter().zip(&hotness)) {
         println!(
             "size[{:<24}] = {:>9};  hotness = {:.6}",
             s.range.name, size, hot

@@ -17,7 +17,9 @@ use mempolicy::Mempolicy;
 use workloads::catalog;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "srad".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "srad".to_string());
     let spec = catalog::by_name(&name)
         .unwrap_or_else(|| panic!("unknown workload {name}; try one of {:?}", catalog::names()));
     let sim = SimConfig::paper_baseline();
@@ -28,7 +30,10 @@ fn main() {
         spec.name,
         spec.footprint_bytes() as f64 / (1 << 20) as f64
     );
-    println!("{:>14} {:>12} {:>16} {:>16}", "BO capacity", "cycles", "vs 100% cap", "CO traffic");
+    println!(
+        "{:>14} {:>12} {:>16} {:>16}",
+        "BO capacity", "cycles", "vs 100% cap", "CO traffic"
+    );
 
     let mut base = None;
     for pct in [100u32, 90, 80, 70, 60, 50, 40, 30, 20, 10] {

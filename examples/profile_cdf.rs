@@ -34,7 +34,11 @@ fn main() {
         let frac = f64::from(step) / 20.0;
         let y = cdf.traffic_in_top(frac);
         let bar = "#".repeat((y * 50.0).round() as usize);
-        println!("{:>4.0}% pages |{bar:<50}| {:>5.1}% traffic", frac * 100.0, y * 100.0);
+        println!(
+            "{:>4.0}% pages |{bar:<50}| {:>5.1}% traffic",
+            frac * 100.0,
+            y * 100.0
+        );
     }
 
     println!("\nper-structure attribution (Fig. 7 coloring):");

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, release build, full test suite.
+#
+# The workspace has zero third-party dependencies, so everything here
+# runs with --offline and must pass on a machine with no network access.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --all --check
+cargo build --workspace --release --offline
+cargo test --workspace -q --offline

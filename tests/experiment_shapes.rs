@@ -61,7 +61,11 @@ fn fig6_skew_ordering_matches_paper() {
     let top10 = |w: &str| t.value(w, "top10%").unwrap();
     // bfs and xsbench are the paper's skew exemplars; needle is linear.
     assert!(top10("bfs") > 0.45, "bfs top10: {}", top10("bfs"));
-    assert!(top10("xsbench") > 0.45, "xsbench top10: {}", top10("xsbench"));
+    assert!(
+        top10("xsbench") > 0.45,
+        "xsbench top10: {}",
+        top10("xsbench")
+    );
     assert!(top10("needle") < 0.30, "needle top10: {}", top10("needle"));
     for (_, cdf) in &cdfs {
         assert!(cdf.is_monotone());
@@ -93,7 +97,11 @@ fn fig7_attribution_shapes() {
     );
 
     let needle = ws.iter().find(|w| w.name == "needle").unwrap();
-    assert!(needle.top10 < 0.3, "needle is near-linear: {}", needle.top10);
+    assert!(
+        needle.top10 < 0.3,
+        "needle is near-linear: {}",
+        needle.top10
+    );
 }
 
 #[test]

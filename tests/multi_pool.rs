@@ -9,9 +9,9 @@ use std::rc::Rc;
 
 use gpusim::{DramTiming, PoolConfig, SimConfig, Simulator, StreamKernel};
 use hetmem::{topology_for, OsTranslator};
+use hmtypes::VirtAddr;
 use hmtypes::{Bandwidth, MemKind};
 use mempolicy::{AddressSpace, Mempolicy, VmaRange};
-use hmtypes::VirtAddr;
 
 fn three_pool_sim() -> SimConfig {
     let mut sim = SimConfig::paper_baseline();
@@ -72,7 +72,8 @@ fn bw_aware_traffic_splits_across_three_pools() {
     mm.set_mempolicy(Mempolicy::bw_aware_for(&topo));
     let bytes = 8u64 << 20;
     // StreamKernel addresses start at 0: map the range there (MAP_FIXED).
-    mm.mmap_fixed(VmaRange::new(VirtAddr::new(0), bytes)).unwrap();
+    mm.mmap_fixed(VmaRange::new(VirtAddr::new(0), bytes))
+        .unwrap();
 
     let kernel = StreamKernel::new(&sim, 48, bytes).with_mlp(8);
     let mm = Rc::new(RefCell::new(mm));
@@ -89,7 +90,10 @@ fn bw_aware_traffic_splits_across_three_pools() {
     }
     // The aggregate beats any single pool's bandwidth.
     let achieved = report.achieved_bandwidth(sim.sm_clock_ghz).gbps();
-    assert!(achieved > 500.0, "aggregate bandwidth in use: {achieved:.0} GB/s");
+    assert!(
+        achieved > 500.0,
+        "aggregate bandwidth in use: {achieved:.0} GB/s"
+    );
 }
 
 #[test]
@@ -99,10 +103,17 @@ fn local_uses_only_the_nearest_pool() {
     let mut mm = AddressSpace::new(topo);
     mm.set_mempolicy(Mempolicy::local());
     let bytes = 4u64 << 20;
-    mm.mmap_fixed(VmaRange::new(VirtAddr::new(0), bytes)).unwrap();
+    mm.mmap_fixed(VmaRange::new(VirtAddr::new(0), bytes))
+        .unwrap();
     let kernel = StreamKernel::new(&sim, 16, bytes);
     let mm = Rc::new(RefCell::new(mm));
     let report = Simulator::new(sim, OsTranslator::new(mm), kernel).run();
-    assert!(report.pool_traffic_fraction(0) > 0.99, "everything from HBM");
-    assert_eq!(report.pools[1].bytes_total() + report.pools[2].bytes_total(), 0);
+    assert!(
+        report.pool_traffic_fraction(0) > 0.99,
+        "everything from HBM"
+    );
+    assert_eq!(
+        report.pools[1].bytes_total() + report.pools[2].bytes_total(),
+        0
+    );
 }

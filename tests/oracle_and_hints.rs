@@ -2,9 +2,7 @@
 //! oracle (paper §4.2) and profile-annotated hints (paper §5).
 
 use gpusim::SimConfig;
-use hetmem::runner::{
-    hints_from_profile, profile_workload, run_workload, Capacity, Placement,
-};
+use hetmem::runner::{hints_from_profile, profile_workload, run_workload, Capacity, Placement};
 use hetmem::topology_for;
 use mempolicy::Mempolicy;
 use profiler::MemHint;
@@ -59,7 +57,12 @@ fn oracle_matches_bw_aware_when_unconstrained() {
         Capacity::Unconstrained,
         &Placement::Policy(Mempolicy::bw_aware_for(&topo)),
     );
-    let oracle = run_workload(&spec, &sim, Capacity::Unconstrained, &Placement::Oracle(hist));
+    let oracle = run_workload(
+        &spec,
+        &sim,
+        Capacity::Unconstrained,
+        &Placement::Oracle(hist),
+    );
     let rel = oracle.speedup_over(&bwa);
     assert!(
         (0.9..=1.15).contains(&rel),

@@ -61,7 +61,10 @@ fn local_wins_on_the_latency_sensitive_workload() {
     let local = run(&spec, &sim, Mempolicy::local());
     let bwa = run(&spec, &sim, Mempolicy::bw_aware_for(&topo));
     let rel = bwa.speedup_over(&local);
-    assert!(rel < 1.0, "sgemm should prefer LOCAL, got BW-AWARE at {rel}");
+    assert!(
+        rel < 1.0,
+        "sgemm should prefer LOCAL, got BW-AWARE at {rel}"
+    );
     assert!(rel > 0.80, "degradation should be moderate, got {rel}");
 }
 
@@ -106,7 +109,11 @@ fn all_19_workloads_complete_under_bw_aware() {
         spec.mem_ops = 8_000;
         let run = run(&spec, &sim, Mempolicy::bw_aware_for(&topo));
         assert!(run.report.completed, "{} hit the cycle limit", spec.name);
-        assert!(run.report.retired_warps > 0, "{} retired no warps", spec.name);
+        assert!(
+            run.report.retired_warps > 0,
+            "{} retired no warps",
+            spec.name
+        );
         let mapped: u64 = run.placement.iter().sum();
         assert!(mapped > 0, "{}: nothing was mapped", spec.name);
         assert!(
