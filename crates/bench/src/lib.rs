@@ -15,6 +15,15 @@
 //! * `--quiet` — suppress per-run progress
 //! * `--threads <n>` — sweep worker threads (0 / omitted = one per core)
 //! * `--out <dir>` — stream per-run JSONL telemetry into `<dir>/<figure>.jsonl`
+//! * `--sample-cycles <n>` — also emit one `interval` record per
+//!   `n`-cycle window into the same JSONL files (needs `--out`)
+//! * `--trace <dir>` — write one Chrome `trace_event` JSON per grid
+//!   point into `<dir>` (load in Perfetto / `chrome://tracing`)
+//! * `--trace-budget <n>` — cap traced events per run (default 100000;
+//!   overflow is counted in a `truncated` marker)
+//!
+//! Inspect the emitted files with `cargo run -p hetmem-bench --bin
+//! hetmem-trace -- summary <file>`.
 
 use std::sync::Arc;
 
@@ -37,10 +46,15 @@ pub fn opts_from_args() -> ExpOptions {
             "--quick" => {
                 let (verbose, threads, telemetry) =
                     (opts.verbose, opts.threads, opts.telemetry.take());
+                let (sample_cycles, trace, trace_budget) =
+                    (opts.sample_cycles, opts.trace.take(), opts.trace_budget);
                 opts = ExpOptions::quick();
                 opts.verbose = verbose;
                 opts.threads = threads;
                 opts.telemetry = telemetry;
+                opts.sample_cycles = sample_cycles;
+                opts.trace = trace;
+                opts.trace_budget = trace_budget;
             }
             "--scale" => {
                 let v = args.next().expect("--scale needs a value");
@@ -64,6 +78,20 @@ pub fn opts_from_args() -> ExpOptions {
                 let sink = TelemetrySink::create(&dir)
                     .unwrap_or_else(|e| panic!("cannot create telemetry dir {dir}: {e}"));
                 opts.telemetry = Some(Arc::new(sink));
+            }
+            "--sample-cycles" => {
+                let v = args.next().expect("--sample-cycles needs a value");
+                let n: u64 = v.parse().expect("--sample-cycles takes an integer");
+                assert!(n > 0, "--sample-cycles must be positive");
+                opts.sample_cycles = Some(n);
+            }
+            "--trace" => {
+                let dir = args.next().expect("--trace needs a directory");
+                opts.trace = Some(std::path::PathBuf::from(dir));
+            }
+            "--trace-budget" => {
+                let v = args.next().expect("--trace-budget needs a value");
+                opts.trace_budget = v.parse().expect("--trace-budget takes an integer");
             }
             other => panic!("unknown flag {other}; see hetmem-bench docs"),
         }

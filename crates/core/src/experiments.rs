@@ -8,6 +8,7 @@
 //! *shapes* — who wins, by what factor, where crossovers fall — are the
 //! reproduction targets recorded in `EXPERIMENTS.md`.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use gpusim::SimConfig;
@@ -17,7 +18,9 @@ use profiler::{Cdf, PageHistogram, RunProfile};
 use workloads::{catalog, WorkloadSpec};
 
 use crate::grid::{self, RunPoint, TelemetrySink};
-use crate::runner::{geomean, hints_from_profile, profile_workload, Capacity, Placement};
+use crate::runner::{
+    geomean, hints_from_profile, profile_workload, Capacity, ObserveConfig, Placement,
+};
 use crate::translate::topology_for;
 
 /// Options shared by all experiment drivers.
@@ -38,6 +41,16 @@ pub struct ExpOptions {
     /// When set, every sweep appends its run records to the sink's
     /// per-figure JSONL files.
     pub telemetry: Option<Arc<TelemetrySink>>,
+    /// When set, figure sweeps run observed and emit one `interval`
+    /// record per this-many-cycles window through the telemetry sink
+    /// (requires `telemetry` for the records to land anywhere).
+    pub sample_cycles: Option<u64>,
+    /// When set, figure sweeps run observed and write one Chrome trace
+    /// file per grid point into this directory.
+    pub trace: Option<PathBuf>,
+    /// Event budget per traced run (drops beyond it are counted and
+    /// flagged with a `truncated` marker in the trace).
+    pub trace_budget: usize,
 }
 
 impl Default for ExpOptions {
@@ -49,6 +62,9 @@ impl Default for ExpOptions {
             verbose: false,
             threads: 0,
             telemetry: None,
+            sample_cycles: None,
+            trace: None,
+            trace_budget: ObserveConfig::DEFAULT_TRACE_BUDGET,
         }
     }
 }
@@ -70,7 +86,24 @@ impl ExpOptions {
             verbose: false,
             threads: 0,
             telemetry: None,
+            sample_cycles: None,
+            trace: None,
+            trace_budget: ObserveConfig::DEFAULT_TRACE_BUDGET,
         }
+    }
+
+    /// The observer configuration the options ask for, or `None` when
+    /// neither sampling nor tracing is requested (sweeps then run the
+    /// plain, observer-free simulator).
+    pub fn observe_config(&self) -> Option<ObserveConfig> {
+        if self.sample_cycles.is_none() && self.trace.is_none() {
+            return None;
+        }
+        Some(ObserveConfig {
+            sample_cycles: self.sample_cycles,
+            trace: self.trace.is_some(),
+            trace_budget: self.trace_budget,
+        })
     }
 
     /// The selected workload specs, ops-scaled.

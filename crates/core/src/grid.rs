@@ -15,13 +15,19 @@ use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
-use gpusim::SimConfig;
+use gpusim::{IntervalReport, SimConfig, TraceEventKind};
 use hetmem_harness::sweep::{run_grid, SweepOptions};
-use hetmem_harness::telemetry::{fnv1a, summary, PoolTelemetry, RunRecord};
+use hetmem_harness::telemetry::{
+    fnv1a, summary, IntervalPoolTelemetry, IntervalRecord, PoolTelemetry, RunRecord,
+};
+use hetmem_harness::trace::{ChromeTrace, TraceEvent};
+use mempolicy::{PlacementEvent, PlacementEventKind};
 use workloads::WorkloadSpec;
 
 use crate::experiments::ExpOptions;
-use crate::runner::{run_workload, Capacity, Placement, WorkloadRun};
+use crate::runner::{
+    run_workload, run_workload_observed, Capacity, ObservedRun, Placement, SimTrace, WorkloadRun,
+};
 
 /// Collects per-run telemetry across sweeps and streams it to one JSONL
 /// file per figure.
@@ -58,7 +64,21 @@ impl TelemetrySink {
     /// Appends `records` to `<dir>/<figure>.jsonl` (created on first
     /// use) and to the in-memory record list.
     pub fn record(&self, figure: &str, records: &[RunRecord]) -> io::Result<()> {
-        if records.is_empty() {
+        let lines: Vec<String> = records.iter().map(|r| r.jsonl(false)).collect();
+        self.record_lines(figure, &lines)?;
+        self.records
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .extend_from_slice(records);
+        Ok(())
+    }
+
+    /// Appends pre-serialized JSONL lines (e.g. `interval` records) to
+    /// `<dir>/<figure>.jsonl`, sharing the file with [`record`].
+    ///
+    /// [`record`]: TelemetrySink::record
+    pub fn record_lines(&self, figure: &str, lines: &[String]) -> io::Result<()> {
+        if lines.is_empty() {
             return Ok(());
         }
         let mut files = self.files.lock().unwrap_or_else(|e| e.into_inner());
@@ -71,17 +91,12 @@ impl TelemetrySink {
             .find(|(name, _)| name == figure)
             .expect("just ensured");
         let mut buf = String::new();
-        for r in records {
-            buf.push_str(&r.jsonl(false));
+        for line in lines {
+            buf.push_str(line);
             buf.push('\n');
         }
         file.write_all(buf.as_bytes())?;
-        file.flush()?;
-        self.records
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .extend_from_slice(records);
-        Ok(())
+        file.flush()
     }
 
     /// Every record written so far, in write order.
@@ -108,23 +123,6 @@ pub fn record_for(
     sim: &SimConfig,
     run: &WorkloadRun,
 ) -> RunRecord {
-    // Canonical machine+configuration description behind the hash: two
-    // records with equal hashes ran the same machine and placement.
-    let mut canon = format!(
-        "{figure}|{workload}|{config}|sms={}|clk={}|mshrs={}",
-        sim.num_sms, sim.sm_clock_ghz, sim.l2_mshrs
-    );
-    for p in &sim.pools {
-        use core::fmt::Write as _;
-        let _ = write!(
-            canon,
-            "|{}:{}ch:{}gbps:+{}cyc",
-            p.name,
-            p.channels,
-            p.bandwidth.gbps(),
-            p.extra_latency
-        );
-    }
     let ghz = sim.sm_clock_ghz;
     let seconds = run.report.cycles as f64 / (ghz * 1e9);
     let pools = run
@@ -140,19 +138,186 @@ pub fn record_for(
             } else {
                 0.0
             },
+            row_hit_rate: p.row_hit_rate,
         })
         .collect();
     RunRecord {
         sweep: figure.to_string(),
         workload: workload.to_string(),
         config: config.to_string(),
-        config_hash: fnv1a(canon.as_bytes()),
+        config_hash: config_hash(figure, workload, config, sim),
         cycles: run.report.cycles,
+        completed: run.report.completed,
         mem_ops: run.report.mem_ops,
         achieved_gbps: run.report.achieved_bandwidth(ghz).gbps(),
+        l1_hit_rate: run.report.l1_hit_rate(),
+        l2_hit_rate: run.report.l2_hit_rate(),
+        mshr_stalls: run.report.mshr_stalls,
+        energy_joules: run.report.dram_energy_joules(),
         pools,
         wall_ms: None,
     }
+}
+
+/// The stable config hash shared by a point's `run` record and all its
+/// `interval` records: FNV-1a over a canonical machine + configuration
+/// description, so two records with equal hashes ran the same machine
+/// and placement.
+pub fn config_hash(figure: &str, workload: &str, config: &str, sim: &SimConfig) -> u64 {
+    let mut canon = format!(
+        "{figure}|{workload}|{config}|sms={}|clk={}|mshrs={}",
+        sim.num_sms, sim.sm_clock_ghz, sim.l2_mshrs
+    );
+    for p in &sim.pools {
+        use core::fmt::Write as _;
+        let _ = write!(
+            canon,
+            "|{}:{}ch:{}gbps:+{}cyc",
+            p.name,
+            p.channels,
+            p.bandwidth.gbps(),
+            p.extra_latency
+        );
+    }
+    fnv1a(canon.as_bytes())
+}
+
+/// Converts a run's sampled [`IntervalReport`] series into serializable
+/// [`IntervalRecord`]s: per-pool achieved GB/s over the window, bus
+/// utilization normalized by the pool's channel count, and the same
+/// config hash as the run's [`RunRecord`].
+pub fn interval_records_for(
+    figure: &str,
+    workload: &str,
+    config: &str,
+    sim: &SimConfig,
+    intervals: &[IntervalReport],
+) -> Vec<IntervalRecord> {
+    let hash = config_hash(figure, workload, config, sim);
+    let ghz = sim.sm_clock_ghz;
+    intervals
+        .iter()
+        .map(|iv| {
+            let window = (iv.end_cycle - iv.start_cycle) as f64;
+            let pools = iv
+                .pools
+                .iter()
+                .zip(&sim.pools)
+                .map(|(p, cfg)| IntervalPoolTelemetry {
+                    name: cfg.name.clone(),
+                    bytes_read: p.bytes_read,
+                    bytes_written: p.bytes_written,
+                    // bytes / (window / (ghz GHz)) in GB/s.
+                    achieved_gbps: (p.bytes_read + p.bytes_written) as f64 * ghz / window,
+                    bus_util: (p.busy_cycles / (window * f64::from(cfg.channels))).min(1.0),
+                    zone_pages: p.zone_pages,
+                })
+                .collect();
+            IntervalRecord {
+                sweep: figure.to_string(),
+                workload: workload.to_string(),
+                config: config.to_string(),
+                config_hash: hash,
+                index: iv.index,
+                start_cycle: iv.start_cycle,
+                end_cycle: iv.end_cycle,
+                mem_ops: iv.mem_ops,
+                l1_hits: iv.l1_hits,
+                l1_misses: iv.l1_misses,
+                l2_hits: iv.l2_hits,
+                l2_misses: iv.l2_misses,
+                mshr_stalls: iv.mshr_stalls,
+                mshr_peak: iv.mshr_peak,
+                warps_retired: iv.warps_retired,
+                pools,
+            }
+        })
+        .collect()
+}
+
+/// Converts one traced run into a Chrome `trace_event` document with
+/// four process tracks: SM request spans (pid 0, tid = SM), DRAM channel
+/// bursts and MSHR NACKs (pid 1, tid = global channel), simulator-time
+/// page faults (pid 2), and the OS mempolicy decision log (pid 3, where
+/// `ts` is the decision sequence number, not simulated time). Timestamps
+/// are microseconds at the SM clock. When the tracer's budget dropped
+/// events (or capped the decision log), a `truncated` instant carries
+/// the drop count.
+pub fn chrome_trace_for(
+    sim: &SimConfig,
+    trace: &SimTrace,
+    placements: &[PlacementEvent],
+) -> ChromeTrace {
+    let us = |cycles: u64| cycles as f64 / (sim.sm_clock_ghz * 1e3);
+    let mut ct = ChromeTrace::new();
+    ct.name_process(0, "SM read requests");
+    ct.name_process(1, "DRAM channels");
+    ct.name_process(2, "page faults (sim time)");
+    ct.name_process(3, "mempolicy decisions (seq order)");
+    for ev in &trace.events {
+        match ev.kind {
+            TraceEventKind::Request { sm, vline, .. } => {
+                ct.push(
+                    TraceEvent::complete(
+                        "mem_req",
+                        "request",
+                        us(ev.start),
+                        us(ev.dur),
+                        0,
+                        sm.into(),
+                    )
+                    .arg("vline", vline.to_string()),
+                );
+            }
+            TraceEventKind::DramService { slice, pool, read } => {
+                let name = if read { "dram_rd" } else { "dram_wr" };
+                ct.push(
+                    TraceEvent::complete(name, "dram", us(ev.start), us(ev.dur), 1, slice.into())
+                        .arg("pool", pool.to_string()),
+                );
+            }
+            TraceEventKind::MshrNack { slice, pool } => {
+                ct.push(
+                    TraceEvent::instant("mshr_nack", "stall", us(ev.start), 1, slice.into())
+                        .arg("pool", pool.to_string()),
+                );
+            }
+            TraceEventKind::PagePlaced { pool } => {
+                ct.push(TraceEvent::instant(
+                    "page_fault",
+                    "placement",
+                    us(ev.start),
+                    2,
+                    pool as u64,
+                ));
+            }
+        }
+    }
+    // The OS decision log has no simulator timestamps (decisions made
+    // while pre-placing happen before cycle 0); plot it as its own
+    // sequence-ordered track, capped by the same budget.
+    let kept = placements.len().min(trace.budget);
+    for pe in &placements[..kept] {
+        let (name, detail) = match pe.kind {
+            PlacementEventKind::Fault { fallback_depth } => ("fault", fallback_depth as u64),
+            PlacementEventKind::Explicit { fallback_depth } => ("explicit", fallback_depth as u64),
+            PlacementEventKind::Migrate { from } => ("migrate", from.index() as u64),
+        };
+        ct.push(
+            TraceEvent::instant(name, "mempolicy", pe.seq as f64, 3, pe.zone.index() as u64)
+                .arg("page", pe.page.index().to_string())
+                .arg("detail", detail.to_string()),
+        );
+    }
+    let dropped = trace.dropped + (placements.len() - kept) as u64;
+    if dropped > 0 {
+        ct.push(
+            TraceEvent::instant("truncated", "meta", 0.0, 1, 0)
+                .arg("dropped", dropped.to_string())
+                .arg("budget", trace.budget.to_string()),
+        );
+    }
+    ct
 }
 
 /// One `(workload, configuration)` grid point of a figure sweep.
@@ -216,20 +381,71 @@ where
 }
 
 /// [`sweep`] specialized to [`RunPoint`] grids: runs every point's
-/// workload and records one [`RunRecord`] per run.
+/// workload and records one [`RunRecord`] per run. When the options ask
+/// for observation (interval sampling and/or tracing), every point runs
+/// through the observed simulator instead; interval records append to
+/// the figure's JSONL after its run records, and one Chrome trace file
+/// per point lands in the trace directory — all in grid order, so
+/// output stays byte-identical at any thread count.
 pub(crate) fn run_point_sweep(
     figure: &'static str,
     opts: &ExpOptions,
     points: &[RunPoint],
 ) -> Vec<WorkloadRun> {
-    sweep(
+    let Some(ocfg) = opts.observe_config() else {
+        return sweep(
+            figure,
+            opts,
+            points,
+            RunPoint::label,
+            RunPoint::run,
+            |p, r| vec![record_for(figure, p.spec.name, &p.config, &p.sim, r)],
+        );
+    };
+    let results: Vec<ObservedRun> = sweep(
         figure,
         opts,
         points,
         RunPoint::label,
-        RunPoint::run,
-        |p, r| vec![record_for(figure, p.spec.name, &p.config, &p.sim, r)],
-    )
+        |p| run_workload_observed(&p.spec, &p.sim, p.capacity, &p.placement, &ocfg),
+        |p, r| vec![record_for(figure, p.spec.name, &p.config, &p.sim, &r.run)],
+    );
+    if let (Some(sink), Some(_)) = (&opts.telemetry, opts.sample_cycles) {
+        let lines: Vec<String> = points
+            .iter()
+            .zip(&results)
+            .flat_map(|(p, r)| {
+                interval_records_for(figure, p.spec.name, &p.config, &p.sim, &r.intervals)
+            })
+            .map(|rec| rec.jsonl())
+            .collect();
+        sink.record_lines(figure, &lines)
+            .unwrap_or_else(|e| panic!("{figure}: interval telemetry write failed: {e}"));
+    }
+    if let Some(dir) = &opts.trace {
+        fs::create_dir_all(dir).unwrap_or_else(|e| panic!("{figure}: trace dir: {e}"));
+        for (i, (p, r)) in points.iter().zip(&results).enumerate() {
+            let Some(tr) = &r.trace else { continue };
+            let ct = chrome_trace_for(&p.sim, tr, &r.placements);
+            let name = format!(
+                "{figure}-{i:03}-{}-{}.json",
+                p.spec.name,
+                sanitize_label(&p.config)
+            );
+            fs::write(dir.join(name), ct.render())
+                .unwrap_or_else(|e| panic!("{figure}: trace write failed: {e}"));
+        }
+    }
+    results.into_iter().map(|r| r.run).collect()
+}
+
+/// Makes a config label filesystem-safe (`30C-70B` stays as-is; spaces,
+/// slashes and other punctuation become `-`).
+fn sanitize_label(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect()
 }
 
 #[cfg(test)]

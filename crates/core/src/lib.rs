@@ -50,14 +50,15 @@ pub mod runner;
 pub mod runtime;
 pub mod translate;
 
-pub use grid::{record_for, TelemetrySink};
+pub use grid::{chrome_trace_for, config_hash, interval_records_for, record_for, TelemetrySink};
 pub use migration::{
     evaluate_migration, ext_migration, ext_online, run_online, MigrationModel, MigrationOutcome,
     OnlineOutcome,
 };
 pub use runner::{
     bo_traffic_target, geomean, hints_from_profile, profile_workload, run_workload,
-    run_workload_profiled, Capacity, Placement, WorkloadRun,
+    run_workload_observed, run_workload_profiled, Capacity, ObserveConfig, ObservedRun, Placement,
+    SimTrace, WorkloadRun,
 };
 pub use runtime::{is_heterogeneous, Allocation, HmRuntime};
 pub use translate::{topology_for, OsTranslator};

@@ -5,11 +5,15 @@
 //! placement strategy (an OS policy, profile-derived hints, or the
 //! two-phase oracle), simulate, and report.
 
+use std::cell::RefCell;
 use std::rc::Rc;
 
-use gpusim::{SimConfig, SimReport, Simulator};
+use gpusim::{
+    EventTracer, IntervalReport, IntervalSampler, ProbeObserver, SimConfig, SimReport,
+    SimTraceEvent, Simulator,
+};
 use hmtypes::{MemKind, PageNum};
-use mempolicy::{Mempolicy, ZoneId};
+use mempolicy::{AddressSpace, Mempolicy, PlacementEvent, ZoneId};
 use profiler::{get_allocation, MemHint, OraclePlacement, PageHistogram, RunProfile};
 use workloads::{TraceProgram, WorkloadSpec};
 
@@ -78,6 +82,57 @@ impl WorkloadRun {
     }
 }
 
+/// What to observe during an instrumented run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObserveConfig {
+    /// Emit one interval sample every this many cycles (`None` = off).
+    pub sample_cycles: Option<u64>,
+    /// Collect a Chrome-trace-convertible event stream.
+    pub trace: bool,
+    /// Event budget for the tracer (drops beyond it are counted).
+    pub trace_budget: usize,
+}
+
+impl ObserveConfig {
+    /// Default tracer budget: plenty for a quick run, bounded for a
+    /// full one (~20 MB of JSON worst case).
+    pub const DEFAULT_TRACE_BUDGET: usize = 100_000;
+}
+
+impl Default for ObserveConfig {
+    fn default() -> Self {
+        ObserveConfig {
+            sample_cycles: None,
+            trace: false,
+            trace_budget: Self::DEFAULT_TRACE_BUDGET,
+        }
+    }
+}
+
+/// The raw event stream from one traced run.
+#[derive(Debug, Clone)]
+pub struct SimTrace {
+    /// Retained events, in retirement order.
+    pub events: Vec<SimTraceEvent>,
+    /// Events dropped once the budget was exhausted.
+    pub dropped: u64,
+    /// The budget the tracer ran with.
+    pub budget: usize,
+}
+
+/// A [`WorkloadRun`] plus everything the observers collected.
+#[derive(Debug, Clone)]
+pub struct ObservedRun {
+    /// The plain run result (identical to an unobserved run).
+    pub run: WorkloadRun,
+    /// Per-interval time-series (empty when sampling was off).
+    pub intervals: Vec<IntervalReport>,
+    /// The event trace (`None` when tracing was off).
+    pub trace: Option<SimTrace>,
+    /// Every OS placement decision, in decision order.
+    pub placements: Vec<PlacementEvent>,
+}
+
 /// The BW-AWARE bandwidth-service target for the BO pool
 /// (`bB / (bB + bC)` from the simulated machine's pools).
 pub fn bo_traffic_target(sim: &SimConfig) -> f64 {
@@ -121,13 +176,49 @@ pub fn run_workload_profiled(
     run_workload_impl(spec, sim, capacity, placement, true)
 }
 
-fn run_workload_impl(
+/// Everything shared between the plain and observed run paths: the
+/// allocated/placed address space, the program, and the run metadata.
+struct PreparedRun {
+    mm: Rc<RefCell<AddressSpace>>,
+    translator: OsTranslator,
+    program: Option<TraceProgram>,
+    ranges: Vec<profiler::AllocRange>,
+    footprint_pages: u64,
+    bo_pages: u64,
+}
+
+impl PreparedRun {
+    /// Splits off the simulator inputs, leaving the post-run metadata.
+    fn take_sim_parts(&mut self) -> (OsTranslator, TraceProgram) {
+        (
+            self.translator.clone(),
+            self.program.take().expect("program taken once"),
+        )
+    }
+
+    /// Builds the final [`WorkloadRun`] once the simulator has reported.
+    fn finish(self, report: SimReport) -> WorkloadRun {
+        let placement_hist = self.mm.borrow().placement_histogram();
+        WorkloadRun {
+            report,
+            placement: placement_hist,
+            footprint_pages: self.footprint_pages,
+            bo_pages: self.bo_pages,
+            ranges: self.ranges,
+        }
+    }
+}
+
+/// Allocates, places, and wires up one run. `log_placements` turns the
+/// OS decision log on *before* the placement strategy is applied, so
+/// hinted and oracle pre-placements are captured too.
+fn prepare_run(
     spec: &WorkloadSpec,
     sim: &SimConfig,
     capacity: Capacity,
     placement: &Placement,
-    profile_pages: bool,
-) -> WorkloadRun {
+    log_placements: bool,
+) -> PreparedRun {
     spec.validate();
     let footprint_pages = spec.footprint_pages();
     let bo_pages = capacity.bo_pages(footprint_pages);
@@ -136,6 +227,9 @@ fn run_workload_impl(
     let co_pages = footprint_pages + 64;
     let topo = topology_for(sim, &[bo_pages, co_pages]);
     let mut rt = HmRuntime::new(topo.clone());
+    if log_placements {
+        rt.address_space().borrow_mut().enable_placement_log();
+    }
 
     match placement {
         Placement::Policy(p) => {
@@ -162,19 +256,72 @@ fn run_workload_impl(
     let program = TraceProgram::new(spec, &bases, sim.num_sms);
     let mm = rt.address_space();
     let translator = OsTranslator::new(Rc::clone(&mm));
+    let ranges = rt.alloc_ranges();
+    PreparedRun {
+        mm,
+        translator,
+        program: Some(program),
+        ranges,
+        footprint_pages,
+        bo_pages,
+    }
+}
+
+fn run_workload_impl(
+    spec: &WorkloadSpec,
+    sim: &SimConfig,
+    capacity: Capacity,
+    placement: &Placement,
+    profile_pages: bool,
+) -> WorkloadRun {
+    let mut prep = prepare_run(spec, sim, capacity, placement, false);
+    let (translator, program) = prep.take_sim_parts();
     let mut simulator = Simulator::new(sim.clone(), translator, program);
     if profile_pages {
         simulator = simulator.with_page_profiling();
     }
-    let ranges = rt.alloc_ranges();
     let report = simulator.run();
-    let placement_hist = mm.borrow().placement_histogram();
-    WorkloadRun {
-        report,
-        placement: placement_hist,
-        footprint_pages,
-        bo_pages,
-        ranges,
+    prep.finish(report)
+}
+
+/// Like [`run_workload`], with the observability layer attached: an
+/// interval sampler and/or event tracer per `obs`, plus the OS placement
+/// decision log. With observers configured off this produces exactly the
+/// cycle counts and report of [`run_workload`].
+pub fn run_workload_observed(
+    spec: &WorkloadSpec,
+    sim: &SimConfig,
+    capacity: Capacity,
+    placement: &Placement,
+    obs: &ObserveConfig,
+) -> ObservedRun {
+    let mut prep = prepare_run(spec, sim, capacity, placement, true);
+    let (translator, program) = prep.take_sim_parts();
+    let probe = ProbeObserver::new(
+        obs.sample_cycles
+            .map(|n| IntervalSampler::new(n, sim.pools.len())),
+        obs.trace.then(|| EventTracer::new(obs.trace_budget)),
+    );
+    let simulator = Simulator::new(sim.clone(), translator, program).with_observer(probe);
+    let (report, probe) = simulator.run_observed();
+    let placements = prep.mm.borrow_mut().take_placement_log();
+    let run = prep.finish(report);
+    ObservedRun {
+        run,
+        intervals: probe
+            .sampler
+            .map(IntervalSampler::into_reports)
+            .unwrap_or_default(),
+        trace: probe.tracer.map(|t| {
+            let budget = t.budget();
+            let (events, dropped) = t.into_parts();
+            SimTrace {
+                events,
+                dropped,
+                budget,
+            }
+        }),
+        placements,
     }
 }
 

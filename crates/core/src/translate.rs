@@ -78,6 +78,7 @@ impl AddressTranslator for OsTranslator {
     fn translate(&mut self, addr: VirtAddr) -> Placement {
         let mut mm = self.mm.borrow_mut();
         let page = addr.page();
+        let faulted = mm.frame_of(page).is_none();
         let frame = mm
             .ensure_mapped(page)
             .unwrap_or_else(|e| panic!("GPU fault on {addr} failed: {e}"));
@@ -88,6 +89,7 @@ impl AddressTranslator for OsTranslator {
         Placement {
             phys: frame.base().offset(addr.page_offset()),
             pool: zone.index(),
+            faulted,
         }
     }
 }
@@ -134,9 +136,11 @@ mod tests {
         let p0 = tr.translate(range.start);
         let p1 = tr.translate(range.start.offset(PAGE_SIZE as u64));
         assert_ne!(p0.pool, p1.pool, "interleave alternates pools");
-        // Same page again: same placement.
+        assert!(p0.faulted && p1.faulted, "first touches fault");
+        // Same page again: same placement, no fault.
         let p0b = tr.translate(range.start.offset(64));
         assert_eq!(p0b.pool, p0.pool);
+        assert!(!p0b.faulted);
         assert_eq!(p0b.phys.page_offset(), 64);
         assert_eq!(mm.borrow().mapped_pages(), 2);
     }

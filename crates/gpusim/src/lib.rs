@@ -36,6 +36,7 @@ pub mod config;
 pub mod dram;
 pub mod engine;
 pub mod kernels;
+pub mod observe;
 pub mod request;
 pub mod sim;
 pub mod stats;
@@ -44,6 +45,10 @@ pub use cache::{CacheOutcome, SetAssocCache};
 pub use config::{CacheConfig, DramTiming, PoolConfig, SimConfig};
 pub use dram::{ChannelStats, DramChannel};
 pub use kernels::StreamKernel;
+pub use observe::{
+    EventTracer, IntervalPoolReport, IntervalReport, IntervalSampler, NullObserver, Observer,
+    ProbeObserver, SimTraceEvent, TraceEventKind,
+};
 pub use request::{
     AddressTranslator, FixedPoolTranslator, Placement, RatioTranslator, WarpId, WarpOp, WarpProgram,
 };

@@ -41,6 +41,21 @@ pub struct Placement {
     pub phys: PhysAddr,
     /// Index of the owning memory pool.
     pub pool: usize,
+    /// `true` when this translation faulted the page in (first touch),
+    /// i.e. a placement decision was made right now. Observers use this
+    /// to time-stamp placement events; static translators report `false`.
+    pub faulted: bool,
+}
+
+impl Placement {
+    /// A placement of an already-mapped page (no fault).
+    pub fn mapped(phys: PhysAddr, pool: usize) -> Self {
+        Placement {
+            phys,
+            pool,
+            faulted: false,
+        }
+    }
 }
 
 /// Resolves virtual addresses to physical placements, allocating backing
@@ -107,10 +122,7 @@ impl FixedPoolTranslator {
 
 impl AddressTranslator for FixedPoolTranslator {
     fn translate(&mut self, addr: VirtAddr) -> Placement {
-        Placement {
-            phys: PhysAddr::new(addr.raw()),
-            pool: self.pool,
-        }
+        Placement::mapped(PhysAddr::new(addr.raw()), self.pool)
     }
 }
 
@@ -126,10 +138,7 @@ pub struct RatioTranslator {
 impl AddressTranslator for RatioTranslator {
     fn translate(&mut self, addr: VirtAddr) -> Placement {
         let pool = usize::from(addr.page().index() % 100 < u64::from(self.co_pct));
-        Placement {
-            phys: PhysAddr::new(addr.raw()),
-            pool,
-        }
+        Placement::mapped(PhysAddr::new(addr.raw()), pool)
     }
 }
 

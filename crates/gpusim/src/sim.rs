@@ -27,6 +27,7 @@ use crate::cache::SetAssocCache;
 use crate::config::SimConfig;
 use crate::dram::DramChannel;
 use crate::engine::Calendar;
+use crate::observe::{NullObserver, Observer};
 use crate::request::{AddressTranslator, WarpId, WarpOp, WarpProgram};
 use crate::stats::{PoolReport, SimReport};
 
@@ -84,6 +85,12 @@ struct L2Slice {
 /// The simulator; construct with [`Simulator::new`], then call
 /// [`Simulator::run`].
 ///
+/// The third type parameter is the attached [`Observer`]; it defaults to
+/// [`NullObserver`], whose hooks are empty `ENABLED = false` no-ops, so
+/// an unobserved simulator pays nothing for the probe layer. Attach a
+/// real observer with [`Simulator::with_observer`] and retrieve it with
+/// [`Simulator::run_observed`].
+///
 /// # Examples
 ///
 /// ```
@@ -96,8 +103,23 @@ struct L2Slice {
 /// assert!(report.completed);
 /// assert!(report.cycles > 0);
 /// ```
+///
+/// Sampling a time-series from the same run:
+///
+/// ```
+/// use gpusim::{FixedPoolTranslator, IntervalSampler, SimConfig, Simulator, StreamKernel};
+///
+/// let cfg = SimConfig::paper_baseline();
+/// let pools = cfg.pools.len();
+/// let program = StreamKernel::new(&cfg, 64, 1 << 20);
+/// let (report, sampler) = Simulator::new(cfg, FixedPoolTranslator::new(0), program)
+///     .with_observer(IntervalSampler::new(1000, pools))
+///     .run_observed();
+/// let sampled: u64 = sampler.reports().iter().map(|i| i.mem_ops).sum();
+/// assert_eq!(sampled, report.mem_ops);
+/// ```
 #[derive(Debug)]
-pub struct Simulator<T, P> {
+pub struct Simulator<T, P, O = NullObserver> {
     cfg: SimConfig,
     translator: T,
     program: P,
@@ -120,6 +142,7 @@ pub struct Simulator<T, P> {
     bytes_read: Vec<u64>,
     bytes_written: Vec<u64>,
     page_accesses: Option<HashMap<PageNum, u64>>,
+    obs: O,
 }
 
 impl<T: AddressTranslator, P: WarpProgram> Simulator<T, P> {
@@ -183,9 +206,12 @@ impl<T: AddressTranslator, P: WarpProgram> Simulator<T, P> {
             bytes_read: vec![0; num_pools],
             bytes_written: vec![0; num_pools],
             page_accesses: None,
+            obs: NullObserver,
         }
     }
+}
 
+impl<T: AddressTranslator, P: WarpProgram, O: Observer> Simulator<T, P, O> {
     /// Enables per-virtual-page DRAM access counting (paper Fig. 6/7
     /// profiling: accesses counted after cache filtering).
     pub fn with_page_profiling(mut self) -> Self {
@@ -193,8 +219,41 @@ impl<T: AddressTranslator, P: WarpProgram> Simulator<T, P> {
         self
     }
 
+    /// Attaches `obs`, replacing the current observer. The typical flow
+    /// is `Simulator::new(..).with_observer(probe).run_observed()`.
+    pub fn with_observer<O2: Observer>(self, obs: O2) -> Simulator<T, P, O2> {
+        Simulator {
+            cfg: self.cfg,
+            translator: self.translator,
+            program: self.program,
+            warps_per_sm: self.warps_per_sm,
+            mlp: self.mlp,
+            cal: self.cal,
+            sms: self.sms,
+            warps: self.warps,
+            slices: self.slices,
+            chans: self.chans,
+            pool_offset: self.pool_offset,
+            mem_ops: self.mem_ops,
+            l2_hits: self.l2_hits,
+            l2_misses: self.l2_misses,
+            mshr_stalls: self.mshr_stalls,
+            retired: self.retired,
+            bytes_read: self.bytes_read,
+            bytes_written: self.bytes_written,
+            page_accesses: self.page_accesses,
+            obs,
+        }
+    }
+
     /// Runs the program to completion (or the cycle limit) and reports.
-    pub fn run(mut self) -> SimReport {
+    pub fn run(self) -> SimReport {
+        self.run_observed().0
+    }
+
+    /// Like [`Simulator::run`], but also hands back the observer so its
+    /// collected data (interval series, trace events) can be read.
+    pub fn run_observed(mut self) -> (SimReport, O) {
         for w in 0..self.warps.len() {
             self.cal.schedule(0, Event::WarpReady(WarpId(w as u32)));
         }
@@ -257,7 +316,10 @@ impl<T: AddressTranslator, P: WarpProgram> Simulator<T, P> {
             });
         }
 
-        SimReport {
+        if O::ENABLED {
+            self.obs.run_finished(cycles);
+        }
+        let report = SimReport {
             cycles,
             completed,
             mem_ops: self.mem_ops,
@@ -267,7 +329,8 @@ impl<T: AddressTranslator, P: WarpProgram> Simulator<T, P> {
             retired_warps: self.retired,
             pools,
             page_accesses: self.page_accesses,
-        }
+        };
+        (report, self.obs)
     }
 
     fn split(&self, w: WarpId) -> (u16, u32) {
@@ -284,6 +347,9 @@ impl<T: AddressTranslator, P: WarpProgram> Simulator<T, P> {
             None => {
                 self.warps[w.index()].retired = true;
                 self.retired += 1;
+                if O::ENABLED {
+                    self.obs.warp_retired(now);
+                }
             }
             Some(WarpOp::Compute(c)) => {
                 self.cal
@@ -291,6 +357,9 @@ impl<T: AddressTranslator, P: WarpProgram> Simulator<T, P> {
             }
             Some(WarpOp::Mem { addr, kind }) => {
                 self.mem_ops += 1;
+                if O::ENABLED {
+                    self.obs.mem_issue(now, kind == AccessKind::Write);
+                }
                 match kind {
                     AccessKind::Write => self.issue_write(now, w, addr),
                     AccessKind::Read => self.issue_read(now, w, addr),
@@ -338,8 +407,14 @@ impl<T: AddressTranslator, P: WarpProgram> Simulator<T, P> {
         let (sm, _) = self.split(w);
         let vline = addr.line_index();
         // Write-through, no-allocate L1: update the line if present.
-        self.sms[sm as usize].l1.probe(vline);
+        let l1_hit = self.sms[sm as usize].l1.probe(vline);
+        if O::ENABLED {
+            self.obs.l1_access(now, l1_hit);
+        }
         let placement = self.translator.translate(addr);
+        if O::ENABLED && placement.faulted {
+            self.obs.page_placed(now, placement.pool);
+        }
         let pline = placement.phys.line_index();
         let (slice, _) = self.route(placement.pool, pline);
         let at = now + self.request_latency(placement.pool);
@@ -360,7 +435,11 @@ impl<T: AddressTranslator, P: WarpProgram> Simulator<T, P> {
     fn issue_read(&mut self, now: u64, w: WarpId, addr: VirtAddr) {
         let (sm, slot) = self.split(w);
         let vline = addr.line_index();
-        if self.sms[sm as usize].l1.access(vline).is_hit() {
+        let l1_hit = self.sms[sm as usize].l1.access(vline).is_hit();
+        if O::ENABLED {
+            self.obs.l1_access(now, l1_hit);
+        }
+        if l1_hit {
             self.cal
                 .schedule(now + self.cfg.l1_latency, Event::WarpReady(w));
             return;
@@ -384,6 +463,12 @@ impl<T: AddressTranslator, P: WarpProgram> Simulator<T, P> {
         };
         if first_for_line {
             let placement = self.translator.translate(addr);
+            if O::ENABLED {
+                if placement.faulted {
+                    self.obs.page_placed(now, placement.pool);
+                }
+                self.obs.request_depart(now, sm, vline, placement.pool);
+            }
             let pline = placement.phys.line_index();
             let (slice, _) = self.route(placement.pool, pline);
             let at = now + self.request_latency(placement.pool);
@@ -424,12 +509,18 @@ impl<T: AddressTranslator, P: WarpProgram> Simulator<T, P> {
         if !read {
             // Memory-side L2 write-allocate; a miss also writes DRAM.
             let hit = self.slices[s].cache.access(pline).is_hit();
+            if O::ENABLED {
+                self.obs.l2_access(now, slice, pool, hit);
+            }
             if hit {
                 self.l2_hits += 1;
             } else {
                 self.l2_misses += 1;
                 self.dram_enqueue(now + self.cfg.l2_latency, slice, local_line, false);
                 self.bytes_written[pool] += LINE_SIZE as u64;
+                if O::ENABLED {
+                    self.obs.dram_traffic(now, pool, LINE_SIZE as u64, false);
+                }
                 self.profile_page(vline);
             }
             return;
@@ -440,26 +531,45 @@ impl<T: AddressTranslator, P: WarpProgram> Simulator<T, P> {
         if let Some(waiters) = self.slices[s].mshr.get_mut(&pline) {
             waiters.push((sm, vline));
             self.l2_misses += 1;
+            if O::ENABLED {
+                self.obs.l2_access(now, slice, pool, false);
+            }
             return;
         }
         if self.slices[s].cache.probe(pline) {
             self.l2_hits += 1;
+            if O::ENABLED {
+                self.obs.l2_access(now, slice, pool, true);
+            }
             let at = now + self.cfg.l2_latency + self.response_latency();
             self.cal.schedule(at, Event::SmReceive { sm, vline });
             return;
         }
         self.l2_misses += 1;
+        if O::ENABLED {
+            self.obs.l2_access(now, slice, pool, false);
+        }
         if self.slices[s].mshr.len() >= self.cfg.l2_mshrs {
             // All MSHRs busy: hold the request at the slice and drain it
             // when a fill frees an entry (models the back-pressure the
             // paper's §3.2.1 MSHR discussion is about).
             self.mshr_stalls += 1;
+            if O::ENABLED {
+                self.obs.mshr_nack(now, slice, pool);
+            }
             self.slices[s].waitq.push_back((vline, pline, sm));
             return;
         }
         self.slices[s].mshr.insert(pline, vec![(sm, vline)]);
+        if O::ENABLED {
+            let occupancy = self.slices[s].mshr.len();
+            self.obs.mshr_occupancy(now, occupancy);
+        }
         self.dram_enqueue(now + self.cfg.l2_latency, slice, local_line, true);
         self.bytes_read[pool] += LINE_SIZE as u64;
+        if O::ENABLED {
+            self.obs.dram_traffic(now, pool, LINE_SIZE as u64, true);
+        }
         self.profile_page(vline);
     }
 
@@ -467,6 +577,12 @@ impl<T: AddressTranslator, P: WarpProgram> Simulator<T, P> {
         let Some(served) = self.chans[slice as usize].tick(now) else {
             return;
         };
+        if O::ENABLED {
+            let pool = self.slices[slice as usize].pool;
+            let burst = self.chans[slice as usize].burst_cycles();
+            self.obs
+                .dram_service(now, slice, pool, served.read, served.done, burst);
+        }
         if served.read {
             let pline = self.unroute(slice as usize, served.line);
             self.cal
@@ -500,6 +616,9 @@ impl<T: AddressTranslator, P: WarpProgram> Simulator<T, P> {
     }
 
     fn sm_receive(&mut self, now: u64, sm: u16, vline: u64) {
+        if O::ENABLED {
+            self.obs.request_retire(now, sm, vline);
+        }
         let slots = self.sms[sm as usize]
             .pending
             .remove(&vline)

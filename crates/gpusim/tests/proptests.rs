@@ -3,8 +3,8 @@
 
 use gpusim::engine::Calendar;
 use gpusim::{
-    CacheConfig, DramChannel, FixedPoolTranslator, RatioTranslator, SetAssocCache, SimConfig,
-    Simulator, StreamKernel,
+    CacheConfig, DramChannel, EventTracer, FixedPoolTranslator, IntervalSampler, ProbeObserver,
+    RatioTranslator, SetAssocCache, SimConfig, Simulator, StreamKernel,
 };
 use hmtypes::LINE_SIZE;
 
@@ -114,5 +114,86 @@ hetmem_harness::props! {
             Simulator::new(cfg, FixedPoolTranslator::new(0), program).run().cycles
         };
         assert!(run(2.0) <= run(1.0));
+    }
+}
+
+hetmem_harness::props! {
+    cases = 32;
+
+    /// The interval sampler's counters partition the end-of-run report:
+    /// summed over the (contiguous) series they equal every aggregate,
+    /// integer counters exactly and bus-busy cycles to float tolerance
+    /// (the sampler accumulates them in a different order).
+    fn interval_counters_sum_to_report(
+        kb in 64u64..512,
+        sample in 500u64..5_000,
+        co_pct in 0u8..=100
+    ) {
+        let mut cfg = SimConfig::paper_baseline();
+        cfg.num_sms = 2;
+        let program = StreamKernel::new(&cfg, 8, kb * 1024);
+        let sampler = IntervalSampler::new(sample, cfg.pools.len());
+        let (report, obs) = Simulator::new(cfg.clone(), RatioTranslator { co_pct }, program)
+            .with_observer(sampler)
+            .run_observed();
+        let ivs = obs.into_reports();
+
+        // The series is contiguous from interval 0 through the end.
+        assert!(!ivs.is_empty());
+        for (i, iv) in ivs.iter().enumerate() {
+            assert_eq!(iv.index, i as u64);
+            assert_eq!(iv.start_cycle, i as u64 * sample);
+            assert_eq!(iv.end_cycle, (i as u64 + 1) * sample);
+        }
+        assert!(ivs.last().unwrap().end_cycle > report.cycles);
+
+        let sum = |f: &dyn Fn(&gpusim::IntervalReport) -> u64| -> u64 {
+            ivs.iter().map(f).sum()
+        };
+        assert_eq!(sum(&|i| i.mem_ops), report.mem_ops);
+        assert_eq!(sum(&|i| i.l1_hits), report.l1.0);
+        assert_eq!(sum(&|i| i.l1_misses), report.l1.1);
+        assert_eq!(sum(&|i| i.l2_hits), report.l2.0);
+        assert_eq!(sum(&|i| i.l2_misses), report.l2.1);
+        assert_eq!(sum(&|i| i.mshr_stalls), report.mshr_stalls);
+        assert_eq!(sum(&|i| i.warps_retired), u64::from(report.retired_warps));
+        for (pool, pr) in report.pools.iter().enumerate() {
+            let read: u64 = ivs.iter().map(|i| i.pools[pool].bytes_read).sum();
+            let written: u64 = ivs.iter().map(|i| i.pools[pool].bytes_written).sum();
+            assert_eq!(read, pr.bytes_read, "pool {pool} reads");
+            assert_eq!(written, pr.bytes_written, "pool {pool} writes");
+            let busy: f64 = ivs.iter().map(|i| i.pools[pool].busy_cycles).sum();
+            let tol = pr.bus_busy_cycles.abs() * 1e-9 + 1e-6;
+            assert!(
+                (busy - pr.bus_busy_cycles).abs() <= tol,
+                "pool {pool} busy cycles {busy} vs {}",
+                pr.bus_busy_cycles
+            );
+        }
+    }
+
+    /// An observed run reports identically to an unobserved run of the
+    /// same program — probes never perturb the simulation.
+    fn observation_does_not_perturb(kb in 64u64..256, sample in 100u64..2_000) {
+        let mut cfg = SimConfig::paper_baseline();
+        cfg.num_sms = 2;
+        let plain = Simulator::new(
+            cfg.clone(),
+            FixedPoolTranslator::new(0),
+            StreamKernel::new(&cfg, 4, kb * 1024),
+        )
+        .run();
+        let probe = ProbeObserver::new(
+            Some(IntervalSampler::new(sample, cfg.pools.len())),
+            Some(EventTracer::new(10_000)),
+        );
+        let (observed, _) = Simulator::new(
+            cfg.clone(),
+            FixedPoolTranslator::new(0),
+            StreamKernel::new(&cfg, 4, kb * 1024),
+        )
+        .with_observer(probe)
+        .run_observed();
+        assert_eq!(plain, observed);
     }
 }

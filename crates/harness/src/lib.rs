@@ -46,9 +46,14 @@ pub mod rng;
 pub mod sweep;
 pub mod telemetry;
 pub mod timing;
+pub mod trace;
 
+pub use json::{validate_jsonl, JsonError, JsonValue};
 pub use prop::{any_u64, vec_of, Gen, Sample};
 pub use rng::{SplitMix64, Xoshiro256StarStar};
 pub use sweep::{run_grid, PointCtx, SweepError, SweepOptions};
-pub use telemetry::{fnv1a, summary, PoolTelemetry, RunRecord};
+pub use telemetry::{
+    fnv1a, hit_rate, summary, IntervalPoolTelemetry, IntervalRecord, PoolTelemetry, RunRecord,
+};
 pub use timing::{BenchResult, Bencher};
+pub use trace::{ChromeTrace, TraceEvent};

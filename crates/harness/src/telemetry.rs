@@ -1,17 +1,23 @@
-//! Run telemetry: per-run JSONL records and the end-of-sweep summary.
+//! Run telemetry: per-run and per-interval JSONL records and the
+//! end-of-sweep summary.
 //!
 //! Each simulated run produces one [`RunRecord`] — workload, config
 //! label, a stable config hash, cycles, per-pool traffic, achieved
-//! bandwidth. Records serialize to JSON Lines through the in-tree
-//! [`json`](crate::json) writer, so a sweep's telemetry file is
-//! **byte-identical** across repeated runs and across thread counts
-//! (results are collected in grid order; see
-//! [`sweep`](crate::sweep)).
+//! bandwidth, cache hit rates, and energy. Observed runs additionally
+//! produce one [`IntervalRecord`] per sampling window. Records
+//! serialize to JSON Lines through the in-tree [`json`](crate::json)
+//! writer, so a sweep's telemetry file is **byte-identical** across
+//! repeated runs and across thread counts (results are collected in
+//! grid order; see [`sweep`](crate::sweep)). The two record types share
+//! one file, distinguished by the leading `"record"` field (`"run"` vs
+//! `"interval"`).
 //!
 //! Wall-clock time is the one nondeterministic field: it is carried on
 //! the record for progress/summary display but **excluded from the
 //! JSONL by default** (`include_timing` opts it in for ad-hoc
 //! profiling, forfeiting byte-identity).
+
+use std::collections::HashMap;
 
 use crate::json::{array, JsonObject};
 
@@ -26,6 +32,8 @@ pub struct PoolTelemetry {
     pub bytes_written: u64,
     /// Achieved bandwidth over the run for this pool, GB/s.
     pub achieved_gbps: f64,
+    /// DRAM row-buffer hit rate over the run, in `[0.0, 1.0]`.
+    pub row_hit_rate: f64,
 }
 
 /// One run of one `(workload, config)` grid point.
@@ -42,10 +50,20 @@ pub struct RunRecord {
     pub config_hash: u64,
     /// Simulated cycles.
     pub cycles: u64,
+    /// Whether the run finished within the cycle limit.
+    pub completed: bool,
     /// Warp memory operations issued.
     pub mem_ops: u64,
     /// Aggregate achieved DRAM bandwidth, GB/s.
     pub achieved_gbps: f64,
+    /// L1 hit rate over the run, in `[0.0, 1.0]`.
+    pub l1_hit_rate: f64,
+    /// L2 hit rate over the run, in `[0.0, 1.0]`.
+    pub l2_hit_rate: f64,
+    /// Reads held at L2 slices on MSHR exhaustion.
+    pub mshr_stalls: u64,
+    /// Total DRAM access energy across pools, joules.
+    pub energy_joules: f64,
     /// Per-pool traffic.
     pub pools: Vec<PoolTelemetry>,
     /// Host wall-clock for the point, milliseconds (nondeterministic;
@@ -63,16 +81,23 @@ impl RunRecord {
                 .u64("bytes_read", p.bytes_read)
                 .u64("bytes_written", p.bytes_written)
                 .f64("achieved_gbps", p.achieved_gbps)
+                .f64("row_hit_rate", p.row_hit_rate)
                 .finish()
         }));
         let mut obj = JsonObject::new()
+            .str("record", "run")
             .str("sweep", &self.sweep)
             .str("workload", &self.workload)
             .str("config", &self.config)
             .str("config_hash", &format!("{:016x}", self.config_hash))
             .u64("cycles", self.cycles)
+            .bool("completed", self.completed)
             .u64("mem_ops", self.mem_ops)
             .f64("achieved_gbps", self.achieved_gbps)
+            .f64("l1_hit_rate", self.l1_hit_rate)
+            .f64("l2_hit_rate", self.l2_hit_rate)
+            .u64("mshr_stalls", self.mshr_stalls)
+            .f64("energy_joules", self.energy_joules)
             .raw("pools", &pools);
         if include_timing {
             if let Some(ms) = self.wall_ms {
@@ -80,6 +105,111 @@ impl RunRecord {
             }
         }
         obj.finish()
+    }
+}
+
+/// Per-pool telemetry for one sampling window of an observed run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalPoolTelemetry {
+    /// Pool name (e.g. `GDDR5`).
+    pub name: String,
+    /// Bytes read from this pool's DRAM during the window.
+    pub bytes_read: u64,
+    /// Bytes written to this pool's DRAM during the window.
+    pub bytes_written: u64,
+    /// Achieved bandwidth during the window, GB/s.
+    pub achieved_gbps: f64,
+    /// Fraction of the window's channel-cycles the pool's data buses
+    /// were busy, in `[0.0, 1.0]`.
+    pub bus_util: f64,
+    /// Pages resident in this pool's zone by window end (cumulative
+    /// faults observed by the simulator).
+    pub zone_pages: u64,
+}
+
+/// One sampling window of one observed run, serialized alongside
+/// [`RunRecord`]s with `"record":"interval"`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalRecord {
+    /// The sweep this run belongs to.
+    pub sweep: String,
+    /// Workload name.
+    pub workload: String,
+    /// Configuration label within the sweep.
+    pub config: String,
+    /// Same stable hash as the run's [`RunRecord::config_hash`].
+    pub config_hash: u64,
+    /// Window index (`start_cycle / sample_cycles`).
+    pub index: u64,
+    /// First cycle of the window.
+    pub start_cycle: u64,
+    /// One past the last cycle of the window.
+    pub end_cycle: u64,
+    /// Warp memory operations issued in the window.
+    pub mem_ops: u64,
+    /// L1 hits in the window.
+    pub l1_hits: u64,
+    /// L1 misses in the window.
+    pub l1_misses: u64,
+    /// L2 hits in the window.
+    pub l2_hits: u64,
+    /// L2 misses in the window.
+    pub l2_misses: u64,
+    /// Reads held on MSHR exhaustion in the window.
+    pub mshr_stalls: u64,
+    /// Peak single-slice MSHR occupancy in the window.
+    pub mshr_peak: u64,
+    /// Warps retired in the window.
+    pub warps_retired: u64,
+    /// Per-pool window telemetry.
+    pub pools: Vec<IntervalPoolTelemetry>,
+}
+
+impl IntervalRecord {
+    /// Serializes the record as one JSON line (no trailing newline).
+    /// Interval records carry no nondeterministic fields.
+    pub fn jsonl(&self) -> String {
+        let pools = array(self.pools.iter().map(|p| {
+            JsonObject::new()
+                .str("name", &p.name)
+                .u64("bytes_read", p.bytes_read)
+                .u64("bytes_written", p.bytes_written)
+                .f64("achieved_gbps", p.achieved_gbps)
+                .f64("bus_util", p.bus_util)
+                .u64("zone_pages", p.zone_pages)
+                .finish()
+        }));
+        JsonObject::new()
+            .str("record", "interval")
+            .str("sweep", &self.sweep)
+            .str("workload", &self.workload)
+            .str("config", &self.config)
+            .str("config_hash", &format!("{:016x}", self.config_hash))
+            .u64("index", self.index)
+            .u64("start_cycle", self.start_cycle)
+            .u64("end_cycle", self.end_cycle)
+            .u64("mem_ops", self.mem_ops)
+            .u64("l1_hits", self.l1_hits)
+            .u64("l1_misses", self.l1_misses)
+            .f64("l1_hit_rate", hit_rate(self.l1_hits, self.l1_misses))
+            .u64("l2_hits", self.l2_hits)
+            .u64("l2_misses", self.l2_misses)
+            .f64("l2_hit_rate", hit_rate(self.l2_hits, self.l2_misses))
+            .u64("mshr_stalls", self.mshr_stalls)
+            .u64("mshr_peak", self.mshr_peak)
+            .u64("warps_retired", self.warps_retired)
+            .raw("pools", &pools)
+            .finish()
+    }
+}
+
+/// `hits / (hits + misses)`, or `0.0` with no accesses.
+pub fn hit_rate(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
     }
 }
 
@@ -104,17 +234,24 @@ pub fn summary(records: &[RunRecord]) -> String {
         out.push_str("sweep summary: no runs recorded\n");
         return out;
     }
-    // Group by (sweep, config) preserving first-appearance order.
+    // Group by (sweep, config) preserving first-appearance order; the
+    // HashMap indexes into the ordered Vec so grouping stays linear in
+    // the record count.
     let mut groups: Vec<(String, u64, u64, f64)> = Vec::new();
+    let mut index: HashMap<String, usize> = HashMap::new();
     for r in records {
         let key = format!("{}/{}", r.sweep, r.config);
-        match groups.iter_mut().find(|(k, ..)| *k == key) {
-            Some((_, n, cycles, gbps)) => {
+        match index.get(&key) {
+            Some(&i) => {
+                let (_, n, cycles, gbps) = &mut groups[i];
                 *n += 1;
                 *cycles += r.cycles;
                 *gbps += r.achieved_gbps;
             }
-            None => groups.push((key, 1, r.cycles, r.achieved_gbps)),
+            None => {
+                index.insert(key.clone(), groups.len());
+                groups.push((key, 1, r.cycles, r.achieved_gbps));
+            }
         }
     }
     let _ = writeln!(
@@ -159,13 +296,19 @@ mod tests {
             config: config.into(),
             config_hash: fnv1a(config.as_bytes()),
             cycles,
+            completed: true,
             mem_ops: 100,
             achieved_gbps: 12.5,
+            l1_hit_rate: 0.5,
+            l2_hit_rate: 0.25,
+            mshr_stalls: 3,
+            energy_joules: 1e-6,
             pools: vec![PoolTelemetry {
                 name: "GDDR5".into(),
                 bytes_read: 4096,
                 bytes_written: 1024,
                 achieved_gbps: 10.0,
+                row_hit_rate: 0.75,
             }],
             wall_ms: Some(3.25),
         }
@@ -177,9 +320,56 @@ mod tests {
         let line = r.jsonl(false);
         assert_eq!(line, r.clone().jsonl(false));
         assert!(!line.contains("wall_ms"));
-        assert!(line.starts_with(r#"{"sweep":"fig3","workload":"bfs""#));
+        assert!(line.starts_with(r#"{"record":"run","sweep":"fig3","workload":"bfs""#));
+        assert!(line.contains(r#""completed":true"#));
+        assert!(line.contains(r#""l1_hit_rate":0.5"#));
+        assert!(line.contains(r#""mshr_stalls":3"#));
         assert!(line.contains(r#""pools":[{"name":"GDDR5""#));
+        assert!(line.contains(r#""row_hit_rate":0.75"#));
         assert!(r.jsonl(true).contains(r#""wall_ms":3.25"#));
+    }
+
+    #[test]
+    fn interval_jsonl_has_discriminator_and_derived_rates() {
+        let rec = IntervalRecord {
+            sweep: "fig3".into(),
+            workload: "bfs".into(),
+            config: "LOCAL".into(),
+            config_hash: 7,
+            index: 2,
+            start_cycle: 2000,
+            end_cycle: 3000,
+            mem_ops: 64,
+            l1_hits: 30,
+            l1_misses: 10,
+            l2_hits: 5,
+            l2_misses: 5,
+            mshr_stalls: 1,
+            mshr_peak: 12,
+            warps_retired: 0,
+            pools: vec![IntervalPoolTelemetry {
+                name: "GDDR5".into(),
+                bytes_read: 2048,
+                bytes_written: 0,
+                achieved_gbps: 2.9,
+                bus_util: 0.4,
+                zone_pages: 17,
+            }],
+        };
+        let line = rec.jsonl();
+        assert_eq!(line, rec.clone().jsonl());
+        assert!(line.starts_with(r#"{"record":"interval","sweep":"fig3""#));
+        assert!(line.contains(r#""index":2,"start_cycle":2000,"end_cycle":3000"#));
+        assert!(line.contains(r#""l1_hit_rate":0.75"#));
+        assert!(line.contains(r#""l2_hit_rate":0.5"#));
+        assert!(line.contains(r#""bus_util":0.4"#));
+        assert!(line.contains(r#""zone_pages":17"#));
+    }
+
+    #[test]
+    fn hit_rate_handles_zero_accesses() {
+        assert_eq!(hit_rate(0, 0), 0.0);
+        assert_eq!(hit_rate(3, 1), 0.75);
     }
 
     #[test]

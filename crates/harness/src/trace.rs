@@ -1,0 +1,191 @@
+//! A Chrome `trace_event` format writer (Perfetto / `chrome://tracing`
+//! loadable), built on the deterministic in-tree JSON writer.
+//!
+//! The format is the "JSON object" flavor: a top-level object with a
+//! `traceEvents` array. Each event carries a phase (`"X"` complete
+//! events with a duration, `"i"` instants, `"M"` metadata), a timestamp
+//! in microseconds, and `pid`/`tid` track coordinates. See the Trace
+//! Event Format spec (Google, public) for the field meanings; only the
+//! subset emitted here is needed for Perfetto to render tracks.
+//!
+//! ```
+//! use hetmem_harness::trace::{ChromeTrace, TraceEvent};
+//!
+//! let mut t = ChromeTrace::new();
+//! t.name_process(0, "SMs");
+//! t.push(TraceEvent::complete("mem", "request", 1.5, 2.0, 0, 3));
+//! let json = t.render();
+//! assert!(json.starts_with(r#"{"traceEvents":["#));
+//! ```
+
+use crate::json::{array, quote, JsonObject};
+
+/// One trace event. Build with the constructors, attach extra context
+/// with [`TraceEvent::arg`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Display name of the event.
+    pub name: String,
+    /// Category (comma-separated tags; used for filtering in the UI).
+    pub cat: String,
+    /// Phase: `X` complete, `i` instant, `M` metadata.
+    pub ph: char,
+    /// Timestamp in microseconds.
+    pub ts: f64,
+    /// Duration in microseconds (complete events only).
+    pub dur: Option<f64>,
+    /// Process track.
+    pub pid: u64,
+    /// Thread track within the process.
+    pub tid: u64,
+    /// Extra `args` fields as (key, pre-serialized JSON value) pairs.
+    pub args: Vec<(String, String)>,
+}
+
+impl TraceEvent {
+    /// A complete (`"ph":"X"`) event spanning `[ts, ts + dur)` µs.
+    pub fn complete(name: &str, cat: &str, ts: f64, dur: f64, pid: u64, tid: u64) -> Self {
+        TraceEvent {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            ph: 'X',
+            ts,
+            dur: Some(dur),
+            pid,
+            tid,
+            args: Vec::new(),
+        }
+    }
+
+    /// An instant (`"ph":"i"`) event at `ts` µs.
+    pub fn instant(name: &str, cat: &str, ts: f64, pid: u64, tid: u64) -> Self {
+        TraceEvent {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            ph: 'i',
+            ts,
+            dur: None,
+            pid,
+            tid,
+            args: Vec::new(),
+        }
+    }
+
+    /// Adds an `args` entry (`value` must be valid JSON, e.g. from
+    /// [`fmt_f64`](crate::json::fmt_f64) or a quoted string).
+    pub fn arg(mut self, key: &str, value: impl Into<String>) -> Self {
+        self.args.push((key.to_string(), value.into()));
+        self
+    }
+
+    fn json(&self) -> String {
+        let mut obj = JsonObject::new()
+            .str("name", &self.name)
+            .str("cat", &self.cat)
+            .str("ph", &self.ph.to_string())
+            .f64("ts", self.ts);
+        if let Some(dur) = self.dur {
+            obj = obj.f64("dur", dur);
+        }
+        obj = obj.u64("pid", self.pid).u64("tid", self.tid);
+        if self.ph == 'i' {
+            // Instant scope: thread-level keeps the marker on its track.
+            obj = obj.str("s", "t");
+        }
+        if !self.args.is_empty() {
+            let mut args = JsonObject::new();
+            for (k, v) in &self.args {
+                args = args.raw(k, v);
+            }
+            obj = obj.raw("args", &args.finish());
+        }
+        obj.finish()
+    }
+}
+
+/// An in-memory trace; render once every event is pushed.
+#[derive(Debug, Clone, Default)]
+pub struct ChromeTrace {
+    events: Vec<TraceEvent>,
+}
+
+impl ChromeTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        ChromeTrace::default()
+    }
+
+    /// Appends one event.
+    pub fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// Number of events collected so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events were collected.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Names a process track via a metadata event (shows as the group
+    /// title in Perfetto).
+    pub fn name_process(&mut self, pid: u64, name: &str) {
+        self.events.push(TraceEvent {
+            name: "process_name".to_string(),
+            cat: "__metadata".to_string(),
+            ph: 'M',
+            ts: 0.0,
+            dur: None,
+            pid,
+            tid: 0,
+            args: vec![("name".to_string(), quote(name))],
+        });
+    }
+
+    /// Serializes the whole trace as one JSON document.
+    pub fn render(&self) -> String {
+        JsonObject::new()
+            .raw("traceEvents", &array(self.events.iter().map(|e| e.json())))
+            .str("displayTimeUnit", "ns")
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::JsonValue;
+
+    #[test]
+    fn renders_loadable_trace_json() {
+        let mut t = ChromeTrace::new();
+        t.name_process(0, "SMs");
+        t.push(TraceEvent::complete("mem", "request", 1.0, 2.5, 0, 3).arg("pool", "0"));
+        t.push(TraceEvent::instant("mshr_nack", "stall", 4.0, 1, 2));
+        let json = t.render();
+        let v = JsonValue::parse(&json).expect("trace must be valid JSON");
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].get("ph").unwrap().as_str(), Some("M"));
+        let complete = &events[1];
+        assert_eq!(complete.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(complete.get("dur").unwrap().as_f64(), Some(2.5));
+        assert_eq!(
+            complete.get("args").unwrap().get("pool").unwrap().as_u64(),
+            Some(0)
+        );
+        let instant = &events[2];
+        assert_eq!(instant.get("s").unwrap().as_str(), Some("t"));
+        assert!(instant.get("dur").is_none());
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let mut t = ChromeTrace::new();
+        t.push(TraceEvent::complete("a", "c", 0.0, 1.0, 0, 0));
+        assert_eq!(t.render(), t.clone().render());
+    }
+}

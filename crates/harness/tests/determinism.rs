@@ -15,13 +15,19 @@ fn simulate(workload: usize, config: usize, seed: u64) -> RunRecord {
         config: format!("c{config}"),
         config_hash: fnv1a(format!("w{workload}/c{config}").as_bytes()),
         cycles,
+        completed: true,
         mem_ops: 1000,
         achieved_gbps: cycles as f64 / 997.0,
+        l1_hit_rate: 0.5,
+        l2_hit_rate: 0.25,
+        mshr_stalls: cycles % 13,
+        energy_joules: cycles as f64 * 1e-9,
         pools: vec![PoolTelemetry {
             name: "BO".into(),
             bytes_read: cycles * 3,
             bytes_written: cycles / 7,
             achieved_gbps: cycles as f64 / 1003.0,
+            row_hit_rate: 0.9,
         }],
         wall_ms: None,
     }

@@ -46,7 +46,7 @@ pub mod topology;
 pub mod zone;
 
 pub use error::MemError;
-pub use mm::{AddressSpace, Vma, VmaId, VmaRange};
+pub use mm::{AddressSpace, PlacementEvent, PlacementEventKind, Vma, VmaId, VmaRange};
 pub use policy::{Mempolicy, PolicyMode};
 pub use table::{Sbit, Slit};
 pub use topology::{NumaTopology, TopologyBuilder, ZoneId, ZoneSpec};

@@ -107,6 +107,46 @@ pub struct Vma {
     pub name: Option<String>,
 }
 
+/// What kind of placement decision a [`PlacementEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementEventKind {
+    /// A first-touch fault placed the page under the effective policy.
+    /// `fallback_depth` is the page's position in the policy's zonelist:
+    /// 0 means the preferred zone took it, higher values mean the
+    /// preferred zone(s) were full and the allocation fell through.
+    Fault {
+        /// Zonelist index of the zone that actually served the fault.
+        fallback_depth: usize,
+    },
+    /// An explicit placement ([`AddressSpace::ensure_mapped_in`] — hints
+    /// and oracle pre-placement), with the same fallback semantics.
+    Explicit {
+        /// Zonelist index of the zone that actually served the request.
+        fallback_depth: usize,
+    },
+    /// A page migration away from `from`.
+    Migrate {
+        /// The zone the page left.
+        from: ZoneId,
+    },
+}
+
+/// One recorded placement/fallback/migration decision. Events are
+/// numbered in decision order (`seq`), which is the only timeline the OS
+/// model has — the simulator separately time-stamps the faults it
+/// triggers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlacementEvent {
+    /// Decision order, starting at 0.
+    pub seq: u64,
+    /// The virtual page concerned.
+    pub page: PageNum,
+    /// The zone the page ended up in.
+    pub zone: ZoneId,
+    /// What happened.
+    pub kind: PlacementEventKind,
+}
+
 /// A process address space over a NUMA topology: VMAs, page table, and
 /// frame allocator, with Linux-style policy resolution (VMA policy if
 /// bound, else task policy).
@@ -134,6 +174,9 @@ pub struct AddressSpace {
     page_table: HashMap<PageNum, FrameNum>,
     next_vma_id: u64,
     next_mmap_page: u64,
+    /// Placement decisions recorded since [`AddressSpace::enable_placement_log`];
+    /// `None` keeps logging (and its allocations) entirely off.
+    placement_log: Option<Vec<PlacementEvent>>,
 }
 
 impl AddressSpace {
@@ -152,6 +195,39 @@ impl AddressSpace {
             page_table: HashMap::new(),
             next_vma_id: 0,
             next_mmap_page: Self::MMAP_BASE_PAGE,
+            placement_log: None,
+        }
+    }
+
+    /// Starts recording placement/fallback/migration decisions (clears
+    /// any previously collected events).
+    pub fn enable_placement_log(&mut self) {
+        self.placement_log = Some(Vec::new());
+    }
+
+    /// Whether placement logging is active.
+    pub fn placement_log_enabled(&self) -> bool {
+        self.placement_log.is_some()
+    }
+
+    /// Takes the recorded events, leaving logging enabled with an empty
+    /// log. Returns an empty vector when logging was never enabled.
+    pub fn take_placement_log(&mut self) -> Vec<PlacementEvent> {
+        match self.placement_log.as_mut() {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
+    }
+
+    fn log_placement(&mut self, page: PageNum, zone: ZoneId, kind: PlacementEventKind) {
+        if let Some(log) = self.placement_log.as_mut() {
+            let seq = log.len() as u64;
+            log.push(PlacementEvent {
+                seq,
+                page,
+                zone,
+                kind,
+            });
         }
     }
 
@@ -337,7 +413,7 @@ impl AddressSpace {
             .unwrap_or(&self.task_policy)
             .allows_fallback();
         let result = self.allocator.allocate_with_fallback(&zonelist, page);
-        let (frame, _zone) = match result {
+        let (frame, zone) = match result {
             Ok(ok) => ok,
             Err(MemError::OutOfMemory { .. }) if !allows_fallback => {
                 return Err(MemError::BindExhausted { allowed: zonelist })
@@ -345,6 +421,16 @@ impl AddressSpace {
             Err(e) => return Err(e),
         };
         self.page_table.insert(page, frame);
+        if self.placement_log.is_some() {
+            let depth = zonelist.iter().position(|&z| z == zone).unwrap_or(0);
+            self.log_placement(
+                page,
+                zone,
+                PlacementEventKind::Fault {
+                    fallback_depth: depth,
+                },
+            );
+        }
         Ok(frame)
     }
 
@@ -367,8 +453,18 @@ impl AddressSpace {
         if self.vma_at(addr).is_none() {
             return Err(MemError::UnmappedAddress { addr });
         }
-        let (frame, _zone) = self.allocator.allocate_with_fallback(zonelist, page)?;
+        let (frame, zone) = self.allocator.allocate_with_fallback(zonelist, page)?;
         self.page_table.insert(page, frame);
+        if self.placement_log.is_some() {
+            let depth = zonelist.iter().position(|&z| z == zone).unwrap_or(0);
+            self.log_placement(
+                page,
+                zone,
+                PlacementEventKind::Explicit {
+                    fallback_depth: depth,
+                },
+            );
+        }
         Ok(frame)
     }
 
@@ -422,9 +518,14 @@ impl AddressSpace {
         if self.allocator.zone_of(old) == Some(target) {
             return Ok(old);
         }
+        let from = self
+            .allocator
+            .zone_of(old)
+            .expect("mapped frame has a zone");
         let new = self.allocator.allocate(target)?;
         self.page_table.insert(page, new);
         self.allocator.free(old);
+        self.log_placement(page, target, PlacementEventKind::Migrate { from });
         Ok(new)
     }
 
@@ -675,6 +776,63 @@ mod tests {
         let b = mm.migrate_page(r.start.page().next(), ZoneId::new(1));
         assert!(a.is_ok());
         assert!(matches!(b, Err(MemError::BindExhausted { .. })));
+    }
+
+    #[test]
+    fn placement_log_records_faults_fallbacks_and_migrations() {
+        let mut mm = mm(2, 16);
+        mm.enable_placement_log();
+        let r = mm.mmap(3 * PAGE_SIZE as u64).unwrap();
+        mm.populate(r).unwrap();
+        // BO holds 2 pages; the third fault falls back to CO.
+        let events = mm.take_placement_log();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(
+            events[0].kind,
+            PlacementEventKind::Fault { fallback_depth: 0 }
+        );
+        assert_eq!(events[2].zone, ZoneId::new(1));
+        assert_eq!(
+            events[2].kind,
+            PlacementEventKind::Fault { fallback_depth: 1 }
+        );
+
+        // take() left logging on with an empty log; a migration shows up.
+        mm.migrate_page(r.start.page(), ZoneId::new(1)).unwrap();
+        let events = mm.take_placement_log();
+        assert_eq!(events.len(), 1);
+        assert_eq!(
+            events[0].kind,
+            PlacementEventKind::Migrate {
+                from: ZoneId::new(0)
+            }
+        );
+        assert_eq!(events[0].zone, ZoneId::new(1));
+    }
+
+    #[test]
+    fn placement_log_off_by_default() {
+        let mut mm = mm(4, 4);
+        assert!(!mm.placement_log_enabled());
+        let r = mm.mmap(PAGE_SIZE as u64).unwrap();
+        mm.populate(r).unwrap();
+        assert!(mm.take_placement_log().is_empty());
+    }
+
+    #[test]
+    fn explicit_placement_is_logged_as_such() {
+        let mut mm = mm(4, 4);
+        mm.enable_placement_log();
+        let r = mm.mmap(PAGE_SIZE as u64).unwrap();
+        mm.ensure_mapped_in(r.start.page(), &[ZoneId::new(1)])
+            .unwrap();
+        let events = mm.take_placement_log();
+        assert_eq!(events.len(), 1);
+        assert_eq!(
+            events[0].kind,
+            PlacementEventKind::Explicit { fallback_depth: 0 }
+        );
     }
 
     #[test]

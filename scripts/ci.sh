@@ -9,3 +9,16 @@ cd "$(dirname "$0")/.."
 cargo fmt --all --check
 cargo build --workspace --release --offline
 cargo test --workspace -q --offline
+
+# Observability smoke: one sampled + traced sweep, then validate every
+# emitted JSONL line and trace document through the strict parser.
+OBS_DIR=target/ci-obs
+rm -rf "$OBS_DIR"
+cargo run --release --offline -q -p hetmem-bench --bin fig3 -- \
+    --quick --workloads lbm --quiet \
+    --out "$OBS_DIR" --sample-cycles 20000 \
+    --trace "$OBS_DIR/trace" --trace-budget 20000
+cargo run --release --offline -q -p hetmem-bench --bin hetmem-trace -- \
+    check "$OBS_DIR/fig3.jsonl" "$OBS_DIR"/trace/*.json
+cargo run --release --offline -q -p hetmem-bench --bin hetmem-trace -- \
+    summary "$OBS_DIR/fig3.jsonl" --top 3

@@ -1,0 +1,105 @@
+//! The observability layer's cross-cutting guarantees, end to end:
+//! interval JSONL and Chrome traces are byte-identical at any thread
+//! count, and observing a sweep does not change its run records.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use hetmem::experiments::{fig3, ExpOptions};
+use hetmem::TelemetrySink;
+use hetmem_harness::{validate_jsonl, JsonValue};
+
+fn obs_opts(threads: usize, dir: &PathBuf, observe: bool) -> ExpOptions {
+    let mut opts = ExpOptions::quick();
+    opts.workloads = Some(vec!["lbm".to_string()]);
+    opts.ops_scale = 0.05;
+    opts.threads = threads;
+    opts.telemetry = Some(Arc::new(TelemetrySink::create(dir).expect("sink dir")));
+    if observe {
+        opts.sample_cycles = Some(10_000);
+        opts.trace = Some(dir.join("trace"));
+        opts.trace_budget = 2_000;
+    }
+    opts
+}
+
+fn tmp(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("hetmem-obs-{tag}-{}", std::process::id()))
+}
+
+/// Every output file of one observed fig3 sweep, as `(name, bytes)` in
+/// sorted name order.
+fn sweep_outputs(threads: usize, tag: &str) -> Vec<(String, String)> {
+    let dir = tmp(tag);
+    let _ = fs::remove_dir_all(&dir);
+    let opts = obs_opts(threads, &dir, true);
+    let _ = fig3(&opts);
+    let mut out = Vec::new();
+    out.push((
+        "fig3.jsonl".to_string(),
+        fs::read_to_string(dir.join("fig3.jsonl")).expect("telemetry file"),
+    ));
+    let mut traces: Vec<_> = fs::read_dir(dir.join("trace"))
+        .expect("trace dir")
+        .map(|e| e.expect("dir entry").path())
+        .collect();
+    traces.sort();
+    assert_eq!(traces.len(), 9, "one trace per grid point");
+    for p in traces {
+        out.push((
+            p.file_name().unwrap().to_string_lossy().into_owned(),
+            fs::read_to_string(&p).expect("trace file"),
+        ));
+    }
+    fs::remove_dir_all(&dir).expect("cleanup");
+    out
+}
+
+#[test]
+fn observed_outputs_are_byte_identical_across_thread_counts() {
+    let one = sweep_outputs(1, "t1");
+    let four = sweep_outputs(4, "t4");
+    assert_eq!(one.len(), four.len());
+    for ((name_a, bytes_a), (name_b, bytes_b)) in one.iter().zip(&four) {
+        assert_eq!(name_a, name_b);
+        assert_eq!(
+            bytes_a, bytes_b,
+            "{name_a} diverged between 1 and 4 threads"
+        );
+    }
+    // And everything emitted is valid JSON.
+    let (_, jsonl) = &one[0];
+    let lines = validate_jsonl(jsonl).expect("telemetry parses");
+    assert!(lines > 9, "run records plus interval records");
+    for (name, trace) in &one[1..] {
+        let v = JsonValue::parse(trace).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(
+            !v.get("traceEvents")
+                .and_then(JsonValue::as_array)
+                .expect("traceEvents array")
+                .is_empty(),
+            "{name} has events"
+        );
+    }
+}
+
+#[test]
+fn observation_leaves_run_records_unchanged() {
+    let run_lines = |observe: bool, tag: &str| -> Vec<String> {
+        let dir = tmp(tag);
+        let _ = fs::remove_dir_all(&dir);
+        let opts = obs_opts(2, &dir, observe);
+        let _ = fig3(&opts);
+        let text = fs::read_to_string(dir.join("fig3.jsonl")).expect("telemetry file");
+        fs::remove_dir_all(&dir).expect("cleanup");
+        text.lines()
+            .filter(|l| l.starts_with(r#"{"record":"run""#))
+            .map(str::to_string)
+            .collect()
+    };
+    let plain = run_lines(false, "plain");
+    let observed = run_lines(true, "observed");
+    assert_eq!(plain.len(), 9);
+    assert_eq!(plain, observed, "observers perturbed the run records");
+}
