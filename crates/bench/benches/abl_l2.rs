@@ -1,28 +1,19 @@
 //! Ablation: memory-side L2 capacity per channel (Table 1 uses 128 kB).
 use gpusim::CacheConfig;
-use hetmem::runner::{run_workload, Capacity, Placement};
+use hetmem::runner::{Placement, RunBuilder};
 use hetmem_harness::Bencher;
 use mempolicy::Mempolicy;
 
 fn main() {
     let opts = hetmem_bench::bench_opts();
     let spec = opts.scale(workloads::catalog::by_name("xsbench").unwrap());
+    let local = Placement::Policy(Mempolicy::local());
     eprintln!("Ablation — L2 slice capacity vs relative performance (xsbench, LOCAL):");
-    let base = run_workload(
-        &spec,
-        &opts.sim,
-        Capacity::Unconstrained,
-        &Placement::Policy(Mempolicy::local()),
-    );
+    let base = RunBuilder::new(&spec, &opts.sim).placement(&local).run();
     for kb in [32usize, 64, 128, 256, 512] {
         let mut sim = opts.sim.clone();
         sim.l2 = CacheConfig::new(kb * 1024, 8);
-        let run = run_workload(
-            &spec,
-            &sim,
-            Capacity::Unconstrained,
-            &Placement::Policy(Mempolicy::local()),
-        );
+        let run = RunBuilder::new(&spec, &sim).placement(&local).run();
         eprintln!(
             "  {kb:>4} kB/slice: {:.3} (L2 hit rate {:.2})",
             run.speedup_over(&base),
@@ -33,12 +24,7 @@ fn main() {
     big.l2 = CacheConfig::new(512 * 1024, 8);
     let mut b = Bencher::from_env("abl_l2");
     b.bench("abl_l2/512kb_xsbench", || {
-        run_workload(
-            &spec,
-            &big,
-            Capacity::Unconstrained,
-            &Placement::Policy(Mempolicy::local()),
-        )
+        RunBuilder::new(&spec, &big).placement(&local).run()
     });
     b.finish();
 }

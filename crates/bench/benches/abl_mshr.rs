@@ -1,29 +1,20 @@
 //! Ablation: MSHR capacity. The paper (§3.2.1) argues its baseline MSHR
 //! count suffices to hide the extra interconnect hop; this sweep shows
 //! where latency tolerance collapses.
-use hetmem::runner::{run_workload, Capacity, Placement};
+use hetmem::runner::{Placement, RunBuilder};
 use hetmem_harness::Bencher;
 use mempolicy::Mempolicy;
 
 fn main() {
     let opts = hetmem_bench::bench_opts();
     let spec = opts.scale(workloads::catalog::by_name("lbm").unwrap());
+    let local = Placement::Policy(Mempolicy::local());
     eprintln!("Ablation — L2 MSHRs per slice vs relative performance (lbm, LOCAL):");
-    let base = run_workload(
-        &spec,
-        &opts.sim,
-        Capacity::Unconstrained,
-        &Placement::Policy(Mempolicy::local()),
-    );
+    let base = RunBuilder::new(&spec, &opts.sim).placement(&local).run();
     for mshrs in [8usize, 16, 32, 64, 128, 256] {
         let mut sim = opts.sim.clone();
         sim.l2_mshrs = mshrs;
-        let run = run_workload(
-            &spec,
-            &sim,
-            Capacity::Unconstrained,
-            &Placement::Policy(Mempolicy::local()),
-        );
+        let run = RunBuilder::new(&spec, &sim).placement(&local).run();
         eprintln!(
             "  {mshrs:>4} MSHRs: {:.3} (stalls {})",
             run.speedup_over(&base),
@@ -34,12 +25,7 @@ fn main() {
     small.l2_mshrs = 16;
     let mut b = Bencher::from_env("abl_mshr");
     b.bench("abl_mshr/16_mshrs_lbm", || {
-        run_workload(
-            &spec,
-            &small,
-            Capacity::Unconstrained,
-            &Placement::Policy(Mempolicy::local()),
-        )
+        RunBuilder::new(&spec, &small).placement(&local).run()
     });
     b.finish();
 }

@@ -1,7 +1,7 @@
 //! Ablation: the paper's randomized BW-AWARE fast path (one RNG draw per
 //! allocation) vs exact round-robin-weighted placement. Shows the random
 //! draw converges to the same traffic split and performance.
-use hetmem::runner::{run_workload, Capacity, Placement};
+use hetmem::runner::{Placement, RunBuilder};
 use hetmem_harness::Bencher;
 use hmtypes::Percent;
 use mempolicy::{Mempolicy, PolicyMode, ZoneId};
@@ -23,18 +23,12 @@ fn exact_30c() -> Mempolicy {
 fn main() {
     let opts = hetmem_bench::bench_opts();
     let spec = opts.scale(workloads::catalog::by_name("srad").unwrap());
-    let random = run_workload(
-        &spec,
-        &opts.sim,
-        Capacity::Unconstrained,
-        &Placement::Policy(Mempolicy::ratio_co(Percent::new(30))),
-    );
-    let exact = run_workload(
-        &spec,
-        &opts.sim,
-        Capacity::Unconstrained,
-        &Placement::Policy(exact_30c()),
-    );
+    let random = RunBuilder::new(&spec, &opts.sim)
+        .placement(&Placement::Policy(Mempolicy::ratio_co(Percent::new(30))))
+        .run();
+    let exact = RunBuilder::new(&spec, &opts.sim)
+        .placement(&Placement::Policy(exact_30c()))
+        .run();
     eprintln!("Ablation — random-draw vs exact 30C-70B placement (srad):");
     eprintln!(
         "  random: CO traffic {:.3}, cycles {}",
@@ -52,12 +46,9 @@ fn main() {
     );
     let mut b = Bencher::from_env("abl_random_vs_exact");
     b.bench("abl_random_vs_exact/random_srad", || {
-        run_workload(
-            &spec,
-            &opts.sim,
-            Capacity::Unconstrained,
-            &Placement::Policy(Mempolicy::ratio_co(Percent::new(30))),
-        )
+        RunBuilder::new(&spec, &opts.sim)
+            .placement(&Placement::Policy(Mempolicy::ratio_co(Percent::new(30))))
+            .run()
     });
     b.finish();
 }

@@ -1,6 +1,6 @@
 //! Fig. 2: prints the bandwidth/latency sensitivity series (scaled) and
 //! benches one LOCAL-placement workload run.
-use hetmem::runner::{run_workload, Capacity, Placement};
+use hetmem::runner::{Placement, RunBuilder};
 use hetmem_harness::Bencher;
 use mempolicy::Mempolicy;
 
@@ -11,12 +11,9 @@ fn main() {
     let spec = opts.scale(workloads::catalog::by_name("hotspot").unwrap());
     let mut b = Bencher::from_env("fig02_sensitivity");
     b.bench("fig2/local_run_hotspot", || {
-        run_workload(
-            &spec,
-            &opts.sim,
-            Capacity::Unconstrained,
-            &Placement::Policy(Mempolicy::local()),
-        )
+        RunBuilder::new(&spec, &opts.sim)
+            .placement(&Placement::Policy(Mempolicy::local()))
+            .run()
     });
     b.finish();
 }

@@ -1,6 +1,6 @@
 //! Fig. 3: prints the placement-ratio sweep (scaled) and benches one
 //! BW-AWARE run.
-use hetmem::runner::{run_workload, Capacity, Placement};
+use hetmem::runner::{Placement, RunBuilder};
 use hetmem_harness::Bencher;
 use hmtypes::Percent;
 use mempolicy::Mempolicy;
@@ -22,12 +22,9 @@ fn main() {
     let spec = opts.scale(workloads::catalog::by_name("lbm").unwrap());
     let mut b = Bencher::from_env("fig03_placement_ratio");
     b.bench("fig3/bw_aware_run_lbm", || {
-        run_workload(
-            &spec,
-            &opts.sim,
-            Capacity::Unconstrained,
-            &Placement::Policy(Mempolicy::ratio_co(Percent::new(30))),
-        )
+        RunBuilder::new(&spec, &opts.sim)
+            .placement(&Placement::Policy(Mempolicy::ratio_co(Percent::new(30))))
+            .run()
     });
     b.finish();
 }

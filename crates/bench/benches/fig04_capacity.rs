@@ -1,6 +1,6 @@
 //! Fig. 4: prints the capacity sweep (scaled) and benches one
 //! capacity-constrained run.
-use hetmem::runner::{run_workload, Capacity, Placement};
+use hetmem::runner::{Capacity, Placement, RunBuilder};
 use hetmem::topology_for;
 use hetmem_harness::Bencher;
 use mempolicy::Mempolicy;
@@ -12,12 +12,10 @@ fn main() {
     let topo = topology_for(&opts.sim, &[1, 1]);
     let mut b = Bencher::from_env("fig04_capacity");
     b.bench("fig4/bw_aware_at_50pct_capacity", || {
-        run_workload(
-            &spec,
-            &opts.sim,
-            Capacity::FractionOfFootprint(0.5),
-            &Placement::Policy(Mempolicy::bw_aware_for(&topo)),
-        )
+        RunBuilder::new(&spec, &opts.sim)
+            .capacity(Capacity::FractionOfFootprint(0.5))
+            .placement(&Placement::Policy(Mempolicy::bw_aware_for(&topo)))
+            .run()
     });
     b.finish();
 }

@@ -1,6 +1,6 @@
 //! Fig. 5: prints the CO-bandwidth sweep (scaled) and benches one run on
 //! a doubled-CO machine.
-use hetmem::runner::{run_workload, Capacity, Placement};
+use hetmem::runner::{Placement, RunBuilder};
 use hetmem::topology_for;
 use hetmem_harness::Bencher;
 use hmtypes::Bandwidth;
@@ -17,12 +17,9 @@ fn main() {
     let spec = opts.scale(workloads::catalog::by_name("srad").unwrap());
     let mut b = Bencher::from_env("fig05_bw_sweep");
     b.bench("fig5/bw_aware_on_160gbps_co", || {
-        run_workload(
-            &spec,
-            &sim,
-            Capacity::Unconstrained,
-            &Placement::Policy(Mempolicy::bw_aware_for(&topo)),
-        )
+        RunBuilder::new(&spec, &sim)
+            .placement(&Placement::Policy(Mempolicy::bw_aware_for(&topo)))
+            .run()
     });
     b.finish();
 }

@@ -1,6 +1,6 @@
 //! Fig. 8: prints the oracle-vs-BW-AWARE table (scaled) and benches an
 //! oracle-placed run at 10% capacity.
-use hetmem::runner::{profile_workload, run_workload, Capacity, Placement};
+use hetmem::runner::{profile_workload, Capacity, Placement, RunBuilder};
 use hetmem_harness::Bencher;
 
 fn main() {
@@ -8,14 +8,13 @@ fn main() {
     eprintln!("{}", hetmem::experiments::fig8(&opts));
     let spec = opts.scale(workloads::catalog::by_name("xsbench").unwrap());
     let (hist, _) = profile_workload(&spec, &opts.sim);
+    let oracle = Placement::Oracle(hist);
     let mut b = Bencher::from_env("fig08_oracle");
     b.bench("fig8/oracle_run_10pct_xsbench", || {
-        run_workload(
-            &spec,
-            &opts.sim,
-            Capacity::FractionOfFootprint(0.10),
-            &Placement::Oracle(hist.clone()),
-        )
+        RunBuilder::new(&spec, &opts.sim)
+            .capacity(Capacity::FractionOfFootprint(0.10))
+            .placement(&oracle)
+            .run()
     });
     b.finish();
 }

@@ -1,6 +1,6 @@
 //! Fig. 10: prints the annotated-placement table (scaled) and benches a
 //! hinted run at 10% capacity.
-use hetmem::runner::{hints_from_profile, profile_workload, run_workload, Capacity, Placement};
+use hetmem::runner::{hints_from_profile, profile_workload, Capacity, Placement, RunBuilder};
 use hetmem_harness::Bencher;
 
 fn main() {
@@ -9,10 +9,13 @@ fn main() {
     let spec = opts.scale(workloads::catalog::by_name("bfs").unwrap());
     let cap = Capacity::FractionOfFootprint(0.10);
     let (_, profile) = profile_workload(&spec, &opts.sim);
-    let hints = hints_from_profile(&profile, &spec, &opts.sim, cap);
+    let hinted = Placement::Hinted(hints_from_profile(&profile, &spec, &opts.sim, cap));
     let mut b = Bencher::from_env("fig10_annotated");
     b.bench("fig10/hinted_run_10pct_bfs", || {
-        run_workload(&spec, &opts.sim, cap, &Placement::Hinted(hints.clone()))
+        RunBuilder::new(&spec, &opts.sim)
+            .capacity(cap)
+            .placement(&hinted)
+            .run()
     });
     b.finish();
 }

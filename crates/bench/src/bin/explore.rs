@@ -14,7 +14,7 @@
 //! ```
 
 use gpusim::SimConfig;
-use hetmem::runner::{hints_from_profile, profile_workload, run_workload, Capacity, Placement};
+use hetmem::runner::{hints_from_profile, profile_workload, Capacity, Placement, RunBuilder};
 use hetmem::topology_for;
 use hmtypes::Percent;
 use mempolicy::Mempolicy;
@@ -66,7 +66,10 @@ fn main() {
     };
 
     eprintln!("running {workload} under {policy} at {capacity_pct:.0}% BO capacity...");
-    let run = run_workload(&spec, &sim, capacity, &placement);
+    let run = RunBuilder::new(&spec, &sim)
+        .capacity(capacity)
+        .placement(&placement)
+        .run();
     let r = &run.report;
     let ghz = sim.sm_clock_ghz;
 

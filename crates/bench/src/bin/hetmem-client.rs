@@ -1,0 +1,78 @@
+//! A one-shot `hetmem-serve` client for scripts and CI.
+//!
+//! ```text
+//! hetmem-client <addr> <op> [key=value ...]
+//!
+//! hetmem-client 127.0.0.1:7711 place workload=bfs capacity_pct=10
+//! hetmem-client 127.0.0.1:7711 simulate workload=hotspot policy=LOCAL \
+//!     mem_ops=5000 sms=2
+//! hetmem-client 127.0.0.1:7711 stats
+//! hetmem-client 127.0.0.1:7711 shutdown
+//! ```
+//!
+//! Values parse as (in order): unsigned integer, float, boolean,
+//! comma-separated number array (`sizes=1048576,2097152`), else
+//! string. The raw response line prints on stdout; the exit code is 0
+//! for an `ok` response, 2 for a structured error response, 1 for
+//! transport or decode failures.
+
+use std::process::ExitCode;
+
+use hetmem_bench::serve::roundtrip;
+use hetmem_harness::json::JsonValue;
+use hetmem_harness::{Request, Response};
+
+/// Parses one `key=value` pair into a JSON field.
+fn field(pair: &str) -> (String, JsonValue) {
+    let (key, value) = pair
+        .split_once('=')
+        .unwrap_or_else(|| panic!("expected key=value, got '{pair}'"));
+    (key.to_string(), scalar_or_array(value))
+}
+
+fn scalar_or_array(value: &str) -> JsonValue {
+    if value.contains(',') {
+        return JsonValue::Array(value.split(',').map(scalar).collect());
+    }
+    scalar(value)
+}
+
+fn scalar(value: &str) -> JsonValue {
+    if let Ok(n) = value.parse::<u64>() {
+        return JsonValue::Num(n as f64);
+    }
+    if let Ok(f) = value.parse::<f64>() {
+        return JsonValue::Num(f);
+    }
+    match value {
+        "true" => JsonValue::Bool(true),
+        "false" => JsonValue::Bool(false),
+        _ => JsonValue::Str(value.to_string()),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        eprintln!("usage: hetmem-client <addr> <op> [key=value ...]");
+        return ExitCode::from(1);
+    }
+    let addr = &args[0];
+    let op = &args[1];
+    let params = JsonValue::Object(args[2..].iter().map(|pair| field(pair)).collect());
+    let req = Request::with_params(1, op, params);
+    match roundtrip(addr, &req) {
+        Ok(resp) => {
+            println!("{}", resp.encode());
+            if matches!(resp, Response::Ok { .. }) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(2)
+            }
+        }
+        Err(e) => {
+            eprintln!("hetmem-client: {e}");
+            ExitCode::from(1)
+        }
+    }
+}

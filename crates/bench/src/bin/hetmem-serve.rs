@@ -1,0 +1,65 @@
+//! The `hetmem-serve` daemon: the online placement service over JSONL
+//! on TCP.
+//!
+//! ```text
+//! cargo run --release -p hetmem-bench --bin hetmem-serve -- \
+//!     --addr 127.0.0.1:0 --shards 4 --port-file /tmp/hetmem.port
+//! ```
+//!
+//! Flags:
+//!
+//! * `--addr <host:port>` — bind address (default `127.0.0.1:0`; port
+//!   0 picks an ephemeral port, printed on stdout)
+//! * `--shards <n>` — simulation worker shards (default 2)
+//! * `--queue-depth <n>` — bounded queue depth per shard (default 32)
+//! * `--cache <n>` — result cache capacity in entries (default 128)
+//! * `--out <dir>` — stream per-request telemetry to `<dir>/serve.jsonl`
+//! * `--port-file <path>` — write the bound port (digits only) for
+//!   scripts that cannot parse stdout
+//!
+//! The process exits after a client sends the `shutdown` op; in-flight
+//! requests are drained first.
+
+use std::sync::Arc;
+
+use hetmem::TelemetrySink;
+use hetmem_bench::serve::{start, ServeConfig};
+
+fn main() {
+    let mut cfg = ServeConfig::default();
+    let mut port_file: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => cfg.addr = args.next().expect("--addr needs host:port"),
+            "--shards" => {
+                let v = args.next().expect("--shards needs a value");
+                cfg.shards = v.parse().expect("--shards takes an integer");
+            }
+            "--queue-depth" => {
+                let v = args.next().expect("--queue-depth needs a value");
+                cfg.queue_depth = v.parse().expect("--queue-depth takes an integer");
+            }
+            "--cache" => {
+                let v = args.next().expect("--cache needs a value");
+                cfg.cache_capacity = v.parse().expect("--cache takes an integer");
+            }
+            "--out" => {
+                let dir = args.next().expect("--out needs a directory");
+                let sink = TelemetrySink::create(&dir)
+                    .unwrap_or_else(|e| panic!("cannot create telemetry dir {dir}: {e}"));
+                cfg.telemetry = Some(Arc::new(sink));
+            }
+            "--port-file" => port_file = Some(args.next().expect("--port-file needs a path")),
+            other => panic!("unknown flag {other}; see hetmem-serve docs"),
+        }
+    }
+    let handle = start(cfg).unwrap_or_else(|e| panic!("hetmem-serve failed to start: {e}"));
+    println!("hetmem-serve listening on {}", handle.addr());
+    if let Some(path) = port_file {
+        std::fs::write(&path, handle.port().to_string())
+            .unwrap_or_else(|e| panic!("cannot write port file {path}: {e}"));
+    }
+    handle.wait();
+    println!("hetmem-serve drained, exiting");
+}

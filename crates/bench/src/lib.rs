@@ -25,6 +25,8 @@
 //! Inspect the emitted files with `cargo run -p hetmem-bench --bin
 //! hetmem-trace -- summary <file>`.
 
+pub mod serve;
+
 use std::sync::Arc;
 
 use hetmem::experiments::ExpOptions;

@@ -1,0 +1,745 @@
+//! `hetmem-serve`: the online placement service.
+//!
+//! A std-only TCP server speaking the JSONL protocol of
+//! [`hetmem_harness::protocol`] — one request object per line, one
+//! response object back. Three query operations plus a control one:
+//!
+//! * **`place`** — turn allocation annotations (sizes + hotness, or a
+//!   catalog workload's) into per-allocation placement hints via the
+//!   paper's `GetAllocation` (§5.2). Cheap; answered inline.
+//! * **`simulate`** — run one catalog workload under a named policy on
+//!   a sharded worker pool and return its telemetry [`RunRecord`]
+//!   (`hetmem_harness::telemetry::RunRecord`) as JSON. Results are
+//!   memoized in a content-addressed LRU cache: repeating a request
+//!   returns byte-identical bytes without re-simulating.
+//! * **`stats`** — server counters (requests, errors, load sheds) and
+//!   cache statistics as JSON.
+//! * **`shutdown`** — stop accepting work, drain in-flight requests,
+//!   exit. Every request received before the drain still gets its
+//!   response.
+//!
+//! Jobs route to worker shards by the FNV-1a hash of their canonical
+//! cache key, so identical concurrent requests serialize on one shard
+//! and the followers become cache hits instead of duplicate
+//! simulations. Each shard has a bounded queue; when it is full the
+//! server sheds load with a structured `overloaded` error instead of
+//! blocking the client.
+//!
+//! Simulations execute through the harness sweep engine
+//! ([`run_grid`]) so a panicking grid point surfaces as a structured
+//! `sim-panic` error response rather than a dead worker.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use gpusim::SimConfig;
+use hetmem::{
+    bo_traffic_target, hints_from_profile, profile_workload, record_for, topology_for, Capacity,
+    HetmemError, Placement, RunBuilder, TelemetrySink,
+};
+use hetmem_harness::json::{self, JsonObject, JsonValue};
+use hetmem_harness::sweep::{run_grid, SweepOptions};
+use hetmem_harness::telemetry::fnv1a;
+use hetmem_harness::{BoundedQueue, ProtocolError, PushError, Request, Response, ResultCache};
+use mempolicy::Mempolicy;
+use profiler::get_allocation;
+use workloads::{catalog, WorkloadSpec};
+
+/// Server construction knobs. `Default` binds an ephemeral loopback
+/// port with two worker shards.
+#[derive(Debug, Clone, Default)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (read it back from
+    /// [`ServerHandle::port`]). Empty = `127.0.0.1:0`.
+    pub addr: String,
+    /// Simulation worker shards (0 = default 2).
+    pub shards: usize,
+    /// Bounded queue depth per shard (0 = default 32); beyond it the
+    /// server sheds load with `overloaded`.
+    pub queue_depth: usize,
+    /// Result cache capacity in entries (0 = default 128).
+    pub cache_capacity: usize,
+    /// Optional per-request telemetry sink (`<dir>/serve.jsonl`).
+    pub telemetry: Option<Arc<TelemetrySink>>,
+}
+
+impl ServeConfig {
+    fn addr_or_default(&self) -> &str {
+        if self.addr.is_empty() {
+            "127.0.0.1:0"
+        } else {
+            &self.addr
+        }
+    }
+}
+
+/// Which placement strategy a `simulate` request asked for.
+#[derive(Debug, Clone)]
+enum PolicyChoice {
+    /// An OS policy (`LOCAL`, `INTERLEAVE`, `BW-AWARE`, `xC-yB`).
+    Os(Mempolicy),
+    /// Two-phase oracle: profile first, then perfect-knowledge pages.
+    Oracle,
+    /// Annotation hints: profile, `GetAllocation`, hinted mallocs.
+    Hinted,
+}
+
+/// One resolved simulation point — everything a worker needs, and the
+/// unit the sweep engine wraps for panic isolation.
+#[derive(Debug, Clone)]
+struct SimPoint {
+    spec: WorkloadSpec,
+    sim: SimConfig,
+    capacity: Capacity,
+    policy: PolicyChoice,
+    config_label: String,
+}
+
+/// A queued simulate job: the point plus the reply channel back to the
+/// connection thread.
+struct Job {
+    key: String,
+    point: SimPoint,
+    reply: mpsc::Sender<JobReply>,
+}
+
+/// Worker → connection reply: `(result JSON, was a cache hit)`.
+type JobReply = Result<(String, bool), HetmemError>;
+
+/// Requests currently between decode and response write; shutdown
+/// waits for this to reach zero so every accepted request is answered.
+#[derive(Default)]
+struct ActiveRequests {
+    count: Mutex<u64>,
+    zero: Condvar,
+}
+
+impl ActiveRequests {
+    fn begin(&self) {
+        *self.count.lock().unwrap_or_else(|e| e.into_inner()) += 1;
+    }
+
+    fn end(&self) {
+        let mut n = self.count.lock().unwrap_or_else(|e| e.into_inner());
+        *n -= 1;
+        if *n == 0 {
+            self.zero.notify_all();
+        }
+    }
+
+    fn wait_zero(&self) {
+        let mut n = self.count.lock().unwrap_or_else(|e| e.into_inner());
+        while *n > 0 {
+            n = self.zero.wait(n).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// RAII guard for one in-flight request.
+struct ActiveGuard<'a>(&'a ActiveRequests);
+
+impl<'a> ActiveGuard<'a> {
+    fn new(active: &'a ActiveRequests) -> Self {
+        active.begin();
+        ActiveGuard(active)
+    }
+}
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.end();
+    }
+}
+
+/// Monotonic server counters, all exposed by the `stats` op.
+#[derive(Default)]
+struct ServerStats {
+    requests: AtomicU64,
+    ok: AtomicU64,
+    errors: AtomicU64,
+    overloaded: AtomicU64,
+    op_place: AtomicU64,
+    op_simulate: AtomicU64,
+    op_stats: AtomicU64,
+    op_shutdown: AtomicU64,
+    op_other: AtomicU64,
+}
+
+/// Everything the acceptor, connection, and worker threads share.
+struct Shared {
+    addr: SocketAddr,
+    cache: ResultCache,
+    queues: Vec<BoundedQueue<Job>>,
+    shutting: AtomicBool,
+    stats: ServerStats,
+    telemetry: Option<Arc<TelemetrySink>>,
+    started: Instant,
+    active: ActiveRequests,
+}
+
+/// A running server: the bound address plus the threads to join.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// The bound socket address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The bound port (useful with an ephemeral bind).
+    pub fn port(&self) -> u16 {
+        self.addr.port()
+    }
+
+    /// Triggers the drain locally (equivalent to a `shutdown` request).
+    pub fn shutdown(&self) {
+        begin_shutdown(&self.shared);
+    }
+
+    /// Blocks until the server has fully drained: the acceptor has
+    /// stopped, the shard workers have finished every queued job, and
+    /// every in-flight request has written its response.
+    pub fn wait(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.shared.active.wait_zero();
+    }
+}
+
+/// Binds and starts the service: one acceptor thread, one thread per
+/// connection, and `shards` simulation workers.
+///
+/// # Errors
+///
+/// Propagates bind/spawn failures.
+pub fn start(cfg: ServeConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(cfg.addr_or_default())?;
+    let addr = listener.local_addr()?;
+    let shards = if cfg.shards == 0 { 2 } else { cfg.shards };
+    let depth = if cfg.queue_depth == 0 {
+        32
+    } else {
+        cfg.queue_depth
+    };
+    let cache_cap = if cfg.cache_capacity == 0 {
+        128
+    } else {
+        cfg.cache_capacity
+    };
+    let shared = Arc::new(Shared {
+        addr,
+        cache: ResultCache::new(cache_cap),
+        queues: (0..shards).map(|_| BoundedQueue::new(depth)).collect(),
+        shutting: AtomicBool::new(false),
+        stats: ServerStats::default(),
+        telemetry: cfg.telemetry,
+        started: Instant::now(),
+        active: ActiveRequests::default(),
+    });
+    let workers = (0..shards)
+        .map(|i| {
+            let s = Arc::clone(&shared);
+            thread::Builder::new()
+                .name(format!("hetmem-serve-shard-{i}"))
+                .spawn(move || worker_loop(&s, i))
+        })
+        .collect::<io::Result<Vec<_>>>()?;
+    let acceptor = {
+        let s = Arc::clone(&shared);
+        thread::Builder::new()
+            .name("hetmem-serve-accept".to_string())
+            .spawn(move || accept_loop(&s, listener))?
+    };
+    Ok(ServerHandle {
+        addr,
+        acceptor: Some(acceptor),
+        workers,
+        shared,
+    })
+}
+
+/// One request/response round-trip on a fresh connection — the
+/// convenience path for CI and tests.
+///
+/// # Errors
+///
+/// I/O failures, or `InvalidData` when the server's reply is not a
+/// valid response line.
+pub fn roundtrip(addr: &str, req: &Request) -> io::Result<Response> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut line = req.encode();
+    line.push('\n');
+    writer.write_all(line.as_bytes())?;
+    writer.flush()?;
+    let mut reply = String::new();
+    if reader.read_line(&mut reply)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "server closed the connection before responding",
+        ));
+    }
+    Response::decode(reply.trim_end())
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    for conn in listener.incoming() {
+        if shared.shutting.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let s = Arc::clone(shared);
+        let _ = thread::Builder::new()
+            .name("hetmem-serve-conn".to_string())
+            .spawn(move || handle_conn(&s, stream));
+    }
+    // Dropping the listener here refuses all later connections.
+}
+
+fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        // The guard spans decode → response write: shutdown's drain
+        // waits for it, so an accepted request always gets its bytes.
+        let guard = ActiveGuard::new(&shared.active);
+        let resp = dispatch(shared, trimmed);
+        let mut out = resp.encode();
+        out.push('\n');
+        let write_ok = writer.write_all(out.as_bytes()).is_ok() && writer.flush().is_ok();
+        drop(guard);
+        if !write_ok || shared.shutting.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+}
+
+/// Decodes and executes one request line, returning the response and
+/// recording counters + telemetry.
+fn dispatch(shared: &Arc<Shared>, line: &str) -> Response {
+    let t0 = Instant::now();
+    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+    let req = match Request::decode(line) {
+        Ok(req) => req,
+        Err(e) => {
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            let resp = Response::err(0, e.code(), &e.to_string());
+            record_request(shared, "decode", Some(e.code()), false, t0);
+            return resp;
+        }
+    };
+    let op_counter = match req.op.as_str() {
+        "place" => &shared.stats.op_place,
+        "simulate" => &shared.stats.op_simulate,
+        "stats" => &shared.stats.op_stats,
+        "shutdown" => &shared.stats.op_shutdown,
+        _ => &shared.stats.op_other,
+    };
+    op_counter.fetch_add(1, Ordering::Relaxed);
+
+    let outcome: Result<(String, bool), HetmemError> = if shared.shutting.load(Ordering::SeqCst) {
+        Err(HetmemError::ShuttingDown)
+    } else {
+        match req.op.as_str() {
+            "place" => handle_place(&req.params).map(|body| (body, false)),
+            "simulate" => handle_simulate(shared, &req.params),
+            "stats" => Ok((stats_json(shared), false)),
+            "shutdown" => {
+                begin_shutdown(shared);
+                Ok((JsonObject::new().bool("draining", true).finish(), false))
+            }
+            op => Err(HetmemError::UnknownOp { op: op.to_string() }),
+        }
+    };
+
+    match outcome {
+        Ok((body, cache_hit)) => {
+            shared.stats.ok.fetch_add(1, Ordering::Relaxed);
+            record_request(shared, &req.op, None, cache_hit, t0);
+            Response::ok(req.id, body)
+        }
+        Err(e) => {
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            if matches!(e, HetmemError::Overloaded) {
+                shared.stats.overloaded.fetch_add(1, Ordering::Relaxed);
+            }
+            record_request(shared, &req.op, Some(e.code()), false, t0);
+            Response::err(req.id, e.code(), &e.to_string())
+        }
+    }
+}
+
+/// Appends one `serve-request` telemetry line when a sink is attached.
+fn record_request(shared: &Shared, op: &str, err_code: Option<&str>, cache_hit: bool, t0: Instant) {
+    let Some(sink) = &shared.telemetry else {
+        return;
+    };
+    let line = JsonObject::new()
+        .str("kind", "serve-request")
+        .str("op", op)
+        .str("status", err_code.unwrap_or("ok"))
+        .bool("cache_hit", cache_hit)
+        .f64("wall_ms", t0.elapsed().as_secs_f64() * 1e3)
+        .finish();
+    let _ = sink.record_lines("serve", &[line]);
+}
+
+/// Sets the drain flag once: close every shard queue (workers finish
+/// what is queued, then exit) and wake the acceptor so it stops
+/// listening.
+fn begin_shutdown(shared: &Arc<Shared>) {
+    if shared.shutting.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    for q in &shared.queues {
+        q.close();
+    }
+    // accept() is blocking; a throwaway connection wakes it to observe
+    // the flag.
+    let _ = TcpStream::connect(shared.addr);
+}
+
+fn worker_loop(shared: &Arc<Shared>, shard: usize) {
+    while let Some(job) = shared.queues[shard].pop() {
+        // Identical concurrent requests hash to this same shard, so by
+        // the time a duplicate is popped the first result is cached.
+        let reply = match shared.cache.get(&job.key) {
+            Some(body) => Ok((body, true)),
+            None => match execute(&job.point) {
+                Ok(body) => {
+                    shared.cache.insert(&job.key, body.clone());
+                    Ok((body, false))
+                }
+                Err(e) => Err(e),
+            },
+        };
+        let _ = job.reply.send(reply);
+    }
+}
+
+/// Runs one point through the sweep engine (single-threaded, one
+/// point) so a simulator panic comes back as a structured error.
+fn execute(point: &SimPoint) -> Result<String, HetmemError> {
+    let opts = SweepOptions {
+        threads: 1,
+        progress: false,
+        ..SweepOptions::default()
+    };
+    let mut results = run_grid(
+        std::slice::from_ref(point),
+        &opts,
+        |p| format!("{}/{}", p.spec.name, p.config_label),
+        |p, _ctx| run_point(p),
+    )?;
+    Ok(results.pop().expect("one point in, one result out"))
+}
+
+fn run_point(p: &SimPoint) -> String {
+    let placement = match &p.policy {
+        PolicyChoice::Os(policy) => Placement::Policy(policy.clone()),
+        PolicyChoice::Oracle => {
+            let (histogram, _) = profile_workload(&p.spec, &p.sim);
+            Placement::Oracle(histogram)
+        }
+        PolicyChoice::Hinted => {
+            let (_, profile) = profile_workload(&p.spec, &p.sim);
+            Placement::Hinted(hints_from_profile(&profile, &p.spec, &p.sim, p.capacity))
+        }
+    };
+    let run = RunBuilder::new(&p.spec, &p.sim)
+        .capacity(p.capacity)
+        .placement(&placement)
+        .run();
+    record_for("serve", p.spec.name, &p.config_label, &p.sim, &run).jsonl(false)
+}
+
+/// `simulate`: resolve, consult/route to the sharded pool, reply.
+fn handle_simulate(
+    shared: &Arc<Shared>,
+    params: &JsonValue,
+) -> Result<(String, bool), HetmemError> {
+    let (point, key) = parse_simulate(params)?;
+    let shard = (fnv1a(key.as_bytes()) % shared.queues.len() as u64) as usize;
+    let (tx, rx) = mpsc::channel();
+    let job = Job {
+        key,
+        point,
+        reply: tx,
+    };
+    match shared.queues[shard].try_push(job) {
+        Ok(()) => {}
+        Err(PushError::Overloaded(_)) => return Err(HetmemError::Overloaded),
+        Err(PushError::Closed(_)) => return Err(HetmemError::ShuttingDown),
+    }
+    match rx.recv() {
+        Ok(reply) => reply,
+        Err(_) => Err(HetmemError::ShuttingDown),
+    }
+}
+
+/// Resolves a `simulate` request into a concrete [`SimPoint`] and its
+/// canonical cache key. Every knob is resolved (defaults applied)
+/// before keying, so explicitly passing a default value still hits.
+fn parse_simulate(params: &JsonValue) -> Result<(SimPoint, String), HetmemError> {
+    let name = params
+        .get("workload")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| HetmemError::invalid("simulate needs a 'workload' (catalog name)"))?;
+    let mut spec = catalog::by_name(name).ok_or_else(|| HetmemError::UnknownWorkload {
+        name: name.to_string(),
+    })?;
+    if let Some(ops) = field_u64(params, "mem_ops")? {
+        if ops == 0 {
+            return Err(HetmemError::invalid("'mem_ops' must be positive"));
+        }
+        spec.mem_ops = ops;
+    }
+    if let Some(seed) = field_u64(params, "seed")? {
+        spec.seed = seed;
+    }
+    let mut sim = SimConfig::paper_baseline();
+    if let Some(sms) = field_u64(params, "sms")? {
+        if sms == 0 || sms > 1024 {
+            return Err(HetmemError::invalid("'sms' must be in 1..=1024"));
+        }
+        sim.num_sms = sms as u32;
+    }
+    let capacity_pct = field_u64(params, "capacity_pct")?;
+    let capacity = match capacity_pct {
+        Some(pct) if (1..=100).contains(&pct) => Capacity::FractionOfFootprint(pct as f64 / 100.0),
+        Some(_) => return Err(HetmemError::invalid("'capacity_pct' must be in 1..=100")),
+        None => Capacity::Unconstrained,
+    };
+    let policy_str = params
+        .get("policy")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("BW-AWARE");
+    let (policy, config_label) = match policy_str.trim().to_ascii_uppercase().as_str() {
+        "ORACLE" => (PolicyChoice::Oracle, "ORACLE".to_string()),
+        "HINTED" | "ANNOTATED" => (PolicyChoice::Hinted, "HINTED".to_string()),
+        _ => {
+            let topo = topology_for(&sim, &vec![1; sim.pools.len()]);
+            let policy = Mempolicy::parse(policy_str, &topo).map_err(|_| {
+                HetmemError::invalid(format!(
+                    "unknown policy '{policy_str}' \
+                     (want LOCAL, INTERLEAVE, BW-AWARE, xC-yB, ORACLE, or HINTED)"
+                ))
+            })?;
+            let label = policy.name();
+            (PolicyChoice::Os(policy), label)
+        }
+    };
+    // Canonical key over the *resolved* request; 0 = unconstrained.
+    let key = JsonObject::new()
+        .str("workload", spec.name)
+        .str("policy", &config_label)
+        .u64("capacity_pct", capacity_pct.unwrap_or(0))
+        .u64("mem_ops", spec.mem_ops)
+        .u64("sms", u64::from(sim.num_sms))
+        .u64("seed", spec.seed)
+        .finish();
+    Ok((
+        SimPoint {
+            spec,
+            sim,
+            capacity,
+            policy,
+            config_label,
+        },
+        key,
+    ))
+}
+
+/// `place`: annotation arrays (or a catalog workload's) through the
+/// paper's `GetAllocation`, inline on the connection thread.
+fn handle_place(params: &JsonValue) -> Result<String, HetmemError> {
+    let sim = SimConfig::paper_baseline();
+    let (names, sizes, hotness) = place_inputs(params)?;
+    let footprint: u64 = sizes.iter().sum();
+    if footprint == 0 {
+        return Err(HetmemError::invalid("total footprint must be positive"));
+    }
+    let bo_bytes = match (
+        field_u64(params, "bo_bytes")?,
+        field_u64(params, "capacity_pct")?,
+    ) {
+        (Some(bytes), _) => bytes,
+        (None, Some(pct)) if (1..=100).contains(&pct) => {
+            (footprint as f64 * pct as f64 / 100.0).ceil() as u64
+        }
+        (None, Some(_)) => return Err(HetmemError::invalid("'capacity_pct' must be in 1..=100")),
+        // Unconstrained: the BW-AWARE share always fits a BO pool the
+        // size of the whole footprint.
+        (None, None) => footprint,
+    };
+    let frac = match params.get("bo_traffic_fraction") {
+        Some(v) => {
+            let f = v
+                .as_f64()
+                .ok_or_else(|| HetmemError::invalid("'bo_traffic_fraction' must be a number"))?;
+            if !(0.0..=1.0).contains(&f) {
+                return Err(HetmemError::invalid(
+                    "'bo_traffic_fraction' must be in [0, 1]",
+                ));
+            }
+            f
+        }
+        None => bo_traffic_target(&sim),
+    };
+    let hints = get_allocation(&sizes, &hotness, bo_bytes, frac);
+    let items = names
+        .iter()
+        .zip(&sizes)
+        .zip(&hints)
+        .map(|((name, bytes), hint)| {
+            JsonObject::new()
+                .str("name", name)
+                .u64("bytes", *bytes)
+                .str("hint", hint.as_str())
+                .finish()
+        });
+    Ok(JsonObject::new()
+        .raw("hints", &json::array(items))
+        .u64("bo_bytes", bo_bytes)
+        .f64("bo_traffic_fraction", frac)
+        .finish())
+}
+
+type PlaceInputs = (Vec<String>, Vec<u64>, Vec<f64>);
+
+/// The `place` inputs: a catalog workload's structures, or explicit
+/// `sizes` + `hotness` (+ optional `names`) arrays.
+fn place_inputs(params: &JsonValue) -> Result<PlaceInputs, HetmemError> {
+    if let Some(name) = params.get("workload").and_then(JsonValue::as_str) {
+        let spec = catalog::by_name(name).ok_or_else(|| HetmemError::UnknownWorkload {
+            name: name.to_string(),
+        })?;
+        let names = spec.structures.iter().map(|s| s.name.to_string()).collect();
+        let sizes = spec.structures.iter().map(|s| s.bytes).collect();
+        let hotness = spec.hotness_densities();
+        return Ok((names, sizes, hotness));
+    }
+    let sizes = array_field(params, "sizes", JsonValue::as_u64)?
+        .ok_or_else(|| HetmemError::invalid("place needs 'workload' or 'sizes' + 'hotness'"))?;
+    let hotness = array_field(params, "hotness", JsonValue::as_f64)?
+        .ok_or_else(|| HetmemError::invalid("place needs 'hotness' alongside 'sizes'"))?;
+    if sizes.is_empty() || sizes.len() != hotness.len() {
+        return Err(HetmemError::invalid(
+            "'sizes' and 'hotness' must be non-empty and the same length",
+        ));
+    }
+    let names = match array_field(params, "names", |v| v.as_str().map(str::to_string))? {
+        Some(names) if names.len() == sizes.len() => names,
+        Some(_) => {
+            return Err(HetmemError::invalid("'names' must match 'sizes' in length"));
+        }
+        None => (0..sizes.len()).map(|i| format!("alloc{i}")).collect(),
+    };
+    Ok((names, sizes, hotness))
+}
+
+/// Reads an optional homogeneous array field; `Err` when present but
+/// ill-typed.
+fn array_field<T>(
+    params: &JsonValue,
+    key: &str,
+    elem: impl Fn(&JsonValue) -> Option<T>,
+) -> Result<Option<Vec<T>>, HetmemError> {
+    match params.get(key) {
+        None => Ok(None),
+        Some(v) => {
+            let items = v
+                .as_array()
+                .ok_or_else(|| HetmemError::invalid(format!("'{key}' must be an array")))?;
+            items
+                .iter()
+                .map(|item| {
+                    elem(item).ok_or_else(|| {
+                        HetmemError::invalid(format!("'{key}' has an ill-typed element"))
+                    })
+                })
+                .collect::<Result<Vec<T>, _>>()
+                .map(Some)
+        }
+    }
+}
+
+/// Reads an optional unsigned integer field; `Err` when present but
+/// ill-typed.
+fn field_u64(params: &JsonValue, key: &str) -> Result<Option<u64>, HetmemError> {
+    match params.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| HetmemError::invalid(format!("'{key}' must be a non-negative integer"))),
+    }
+}
+
+/// The `stats` result body.
+fn stats_json(shared: &Shared) -> String {
+    let s = &shared.stats;
+    let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+    let cache = shared.cache.stats();
+    let ops = JsonObject::new()
+        .u64("place", load(&s.op_place))
+        .u64("simulate", load(&s.op_simulate))
+        .u64("stats", load(&s.op_stats))
+        .u64("shutdown", load(&s.op_shutdown))
+        .u64("other", load(&s.op_other))
+        .finish();
+    let cache_obj = JsonObject::new()
+        .u64("hits", cache.hits)
+        .u64("misses", cache.misses)
+        .u64("insertions", cache.insertions)
+        .u64("evictions", cache.evictions)
+        .u64("entries", cache.entries as u64)
+        .u64("capacity", cache.capacity as u64)
+        .finish();
+    JsonObject::new()
+        .u64("requests", load(&s.requests))
+        .u64("ok", load(&s.ok))
+        .u64("errors", load(&s.errors))
+        .u64("overloaded", load(&s.overloaded))
+        .raw("ops", &ops)
+        .raw("cache", &cache_obj)
+        .u64("shards", shared.queues.len() as u64)
+        .u64("queue_depth", shared.queues[0].capacity() as u64)
+        .u64("uptime_ms", shared.started.elapsed().as_millis() as u64)
+        .finish()
+}
+
+/// Maps a client-side decode failure onto the protocol's error space
+/// (exposed for the client binary).
+pub fn protocol_io_error(e: &ProtocolError) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+}

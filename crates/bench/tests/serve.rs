@@ -1,0 +1,323 @@
+//! Integration tests for `hetmem-serve`: the sharded placement service
+//! end-to-end over real loopback TCP.
+//!
+//! Covers the service's contract: deterministic byte-identical results
+//! under concurrent clients, cache hits that reproduce the miss bytes
+//! exactly, structured `overloaded` load shedding, graceful
+//! drain-on-shutdown, and machine-readable error codes for every
+//! protocol failure.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::thread;
+use std::time::Duration;
+
+use hetmem_bench::serve::{roundtrip, start, ServeConfig, ServerHandle};
+use hetmem_harness::json::JsonValue;
+use hetmem_harness::{Request, Response};
+
+fn sim_request(id: u64, json_params: &str) -> Request {
+    Request::with_params(id, "simulate", JsonValue::parse(json_params).unwrap())
+}
+
+fn expect_ok(resp: &Response) -> &str {
+    match resp {
+        Response::Ok { result, .. } => result,
+        Response::Err { code, message, .. } => panic!("expected ok, got {code}: {message}"),
+    }
+}
+
+fn expect_err(resp: &Response) -> (&str, &str) {
+    match resp {
+        Response::Err { code, message, .. } => (code, message),
+        Response::Ok { result, .. } => panic!("expected error, got ok: {result}"),
+    }
+}
+
+fn server(shards: usize, queue_depth: usize) -> ServerHandle {
+    start(ServeConfig {
+        shards,
+        queue_depth,
+        ..ServeConfig::default()
+    })
+    .expect("bind loopback")
+}
+
+fn stats(addr: &str) -> JsonValue {
+    let resp = roundtrip(addr, &Request::new(900, "stats")).unwrap();
+    JsonValue::parse(expect_ok(&resp)).unwrap()
+}
+
+fn stat(v: &JsonValue, path: &[&str]) -> u64 {
+    let mut cur = v;
+    for key in path {
+        cur = cur.get(key).unwrap_or_else(|| panic!("missing {path:?}"));
+    }
+    cur.as_u64().unwrap_or_else(|| panic!("{path:?} not a u64"))
+}
+
+/// A quick simulate body (~tens of ms in debug builds).
+const QUICK: &str = r#"{"workload":"hotspot","policy":"LOCAL","mem_ops":4000,"sms":2,"seed":7}"#;
+
+/// A slow simulate body (~1s in debug builds) used to occupy workers.
+fn slow(seed: u64) -> String {
+    format!(r#"{{"workload":"hotspot","policy":"LOCAL","mem_ops":120000,"sms":2,"seed":{seed}}}"#)
+}
+
+#[test]
+fn concurrent_identical_clients_get_byte_identical_results() {
+    let handle = server(2, 32);
+    let addr = handle.addr().to_string();
+
+    // 8 clients race the same request; identical keys hash to one
+    // shard, so exactly one simulation runs and the rest are hits.
+    let clients: Vec<_> = (0..8)
+        .map(|i| {
+            let addr = addr.clone();
+            thread::spawn(move || {
+                let resp = roundtrip(&addr, &sim_request(100 + i, QUICK)).unwrap();
+                assert_eq!(resp.id(), 100 + i);
+                expect_ok(&resp).to_string()
+            })
+        })
+        .collect();
+    let results: Vec<String> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+    for r in &results[1..] {
+        assert_eq!(r, &results[0], "concurrent results must be byte-identical");
+    }
+
+    // A later repeat is a pure cache hit with the same bytes.
+    let again = roundtrip(&addr, &sim_request(200, QUICK)).unwrap();
+    assert_eq!(expect_ok(&again), results[0]);
+
+    let record = JsonValue::parse(&results[0]).unwrap();
+    assert_eq!(record.get("workload").unwrap().as_str(), Some("hotspot"));
+    assert!(stat(&record, &["cycles"]) > 0);
+
+    let s = stats(&addr);
+    assert_eq!(stat(&s, &["cache", "insertions"]), 1, "one simulation ran");
+    assert_eq!(stat(&s, &["cache", "misses"]), 1);
+    assert_eq!(stat(&s, &["cache", "hits"]), 8, "8 of 9 requests were hits");
+    assert_eq!(stat(&s, &["ops", "simulate"]), 9);
+    assert_eq!(stat(&s, &["errors"]), 0);
+
+    handle.shutdown();
+    handle.wait();
+}
+
+#[test]
+fn overload_sheds_with_structured_error_and_recovers() {
+    // One shard, queue depth one: at most one running and one queued
+    // job; everything else must be shed as `overloaded`.
+    let handle = server(1, 1);
+    let addr = handle.addr().to_string();
+
+    let clients: Vec<_> = (0..6)
+        .map(|seed| {
+            let addr = addr.clone();
+            thread::spawn(move || roundtrip(&addr, &sim_request(seed, &slow(seed))).unwrap())
+        })
+        .collect();
+    let responses: Vec<Response> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+
+    let mut ok = 0;
+    let mut shed = 0;
+    for resp in &responses {
+        match resp {
+            Response::Ok { .. } => ok += 1,
+            Response::Err { code, message, .. } => {
+                assert_eq!(code, "overloaded", "only overloaded errors expected");
+                assert!(message.contains("load shed"), "got {message}");
+                shed += 1;
+            }
+        }
+    }
+    assert!(ok >= 1, "at least the first job must complete");
+    assert!(shed >= 1, "with 6 jobs on a depth-1 queue some must shed");
+
+    // Shedding is not a crash: the server still answers, and its own
+    // counters agree with what the clients saw.
+    // (The snapshot is taken before the stats call's own ok-count.)
+    let s = stats(&addr);
+    assert_eq!(stat(&s, &["overloaded"]), shed);
+    assert_eq!(stat(&s, &["ok"]), ok);
+
+    handle.shutdown();
+    handle.wait();
+}
+
+#[test]
+fn shutdown_drains_in_flight_requests() {
+    let handle = server(1, 4);
+    let addr = handle.addr().to_string();
+
+    // A slow request is mid-flight when shutdown arrives.
+    let in_flight = {
+        let addr = addr.clone();
+        thread::spawn(move || roundtrip(&addr, &sim_request(1, &slow(42))).unwrap())
+    };
+    thread::sleep(Duration::from_millis(200));
+
+    let resp = roundtrip(&addr, &Request::new(2, "shutdown")).unwrap();
+    let draining = JsonValue::parse(expect_ok(&resp)).unwrap();
+    assert_eq!(draining.get("draining").unwrap().as_bool(), Some(true));
+
+    // The in-flight request still gets its full result...
+    let resp = in_flight.join().unwrap();
+    let record = JsonValue::parse(expect_ok(&resp)).unwrap();
+    assert!(stat(&record, &["cycles"]) > 0, "drained result is complete");
+
+    // ...and wait() returns once everything is answered. Afterwards the
+    // listener is gone: new connections are refused or reset.
+    handle.wait();
+    let refused = match TcpStream::connect(&addr) {
+        Err(_) => true,
+        Ok(stream) => {
+            let mut reader = BufReader::new(stream);
+            let mut line = String::new();
+            matches!(reader.read_line(&mut line), Ok(0) | Err(_))
+        }
+    };
+    assert!(refused, "server must not accept work after wait()");
+}
+
+#[test]
+fn requests_after_shutdown_are_refused_as_shutting_down() {
+    let handle = server(1, 4);
+    let addr = handle.addr().to_string();
+
+    // Open a connection first; it stays usable across shutdown.
+    let stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+
+    let resp = roundtrip(&addr, &Request::new(1, "shutdown")).unwrap();
+    assert!(resp.is_ok());
+
+    let mut line = sim_request(2, QUICK).encode();
+    line.push('\n');
+    writer.write_all(line.as_bytes()).unwrap();
+    writer.flush().unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    let resp = Response::decode(reply.trim_end()).unwrap();
+    let (code, message) = expect_err(&resp);
+    assert_eq!(code, "shutting-down");
+    assert!(message.contains("draining"), "got {message}");
+    drop(writer);
+
+    handle.wait();
+}
+
+#[test]
+fn protocol_and_validation_errors_are_structured() {
+    let handle = server(1, 4);
+    let addr = handle.addr().to_string();
+
+    // One pipelined connection exercising every error path in order;
+    // the server must answer each line and keep the connection open.
+    let stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+
+    let lines = [
+        "this is not json".to_string(),
+        Request::new(11, "frobnicate").encode(),
+        sim_request(12, r#"{"workload":"no-such-app"}"#).encode(),
+        sim_request(13, r#"{"workload":"bfs","policy":"FASTEST"}"#).encode(),
+        sim_request(14, r#"{"workload":"bfs","capacity_pct":500}"#).encode(),
+        sim_request(15, r#"{"workload":"bfs","mem_ops":0}"#).encode(),
+    ];
+    for line in &lines {
+        writer.write_all(line.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+    }
+    writer.flush().unwrap();
+
+    let mut read_response = || {
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        Response::decode(reply.trim_end()).unwrap()
+    };
+
+    let expected: [(u64, &str); 6] = [
+        (0, "bad-json"), // id 0: the request never parsed
+        (11, "unknown-op"),
+        (12, "unknown-workload"),
+        (13, "invalid-request"),
+        (14, "invalid-request"),
+        (15, "invalid-request"),
+    ];
+    for (want_id, want_code) in expected {
+        let resp = read_response();
+        assert_eq!(resp.id(), want_id);
+        let (code, _) = expect_err(&resp);
+        assert_eq!(code, want_code, "for request id {want_id}");
+    }
+
+    // The same connection still serves valid work after six errors.
+    let mut line = Request::new(20, "stats").encode();
+    line.push('\n');
+    writer.write_all(line.as_bytes()).unwrap();
+    writer.flush().unwrap();
+    let resp = read_response();
+    assert!(resp.is_ok(), "connection must survive bad requests");
+
+    handle.shutdown();
+    handle.wait();
+}
+
+#[test]
+fn place_reports_hints_for_every_structure() {
+    let handle = server(1, 4);
+    let addr = handle.addr().to_string();
+
+    let req = Request::with_params(
+        1,
+        "place",
+        JsonValue::parse(r#"{"workload":"bfs","capacity_pct":10}"#).unwrap(),
+    );
+    let resp = roundtrip(&addr, &req).unwrap();
+    let result = JsonValue::parse(expect_ok(&resp)).unwrap();
+
+    let hints = result.get("hints").unwrap().as_array().unwrap();
+    assert_eq!(hints.len(), 6, "bfs has six data structures");
+    for h in hints {
+        let hint = h.get("hint").unwrap().as_str().unwrap();
+        assert!(
+            matches!(hint, "BO" | "CO" | "BW"),
+            "machine-abstract hint, got {hint}"
+        );
+        assert!(stat(h, &["bytes"]) > 0);
+        assert!(h.get("name").unwrap().as_str().is_some());
+    }
+    assert!(stat(&result, &["bo_bytes"]) > 0);
+    let frac = result.get("bo_traffic_fraction").unwrap().as_f64().unwrap();
+    assert!((0.0..=1.0).contains(&frac));
+
+    // Raw annotation arrays work without naming a catalog workload.
+    let req = Request::with_params(
+        2,
+        "place",
+        JsonValue::parse(r#"{"sizes":[1048576,4096],"hotness":[0.1,0.9],"bo_bytes":8192}"#)
+            .unwrap(),
+    );
+    let resp = roundtrip(&addr, &req).unwrap();
+    let result = JsonValue::parse(expect_ok(&resp)).unwrap();
+    let hints = result.get("hints").unwrap().as_array().unwrap();
+    assert_eq!(hints.len(), 2);
+    assert_eq!(
+        hints[1].get("hint").unwrap().as_str(),
+        Some("BO"),
+        "the small hot structure belongs in BO"
+    );
+
+    handle.shutdown();
+    handle.wait();
+}

@@ -1,0 +1,218 @@
+//! The workspace-level error type.
+//!
+//! Every fallible layer below has its own narrow error — [`MemError`]
+//! from the OS memory model, [`SweepError`] from the parallel sweep
+//! engine, [`JsonError`]/[`ProtocolError`] from the wire layer.
+//! [`HetmemError`] wraps all of them into one enum with `Display`,
+//! `source`, and a **stable machine-readable code**, so `hetmem-serve`
+//! can map any failure anywhere in the stack to a structured JSON error
+//! response (`{"code":"...","message":"..."}`) instead of a stringly
+//! error.
+
+use core::fmt;
+
+use hetmem_harness::protocol::ProtocolError;
+use hetmem_harness::sweep::SweepError;
+use hetmem_harness::JsonError;
+use mempolicy::MemError;
+
+/// Any failure the hetmem stack can surface, with a stable code per
+/// variant.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum HetmemError {
+    /// An OS memory-model operation failed (allocation, mbind, fault).
+    Mem(MemError),
+    /// A grid point panicked inside the sweep engine.
+    Sweep(SweepError),
+    /// JSON that should have parsed did not.
+    Json(JsonError),
+    /// A request line failed protocol decoding.
+    Protocol(ProtocolError),
+    /// A request named a workload the catalog does not have.
+    UnknownWorkload {
+        /// The unknown name.
+        name: String,
+    },
+    /// A request was well-formed JSON but semantically invalid.
+    InvalidRequest {
+        /// What was wrong.
+        reason: String,
+    },
+    /// The request named an operation the server does not expose.
+    UnknownOp {
+        /// The unknown operation.
+        op: String,
+    },
+    /// The service shed this request under load.
+    Overloaded,
+    /// The service is draining and accepts no new work.
+    ShuttingDown,
+}
+
+impl HetmemError {
+    /// Builds an [`HetmemError::InvalidRequest`].
+    pub fn invalid(reason: impl Into<String>) -> Self {
+        HetmemError::InvalidRequest {
+            reason: reason.into(),
+        }
+    }
+
+    /// The stable, machine-readable error code — what `hetmem-serve`
+    /// puts in `error.code`. Codes are part of the wire contract; never
+    /// reuse one for a different meaning.
+    pub fn code(&self) -> &'static str {
+        match self {
+            HetmemError::Mem(MemError::OutOfMemory { .. }) => "out-of-memory",
+            HetmemError::Mem(MemError::BindExhausted { .. }) => "bind-exhausted",
+            HetmemError::Mem(_) => "mem-error",
+            HetmemError::Sweep(_) => "sim-panic",
+            HetmemError::Json(_) => "bad-json",
+            HetmemError::Protocol(e) => e.code(),
+            HetmemError::UnknownWorkload { .. } => "unknown-workload",
+            HetmemError::InvalidRequest { .. } => "invalid-request",
+            HetmemError::UnknownOp { .. } => "unknown-op",
+            HetmemError::Overloaded => "overloaded",
+            HetmemError::ShuttingDown => "shutting-down",
+        }
+    }
+}
+
+impl fmt::Display for HetmemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HetmemError::Mem(e) => write!(f, "memory operation failed: {e}"),
+            HetmemError::Sweep(e) => write!(f, "simulation failed: {e}"),
+            HetmemError::Json(e) => write!(f, "malformed json: {e}"),
+            HetmemError::Protocol(e) => write!(f, "{e}"),
+            HetmemError::UnknownWorkload { name } => write!(f, "unknown workload '{name}'"),
+            HetmemError::InvalidRequest { reason } => write!(f, "invalid request: {reason}"),
+            HetmemError::UnknownOp { op } => write!(f, "unknown operation '{op}'"),
+            HetmemError::Overloaded => write!(f, "request queue full, load shed"),
+            HetmemError::ShuttingDown => write!(f, "service is draining"),
+        }
+    }
+}
+
+impl std::error::Error for HetmemError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HetmemError::Mem(e) => Some(e),
+            HetmemError::Sweep(e) => Some(e),
+            HetmemError::Json(e) => Some(e),
+            HetmemError::Protocol(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MemError> for HetmemError {
+    fn from(e: MemError) -> Self {
+        HetmemError::Mem(e)
+    }
+}
+
+impl From<SweepError> for HetmemError {
+    fn from(e: SweepError) -> Self {
+        HetmemError::Sweep(e)
+    }
+}
+
+impl From<JsonError> for HetmemError {
+    fn from(e: JsonError) -> Self {
+        HetmemError::Json(e)
+    }
+}
+
+impl From<ProtocolError> for HetmemError {
+    fn from(e: ProtocolError) -> Self {
+        HetmemError::Protocol(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmtypes::PageNum;
+
+    fn samples() -> Vec<HetmemError> {
+        vec![
+            HetmemError::Mem(MemError::OutOfMemory {
+                page: PageNum::new(1),
+            }),
+            HetmemError::Mem(MemError::EmptyNodeSet),
+            HetmemError::Sweep(SweepError {
+                index: 2,
+                label: "bfs/LOCAL".into(),
+                message: "boom".into(),
+            }),
+            HetmemError::Json(JsonError {
+                offset: 0,
+                message: "expected a JSON value".into(),
+            }),
+            HetmemError::Protocol(ProtocolError::BadRequest("no id".into())),
+            HetmemError::UnknownWorkload {
+                name: "nope".into(),
+            },
+            HetmemError::invalid("capacity_pct out of range"),
+            HetmemError::UnknownOp {
+                op: "frobnicate".into(),
+            },
+            HetmemError::Overloaded,
+            HetmemError::ShuttingDown,
+        ]
+    }
+
+    #[test]
+    fn every_variant_has_code_display_and_distinct_meaning() {
+        use std::collections::HashSet;
+        let mut codes = HashSet::new();
+        for e in samples() {
+            assert!(!e.to_string().is_empty());
+            let code = e.code();
+            assert!(
+                code.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "code '{code}' must be kebab-case"
+            );
+            codes.insert(code);
+        }
+        // Every sampled failure mode maps to its own code.
+        assert_eq!(codes.len(), samples().len());
+    }
+
+    #[test]
+    fn sources_chain_for_wrapped_errors() {
+        use std::error::Error;
+        let e = HetmemError::from(MemError::EmptyNodeSet);
+        assert!(e.source().is_some());
+        assert_eq!(e.code(), "mem-error");
+        let oom = HetmemError::from(MemError::OutOfMemory {
+            page: PageNum::new(9),
+        });
+        assert_eq!(oom.code(), "out-of-memory");
+        assert!(HetmemError::Overloaded.source().is_none());
+    }
+
+    #[test]
+    fn conversions_from_layer_errors() {
+        let _: HetmemError = MemError::EmptyNodeSet.into();
+        let _: HetmemError = SweepError {
+            index: 0,
+            label: String::new(),
+            message: String::new(),
+        }
+        .into();
+        let _: HetmemError = JsonError {
+            offset: 3,
+            message: "x".into(),
+        }
+        .into();
+        let _: HetmemError = ProtocolError::BadRequest("y".into()).into();
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HetmemError>();
+    }
+}

@@ -25,9 +25,7 @@ use mempolicy::{PlacementEvent, PlacementEventKind};
 use workloads::WorkloadSpec;
 
 use crate::experiments::ExpOptions;
-use crate::runner::{
-    run_workload, run_workload_observed, Capacity, ObservedRun, Placement, SimTrace, WorkloadRun,
-};
+use crate::runner::{Capacity, ObservedRun, Placement, RunBuilder, SimTrace, WorkloadRun};
 
 /// Collects per-run telemetry across sweeps and streams it to one JSONL
 /// file per figure.
@@ -336,7 +334,10 @@ impl RunPoint {
     }
 
     fn run(&self) -> WorkloadRun {
-        run_workload(&self.spec, &self.sim, self.capacity, &self.placement)
+        RunBuilder::new(&self.spec, &self.sim)
+            .capacity(self.capacity)
+            .placement(&self.placement)
+            .run()
     }
 }
 
@@ -407,7 +408,13 @@ pub(crate) fn run_point_sweep(
         opts,
         points,
         RunPoint::label,
-        |p| run_workload_observed(&p.spec, &p.sim, p.capacity, &p.placement, &ocfg),
+        |p| {
+            RunBuilder::new(&p.spec, &p.sim)
+                .capacity(p.capacity)
+                .placement(&p.placement)
+                .observe(ocfg.clone())
+                .run_observed()
+        },
         |p, r| vec![record_for(figure, p.spec.name, &p.config, &p.sim, &r.run)],
     );
     if let (Some(sink), Some(_)) = (&opts.telemetry, opts.sample_cycles) {
@@ -459,12 +466,9 @@ mod tests {
         sim.num_sms = 2;
         let mut spec = catalog::by_name("hotspot").unwrap();
         spec.mem_ops = 5_000;
-        let run = run_workload(
-            &spec,
-            &sim,
-            Capacity::Unconstrained,
-            &Placement::Policy(Mempolicy::local()),
-        );
+        let run = RunBuilder::new(&spec, &sim)
+            .placement(&Placement::Policy(Mempolicy::local()))
+            .run();
         (sim, run)
     }
 

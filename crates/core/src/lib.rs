@@ -23,7 +23,7 @@
 //!
 //! ```
 //! use gpusim::SimConfig;
-//! use hetmem::runner::{run_workload, Capacity, Placement};
+//! use hetmem::runner::{Placement, RunBuilder};
 //! use mempolicy::Mempolicy;
 //! use workloads::catalog;
 //!
@@ -32,17 +32,15 @@
 //! let mut spec = catalog::by_name("hotspot").unwrap();
 //! spec.mem_ops = 5_000;
 //!
-//! let run = run_workload(
-//!     &spec,
-//!     &sim,
-//!     Capacity::Unconstrained,
-//!     &Placement::Policy(Mempolicy::bw_aware_for(
+//! let run = RunBuilder::new(&spec, &sim)
+//!     .placement(&Placement::Policy(Mempolicy::bw_aware_for(
 //!         &hetmem::topology_for(&sim, &[1, 1]),
-//!     )),
-//! );
+//!     )))
+//!     .run();
 //! assert!(run.report.completed);
 //! ```
 
+pub mod error;
 pub mod experiments;
 pub mod grid;
 pub mod migration;
@@ -50,15 +48,17 @@ pub mod runner;
 pub mod runtime;
 pub mod translate;
 
+pub use error::HetmemError;
 pub use grid::{chrome_trace_for, config_hash, interval_records_for, record_for, TelemetrySink};
 pub use migration::{
     evaluate_migration, ext_migration, ext_online, run_online, MigrationModel, MigrationOutcome,
     OnlineOutcome,
 };
 pub use runner::{
-    bo_traffic_target, geomean, hints_from_profile, profile_workload, run_workload,
-    run_workload_observed, run_workload_profiled, Capacity, ObserveConfig, ObservedRun, Placement,
-    SimTrace, WorkloadRun,
+    bo_traffic_target, geomean, hints_from_profile, profile_workload, Capacity, ObserveConfig,
+    ObservedRun, Placement, RunBuilder, SimTrace, WorkloadRun,
 };
-pub use runtime::{is_heterogeneous, Allocation, HmRuntime};
+#[allow(deprecated)]
+pub use runner::{run_workload, run_workload_observed, run_workload_profiled};
+pub use runtime::{is_heterogeneous, AllocRequest, Allocation, HmRuntime};
 pub use translate::{topology_for, OsTranslator};

@@ -16,7 +16,7 @@ use mempolicy::Mempolicy;
 use profiler::OraclePlacement;
 
 use crate::experiments::{ExpOptions, Table};
-use crate::runner::{bo_traffic_target, profile_workload, run_workload, Capacity, Placement};
+use crate::runner::{bo_traffic_target, profile_workload, Capacity, Placement, RunBuilder};
 use crate::translate::topology_for;
 
 /// Cost model for moving pages between memory zones.
@@ -85,13 +85,14 @@ pub fn evaluate_migration(
     let topo = topology_for(sim, &[1, 1]);
     let (hist, _) = profile_workload(spec, sim);
 
-    let before = run_workload(
-        spec,
-        sim,
-        capacity,
-        &Placement::Policy(Mempolicy::bw_aware_for(&topo)),
-    );
-    let after = run_workload(spec, sim, capacity, &Placement::Oracle(hist.clone()));
+    let before = RunBuilder::new(spec, sim)
+        .capacity(capacity)
+        .placement(&Placement::Policy(Mempolicy::bw_aware_for(&topo)))
+        .run();
+    let after = RunBuilder::new(spec, sim)
+        .capacity(capacity)
+        .placement(&Placement::Oracle(hist.clone()))
+        .run();
 
     // Moves: BW-AWARE filled BO with ~capacity pages of *arbitrary*
     // hotness; the oracle wants its own set there. Upper-bound the moves

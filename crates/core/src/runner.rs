@@ -150,30 +150,219 @@ pub fn bo_traffic_target(sim: &SimConfig) -> f64 {
     }
 }
 
+/// The unified session API for running one workload: every run — plain,
+/// profiled, or observed — is configured through this one builder, which
+/// replaced the `run_workload` / `run_workload_profiled` /
+/// `run_workload_observed` function trio.
+///
+/// Unset knobs take the paper's defaults: unconstrained BO capacity,
+/// BW-AWARE placement (the proposed GPU default, §3.2.2), no page
+/// profiling, no observers, and the workload's own RNG seed.
+///
+/// # Examples
+///
+/// ```
+/// use gpusim::SimConfig;
+/// use hetmem::runner::{Capacity, Placement, RunBuilder};
+/// use mempolicy::Mempolicy;
+/// use workloads::catalog;
+///
+/// let mut sim = SimConfig::paper_baseline();
+/// sim.num_sms = 2;
+/// let mut spec = catalog::by_name("hotspot").unwrap();
+/// spec.mem_ops = 5_000;
+///
+/// let run = RunBuilder::new(&spec, &sim)
+///     .capacity(Capacity::FractionOfFootprint(0.5))
+///     .placement(&Placement::Policy(Mempolicy::local()))
+///     .run();
+/// assert!(run.report.completed);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RunBuilder<'a> {
+    spec: &'a WorkloadSpec,
+    sim: &'a SimConfig,
+    capacity: Capacity,
+    placement: Option<&'a Placement>,
+    profile_pages: bool,
+    observe: ObserveConfig,
+    seed: Option<u64>,
+}
+
+impl<'a> RunBuilder<'a> {
+    /// Starts a run of `spec` on the machine `sim` with default knobs.
+    pub fn new(spec: &'a WorkloadSpec, sim: &'a SimConfig) -> Self {
+        RunBuilder {
+            spec,
+            sim,
+            capacity: Capacity::Unconstrained,
+            placement: None,
+            profile_pages: false,
+            observe: ObserveConfig::default(),
+            seed: None,
+        }
+    }
+
+    /// Sets the BO capacity regime (default: unconstrained).
+    pub fn capacity(mut self, capacity: Capacity) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Sets the placement strategy (default: the task-wide BW-AWARE
+    /// policy derived from the machine's pools).
+    pub fn placement(mut self, placement: &'a Placement) -> Self {
+        self.placement = Some(placement);
+        self
+    }
+
+    /// Additionally collects the per-page DRAM access histogram
+    /// (slower; what profiling passes read).
+    pub fn profiled(mut self) -> Self {
+        self.profile_pages = true;
+        self
+    }
+
+    /// Attaches the observability layer per `obs` on the observed run
+    /// path ([`RunBuilder::run_observed`]).
+    pub fn observe(mut self, obs: ObserveConfig) -> Self {
+        self.observe = obs;
+        self
+    }
+
+    /// Overrides the workload's base RNG seed for this run.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Resolves the effective spec (seed override) and placement
+    /// (BW-AWARE default), then hands both to `body`.
+    fn with_effective<R>(&self, body: impl FnOnce(&WorkloadSpec, &Placement) -> R) -> R {
+        let seeded;
+        let spec = match self.seed {
+            Some(seed) => {
+                let mut s = self.spec.clone();
+                s.seed = seed;
+                seeded = s;
+                &seeded
+            }
+            None => self.spec,
+        };
+        let default_placement;
+        let placement = match self.placement {
+            Some(p) => p,
+            None => {
+                default_placement = Placement::Policy(Mempolicy::bw_aware_for(
+                    &crate::translate::topology_for(self.sim, &vec![1; self.sim.pools.len()]),
+                ));
+                &default_placement
+            }
+        };
+        body(spec, placement)
+    }
+
+    /// Executes the run and returns the plain typed output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strategy is [`Placement::Hinted`] with the wrong
+    /// number of hints, or if the simulated machine runs out of total
+    /// memory.
+    pub fn run(&self) -> WorkloadRun {
+        self.with_effective(|spec, placement| {
+            let mut prep = prepare_run(spec, self.sim, self.capacity, placement, false);
+            let (translator, program) = prep.take_sim_parts();
+            let mut simulator = Simulator::new(self.sim.clone(), translator, program);
+            if self.profile_pages {
+                simulator = simulator.with_page_profiling();
+            }
+            let report = simulator.run();
+            prep.finish(report)
+        })
+    }
+
+    /// Executes the run with the observability layer attached (interval
+    /// sampler and/or event tracer per the builder's [`ObserveConfig`],
+    /// plus the OS placement decision log) and returns the observed
+    /// typed output. With observers configured off this produces exactly
+    /// the cycle counts and report of [`RunBuilder::run`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`RunBuilder::run`].
+    pub fn run_observed(&self) -> ObservedRun {
+        self.with_effective(|spec, placement| {
+            let obs = &self.observe;
+            let mut prep = prepare_run(spec, self.sim, self.capacity, placement, true);
+            let (translator, program) = prep.take_sim_parts();
+            let probe = ProbeObserver::new(
+                obs.sample_cycles
+                    .map(|n| IntervalSampler::new(n, self.sim.pools.len())),
+                obs.trace.then(|| EventTracer::new(obs.trace_budget)),
+            );
+            let simulator =
+                Simulator::new(self.sim.clone(), translator, program).with_observer(probe);
+            let (report, probe) = simulator.run_observed();
+            let placements = prep.mm.borrow_mut().take_placement_log();
+            let run = prep.finish(report);
+            ObservedRun {
+                run,
+                intervals: probe
+                    .sampler
+                    .map(IntervalSampler::into_reports)
+                    .unwrap_or_default(),
+                trace: probe.tracer.map(|t| {
+                    let budget = t.budget();
+                    let (events, dropped) = t.into_parts();
+                    SimTrace {
+                        events,
+                        dropped,
+                        budget,
+                    }
+                }),
+                placements,
+            }
+        })
+    }
+}
+
 /// Runs `spec` on `sim` with the given BO capacity and placement.
 ///
 /// # Panics
 ///
 /// Panics if the strategy is [`Placement::Hinted`] with the wrong number
 /// of hints, or if the simulated machine runs out of total memory.
+#[deprecated(since = "0.2.0", note = "use RunBuilder::new(spec, sim)…run()")]
 pub fn run_workload(
     spec: &WorkloadSpec,
     sim: &SimConfig,
     capacity: Capacity,
     placement: &Placement,
 ) -> WorkloadRun {
-    run_workload_impl(spec, sim, capacity, placement, false)
+    RunBuilder::new(spec, sim)
+        .capacity(capacity)
+        .placement(placement)
+        .run()
 }
 
 /// Like [`run_workload`], additionally collecting the per-page DRAM
 /// access histogram (slower; used by profiling passes).
+#[deprecated(
+    since = "0.2.0",
+    note = "use RunBuilder::new(spec, sim)…profiled().run()"
+)]
 pub fn run_workload_profiled(
     spec: &WorkloadSpec,
     sim: &SimConfig,
     capacity: Capacity,
     placement: &Placement,
 ) -> WorkloadRun {
-    run_workload_impl(spec, sim, capacity, placement, true)
+    RunBuilder::new(spec, sim)
+        .capacity(capacity)
+        .placement(placement)
+        .profiled()
+        .run()
 }
 
 /// Everything shared between the plain and observed run paths: the
@@ -267,27 +456,14 @@ fn prepare_run(
     }
 }
 
-fn run_workload_impl(
-    spec: &WorkloadSpec,
-    sim: &SimConfig,
-    capacity: Capacity,
-    placement: &Placement,
-    profile_pages: bool,
-) -> WorkloadRun {
-    let mut prep = prepare_run(spec, sim, capacity, placement, false);
-    let (translator, program) = prep.take_sim_parts();
-    let mut simulator = Simulator::new(sim.clone(), translator, program);
-    if profile_pages {
-        simulator = simulator.with_page_profiling();
-    }
-    let report = simulator.run();
-    prep.finish(report)
-}
-
 /// Like [`run_workload`], with the observability layer attached: an
 /// interval sampler and/or event tracer per `obs`, plus the OS placement
 /// decision log. With observers configured off this produces exactly the
 /// cycle counts and report of [`run_workload`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use RunBuilder::new(spec, sim)…observe(obs).run_observed()"
+)]
 pub fn run_workload_observed(
     spec: &WorkloadSpec,
     sim: &SimConfig,
@@ -295,34 +471,11 @@ pub fn run_workload_observed(
     placement: &Placement,
     obs: &ObserveConfig,
 ) -> ObservedRun {
-    let mut prep = prepare_run(spec, sim, capacity, placement, true);
-    let (translator, program) = prep.take_sim_parts();
-    let probe = ProbeObserver::new(
-        obs.sample_cycles
-            .map(|n| IntervalSampler::new(n, sim.pools.len())),
-        obs.trace.then(|| EventTracer::new(obs.trace_budget)),
-    );
-    let simulator = Simulator::new(sim.clone(), translator, program).with_observer(probe);
-    let (report, probe) = simulator.run_observed();
-    let placements = prep.mm.borrow_mut().take_placement_log();
-    let run = prep.finish(report);
-    ObservedRun {
-        run,
-        intervals: probe
-            .sampler
-            .map(IntervalSampler::into_reports)
-            .unwrap_or_default(),
-        trace: probe.tracer.map(|t| {
-            let budget = t.budget();
-            let (events, dropped) = t.into_parts();
-            SimTrace {
-                events,
-                dropped,
-                budget,
-            }
-        }),
-        placements,
-    }
+    RunBuilder::new(spec, sim)
+        .capacity(capacity)
+        .placement(placement)
+        .observe(obs.clone())
+        .run_observed()
 }
 
 /// Pre-places every allocated page per the oracle ranking, hottest pages
@@ -362,12 +515,10 @@ fn preplace_oracle(rt: &HmRuntime, histogram: &PageHistogram, bo_pages: u64, tar
 /// the page histogram and the per-structure attribution.
 pub fn profile_workload(spec: &WorkloadSpec, sim: &SimConfig) -> (PageHistogram, RunProfile) {
     let policy = Mempolicy::bw_aware_for(&topology_for(sim, &vec![1; sim.pools.len()]));
-    let run = run_workload_profiled(
-        spec,
-        sim,
-        Capacity::Unconstrained,
-        &Placement::Policy(policy),
-    );
+    let run = RunBuilder::new(spec, sim)
+        .placement(&Placement::Policy(policy))
+        .profiled()
+        .run();
     let histogram = PageHistogram::from_counts(
         run.report
             .page_accesses
@@ -424,12 +575,9 @@ mod tests {
     #[test]
     fn local_unconstrained_places_everything_in_bo() {
         let spec = quick_spec("hotspot");
-        let run = run_workload(
-            &spec,
-            &quick_sim(),
-            Capacity::Unconstrained,
-            &Placement::Policy(Mempolicy::local()),
-        );
+        let run = RunBuilder::new(&spec, &quick_sim())
+            .placement(&Placement::Policy(Mempolicy::local()))
+            .run();
         assert!(run.report.completed);
         assert_eq!(run.placement[1], 0, "no CO pages under unconstrained LOCAL");
         assert!(run.report.pool_traffic_fraction(0) > 0.99);
@@ -438,12 +586,9 @@ mod tests {
     #[test]
     fn ratio_policy_splits_dram_traffic() {
         let spec = quick_spec("hotspot");
-        let run = run_workload(
-            &spec,
-            &quick_sim(),
-            Capacity::Unconstrained,
-            &Placement::Policy(Mempolicy::ratio_co(Percent::new(30))),
-        );
+        let run = RunBuilder::new(&spec, &quick_sim())
+            .placement(&Placement::Policy(Mempolicy::ratio_co(Percent::new(30))))
+            .run();
         let co = run.report.pool_traffic_fraction(1);
         assert!((co - 0.30).abs() < 0.08, "CO traffic fraction {co}");
     }
@@ -452,24 +597,15 @@ mod tests {
     fn bw_aware_beats_local_and_interleave_for_streaming() {
         let spec = quick_spec("lbm");
         let sim = quick_sim();
-        let local = run_workload(
-            &spec,
-            &sim,
-            Capacity::Unconstrained,
-            &Placement::Policy(Mempolicy::local()),
-        );
-        let inter = run_workload(
-            &spec,
-            &sim,
-            Capacity::Unconstrained,
-            &Placement::Policy(Mempolicy::ratio_co(Percent::new(50))),
-        );
-        let bwa = run_workload(
-            &spec,
-            &sim,
-            Capacity::Unconstrained,
-            &Placement::Policy(Mempolicy::ratio_co(Percent::new(30))),
-        );
+        let local = RunBuilder::new(&spec, &sim)
+            .placement(&Placement::Policy(Mempolicy::local()))
+            .run();
+        let inter = RunBuilder::new(&spec, &sim)
+            .placement(&Placement::Policy(Mempolicy::ratio_co(Percent::new(50))))
+            .run();
+        let bwa = RunBuilder::new(&spec, &sim)
+            .placement(&Placement::Policy(Mempolicy::ratio_co(Percent::new(30))))
+            .run();
         assert!(
             bwa.speedup_over(&local) > 1.05,
             "BW-AWARE vs LOCAL: {}",
@@ -485,12 +621,10 @@ mod tests {
     #[test]
     fn capacity_fraction_limits_bo_pages() {
         let spec = quick_spec("bfs");
-        let run = run_workload(
-            &spec,
-            &quick_sim(),
-            Capacity::FractionOfFootprint(0.10),
-            &Placement::Policy(Mempolicy::local()),
-        );
+        let run = RunBuilder::new(&spec, &quick_sim())
+            .capacity(Capacity::FractionOfFootprint(0.10))
+            .placement(&Placement::Policy(Mempolicy::local()))
+            .run();
         let bo_budget = Capacity::FractionOfFootprint(0.10).bo_pages(spec.footprint_pages());
         assert!(run.placement[0] <= bo_budget);
         assert!(run.placement[1] > 0, "spill to CO under constraint");
@@ -523,13 +657,14 @@ mod tests {
         let sim = quick_sim();
         let (hist, _) = profile_workload(&spec, &sim);
         let cap = Capacity::FractionOfFootprint(0.10);
-        let bwa = run_workload(
-            &spec,
-            &sim,
-            cap,
-            &Placement::Policy(Mempolicy::ratio_co(Percent::new(30))),
-        );
-        let oracle = run_workload(&spec, &sim, cap, &Placement::Oracle(hist));
+        let bwa = RunBuilder::new(&spec, &sim)
+            .capacity(cap)
+            .placement(&Placement::Policy(Mempolicy::ratio_co(Percent::new(30))))
+            .run();
+        let oracle = RunBuilder::new(&spec, &sim)
+            .capacity(cap)
+            .placement(&Placement::Oracle(hist))
+            .run();
         assert!(
             oracle.speedup_over(&bwa) > 1.02,
             "oracle vs BW-AWARE at 10% capacity: {}",
@@ -545,8 +680,48 @@ mod tests {
         let cap = Capacity::FractionOfFootprint(0.2);
         let hints = hints_from_profile(&profile, &spec, &sim, cap);
         assert_eq!(hints.len(), spec.structures.len());
-        let run = run_workload(&spec, &sim, cap, &Placement::Hinted(hints));
+        let run = RunBuilder::new(&spec, &sim)
+            .capacity(cap)
+            .placement(&Placement::Hinted(hints))
+            .run();
         assert!(run.report.completed);
+    }
+
+    #[test]
+    fn builder_defaults_are_unconstrained_bw_aware() {
+        let spec = quick_spec("hotspot");
+        let sim = quick_sim();
+        let defaulted = RunBuilder::new(&spec, &sim).run();
+        let topo = crate::translate::topology_for(&sim, &vec![1; sim.pools.len()]);
+        let explicit = RunBuilder::new(&spec, &sim)
+            .capacity(Capacity::Unconstrained)
+            .placement(&Placement::Policy(Mempolicy::bw_aware_for(&topo)))
+            .run();
+        assert_eq!(defaulted.report.cycles, explicit.report.cycles);
+        assert_eq!(defaulted.placement, explicit.placement);
+    }
+
+    #[test]
+    fn builder_seed_overrides_spec_seed() {
+        let spec = quick_spec("hotspot");
+        let sim = quick_sim();
+        let base = RunBuilder::new(&spec, &sim).run();
+        let same = RunBuilder::new(&spec, &sim).seed(spec.seed).run();
+        let different = RunBuilder::new(&spec, &sim).seed(spec.seed ^ 0xDEAD).run();
+        assert_eq!(base.report.cycles, same.report.cycles);
+        assert_ne!(base.report.cycles, different.report.cycles);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_builder() {
+        let spec = quick_spec("hotspot");
+        let sim = quick_sim();
+        let placement = Placement::Policy(Mempolicy::local());
+        let legacy = run_workload(&spec, &sim, Capacity::Unconstrained, &placement);
+        let built = RunBuilder::new(&spec, &sim).placement(&placement).run();
+        assert_eq!(legacy.report.cycles, built.report.cycles);
+        assert_eq!(legacy.placement, built.placement);
     }
 
     #[test]

@@ -1,0 +1,216 @@
+//! A content-addressed LRU result cache.
+//!
+//! `hetmem-serve` answers repeated `simulate` queries from this cache:
+//! the key is the canonical JSON of everything that determines the
+//! result (workload, configuration, policy, seed), and the value is the
+//! already-serialized response body. Because the simulator is
+//! deterministic and the JSON writer is byte-stable, a cache hit is
+//! **byte-identical** to recomputing — callers can assert equality, not
+//! just equivalence.
+//!
+//! The cache is thread-safe (internal mutex, no lock held across
+//! compute) and bounded: inserting beyond capacity evicts the least
+//! recently used entry. Hit/miss/eviction counters feed the server's
+//! `stats` endpoint.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Point-in-time counters for one [`ResultCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries written (including overwrites of an existing key).
+    pub insertions: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Maximum resident entries.
+    pub capacity: usize,
+}
+
+#[derive(Debug)]
+struct CacheInner {
+    /// key -> (value, last-use tick). Recency is a monotonic counter
+    /// rather than a linked list: eviction scans for the minimum, which
+    /// is O(n) but n is the configured capacity (hundreds), and it keeps
+    /// the structure trivially correct.
+    map: HashMap<String, (String, u64)>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+/// A bounded, thread-safe, content-addressed LRU cache from canonical
+/// key strings to pre-serialized result strings.
+///
+/// # Examples
+///
+/// ```
+/// use hetmem_harness::cache::ResultCache;
+///
+/// let cache = ResultCache::new(2);
+/// assert_eq!(cache.get("a"), None);
+/// cache.insert("a", "1".to_string());
+/// assert_eq!(cache.get("a").as_deref(), Some("1"));
+/// cache.insert("b", "2".to_string());
+/// cache.insert("c", "3".to_string()); // full: evicts "a", the LRU entry
+/// assert_eq!(cache.get("a"), None);
+/// assert_eq!(cache.stats().evictions, 1);
+/// ```
+#[derive(Debug)]
+pub struct ResultCache {
+    inner: Mutex<CacheInner>,
+}
+
+impl ResultCache {
+    /// Creates a cache holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                tick: 0,
+                stats: CacheStats {
+                    capacity: capacity.max(1),
+                    ..CacheStats::default()
+                },
+            }),
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency. Counts a hit or a miss.
+    pub fn get(&self, key: &str) -> Option<String> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some((value, last_use)) => {
+                *last_use = tick;
+                let v = value.clone();
+                inner.stats.hits += 1;
+                Some(v)
+            }
+            None => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or overwrites) `key`, evicting the least recently used
+    /// entry if the cache is full.
+    pub fn insert(&self, key: &str, value: String) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.tick += 1;
+        let tick = inner.tick;
+        let capacity = inner.stats.capacity;
+        if !inner.map.contains_key(key) && inner.map.len() >= capacity {
+            if let Some(lru) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, (_, last_use))| *last_use)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&lru);
+                inner.stats.evictions += 1;
+            }
+        }
+        inner.map.insert(key.to_string(), (value, tick));
+        inner.stats.insertions += 1;
+        inner.stats.entries = inner.map.len();
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut stats = inner.stats;
+        stats.entries = inner.map.len();
+        stats
+    }
+
+    /// Resident entry count.
+    pub fn len(&self) -> usize {
+        self.stats().entries
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let c = ResultCache::new(4);
+        assert_eq!(c.get("k"), None);
+        c.insert("k", "v".into());
+        assert_eq!(c.get("k").as_deref(), Some("v"));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+        assert_eq!(s.entries, 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let c = ResultCache::new(2);
+        c.insert("a", "1".into());
+        c.insert("b", "2".into());
+        assert_eq!(c.get("a").as_deref(), Some("1")); // refresh "a"
+        c.insert("c", "3".into()); // must evict "b"
+        assert_eq!(c.get("b"), None);
+        assert_eq!(c.get("a").as_deref(), Some("1"));
+        assert_eq!(c.get("c").as_deref(), Some("3"));
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn overwrite_does_not_evict() {
+        let c = ResultCache::new(2);
+        c.insert("a", "1".into());
+        c.insert("b", "2".into());
+        c.insert("a", "1b".into());
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.get("a").as_deref(), Some("1b"));
+        assert_eq!(c.get("b").as_deref(), Some("2"));
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let c = ResultCache::new(0);
+        c.insert("a", "1".into());
+        assert_eq!(c.get("a").as_deref(), Some("1"));
+        c.insert("b", "2".into());
+        assert_eq!(c.get("a"), None);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe_and_counted() {
+        use std::sync::Arc;
+        let c = Arc::new(ResultCache::new(64));
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let c = Arc::clone(&c);
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        let key = format!("k{}", (t + i) % 16);
+                        if c.get(&key).is_none() {
+                            c.insert(&key, format!("v{}", (t + i) % 16));
+                        }
+                    }
+                });
+            }
+        });
+        let s = c.stats();
+        assert_eq!(s.hits + s.misses, 400);
+        assert!(s.entries <= 16);
+    }
+}

@@ -186,6 +186,52 @@ impl JsonValue {
         Ok(value)
     }
 
+    /// Serializes the value back to canonical JSON text: object keys in
+    /// stored order, floats via [`fmt_f64`], strings escaped exactly as
+    /// the writer does. `parse(render(v)) == v` for every value, and
+    /// values built through [`JsonObject`] render to identical bytes.
+    pub fn render(&self) -> String {
+        let mut buf = String::new();
+        self.render_into(&mut buf);
+        buf
+    }
+
+    fn render_into(&self, buf: &mut String) {
+        match self {
+            JsonValue::Null => buf.push_str("null"),
+            JsonValue::Bool(b) => buf.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(n) => buf.push_str(&fmt_f64(*n)),
+            JsonValue::Str(s) => {
+                buf.push('"');
+                escape_into(s, buf);
+                buf.push('"');
+            }
+            JsonValue::Array(items) => {
+                buf.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        buf.push(',');
+                    }
+                    item.render_into(buf);
+                }
+                buf.push(']');
+            }
+            JsonValue::Object(fields) => {
+                buf.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        buf.push(',');
+                    }
+                    buf.push('"');
+                    escape_into(k, buf);
+                    buf.push_str("\":");
+                    v.render_into(buf);
+                }
+                buf.push('}');
+            }
+        }
+    }
+
     /// Looks up `key` in an object; `None` for missing keys and
     /// non-objects.
     pub fn get(&self, key: &str) -> Option<&JsonValue> {
@@ -581,6 +627,22 @@ mod tests {
         // A lone surrogate degrades to the replacement character.
         let v = JsonValue::parse(r#""\ud83dx""#).unwrap();
         assert_eq!(v.as_str(), Some("\u{FFFD}x"));
+    }
+
+    #[test]
+    fn render_roundtrips_and_matches_writer_bytes() {
+        let line = JsonObject::new()
+            .str("name", "a\"b\\c\nd")
+            .u64("n", 42)
+            .f64("x", 0.1 + 0.2)
+            .bool("ok", true)
+            .raw("items", &array(vec!["1".into(), "null".into()]))
+            .finish();
+        let v = JsonValue::parse(&line).unwrap();
+        assert_eq!(v.render(), line, "render reproduces writer bytes");
+        assert_eq!(JsonValue::parse(&v.render()).unwrap(), v);
+        assert_eq!(JsonValue::Null.render(), "null");
+        assert_eq!(JsonValue::parse("[ 1 , 2 ]").unwrap().render(), "[1,2]");
     }
 
     #[test]

@@ -18,6 +18,11 @@
 //!    macro (seeded case generation with shrinking-lite, replacing
 //!    `proptest`), and [`timing`] (a micro-benchmark runner, replacing
 //!    `criterion`).
+//! 4. **The serving kit** — [`protocol`] (the `hetmem-serve` JSONL
+//!    request/response envelope), [`cache`] (a content-addressed LRU
+//!    result cache whose hits are byte-identical to recomputation), and
+//!    [`queue`] (bounded backpressure queues with close-and-drain
+//!    shutdown).
 //!
 //! # Examples
 //!
@@ -40,16 +45,22 @@
 //! assert_eq!(results[7], 201); // grid order: (2, 1)
 //! ```
 
+pub mod cache;
 pub mod json;
 pub mod prop;
+pub mod protocol;
+pub mod queue;
 pub mod rng;
 pub mod sweep;
 pub mod telemetry;
 pub mod timing;
 pub mod trace;
 
+pub use cache::{CacheStats, ResultCache};
 pub use json::{validate_jsonl, JsonError, JsonValue};
 pub use prop::{any_u64, vec_of, Gen, Sample};
+pub use protocol::{ProtocolError, Request, Response};
+pub use queue::{BoundedQueue, PushError};
 pub use rng::{SplitMix64, Xoshiro256StarStar};
 pub use sweep::{run_grid, PointCtx, SweepError, SweepOptions};
 pub use telemetry::{

@@ -1,0 +1,338 @@
+//! The `hetmem-serve` wire protocol: one JSON object per line, in both
+//! directions.
+//!
+//! A **request** names an operation and carries an opaque parameter
+//! object; the `id` is echoed on the response so clients can pipeline:
+//!
+//! ```text
+//! {"id":1,"op":"simulate","params":{"workload":"bfs","policy":"BW-AWARE"}}
+//! ```
+//!
+//! A **response** is either a result or a structured error — never a
+//! bare string, so clients can always branch on `ok` and machine-read
+//! `error.code`:
+//!
+//! ```text
+//! {"id":1,"ok":true,"result":{...}}
+//! {"id":1,"ok":false,"error":{"code":"overloaded","message":"queue full"}}
+//! ```
+//!
+//! Both directions round-trip through the strict in-tree JSON layer
+//! ([`json`](crate::json)): encoding is byte-deterministic (a cached
+//! `result` re-encodes to identical bytes) and decoding rejects
+//! malformed lines with an offset-carrying error.
+
+use crate::json::{JsonError, JsonObject, JsonValue};
+
+/// One decoded request line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed on the response.
+    pub id: u64,
+    /// Operation name (e.g. `place`, `simulate`, `stats`, `shutdown`).
+    pub op: String,
+    /// Operation parameters; `{}` when the line omits `params`.
+    pub params: JsonValue,
+}
+
+impl Request {
+    /// Builds a request with empty params.
+    pub fn new(id: u64, op: &str) -> Self {
+        Request {
+            id,
+            op: op.to_string(),
+            params: JsonValue::Object(Vec::new()),
+        }
+    }
+
+    /// Builds a request with the given params object.
+    pub fn with_params(id: u64, op: &str, params: JsonValue) -> Self {
+        Request {
+            id,
+            op: op.to_string(),
+            params,
+        }
+    }
+
+    /// Encodes the request as one JSON line (no trailing newline).
+    pub fn encode(&self) -> String {
+        JsonObject::new()
+            .u64("id", self.id)
+            .str("op", &self.op)
+            .raw("params", &self.params.render())
+            .finish()
+    }
+
+    /// Decodes one request line.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::BadJson`] when the line is not valid JSON,
+    /// [`ProtocolError::BadRequest`] when it is JSON but not a valid
+    /// request envelope (missing/ill-typed `id` or `op`).
+    pub fn decode(line: &str) -> Result<Request, ProtocolError> {
+        let v = JsonValue::parse(line).map_err(ProtocolError::BadJson)?;
+        let id = v
+            .get("id")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| ProtocolError::bad_request("missing or non-integer 'id'"))?;
+        let op = v
+            .get("op")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| ProtocolError::bad_request("missing or non-string 'op'"))?
+            .to_string();
+        if op.is_empty() {
+            return Err(ProtocolError::bad_request("empty 'op'"));
+        }
+        let params = match v.get("params") {
+            Some(JsonValue::Object(fields)) => JsonValue::Object(fields.clone()),
+            None => JsonValue::Object(Vec::new()),
+            Some(_) => return Err(ProtocolError::bad_request("'params' must be an object")),
+        };
+        Ok(Request { id, op, params })
+    }
+}
+
+/// One response line: a result or a structured error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Success; `result` is a pre-serialized JSON value.
+    Ok {
+        /// Echoed request id.
+        id: u64,
+        /// The result body, already serialized (often straight from the
+        /// result cache, so bytes are stable).
+        result: String,
+    },
+    /// Failure with a machine-readable code.
+    Err {
+        /// Echoed request id (0 when the request never parsed).
+        id: u64,
+        /// Stable error code (e.g. `overloaded`, `unknown-workload`).
+        code: String,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Builds a success response from a pre-serialized result.
+    pub fn ok(id: u64, result: String) -> Self {
+        Response::Ok { id, result }
+    }
+
+    /// Builds an error response.
+    pub fn err(id: u64, code: &str, message: &str) -> Self {
+        Response::Err {
+            id,
+            code: code.to_string(),
+            message: message.to_string(),
+        }
+    }
+
+    /// The echoed request id.
+    pub fn id(&self) -> u64 {
+        match self {
+            Response::Ok { id, .. } | Response::Err { id, .. } => *id,
+        }
+    }
+
+    /// Whether this is a success response.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Response::Ok { .. })
+    }
+
+    /// Encodes the response as one JSON line (no trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            Response::Ok { id, result } => JsonObject::new()
+                .u64("id", *id)
+                .bool("ok", true)
+                .raw("result", result)
+                .finish(),
+            Response::Err { id, code, message } => JsonObject::new()
+                .u64("id", *id)
+                .bool("ok", false)
+                .raw(
+                    "error",
+                    &JsonObject::new()
+                        .str("code", code)
+                        .str("message", message)
+                        .finish(),
+                )
+                .finish(),
+        }
+    }
+
+    /// Decodes one response line.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::BadJson`] for malformed JSON,
+    /// [`ProtocolError::BadRequest`] for a JSON value that is not a
+    /// valid response envelope.
+    pub fn decode(line: &str) -> Result<Response, ProtocolError> {
+        let v = JsonValue::parse(line).map_err(ProtocolError::BadJson)?;
+        let id = v
+            .get("id")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| ProtocolError::bad_request("missing or non-integer 'id'"))?;
+        match v.get("ok").and_then(JsonValue::as_bool) {
+            Some(true) => {
+                let result = v
+                    .get("result")
+                    .ok_or_else(|| ProtocolError::bad_request("ok response without 'result'"))?;
+                Ok(Response::Ok {
+                    id,
+                    result: result.render(),
+                })
+            }
+            Some(false) => {
+                let error = v
+                    .get("error")
+                    .ok_or_else(|| ProtocolError::bad_request("err response without 'error'"))?;
+                let code = error
+                    .get("code")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| ProtocolError::bad_request("error without 'code'"))?;
+                let message = error
+                    .get("message")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("");
+                Ok(Response::err(id, code, message))
+            }
+            None => Err(ProtocolError::bad_request("missing or non-boolean 'ok'")),
+        }
+    }
+}
+
+/// A protocol-layer decode failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtocolError {
+    /// The line was not valid JSON.
+    BadJson(JsonError),
+    /// The line was JSON but not a valid envelope.
+    BadRequest(String),
+}
+
+impl ProtocolError {
+    fn bad_request(message: &str) -> Self {
+        ProtocolError::BadRequest(message.to_string())
+    }
+
+    /// The stable error code for a structured error response.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ProtocolError::BadJson(_) => "bad-json",
+            ProtocolError::BadRequest(_) => "bad-request",
+        }
+    }
+}
+
+impl core::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ProtocolError::BadJson(e) => write!(f, "malformed json: {e}"),
+            ProtocolError::BadRequest(m) => write!(f, "bad request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::BadJson(e) => Some(e),
+            ProtocolError::BadRequest(_) => None,
+        }
+    }
+}
+
+/// Serializes a `&str`-keyed list of string pairs as a params object —
+/// a convenience for simple clients.
+pub fn params_object(pairs: &[(&str, &str)]) -> JsonValue {
+    JsonValue::Object(
+        pairs
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), JsonValue::Str((*v).to_string())))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let params = JsonValue::parse(r#"{"workload":"bfs","capacity_pct":10}"#).unwrap();
+        let req = Request::with_params(7, "simulate", params);
+        let line = req.encode();
+        assert_eq!(
+            line,
+            r#"{"id":7,"op":"simulate","params":{"workload":"bfs","capacity_pct":10}}"#
+        );
+        assert_eq!(Request::decode(&line).unwrap(), req);
+    }
+
+    #[test]
+    fn request_params_default_to_empty() {
+        let req = Request::decode(r#"{"id":1,"op":"stats"}"#).unwrap();
+        assert_eq!(req.params, JsonValue::Object(Vec::new()));
+        assert_eq!(req.encode(), r#"{"id":1,"op":"stats","params":{}}"#);
+    }
+
+    #[test]
+    fn request_rejects_bad_envelopes() {
+        assert!(matches!(
+            Request::decode("not json"),
+            Err(ProtocolError::BadJson(_))
+        ));
+        for bad in [
+            r#"{"op":"x"}"#,
+            r#"{"id":"one","op":"x"}"#,
+            r#"{"id":1}"#,
+            r#"{"id":1,"op":""}"#,
+            r#"{"id":1,"op":"x","params":[1]}"#,
+        ] {
+            assert!(
+                matches!(Request::decode(bad), Err(ProtocolError::BadRequest(_))),
+                "accepted {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn response_roundtrip_ok_and_err() {
+        let ok = Response::ok(3, r#"{"cycles":100}"#.to_string());
+        assert_eq!(ok.encode(), r#"{"id":3,"ok":true,"result":{"cycles":100}}"#);
+        assert_eq!(Response::decode(&ok.encode()).unwrap(), ok);
+        assert!(ok.is_ok());
+
+        let err = Response::err(4, "overloaded", "queue full");
+        assert_eq!(
+            err.encode(),
+            r#"{"id":4,"ok":false,"error":{"code":"overloaded","message":"queue full"}}"#
+        );
+        assert_eq!(Response::decode(&err.encode()).unwrap(), err);
+        assert!(!err.is_ok());
+        assert_eq!(err.id(), 4);
+    }
+
+    #[test]
+    fn response_rejects_bad_envelopes() {
+        for bad in [
+            r#"{"id":1}"#,
+            r#"{"id":1,"ok":true}"#,
+            r#"{"id":1,"ok":false}"#,
+            r#"{"id":1,"ok":false,"error":{}}"#,
+        ] {
+            assert!(Response::decode(bad).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn params_object_builds_string_params() {
+        let p = params_object(&[("workload", "bfs"), ("policy", "LOCAL")]);
+        assert_eq!(p.render(), r#"{"workload":"bfs","policy":"LOCAL"}"#);
+    }
+}

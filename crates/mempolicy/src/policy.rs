@@ -229,6 +229,41 @@ impl Mempolicy {
         list
     }
 
+    /// Parses a policy from the paper's nomenclature — the inverse of
+    /// the simple [`Mempolicy::name`] forms, plus the explicit `xC-yB`
+    /// ratio labels figure sweeps use. Accepted (case-insensitive):
+    /// `LOCAL`, `INTERLEAVE`, `BW-AWARE` (SBIT weights from `topo`), and
+    /// `xC-yB` with `x + y == 100` (e.g. `30C-70B`).
+    ///
+    /// This is how `hetmem-serve` turns a request's policy string into a
+    /// concrete policy without clients ever naming zones.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::EmptyNodeSet`] for anything else (the only
+    /// policy-construction error variant: the spec resolves to no usable
+    /// node set).
+    pub fn parse(spec: &str, topo: &NumaTopology) -> Result<Self, MemError> {
+        let upper = spec.trim().to_ascii_uppercase();
+        match upper.as_str() {
+            "LOCAL" => return Ok(Mempolicy::local()),
+            "INTERLEAVE" => return Ok(Mempolicy::interleave_all(topo)),
+            "BW-AWARE" | "BWAWARE" | "BW" => return Ok(Mempolicy::bw_aware_for(topo)),
+            _ => {}
+        }
+        // xC-yB ratio labels, e.g. "30C-70B".
+        if let Some((co, bo)) = upper.split_once("C-") {
+            if let (Ok(co), Some(bo)) = (co.parse::<u8>(), bo.strip_suffix('B')) {
+                if let Ok(bo) = bo.parse::<u8>() {
+                    if u32::from(co) + u32::from(bo) == 100 {
+                        return Ok(Mempolicy::ratio_co(Percent::new(co)));
+                    }
+                }
+            }
+        }
+        Err(MemError::EmptyNodeSet)
+    }
+
     /// A short name in the paper's nomenclature, e.g. `LOCAL`,
     /// `INTERLEAVE`, `BW-AWARE(286/714)`.
     pub fn name(&self) -> String {
@@ -266,6 +301,37 @@ mod tests {
 
     fn topo() -> NumaTopology {
         NumaTopology::paper_baseline(1 << 14, 1 << 16)
+    }
+
+    #[test]
+    fn parse_accepts_paper_nomenclature() {
+        let t = topo();
+        assert_eq!(Mempolicy::parse("LOCAL", &t).unwrap().name(), "LOCAL");
+        assert_eq!(Mempolicy::parse("local", &t).unwrap().name(), "LOCAL");
+        assert_eq!(
+            Mempolicy::parse("interleave", &t).unwrap().name(),
+            "INTERLEAVE"
+        );
+        assert_eq!(
+            Mempolicy::parse("BW-AWARE", &t).unwrap().name(),
+            Mempolicy::bw_aware_for(&t).name()
+        );
+        assert_eq!(
+            Mempolicy::parse("30C-70B", &t).unwrap().name(),
+            Mempolicy::ratio_co(Percent::new(30)).name()
+        );
+        assert_eq!(
+            Mempolicy::parse(" 0c-100b ", &t).unwrap().name(),
+            Mempolicy::ratio_co(Percent::new(0)).name()
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage_and_bad_ratios() {
+        let t = topo();
+        for bad in ["", "oracle", "30C-60B", "130C--30B", "C-B", "30C-70"] {
+            assert!(Mempolicy::parse(bad, &t).is_err(), "accepted {bad:?}");
+        }
     }
 
     #[test]

@@ -29,6 +29,34 @@ impl MemHint {
     pub const BO: MemHint = MemHint::Preferred(MemKind::BandwidthOptimized);
     /// Shorthand for `Preferred(CapacityOptimized)`.
     pub const CO: MemHint = MemHint::Preferred(MemKind::CapacityOptimized);
+
+    /// The hint's stable wire form (`"BO"`, `"CO"`, `"BW"`) — what
+    /// `hetmem-serve` puts in `place` responses. The inverse of
+    /// [`MemHint::from_str`](core::str::FromStr).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            MemHint::Preferred(MemKind::BandwidthOptimized) => "BO",
+            MemHint::Preferred(MemKind::CapacityOptimized) => "CO",
+            MemHint::BwAware => "BW",
+        }
+    }
+}
+
+impl core::str::FromStr for MemHint {
+    type Err = String;
+
+    /// Parses the wire form, case-insensitively (`bo`, `CO`,
+    /// `bw`/`bw-aware` all work).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_uppercase().as_str() {
+            "BO" => Ok(MemHint::BO),
+            "CO" => Ok(MemHint::CO),
+            "BW" | "BW-AWARE" | "BWAWARE" => Ok(MemHint::BwAware),
+            other => Err(format!(
+                "unknown memory hint '{other}' (want BO, CO, or BW)"
+            )),
+        }
+    }
 }
 
 impl core::fmt::Display for MemHint {
@@ -164,6 +192,15 @@ mod tests {
         assert_eq!(MemHint::BO.to_string(), "BO");
         assert_eq!(MemHint::CO.to_string(), "CO");
         assert_eq!(MemHint::BwAware.to_string(), "BW");
+    }
+
+    #[test]
+    fn wire_forms_round_trip() {
+        for hint in [MemHint::BO, MemHint::CO, MemHint::BwAware] {
+            assert_eq!(hint.as_str().parse::<MemHint>(), Ok(hint));
+        }
+        assert_eq!(" bw-aware ".parse::<MemHint>(), Ok(MemHint::BwAware));
+        assert!("gpu".parse::<MemHint>().is_err());
     }
 
     #[test]

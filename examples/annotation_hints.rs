@@ -11,7 +11,7 @@
 //! ```
 
 use gpusim::SimConfig;
-use hetmem::runner::{bo_traffic_target, profile_workload, run_workload, Capacity, Placement};
+use hetmem::runner::{bo_traffic_target, profile_workload, Capacity, Placement, RunBuilder};
 use hetmem::topology_for;
 use hmtypes::PAGE_SIZE;
 use mempolicy::Mempolicy;
@@ -51,19 +51,18 @@ fn main() {
 
     // Phase 4: run annotated vs the OS policies on the constrained box.
     let topo = topology_for(&sim, &[1, 1]);
-    let inter = run_workload(
-        &spec,
-        &sim,
-        cap,
-        &Placement::Policy(Mempolicy::interleave_all(&topo)),
-    );
-    let bwa = run_workload(
-        &spec,
-        &sim,
-        cap,
-        &Placement::Policy(Mempolicy::bw_aware_for(&topo)),
-    );
-    let annotated = run_workload(&spec, &sim, cap, &Placement::Hinted(hints));
+    let inter = RunBuilder::new(&spec, &sim)
+        .capacity(cap)
+        .placement(&Placement::Policy(Mempolicy::interleave_all(&topo)))
+        .run();
+    let bwa = RunBuilder::new(&spec, &sim)
+        .capacity(cap)
+        .placement(&Placement::Policy(Mempolicy::bw_aware_for(&topo)))
+        .run();
+    let annotated = RunBuilder::new(&spec, &sim)
+        .capacity(cap)
+        .placement(&Placement::Hinted(hints))
+        .run();
 
     println!("\nresults at 10% BO capacity:");
     println!("  INTERLEAVE {:>10} cycles  (1.00x)", inter.report.cycles);

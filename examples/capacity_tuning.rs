@@ -11,7 +11,7 @@
 //! ```
 
 use gpusim::SimConfig;
-use hetmem::runner::{run_workload, Capacity, Placement};
+use hetmem::runner::{Capacity, Placement, RunBuilder};
 use hetmem::topology_for;
 use mempolicy::Mempolicy;
 use workloads::catalog;
@@ -37,12 +37,10 @@ fn main() {
 
     let mut base = None;
     for pct in [100u32, 90, 80, 70, 60, 50, 40, 30, 20, 10] {
-        let run = run_workload(
-            &spec,
-            &sim,
-            Capacity::FractionOfFootprint(f64::from(pct) / 100.0),
-            &Placement::Policy(Mempolicy::bw_aware_for(&topo)),
-        );
+        let run = RunBuilder::new(&spec, &sim)
+            .capacity(Capacity::FractionOfFootprint(f64::from(pct) / 100.0))
+            .placement(&Placement::Policy(Mempolicy::bw_aware_for(&topo)))
+            .run();
         let cycles = run.report.cycles;
         let b = *base.get_or_insert(cycles);
         println!(

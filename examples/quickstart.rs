@@ -6,7 +6,7 @@
 //! ```
 
 use gpusim::SimConfig;
-use hetmem::runner::{run_workload, Capacity, Placement};
+use hetmem::runner::{Placement, RunBuilder};
 use hetmem::topology_for;
 use mempolicy::Mempolicy;
 use workloads::catalog;
@@ -34,12 +34,9 @@ fn main() {
 
     let mut baseline_cycles = None;
     for (name, policy) in policies {
-        let run = run_workload(
-            &spec,
-            &sim,
-            Capacity::Unconstrained,
-            &Placement::Policy(policy),
-        );
+        let run = RunBuilder::new(&spec, &sim)
+            .placement(&Placement::Policy(policy))
+            .run();
         let cycles = run.report.cycles;
         let base = *baseline_cycles.get_or_insert(cycles);
         println!(

@@ -22,3 +22,39 @@ cargo run --release --offline -q -p hetmem-bench --bin hetmem-trace -- \
     check "$OBS_DIR/fig3.jsonl" "$OBS_DIR"/trace/*.json
 cargo run --release --offline -q -p hetmem-bench --bin hetmem-trace -- \
     summary "$OBS_DIR/fig3.jsonl" --top 3
+
+# hetmem-serve smoke: boot the service on an ephemeral loopback port,
+# drive it with the line client (whose exit code already implies a
+# strict parse of each response), check that a repeated simulate is a
+# byte-identical cache hit, shut down cleanly, and strict-validate the
+# captured responses plus the server's own telemetry.
+SERVE_DIR=target/ci-serve
+rm -rf "$SERVE_DIR"
+mkdir -p "$SERVE_DIR"
+cargo build --release --offline -q -p hetmem-bench \
+    --bin hetmem-serve --bin hetmem-client
+target/release/hetmem-serve \
+    --addr 127.0.0.1:0 --port-file "$SERVE_DIR/port" --out "$SERVE_DIR" &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+    [ -s "$SERVE_DIR/port" ] && break
+    sleep 0.1
+done
+ADDR="127.0.0.1:$(cat "$SERVE_DIR/port")"
+client() { target/release/hetmem-client "$ADDR" "$@"; }
+
+client place workload=bfs capacity_pct=10 > "$SERVE_DIR/place.jsonl"
+grep -q '"hints":\[' "$SERVE_DIR/place.jsonl"
+client simulate workload=hotspot policy=LOCAL mem_ops=4000 sms=2 \
+    > "$SERVE_DIR/sim1.jsonl"
+client simulate workload=hotspot policy=LOCAL mem_ops=4000 sms=2 \
+    > "$SERVE_DIR/sim2.jsonl"
+cmp "$SERVE_DIR/sim1.jsonl" "$SERVE_DIR/sim2.jsonl"  # cache hit: same bytes
+client stats > "$SERVE_DIR/stats.jsonl"
+grep -q '"hits":1' "$SERVE_DIR/stats.jsonl"
+client shutdown | grep -q '"draining":true'
+wait "$SERVE_PID"  # graceful drain: the server must exit 0 on its own
+trap - EXIT
+cargo run --release --offline -q -p hetmem-bench --bin hetmem-trace -- \
+    check "$SERVE_DIR"/*.jsonl

@@ -2,7 +2,7 @@
 //! oracle (paper §4.2) and profile-annotated hints (paper §5).
 
 use gpusim::SimConfig;
-use hetmem::runner::{hints_from_profile, profile_workload, run_workload, Capacity, Placement};
+use hetmem::runner::{hints_from_profile, profile_workload, Capacity, Placement, RunBuilder};
 use hetmem::topology_for;
 use mempolicy::Mempolicy;
 use profiler::MemHint;
@@ -28,13 +28,14 @@ fn oracle_beats_bw_aware_for_skewed_workloads_at_10pct() {
     for name in ["bfs", "xsbench"] {
         let spec = quick(name, 40_000);
         let (hist, _) = profile_workload(&spec, &sim);
-        let bwa = run_workload(
-            &spec,
-            &sim,
-            cap,
-            &Placement::Policy(Mempolicy::bw_aware_for(&topo)),
-        );
-        let oracle = run_workload(&spec, &sim, cap, &Placement::Oracle(hist));
+        let bwa = RunBuilder::new(&spec, &sim)
+            .capacity(cap)
+            .placement(&Placement::Policy(Mempolicy::bw_aware_for(&topo)))
+            .run();
+        let oracle = RunBuilder::new(&spec, &sim)
+            .capacity(cap)
+            .placement(&Placement::Oracle(hist))
+            .run();
         assert!(
             oracle.speedup_over(&bwa) > 1.05,
             "{name}: oracle vs BW-AWARE at 10% = {}",
@@ -51,18 +52,12 @@ fn oracle_matches_bw_aware_when_unconstrained() {
     let topo = topology_for(&sim, &[1, 1]);
     let spec = quick("srad", 40_000);
     let (hist, _) = profile_workload(&spec, &sim);
-    let bwa = run_workload(
-        &spec,
-        &sim,
-        Capacity::Unconstrained,
-        &Placement::Policy(Mempolicy::bw_aware_for(&topo)),
-    );
-    let oracle = run_workload(
-        &spec,
-        &sim,
-        Capacity::Unconstrained,
-        &Placement::Oracle(hist),
-    );
+    let bwa = RunBuilder::new(&spec, &sim)
+        .placement(&Placement::Policy(Mempolicy::bw_aware_for(&topo)))
+        .run();
+    let oracle = RunBuilder::new(&spec, &sim)
+        .placement(&Placement::Oracle(hist))
+        .run();
     let rel = oracle.speedup_over(&bwa);
     assert!(
         (0.9..=1.15).contains(&rel),
@@ -81,14 +76,18 @@ fn annotated_sits_between_bw_aware_and_oracle_for_structured_skew() {
     let (hist, profile) = profile_workload(&spec, &sim);
     let hints = hints_from_profile(&profile, &spec, &sim, cap);
 
-    let bwa = run_workload(
-        &spec,
-        &sim,
-        cap,
-        &Placement::Policy(Mempolicy::bw_aware_for(&topo)),
-    );
-    let annotated = run_workload(&spec, &sim, cap, &Placement::Hinted(hints));
-    let oracle = run_workload(&spec, &sim, cap, &Placement::Oracle(hist));
+    let bwa = RunBuilder::new(&spec, &sim)
+        .capacity(cap)
+        .placement(&Placement::Policy(Mempolicy::bw_aware_for(&topo)))
+        .run();
+    let annotated = RunBuilder::new(&spec, &sim)
+        .capacity(cap)
+        .placement(&Placement::Hinted(hints))
+        .run();
+    let oracle = RunBuilder::new(&spec, &sim)
+        .capacity(cap)
+        .placement(&Placement::Oracle(hist))
+        .run();
 
     assert!(
         annotated.speedup_over(&bwa) > 1.0,
@@ -158,13 +157,14 @@ fn training_hints_transfer_across_datasets() {
     let (_, train_profile) = profile_workload(&sets[0], &sim);
     for spec in &sets[1..] {
         let hints = hints_from_profile(&train_profile, spec, &sim, cap);
-        let inter = run_workload(
-            spec,
-            &sim,
-            cap,
-            &Placement::Policy(Mempolicy::interleave_all(&topo)),
-        );
-        let annotated = run_workload(spec, &sim, cap, &Placement::Hinted(hints));
+        let inter = RunBuilder::new(spec, &sim)
+            .capacity(cap)
+            .placement(&Placement::Policy(Mempolicy::interleave_all(&topo)))
+            .run();
+        let annotated = RunBuilder::new(spec, &sim)
+            .capacity(cap)
+            .placement(&Placement::Hinted(hints))
+            .run();
         assert!(
             annotated.speedup_over(&inter) > 1.0,
             "trained hints vs INTERLEAVE on {}: {}",

@@ -2,7 +2,7 @@
 //! simulation, checking the paper's qualitative claims at small scale.
 
 use gpusim::SimConfig;
-use hetmem::runner::{run_workload, Capacity, Placement};
+use hetmem::runner::{Capacity, Placement, RunBuilder};
 use hetmem::topology_for;
 use hmtypes::Percent;
 use mempolicy::Mempolicy;
@@ -21,12 +21,9 @@ fn quick(name: &str, ops: u64) -> WorkloadSpec {
 }
 
 fn run(spec: &WorkloadSpec, sim: &SimConfig, policy: Mempolicy) -> hetmem::WorkloadRun {
-    run_workload(
-        spec,
-        sim,
-        Capacity::Unconstrained,
-        &Placement::Policy(policy),
-    )
+    RunBuilder::new(spec, sim)
+        .placement(&Placement::Policy(policy))
+        .run()
 }
 
 #[test]
@@ -87,12 +84,11 @@ fn dram_traffic_follows_placement_ratio() {
     let sim = quick_sim();
     let spec = quick("hotspot", 40_000);
     for co_pct in [10u8, 30, 50, 70] {
-        let run = run_workload(
-            &spec,
-            &sim,
-            Capacity::Unconstrained,
-            &Placement::Policy(Mempolicy::ratio_co(Percent::new(co_pct))),
-        );
+        let run = RunBuilder::new(&spec, &sim)
+            .placement(&Placement::Policy(Mempolicy::ratio_co(Percent::new(
+                co_pct,
+            ))))
+            .run();
         let co = run.report.pool_traffic_fraction(1);
         assert!(
             (co - f64::from(co_pct) / 100.0).abs() < 0.08,
@@ -135,12 +131,58 @@ fn zero_extra_latency_local_equals_bo_only_machine() {
     let slower_co = {
         let mut s = sim.clone();
         s.pools[1].extra_latency = 500;
-        run_workload(
-            &spec,
-            &s,
-            Capacity::Unconstrained,
-            &Placement::Policy(Mempolicy::local()),
-        )
+        RunBuilder::new(&spec, &s)
+            .placement(&Placement::Policy(Mempolicy::local()))
+            .run()
     };
     assert_eq!(a.report.cycles, slower_co.report.cycles);
+}
+
+#[test]
+#[allow(deprecated)]
+fn run_builder_matches_legacy_trio_on_figure_workloads() {
+    // The deprecated wrappers must stay bit-equivalent to the builder
+    // they delegate to, on both a bandwidth-bound (lbm, Fig. 3) and a
+    // capacity-constrained (bfs, Fig. 4) figure workload.
+    use hetmem::runner::{run_workload, run_workload_observed, ObserveConfig};
+
+    let sim = quick_sim();
+    let topo = topology_for(&sim, &[1, 1]);
+    for (name, capacity) in [
+        ("lbm", Capacity::Unconstrained),
+        ("bfs", Capacity::FractionOfFootprint(0.10)),
+    ] {
+        let spec = quick(name, 20_000);
+        let placement = Placement::Policy(Mempolicy::bw_aware_for(&topo));
+        let legacy = run_workload(&spec, &sim, capacity, &placement);
+        let built = RunBuilder::new(&spec, &sim)
+            .capacity(capacity)
+            .placement(&placement)
+            .run();
+        assert_eq!(legacy.report.cycles, built.report.cycles, "{name}");
+        assert_eq!(legacy.placement, built.placement, "{name}");
+        assert_eq!(legacy.bo_pages, built.bo_pages, "{name}");
+
+        let obs = ObserveConfig {
+            sample_cycles: Some(1_000),
+            ..ObserveConfig::default()
+        };
+        let legacy_obs = run_workload_observed(&spec, &sim, capacity, &placement, &obs);
+        let built_obs = RunBuilder::new(&spec, &sim)
+            .capacity(capacity)
+            .placement(&placement)
+            .observe(obs.clone())
+            .run_observed();
+        assert_eq!(
+            legacy_obs.run.report.cycles, built_obs.run.report.cycles,
+            "{name} observed"
+        );
+        assert_eq!(
+            legacy_obs.intervals.len(),
+            built_obs.intervals.len(),
+            "{name} intervals"
+        );
+        // The observed path must not perturb the simulation itself.
+        assert_eq!(built_obs.run.report.cycles, built.report.cycles, "{name}");
+    }
 }
