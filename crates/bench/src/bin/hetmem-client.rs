@@ -1,14 +1,26 @@
 //! A one-shot `hetmem-serve` client for scripts and CI.
 //!
 //! ```text
-//! hetmem-client <addr> <op> [key=value ...]
+//! hetmem-client [flags] <addr> <op> [key=value ...]
 //!
 //! hetmem-client 127.0.0.1:7711 place workload=bfs capacity_pct=10
 //! hetmem-client 127.0.0.1:7711 simulate workload=hotspot policy=LOCAL \
 //!     mem_ops=5000 sms=2
-//! hetmem-client 127.0.0.1:7711 stats
+//! hetmem-client --retries 5 --deadline-ms 30000 127.0.0.1:7711 stats
 //! hetmem-client 127.0.0.1:7711 shutdown
 //! ```
+//!
+//! Flags (all optional, before `<addr>`):
+//!
+//! * `--retries <n>` — extra attempts after the first (default 3);
+//!   transport errors and the retryable codes `overloaded` /
+//!   `worker-restarted` are retried with capped exponential backoff
+//!   and deterministic jitter
+//! * `--deadline-ms <n>` — overall budget across attempts, also sent
+//!   to the server in the request envelope (default: none)
+//! * `--timeout-ms <n>` — per-attempt socket read timeout (default
+//!   120000)
+//! * `--backoff-seed <n>` — jitter seed, for reproducible schedules
 //!
 //! Values parse as (in order): unsigned integer, float, boolean,
 //! comma-separated number array (`sizes=1048576,2097152`), else
@@ -17,10 +29,11 @@
 //! transport or decode failures.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
-use hetmem_bench::serve::roundtrip;
+use hetmem_bench::client::{call, ClientOptions};
 use hetmem_harness::json::JsonValue;
-use hetmem_harness::{Request, Response};
+use hetmem_harness::{Backoff, Request, Response};
 
 /// Parses one `key=value` pair into a JSON field.
 fn field(pair: &str) -> (String, JsonValue) {
@@ -52,19 +65,48 @@ fn scalar(value: &str) -> JsonValue {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.len() < 2 {
-        eprintln!("usage: hetmem-client <addr> <op> [key=value ...]");
+    let mut opts = ClientOptions::default();
+    let mut backoff_seed = 0u64;
+    let mut rest: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--retries" => {
+                let v = args.next().expect("--retries needs a value");
+                opts.retries = v.parse().expect("--retries takes an integer");
+            }
+            "--deadline-ms" => {
+                let v = args.next().expect("--deadline-ms needs a value");
+                opts.deadline_ms = Some(v.parse().expect("--deadline-ms takes an integer"));
+            }
+            "--timeout-ms" => {
+                let v = args.next().expect("--timeout-ms needs a value");
+                let ms: u64 = v.parse().expect("--timeout-ms takes an integer");
+                opts.read_timeout = Duration::from_millis(ms.max(1));
+            }
+            "--backoff-seed" => {
+                let v = args.next().expect("--backoff-seed needs a value");
+                backoff_seed = v.parse().expect("--backoff-seed takes an integer");
+            }
+            _ => {
+                rest.push(arg);
+                rest.extend(args.by_ref());
+            }
+        }
+    }
+    if rest.len() < 2 {
+        eprintln!("usage: hetmem-client [flags] <addr> <op> [key=value ...]");
         return ExitCode::from(1);
     }
-    let addr = &args[0];
-    let op = &args[1];
-    let params = JsonValue::Object(args[2..].iter().map(|pair| field(pair)).collect());
+    opts.backoff = Backoff::new(50, 2000, backoff_seed);
+    let addr = &rest[0];
+    let op = &rest[1];
+    let params = JsonValue::Object(rest[2..].iter().map(|pair| field(pair)).collect());
     let req = Request::with_params(1, op, params);
-    match roundtrip(addr, &req) {
-        Ok(resp) => {
-            println!("{}", resp.encode());
-            if matches!(resp, Response::Ok { .. }) {
+    match call(addr, &req, &opts) {
+        Ok(outcome) => {
+            println!("{}", outcome.response.encode());
+            if matches!(outcome.response, Response::Ok { .. }) {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::from(2)

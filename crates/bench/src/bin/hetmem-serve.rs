@@ -14,6 +14,13 @@
 //! * `--queue-depth <n>` — bounded queue depth per shard (default 32)
 //! * `--cache <n>` — result cache capacity in entries (default 128)
 //! * `--out <dir>` — stream per-request telemetry to `<dir>/serve.jsonl`
+//! * `--fsync` — fsync the telemetry file after every append
+//! * `--read-timeout-ms <n>` — accepted-connection read timeout
+//!   (default 120000)
+//! * `--write-timeout-ms <n>` — accepted-connection write timeout
+//!   (default 30000)
+//! * `--faults <spec>` — deterministic chaos injection, e.g.
+//!   `seed=7,panic=0.05,latency=0.2,latency-ms=40,wire=0.1,corrupt=0.1`
 //! * `--port-file <path>` — write the bound port (digits only) for
 //!   scripts that cannot parse stdout
 //!
@@ -24,10 +31,13 @@ use std::sync::Arc;
 
 use hetmem::TelemetrySink;
 use hetmem_bench::serve::{start, ServeConfig};
+use hetmem_harness::FaultPlan;
 
 fn main() {
     let mut cfg = ServeConfig::default();
     let mut port_file: Option<String> = None;
+    let mut out_dir: Option<String> = None;
+    let mut fsync = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -44,15 +54,30 @@ fn main() {
                 let v = args.next().expect("--cache needs a value");
                 cfg.cache_capacity = v.parse().expect("--cache takes an integer");
             }
-            "--out" => {
-                let dir = args.next().expect("--out needs a directory");
-                let sink = TelemetrySink::create(&dir)
-                    .unwrap_or_else(|e| panic!("cannot create telemetry dir {dir}: {e}"));
-                cfg.telemetry = Some(Arc::new(sink));
+            "--out" => out_dir = Some(args.next().expect("--out needs a directory")),
+            "--fsync" => fsync = true,
+            "--read-timeout-ms" => {
+                let v = args.next().expect("--read-timeout-ms needs a value");
+                cfg.read_timeout_ms = v.parse().expect("--read-timeout-ms takes an integer");
+            }
+            "--write-timeout-ms" => {
+                let v = args.next().expect("--write-timeout-ms needs a value");
+                cfg.write_timeout_ms = v.parse().expect("--write-timeout-ms takes an integer");
+            }
+            "--faults" => {
+                let spec = args.next().expect("--faults needs a spec");
+                let plan = FaultPlan::parse(&spec)
+                    .unwrap_or_else(|e| panic!("bad --faults spec '{spec}': {e}"));
+                cfg.faults = Some(plan);
             }
             "--port-file" => port_file = Some(args.next().expect("--port-file needs a path")),
             other => panic!("unknown flag {other}; see hetmem-serve docs"),
         }
+    }
+    if let Some(dir) = out_dir {
+        let sink = TelemetrySink::create_with_fsync(&dir, fsync)
+            .unwrap_or_else(|e| panic!("cannot create telemetry dir {dir}: {e}"));
+        cfg.telemetry = Some(Arc::new(sink));
     }
     let handle = start(cfg).unwrap_or_else(|e| panic!("hetmem-serve failed to start: {e}"));
     println!("hetmem-serve listening on {}", handle.addr());

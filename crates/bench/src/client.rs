@@ -1,0 +1,183 @@
+//! The resilient `hetmem-serve` client: retries with deterministic
+//! backoff, deadline budgets, and idempotent replays.
+//!
+//! [`call`] wraps [`roundtrip_timeout`](crate::serve::roundtrip_timeout)
+//! in a retry loop. Two classes of failure are retried:
+//!
+//! * **Transport errors** — refused connections, timeouts, short reads
+//!   (a torn response never parses: the newline is missing), EOF.
+//! * **Transient server errors** — the stable codes `overloaded` and
+//!   `worker-restarted`, which the server documents as safe to retry.
+//!
+//! Everything else (structured errors like `unknown-workload`, or a
+//! success) is returned as-is. Retries are **idempotent by
+//! construction**: the request line is re-encoded from the same
+//! [`Request`] (minus the shrinking deadline), and the server's
+//! content-addressed cache makes a replayed simulation byte-identical
+//! to the first attempt.
+//!
+//! Delays come from the seeded [`Backoff`] schedule — capped
+//! exponential with deterministic jitter — and every sleep is clamped
+//! to the remaining deadline budget, so a caller with a
+//! [`ClientOptions::deadline_ms`] of 2000 never blocks past ~2 s
+//! regardless of retry count.
+
+use std::io;
+use std::time::{Duration, Instant};
+
+use hetmem_harness::{Backoff, Request, Response};
+
+use crate::serve::roundtrip_timeout;
+
+/// Error codes the server guarantees are safe to retry.
+pub const RETRYABLE_CODES: [&str; 2] = ["overloaded", "worker-restarted"];
+
+/// Retry/deadline knobs for [`call`].
+#[derive(Debug, Clone)]
+pub struct ClientOptions {
+    /// Additional attempts after the first (so `retries: 3` = at most
+    /// 4 round-trips).
+    pub retries: u32,
+    /// The delay schedule between attempts.
+    pub backoff: Backoff,
+    /// Overall budget across all attempts; also sent to the server as
+    /// the envelope's `deadline_ms` (shrunk by elapsed time each
+    /// attempt). `None` = no deadline.
+    pub deadline_ms: Option<u64>,
+    /// Per-attempt socket read timeout.
+    pub read_timeout: Duration,
+}
+
+impl Default for ClientOptions {
+    fn default() -> Self {
+        ClientOptions {
+            retries: 3,
+            backoff: Backoff::default(),
+            deadline_ms: None,
+            read_timeout: Duration::from_secs(120),
+        }
+    }
+}
+
+/// Outcome of one [`call`], with the attempt count that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallOutcome {
+    /// The final response (success or structured error).
+    pub response: Response,
+    /// Round-trips performed, including the successful one (≥ 1).
+    pub attempts: u32,
+}
+
+/// Sends `req` with retries, backoff, and a deadline budget.
+///
+/// # Errors
+///
+/// The last transport error once attempts (or the deadline budget) are
+/// exhausted. A structured server error response is a *success* of the
+/// transport and is returned in the outcome, except the retryable
+/// codes, which are retried while budget remains.
+pub fn call(addr: &str, req: &Request, opts: &ClientOptions) -> io::Result<CallOutcome> {
+    let start = Instant::now();
+    let budget = opts.deadline_ms.map(Duration::from_millis);
+    let mut attempt: u32 = 0;
+    loop {
+        let remaining = match budget {
+            Some(b) => {
+                let left = b.saturating_sub(start.elapsed());
+                if left.is_zero() {
+                    return Err(deadline_error(attempt));
+                }
+                Some(left)
+            }
+            None => None,
+        };
+        let attempt_req = match remaining {
+            // Re-anchor the envelope deadline to what is left of the
+            // budget so the server never works past the client's wait.
+            Some(left) => req.clone().deadline((left.as_millis() as u64).max(1)),
+            None => req.clone(),
+        };
+        let read_timeout = match remaining {
+            // A little slack past the deadline so the server's own
+            // `deadline-exceeded` response can still arrive.
+            Some(left) => opts.read_timeout.min(left + Duration::from_millis(250)),
+            None => opts.read_timeout,
+        };
+        let outcome = roundtrip_timeout(addr, &attempt_req, read_timeout);
+        let retryable = match &outcome {
+            Ok(Response::Err { code, .. }) => RETRYABLE_CODES.contains(&code.as_str()),
+            Ok(Response::Ok { .. }) => false,
+            // Transport failure; a malformed response line
+            // (InvalidData) is not retried — it signals a protocol
+            // bug, not a transient fault.
+            Err(e) => e.kind() != io::ErrorKind::InvalidData,
+        };
+        if !retryable || attempt >= opts.retries {
+            return outcome.map(|response| CallOutcome {
+                response,
+                attempts: attempt + 1,
+            });
+        }
+        let mut delay = Duration::from_millis(opts.backoff.delay_ms(attempt));
+        if let Some(b) = budget {
+            let left = b.saturating_sub(start.elapsed());
+            if left.is_zero() {
+                // Budget exhausted mid-retry: surface the last result.
+                return outcome.map(|response| CallOutcome {
+                    response,
+                    attempts: attempt + 1,
+                });
+            }
+            delay = delay.min(left);
+        }
+        std::thread::sleep(delay);
+        attempt += 1;
+    }
+}
+
+fn deadline_error(attempts: u32) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::TimedOut,
+        format!("client deadline exceeded after {attempts} attempt(s)"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let o = ClientOptions::default();
+        assert_eq!(o.retries, 3);
+        assert!(o.deadline_ms.is_none());
+        assert!(o.read_timeout >= Duration::from_secs(1));
+    }
+
+    #[test]
+    fn refused_connection_is_retried_then_surfaced() {
+        // Nothing listens on a fresh ephemeral port we bind and drop.
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let addr = format!("127.0.0.1:{port}");
+        let opts = ClientOptions {
+            retries: 2,
+            backoff: Backoff::new(1, 2, 7),
+            ..ClientOptions::default()
+        };
+        let err = call(&addr, &Request::new(1, "stats"), &opts).unwrap_err();
+        assert_ne!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn zero_budget_fails_fast_without_connecting() {
+        let opts = ClientOptions {
+            deadline_ms: Some(0),
+            ..ClientOptions::default()
+        };
+        let err = call("127.0.0.1:1", &Request::new(1, "stats"), &opts).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+    }
+}

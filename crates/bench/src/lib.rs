@@ -25,6 +25,7 @@
 //! Inspect the emitted files with `cargo run -p hetmem-bench --bin
 //! hetmem-trace -- summary <file>`.
 
+pub mod client;
 pub mod serve;
 
 use std::sync::Arc;

@@ -28,9 +28,24 @@
 //! Simulations execute through the harness sweep engine
 //! ([`run_grid`]) so a panicking grid point surfaces as a structured
 //! `sim-panic` error response rather than a dead worker.
+//!
+//! ## Robustness
+//!
+//! Shard workers run under a **supervisor**: a panicking worker (a
+//! simulator bug, or chaos injection) is restarted in place, its
+//! in-flight request answered with a structured `worker-restarted`
+//! error, and the restart counted in `stats`. Requests may carry a
+//! `deadline_ms`; expired work is refused with `deadline-exceeded`
+//! instead of running to completion. Socket read/write timeouts are
+//! configurable via [`ServeConfig`], and a deterministic
+//! [`FaultPlan`] can inject worker panics, latency, torn response
+//! writes, and cache corruption for chaos testing — the cache's
+//! integrity checksums turn injected corruption into a counted miss
+//! and recompute, never a wrong answer.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
@@ -44,10 +59,18 @@ use hetmem::{
 use hetmem_harness::json::{self, JsonObject, JsonValue};
 use hetmem_harness::sweep::{run_grid, SweepOptions};
 use hetmem_harness::telemetry::fnv1a;
-use hetmem_harness::{BoundedQueue, ProtocolError, PushError, Request, Response, ResultCache};
+use hetmem_harness::{
+    BoundedQueue, FaultInjector, FaultPlan, ProtocolError, PushError, Request, Response,
+    ResultCache,
+};
 use mempolicy::Mempolicy;
 use profiler::get_allocation;
 use workloads::{catalog, WorkloadSpec};
+
+/// Default client/server socket read timeout.
+const DEFAULT_READ_TIMEOUT_MS: u64 = 120_000;
+/// Default server socket write timeout.
+const DEFAULT_WRITE_TIMEOUT_MS: u64 = 30_000;
 
 /// Server construction knobs. `Default` binds an ephemeral loopback
 /// port with two worker shards.
@@ -65,6 +88,15 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// Optional per-request telemetry sink (`<dir>/serve.jsonl`).
     pub telemetry: Option<Arc<TelemetrySink>>,
+    /// Read timeout on accepted connections in ms (0 = default 120000).
+    /// An idle connection past this is dropped.
+    pub read_timeout_ms: u64,
+    /// Write timeout on accepted connections in ms (0 = default 30000).
+    /// A client that stops draining its socket cannot wedge a
+    /// connection thread forever.
+    pub write_timeout_ms: u64,
+    /// Deterministic chaos injection; `None` serves faithfully.
+    pub faults: Option<FaultPlan>,
 }
 
 impl ServeConfig {
@@ -104,6 +136,8 @@ struct SimPoint {
 struct Job {
     key: String,
     point: SimPoint,
+    /// Cooperative deadline carried over from the request envelope.
+    deadline: Option<Instant>,
     reply: mpsc::Sender<JobReply>,
 }
 
@@ -167,6 +201,8 @@ struct ServerStats {
     op_stats: AtomicU64,
     op_shutdown: AtomicU64,
     op_other: AtomicU64,
+    worker_restarts: AtomicU64,
+    deadline_exceeded: AtomicU64,
 }
 
 /// Everything the acceptor, connection, and worker threads share.
@@ -179,6 +215,9 @@ struct Shared {
     telemetry: Option<Arc<TelemetrySink>>,
     started: Instant,
     active: ActiveRequests,
+    faults: FaultInjector,
+    read_timeout: Duration,
+    write_timeout: Duration,
 }
 
 /// A running server: the bound address plus the threads to join.
@@ -239,6 +278,16 @@ pub fn start(cfg: ServeConfig) -> io::Result<ServerHandle> {
     } else {
         cfg.cache_capacity
     };
+    let read_timeout_ms = if cfg.read_timeout_ms == 0 {
+        DEFAULT_READ_TIMEOUT_MS
+    } else {
+        cfg.read_timeout_ms
+    };
+    let write_timeout_ms = if cfg.write_timeout_ms == 0 {
+        DEFAULT_WRITE_TIMEOUT_MS
+    } else {
+        cfg.write_timeout_ms
+    };
     let shared = Arc::new(Shared {
         addr,
         cache: ResultCache::new(cache_cap),
@@ -248,13 +297,18 @@ pub fn start(cfg: ServeConfig) -> io::Result<ServerHandle> {
         telemetry: cfg.telemetry,
         started: Instant::now(),
         active: ActiveRequests::default(),
+        faults: cfg
+            .faults
+            .map_or_else(FaultInjector::disabled, FaultInjector::new),
+        read_timeout: Duration::from_millis(read_timeout_ms),
+        write_timeout: Duration::from_millis(write_timeout_ms),
     });
     let workers = (0..shards)
         .map(|i| {
             let s = Arc::clone(&shared);
             thread::Builder::new()
                 .name(format!("hetmem-serve-shard-{i}"))
-                .spawn(move || worker_loop(&s, i))
+                .spawn(move || supervise_worker(&s, i))
         })
         .collect::<io::Result<Vec<_>>>()?;
     let acceptor = {
@@ -279,8 +333,24 @@ pub fn start(cfg: ServeConfig) -> io::Result<ServerHandle> {
 /// I/O failures, or `InvalidData` when the server's reply is not a
 /// valid response line.
 pub fn roundtrip(addr: &str, req: &Request) -> io::Result<Response> {
+    roundtrip_timeout(addr, req, Duration::from_millis(DEFAULT_READ_TIMEOUT_MS))
+}
+
+/// [`roundtrip`] with an explicit read timeout, the building block of
+/// the retrying client: a torn or stalled server reply surfaces as an
+/// `io::Error` within `read_timeout` instead of hanging the caller.
+///
+/// # Errors
+///
+/// I/O failures (including timeout), or `InvalidData` when the
+/// server's reply is not a valid response line.
+pub fn roundtrip_timeout(
+    addr: &str,
+    req: &Request,
+    read_timeout: Duration,
+) -> io::Result<Response> {
     let stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    stream.set_read_timeout(Some(read_timeout.max(Duration::from_millis(1))))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     let mut line = req.encode();
@@ -292,6 +362,15 @@ pub fn roundtrip(addr: &str, req: &Request) -> io::Result<Response> {
         return Err(io::Error::new(
             io::ErrorKind::UnexpectedEof,
             "server closed the connection before responding",
+        ));
+    }
+    // A complete response line always ends in '\n'; bytes without it
+    // mean the connection died mid-write. Surface that as a short read
+    // (retryable), not a protocol error.
+    if !reply.ends_with('\n') {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed mid-response (truncated line)",
         ));
     }
     Response::decode(reply.trim_end())
@@ -313,6 +392,10 @@ fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
 }
 
 fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
+    // Timeouts bound both directions: an idle client eventually frees
+    // the thread, and a client that stops draining cannot wedge it.
+    let _ = stream.set_read_timeout(Some(shared.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.write_timeout));
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -335,6 +418,16 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
         let resp = dispatch(shared, trimmed);
         let mut out = resp.encode();
         out.push('\n');
+        if shared.faults.maybe_wire_error() {
+            // Chaos: tear the response mid-line and drop the
+            // connection. The client sees a short read / EOF (never a
+            // parseable-but-wrong line, the newline is missing) and
+            // retries; the cache makes the retry byte-identical.
+            let _ = writer.write_all(&out.as_bytes()[..out.len() / 2]);
+            let _ = writer.flush();
+            drop(guard);
+            break;
+        }
         let write_ok = writer.write_all(out.as_bytes()).is_ok() && writer.flush().is_ok();
         drop(guard);
         if !write_ok || shared.shutting.load(Ordering::SeqCst) {
@@ -365,13 +458,17 @@ fn dispatch(shared: &Arc<Shared>, line: &str) -> Response {
         _ => &shared.stats.op_other,
     };
     op_counter.fetch_add(1, Ordering::Relaxed);
+    // The request's cooperative deadline, anchored at receipt time.
+    let deadline = req.deadline_ms.map(|ms| t0 + Duration::from_millis(ms));
 
     let outcome: Result<(String, bool), HetmemError> = if shared.shutting.load(Ordering::SeqCst) {
         Err(HetmemError::ShuttingDown)
+    } else if deadline.is_some_and(|d| Instant::now() >= d) {
+        Err(HetmemError::DeadlineExceeded)
     } else {
         match req.op.as_str() {
             "place" => handle_place(&req.params).map(|body| (body, false)),
-            "simulate" => handle_simulate(shared, &req.params),
+            "simulate" => handle_simulate(shared, &req.params, deadline),
             "stats" => Ok((stats_json(shared), false)),
             "shutdown" => {
                 begin_shutdown(shared);
@@ -391,6 +488,12 @@ fn dispatch(shared: &Arc<Shared>, line: &str) -> Response {
             shared.stats.errors.fetch_add(1, Ordering::Relaxed);
             if matches!(e, HetmemError::Overloaded) {
                 shared.stats.overloaded.fetch_add(1, Ordering::Relaxed);
+            }
+            if matches!(e, HetmemError::DeadlineExceeded) {
+                shared
+                    .stats
+                    .deadline_exceeded
+                    .fetch_add(1, Ordering::Relaxed);
             }
             record_request(shared, &req.op, Some(e.code()), false, t0);
             Response::err(req.id, e.code(), &e.to_string())
@@ -428,13 +531,46 @@ fn begin_shutdown(shared: &Arc<Shared>) {
     let _ = TcpStream::connect(shared.addr);
 }
 
+/// Keeps shard `shard` alive: a panic anywhere in [`worker_loop`]
+/// (outside the sweep engine's own `catch_unwind`, e.g. an injected
+/// worker fault) is caught, counted, and the loop re-entered. The job
+/// being carried is dropped with it, which closes its reply channel —
+/// the waiting connection thread observes the disconnect and answers
+/// `worker-restarted`. A clean exit (queue closed and drained) ends
+/// supervision.
+fn supervise_worker(shared: &Arc<Shared>, shard: usize) {
+    loop {
+        match catch_unwind(AssertUnwindSafe(|| worker_loop(shared, shard))) {
+            Ok(()) => break,
+            Err(_) => {
+                shared.stats.worker_restarts.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
 fn worker_loop(shared: &Arc<Shared>, shard: usize) {
     while let Some(job) = shared.queues[shard].pop() {
+        // Chaos hooks, rolled in a fixed order so a seeded plan
+        // replays the same decisions: crash the worker, stall it, or
+        // rot the cached entry (which the integrity checksum catches).
+        shared.faults.maybe_panic("shard-worker");
+        if let Some(stall) = shared.faults.maybe_latency() {
+            thread::sleep(stall);
+        }
+        if shared.faults.maybe_corrupt() {
+            shared.cache.corrupt(&job.key);
+        }
+        if job.deadline.is_some_and(|d| Instant::now() >= d) {
+            // Counted once, in dispatch, when the reply flows back.
+            let _ = job.reply.send(Err(HetmemError::DeadlineExceeded));
+            continue;
+        }
         // Identical concurrent requests hash to this same shard, so by
         // the time a duplicate is popped the first result is cached.
         let reply = match shared.cache.get(&job.key) {
             Some(body) => Ok((body, true)),
-            None => match execute(&job.point) {
+            None => match execute(&job.point, job.deadline) {
                 Ok(body) => {
                     shared.cache.insert(&job.key, body.clone());
                     Ok((body, false))
@@ -448,10 +584,11 @@ fn worker_loop(shared: &Arc<Shared>, shard: usize) {
 
 /// Runs one point through the sweep engine (single-threaded, one
 /// point) so a simulator panic comes back as a structured error.
-fn execute(point: &SimPoint) -> Result<String, HetmemError> {
+fn execute(point: &SimPoint, deadline: Option<Instant>) -> Result<String, HetmemError> {
     let opts = SweepOptions {
         threads: 1,
         progress: false,
+        deadline,
         ..SweepOptions::default()
     };
     let mut results = run_grid(
@@ -486,6 +623,7 @@ fn run_point(p: &SimPoint) -> String {
 fn handle_simulate(
     shared: &Arc<Shared>,
     params: &JsonValue,
+    deadline: Option<Instant>,
 ) -> Result<(String, bool), HetmemError> {
     let (point, key) = parse_simulate(params)?;
     let shard = (fnv1a(key.as_bytes()) % shared.queues.len() as u64) as usize;
@@ -493,6 +631,7 @@ fn handle_simulate(
     let job = Job {
         key,
         point,
+        deadline,
         reply: tx,
     };
     match shared.queues[shard].try_push(job) {
@@ -502,7 +641,11 @@ fn handle_simulate(
     }
     match rx.recv() {
         Ok(reply) => reply,
-        Err(_) => Err(HetmemError::ShuttingDown),
+        // A clean drain answers every successfully queued job, so a
+        // dropped reply channel means the worker died mid-job and was
+        // respawned by its supervisor. The request did not complete;
+        // simulations are idempotent, so retrying is always safe.
+        Err(_) => Err(HetmemError::WorkerRestarted),
     }
 }
 
@@ -722,20 +865,35 @@ fn stats_json(shared: &Shared) -> String {
         .u64("misses", cache.misses)
         .u64("insertions", cache.insertions)
         .u64("evictions", cache.evictions)
+        .u64("corruptions", cache.corruptions)
         .u64("entries", cache.entries as u64)
         .u64("capacity", cache.capacity as u64)
         .finish();
-    JsonObject::new()
+    let mut obj = JsonObject::new()
         .u64("requests", load(&s.requests))
         .u64("ok", load(&s.ok))
         .u64("errors", load(&s.errors))
         .u64("overloaded", load(&s.overloaded))
+        .u64("worker_restarts", load(&s.worker_restarts))
+        .u64("deadline_exceeded", load(&s.deadline_exceeded))
         .raw("ops", &ops)
         .raw("cache", &cache_obj)
         .u64("shards", shared.queues.len() as u64)
         .u64("queue_depth", shared.queues[0].capacity() as u64)
-        .u64("uptime_ms", shared.started.elapsed().as_millis() as u64)
-        .finish()
+        .u64("uptime_ms", shared.started.elapsed().as_millis() as u64);
+    if shared.faults.is_active() {
+        let f = shared.faults.counts();
+        let faults = JsonObject::new()
+            .u64("decisions", f.decisions)
+            .u64("injected", f.injected())
+            .u64("panics", f.panics)
+            .u64("latencies", f.latencies)
+            .u64("wire_errors", f.wire_errors)
+            .u64("corruptions", f.corruptions)
+            .finish();
+        obj = obj.raw("faults", &faults);
+    }
+    obj.finish()
 }
 
 /// Maps a client-side decode failure onto the protocol's error space

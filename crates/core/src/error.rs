@@ -48,6 +48,11 @@ pub enum HetmemError {
     Overloaded,
     /// The service is draining and accepts no new work.
     ShuttingDown,
+    /// The request's deadline expired before the work completed.
+    DeadlineExceeded,
+    /// The shard worker handling this request died and was restarted;
+    /// the request was not completed (retrying is safe and idempotent).
+    WorkerRestarted,
 }
 
 impl HetmemError {
@@ -66,6 +71,7 @@ impl HetmemError {
             HetmemError::Mem(MemError::OutOfMemory { .. }) => "out-of-memory",
             HetmemError::Mem(MemError::BindExhausted { .. }) => "bind-exhausted",
             HetmemError::Mem(_) => "mem-error",
+            HetmemError::Sweep(SweepError::DeadlineExceeded { .. }) => "deadline-exceeded",
             HetmemError::Sweep(_) => "sim-panic",
             HetmemError::Json(_) => "bad-json",
             HetmemError::Protocol(e) => e.code(),
@@ -74,6 +80,8 @@ impl HetmemError {
             HetmemError::UnknownOp { .. } => "unknown-op",
             HetmemError::Overloaded => "overloaded",
             HetmemError::ShuttingDown => "shutting-down",
+            HetmemError::DeadlineExceeded => "deadline-exceeded",
+            HetmemError::WorkerRestarted => "worker-restarted",
         }
     }
 }
@@ -90,6 +98,10 @@ impl fmt::Display for HetmemError {
             HetmemError::UnknownOp { op } => write!(f, "unknown operation '{op}'"),
             HetmemError::Overloaded => write!(f, "request queue full, load shed"),
             HetmemError::ShuttingDown => write!(f, "service is draining"),
+            HetmemError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            HetmemError::WorkerRestarted => {
+                write!(f, "worker restarted before completing the request")
+            }
         }
     }
 }
@@ -114,7 +126,13 @@ impl From<MemError> for HetmemError {
 
 impl From<SweepError> for HetmemError {
     fn from(e: SweepError) -> Self {
-        HetmemError::Sweep(e)
+        match e {
+            // A deadline-cut sweep is a deadline failure, not a panic:
+            // surface the dedicated code so clients can retry with a
+            // longer budget.
+            SweepError::DeadlineExceeded { .. } => HetmemError::DeadlineExceeded,
+            e => HetmemError::Sweep(e),
+        }
     }
 }
 
@@ -141,7 +159,7 @@ mod tests {
                 page: PageNum::new(1),
             }),
             HetmemError::Mem(MemError::EmptyNodeSet),
-            HetmemError::Sweep(SweepError {
+            HetmemError::Sweep(SweepError::Panic {
                 index: 2,
                 label: "bfs/LOCAL".into(),
                 message: "boom".into(),
@@ -160,6 +178,8 @@ mod tests {
             },
             HetmemError::Overloaded,
             HetmemError::ShuttingDown,
+            HetmemError::DeadlineExceeded,
+            HetmemError::WorkerRestarted,
         ]
     }
 
@@ -196,12 +216,22 @@ mod tests {
     #[test]
     fn conversions_from_layer_errors() {
         let _: HetmemError = MemError::EmptyNodeSet.into();
-        let _: HetmemError = SweepError {
+        let panic: HetmemError = SweepError::Panic {
             index: 0,
             label: String::new(),
             message: String::new(),
         }
         .into();
+        assert_eq!(panic.code(), "sim-panic");
+        // A deadline-cut sweep converts to the dedicated deadline
+        // variant, not a wrapped panic.
+        let cut: HetmemError = SweepError::DeadlineExceeded {
+            completed: 3,
+            total: 8,
+        }
+        .into();
+        assert_eq!(cut, HetmemError::DeadlineExceeded);
+        assert_eq!(cut.code(), "deadline-exceeded");
         let _: HetmemError = JsonError {
             offset: 3,
             message: "x".into(),

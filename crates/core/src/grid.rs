@@ -39,6 +39,9 @@ pub struct TelemetrySink {
     dir: PathBuf,
     files: Mutex<Vec<(String, File)>>,
     records: Mutex<Vec<RunRecord>>,
+    /// Fsync each file after every append, so records survive a
+    /// machine crash, not just a process crash.
+    fsync: bool,
 }
 
 impl TelemetrySink {
@@ -46,11 +49,20 @@ impl TelemetrySink {
     /// Existing `<figure>.jsonl` files are truncated the first time the
     /// figure records into this sink.
     pub fn create(dir: impl AsRef<Path>) -> io::Result<Self> {
+        TelemetrySink::create_with_fsync(dir, false)
+    }
+
+    /// [`create`](TelemetrySink::create) with durability control: when
+    /// `fsync` is true every append is followed by `File::sync_all`, so
+    /// each record is on disk before the next grid point runs. Slower;
+    /// meant for crash-safe sweeps that will be resumed.
+    pub fn create_with_fsync(dir: impl AsRef<Path>, fsync: bool) -> io::Result<Self> {
         fs::create_dir_all(dir.as_ref())?;
         Ok(TelemetrySink {
             dir: dir.as_ref().to_path_buf(),
             files: Mutex::new(Vec::new()),
             records: Mutex::new(Vec::new()),
+            fsync,
         })
     }
 
@@ -94,7 +106,11 @@ impl TelemetrySink {
             buf.push('\n');
         }
         file.write_all(buf.as_bytes())?;
-        file.flush()
+        file.flush()?;
+        if self.fsync {
+            file.sync_all()?;
+        }
+        Ok(())
     }
 
     /// Every record written so far, in write order.

@@ -1,0 +1,116 @@
+//! Capped exponential backoff with deterministic jitter.
+//!
+//! The retry schedule `hetmem-client` sleeps on between attempts. Three
+//! properties are load-bearing (and property-tested):
+//!
+//! 1. **Monotone non-decreasing**: `delay_ms(n + 1) >= delay_ms(n)` for
+//!    every attempt, jitter included. Retries never get more aggressive.
+//! 2. **Capped**: no delay exceeds `cap_ms`, jitter included.
+//! 3. **Deterministic per seed**: the whole schedule is a pure function
+//!    of `(base_ms, cap_ms, seed)`, so a chaos run's retry timing is
+//!    reproducible.
+//!
+//! Jitter is additive and bounded by the un-jittered delay itself:
+//! `delay(n) = min(cap, base * 2^n + jitter_n)` with
+//! `jitter_n in [0, base * 2^n)`. Because the raw delay doubles per
+//! attempt and the jitter never exceeds one raw delay, the jittered
+//! schedule stays monotone: `raw(n+1) = 2 * raw(n) >= raw(n) + jitter_n`.
+
+use crate::rng::mix;
+
+/// A capped exponential backoff schedule with deterministic jitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    /// First-retry delay, milliseconds.
+    pub base_ms: u64,
+    /// Upper bound on any delay, milliseconds (jitter included).
+    pub cap_ms: u64,
+    /// Jitter seed; equal seeds give byte-equal schedules.
+    pub seed: u64,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Backoff {
+            base_ms: 50,
+            cap_ms: 2_000,
+            seed: 0,
+        }
+    }
+}
+
+impl Backoff {
+    /// Builds a schedule starting at `base_ms`, capped at `cap_ms`,
+    /// jittered deterministically from `seed`.
+    pub fn new(base_ms: u64, cap_ms: u64, seed: u64) -> Self {
+        Backoff {
+            base_ms: base_ms.max(1),
+            cap_ms: cap_ms.max(1),
+            seed,
+        }
+    }
+
+    /// The delay before retry `attempt` (0-based), in milliseconds.
+    /// Monotone non-decreasing in `attempt`, never above `cap_ms`, and a
+    /// pure function of the schedule fields.
+    pub fn delay_ms(&self, attempt: u32) -> u64 {
+        let cap = self.cap_ms.max(1);
+        let base = self.base_ms.max(1);
+        // base * 2^attempt without overflow: saturate through the cap.
+        let raw = if attempt >= 63 {
+            u64::MAX
+        } else {
+            base.saturating_mul(1u64 << attempt)
+        };
+        if raw >= cap {
+            return cap;
+        }
+        // Jitter in [0, raw): a 53-bit uniform fraction of the raw
+        // delay, derived statelessly so the schedule needs no RNG state.
+        let frac = (mix(self.seed ^ mix(u64::from(attempt).wrapping_add(1))) >> 11) as f64
+            / (1u64 << 53) as f64;
+        let jitter = (raw as f64 * frac) as u64;
+        raw.saturating_add(jitter).min(cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_monotone_and_capped() {
+        let b = Backoff::new(50, 2_000, 7);
+        let mut prev = 0;
+        for attempt in 0..40 {
+            let d = b.delay_ms(attempt);
+            assert!(d >= prev, "attempt {attempt}: {d} < {prev}");
+            assert!(d <= 2_000);
+            prev = d;
+        }
+        assert_eq!(b.delay_ms(39), 2_000, "tail saturates at the cap");
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        let a = Backoff::new(10, 500, 42);
+        let b = Backoff::new(10, 500, 42);
+        let c = Backoff::new(10, 500, 43);
+        let series = |x: &Backoff| (0..16).map(|n| x.delay_ms(n)).collect::<Vec<_>>();
+        assert_eq!(series(&a), series(&b));
+        assert_ne!(series(&a), series(&c), "different seed, different jitter");
+    }
+
+    #[test]
+    fn zero_inputs_clamp() {
+        let b = Backoff::new(0, 0, 0);
+        assert_eq!(b.delay_ms(0), 1);
+        assert!(b.delay_ms(20) <= 1);
+    }
+
+    #[test]
+    fn huge_attempts_do_not_overflow() {
+        let b = Backoff::new(u64::MAX / 2, u64::MAX, 1);
+        assert_eq!(b.delay_ms(u32::MAX), u64::MAX);
+    }
+}

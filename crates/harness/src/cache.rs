@@ -12,9 +12,18 @@
 //! compute) and bounded: inserting beyond capacity evicts the least
 //! recently used entry. Hit/miss/eviction counters feed the server's
 //! `stats` endpoint.
+//!
+//! Every entry carries an FNV-1a checksum taken at insert time, and
+//! [`ResultCache::get`] verifies it before returning: an entry whose
+//! bytes no longer match (bit rot, or chaos-injected corruption via
+//! [`ResultCache::corrupt`]) is dropped and counted instead of served.
+//! A corrupted lookup therefore degrades to a miss — the caller
+//! recomputes and the byte-identity contract holds.
 
 use std::collections::HashMap;
 use std::sync::Mutex;
+
+use crate::telemetry::fnv1a;
 
 /// Point-in-time counters for one [`ResultCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -27,6 +36,8 @@ pub struct CacheStats {
     pub insertions: u64,
     /// Entries evicted to make room.
     pub evictions: u64,
+    /// Entries dropped because their bytes failed the integrity check.
+    pub corruptions: u64,
     /// Entries currently resident.
     pub entries: usize,
     /// Maximum resident entries.
@@ -34,12 +45,20 @@ pub struct CacheStats {
 }
 
 #[derive(Debug)]
+struct Entry {
+    value: String,
+    /// FNV-1a over `value` at insert time; verified on every get.
+    checksum: u64,
+    last_use: u64,
+}
+
+#[derive(Debug)]
 struct CacheInner {
-    /// key -> (value, last-use tick). Recency is a monotonic counter
-    /// rather than a linked list: eviction scans for the minimum, which
-    /// is O(n) but n is the configured capacity (hundreds), and it keeps
-    /// the structure trivially correct.
-    map: HashMap<String, (String, u64)>,
+    /// key -> entry. Recency is a monotonic counter rather than a
+    /// linked list: eviction scans for the minimum, which is O(n) but n
+    /// is the configured capacity (hundreds), and it keeps the
+    /// structure trivially correct.
+    map: HashMap<String, Entry>,
     tick: u64,
     stats: CacheStats,
 }
@@ -81,15 +100,25 @@ impl ResultCache {
         }
     }
 
-    /// Looks up `key`, refreshing its recency. Counts a hit or a miss.
+    /// Looks up `key`, refreshing its recency and verifying the entry's
+    /// checksum. A verified lookup counts a hit; a missing key counts a
+    /// miss; a corrupted entry is removed, counted as a corruption
+    /// **and** a miss, and `None` is returned so the caller recomputes.
     pub fn get(&self, key: &str) -> Option<String> {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         inner.tick += 1;
         let tick = inner.tick;
         match inner.map.get_mut(key) {
-            Some((value, last_use)) => {
-                *last_use = tick;
-                let v = value.clone();
+            Some(entry) => {
+                if fnv1a(entry.value.as_bytes()) != entry.checksum {
+                    inner.map.remove(key);
+                    inner.stats.corruptions += 1;
+                    inner.stats.misses += 1;
+                    inner.stats.entries = inner.map.len();
+                    return None;
+                }
+                entry.last_use = tick;
+                let v = entry.value.clone();
                 inner.stats.hits += 1;
                 Some(v)
             }
@@ -101,7 +130,7 @@ impl ResultCache {
     }
 
     /// Inserts (or overwrites) `key`, evicting the least recently used
-    /// entry if the cache is full.
+    /// entry if the cache is full. The entry's checksum is taken here.
     pub fn insert(&self, key: &str, value: String) {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         inner.tick += 1;
@@ -111,16 +140,53 @@ impl ResultCache {
             if let Some(lru) = inner
                 .map
                 .iter()
-                .min_by_key(|(_, (_, last_use))| *last_use)
+                .min_by_key(|(_, entry)| entry.last_use)
                 .map(|(k, _)| k.clone())
             {
                 inner.map.remove(&lru);
                 inner.stats.evictions += 1;
             }
         }
-        inner.map.insert(key.to_string(), (value, tick));
+        let checksum = fnv1a(value.as_bytes());
+        inner.map.insert(
+            key.to_string(),
+            Entry {
+                value,
+                checksum,
+                last_use: tick,
+            },
+        );
         inner.stats.insertions += 1;
         inner.stats.entries = inner.map.len();
+    }
+
+    /// Chaos hook: flips one byte of `key`'s resident value **without**
+    /// updating its checksum, simulating in-memory bit rot. Returns
+    /// whether an entry was corrupted. The next [`get`](Self::get) of
+    /// the key detects the mismatch and drops the entry.
+    pub fn corrupt(&self, key: &str) -> bool {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(entry) = inner.map.get_mut(key) else {
+            return false;
+        };
+        if entry.value.is_empty() {
+            entry.value.push('!');
+            return true;
+        }
+        // Flip the low bit of the middle byte within ASCII so the
+        // String stays valid UTF-8.
+        let mid = entry.value.len() / 2;
+        let mut bytes = std::mem::take(&mut entry.value).into_bytes();
+        bytes[mid] = if bytes[mid].is_ascii() {
+            bytes[mid] ^ 1
+        } else {
+            b'?'
+        };
+        entry.value = String::from_utf8(bytes).unwrap_or_else(|e| {
+            // Non-ASCII middle byte was replaced wholesale; re-validate.
+            String::from_utf8_lossy(e.as_bytes()).into_owned()
+        });
+        true
     }
 
     /// Current counters.
@@ -190,6 +256,38 @@ mod tests {
         c.insert("b", "2".into());
         assert_eq!(c.get("a"), None);
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn corrupted_entries_are_detected_and_dropped() {
+        let c = ResultCache::new(4);
+        c.insert("k", r#"{"cycles":100}"#.into());
+        assert!(c.corrupt("k"), "resident entry must be corruptible");
+        // The corrupted entry is never served: the lookup degrades to a
+        // counted miss and the entry is gone.
+        assert_eq!(c.get("k"), None);
+        let s = c.stats();
+        assert_eq!(s.corruptions, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.entries, 0);
+        // Recomputing and re-inserting restores byte-identical hits.
+        c.insert("k", r#"{"cycles":100}"#.into());
+        assert_eq!(c.get("k").as_deref(), Some(r#"{"cycles":100}"#));
+        // Corrupting a missing key is a no-op.
+        assert!(!c.corrupt("nope"));
+    }
+
+    #[test]
+    fn corrupt_handles_tiny_values() {
+        let c = ResultCache::new(2);
+        c.insert("empty", String::new());
+        c.insert("one", "x".into());
+        assert!(c.corrupt("empty"));
+        assert!(c.corrupt("one"));
+        assert_eq!(c.get("empty"), None);
+        assert_eq!(c.get("one"), None);
+        assert_eq!(c.stats().corruptions, 2);
     }
 
     #[test]

@@ -45,7 +45,10 @@
 //! assert_eq!(results[7], 201); // grid order: (2, 1)
 //! ```
 
+pub mod backoff;
 pub mod cache;
+pub mod checkpoint;
+pub mod fault;
 pub mod json;
 pub mod prop;
 pub mod protocol;
@@ -56,7 +59,10 @@ pub mod telemetry;
 pub mod timing;
 pub mod trace;
 
+pub use backoff::Backoff;
 pub use cache::{CacheStats, ResultCache};
+pub use checkpoint::{read_checkpoint, run_grid_resumable, CheckpointEntry, CheckpointWriter};
+pub use fault::{FaultCounts, FaultInjector, FaultPlan, INJECTED_PANIC_MARKER};
 pub use json::{validate_jsonl, JsonError, JsonValue};
 pub use prop::{any_u64, vec_of, Gen, Sample};
 pub use protocol::{ProtocolError, Request, Response};

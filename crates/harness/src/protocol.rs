@@ -31,36 +31,51 @@ pub struct Request {
     pub id: u64,
     /// Operation name (e.g. `place`, `simulate`, `stats`, `shutdown`).
     pub op: String,
+    /// Optional per-request deadline budget, milliseconds from the
+    /// moment the server decodes the line. The server refuses to start
+    /// work past the deadline and answers `deadline-exceeded`; work is
+    /// cut cooperatively at grid-point boundaries, so an in-flight
+    /// simulation point still runs to completion.
+    pub deadline_ms: Option<u64>,
     /// Operation parameters; `{}` when the line omits `params`.
     pub params: JsonValue,
 }
 
 impl Request {
-    /// Builds a request with empty params.
+    /// Builds a request with empty params and no deadline.
     pub fn new(id: u64, op: &str) -> Self {
         Request {
             id,
             op: op.to_string(),
+            deadline_ms: None,
             params: JsonValue::Object(Vec::new()),
         }
     }
 
-    /// Builds a request with the given params object.
+    /// Builds a request with the given params object and no deadline.
     pub fn with_params(id: u64, op: &str, params: JsonValue) -> Self {
         Request {
             id,
             op: op.to_string(),
+            deadline_ms: None,
             params,
         }
     }
 
+    /// Sets the request's deadline budget in milliseconds.
+    #[must_use]
+    pub fn deadline(mut self, ms: u64) -> Self {
+        self.deadline_ms = Some(ms);
+        self
+    }
+
     /// Encodes the request as one JSON line (no trailing newline).
     pub fn encode(&self) -> String {
-        JsonObject::new()
-            .u64("id", self.id)
-            .str("op", &self.op)
-            .raw("params", &self.params.render())
-            .finish()
+        let mut obj = JsonObject::new().u64("id", self.id).str("op", &self.op);
+        if let Some(ms) = self.deadline_ms {
+            obj = obj.u64("deadline_ms", ms);
+        }
+        obj.raw("params", &self.params.render()).finish()
     }
 
     /// Decodes one request line.
@@ -84,12 +99,23 @@ impl Request {
         if op.is_empty() {
             return Err(ProtocolError::bad_request("empty 'op'"));
         }
+        let deadline_ms = match v.get("deadline_ms") {
+            None => None,
+            Some(d) => Some(d.as_u64().ok_or_else(|| {
+                ProtocolError::bad_request("'deadline_ms' must be a non-negative integer")
+            })?),
+        };
         let params = match v.get("params") {
             Some(JsonValue::Object(fields)) => JsonValue::Object(fields.clone()),
             None => JsonValue::Object(Vec::new()),
             Some(_) => return Err(ProtocolError::bad_request("'params' must be an object")),
         };
-        Ok(Request { id, op, params })
+        Ok(Request {
+            id,
+            op,
+            deadline_ms,
+            params,
+        })
     }
 }
 
@@ -282,6 +308,22 @@ mod tests {
     }
 
     #[test]
+    fn request_deadline_roundtrips_and_is_optional() {
+        let req = Request::new(5, "simulate").deadline(1500);
+        let line = req.encode();
+        assert_eq!(
+            line,
+            r#"{"id":5,"op":"simulate","deadline_ms":1500,"params":{}}"#
+        );
+        assert_eq!(Request::decode(&line).unwrap(), req);
+        assert_eq!(Request::decode(&line).unwrap().deadline_ms, Some(1500));
+        // Absent deadline stays absent.
+        let plain = Request::decode(r#"{"id":1,"op":"stats"}"#).unwrap();
+        assert_eq!(plain.deadline_ms, None);
+        assert!(!plain.encode().contains("deadline_ms"));
+    }
+
+    #[test]
     fn request_rejects_bad_envelopes() {
         assert!(matches!(
             Request::decode("not json"),
@@ -293,6 +335,8 @@ mod tests {
             r#"{"id":1}"#,
             r#"{"id":1,"op":""}"#,
             r#"{"id":1,"op":"x","params":[1]}"#,
+            r#"{"id":1,"op":"x","deadline_ms":"soon"}"#,
+            r#"{"id":1,"op":"x","deadline_ms":-5}"#,
         ] {
             assert!(
                 matches!(Request::decode(bad), Err(ProtocolError::BadRequest(_))),

@@ -40,6 +40,12 @@ pub struct SweepOptions {
     pub seed: u64,
     /// Print one progress line per completed point to stderr.
     pub progress: bool,
+    /// Cooperative deadline, checked at grid-point boundaries: no new
+    /// point starts after this instant (a point already running finishes
+    /// — single points are never interrupted mid-simulation). When the
+    /// deadline expires before the grid completes, the sweep returns
+    /// [`SweepError::DeadlineExceeded`].
+    pub deadline: Option<Instant>,
 }
 
 impl Default for SweepOptions {
@@ -48,6 +54,7 @@ impl Default for SweepOptions {
             threads: 0,
             seed: DEFAULT_SEED,
             progress: false,
+            deadline: None,
         }
     }
 }
@@ -67,24 +74,41 @@ pub struct PointCtx {
     pub seed: u64,
 }
 
-/// A sweep failed because one grid point panicked.
+/// Why a sweep failed: a panicking point, or the deadline expiring
+/// before the grid completed.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SweepError {
-    /// Grid index of the failing point.
-    pub index: usize,
-    /// The failing point's label.
-    pub label: String,
-    /// The panic message raised inside the point.
-    pub message: String,
+pub enum SweepError {
+    /// One grid point panicked.
+    Panic {
+        /// Grid index of the failing point.
+        index: usize,
+        /// The failing point's label.
+        label: String,
+        /// The panic message raised inside the point.
+        message: String,
+    },
+    /// The cooperative deadline expired with points still pending.
+    DeadlineExceeded {
+        /// Points that completed before the deadline.
+        completed: usize,
+        /// Total points in the grid.
+        total: usize,
+    },
 }
 
 impl std::fmt::Display for SweepError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "grid point {} ({}) panicked: {}",
-            self.index, self.label, self.message
-        )
+        match self {
+            SweepError::Panic {
+                index,
+                label,
+                message,
+            } => write!(f, "grid point {index} ({label}) panicked: {message}"),
+            SweepError::DeadlineExceeded { completed, total } => write!(
+                f,
+                "deadline exceeded with {completed}/{total} grid points completed"
+            ),
+        }
     }
 }
 
@@ -113,9 +137,11 @@ pub fn point_seed(sweep_seed: u64, index: usize) -> u64 {
 ///
 /// # Errors
 ///
-/// Returns a [`SweepError`] naming the first failing point (in grid
-/// order) if any point panics. In-flight points finish; queued points
-/// are abandoned.
+/// Returns [`SweepError::Panic`] naming the first failing point (in
+/// grid order) if any point panics; in-flight points finish, queued
+/// points are abandoned. Returns [`SweepError::DeadlineExceeded`] when
+/// [`SweepOptions::deadline`] expires with points still pending (the
+/// check is cooperative, at grid-point boundaries).
 pub fn run_grid<T, R, L, F>(
     points: &[T],
     opts: &SweepOptions,
@@ -135,6 +161,7 @@ where
     let threads = effective_threads(opts.threads, total);
     let next = AtomicUsize::new(0);
     let abort = AtomicBool::new(false);
+    let expired = AtomicBool::new(false);
     let completed = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<Result<R, String>>>> =
         (0..total).map(|_| Mutex::new(None)).collect();
@@ -144,6 +171,12 @@ where
             scope.spawn(|| loop {
                 if abort.load(Ordering::Relaxed) {
                     break;
+                }
+                if let Some(deadline) = opts.deadline {
+                    if Instant::now() >= deadline {
+                        expired.store(true, Ordering::Relaxed);
+                        break;
+                    }
                 }
                 let index = next.fetch_add(1, Ordering::Relaxed);
                 if index >= total {
@@ -188,11 +221,23 @@ where
         Some(Err(m)) => Some((i, m.clone())),
         _ => None,
     }) {
-        return Err(SweepError {
+        return Err(SweepError::Panic {
             index,
             label: label(&points[index]),
             message,
         });
+    }
+    if expired.load(Ordering::Relaxed) {
+        let done = entries.iter().filter(|e| e.is_some()).count();
+        if done < total {
+            return Err(SweepError::DeadlineExceeded {
+                completed: done,
+                total,
+            });
+        }
+        // Every point finished despite the flag (a worker raced the
+        // deadline after the last point was claimed): a full result set
+        // is a success.
     }
     Ok(entries
         .into_iter()
@@ -266,6 +311,63 @@ mod tests {
         assert_eq!(s.len(), 4);
         assert!(s.windows(2).all(|w| w[0] != w[1]));
         assert_eq!(s[2], point_seed(opts.seed, 2));
+    }
+
+    #[test]
+    fn expired_deadline_fails_before_starting_points() {
+        let points: Vec<u64> = (0..8).collect();
+        let opts = SweepOptions {
+            threads: 2,
+            deadline: Some(Instant::now() - std::time::Duration::from_millis(1)),
+            ..SweepOptions::default()
+        };
+        let err = run_grid(&points, &opts, |p| p.to_string(), |p, _| *p).unwrap_err();
+        match err {
+            SweepError::DeadlineExceeded { completed, total } => {
+                assert_eq!(total, 8);
+                assert_eq!(completed, 0, "no point may start past the deadline");
+            }
+            other => panic!("expected deadline error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn generous_deadline_does_not_perturb_results() {
+        let points: Vec<u64> = (0..16).collect();
+        let opts = SweepOptions {
+            threads: 4,
+            deadline: Some(Instant::now() + std::time::Duration::from_secs(600)),
+            ..SweepOptions::default()
+        };
+        let out = run_grid(&points, &opts, |p| p.to_string(), |p, _| p * 2).unwrap();
+        assert_eq!(out, (0..16).map(|p| p * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mid_sweep_deadline_reports_progress() {
+        let points: Vec<u64> = (0..64).collect();
+        let opts = SweepOptions {
+            threads: 1,
+            deadline: Some(Instant::now() + std::time::Duration::from_millis(30)),
+            ..SweepOptions::default()
+        };
+        // Each point sleeps long enough that the grid cannot finish.
+        let result = run_grid(
+            &points,
+            &opts,
+            |p| p.to_string(),
+            |p, _| {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                *p
+            },
+        );
+        match result {
+            Err(SweepError::DeadlineExceeded { completed, total }) => {
+                assert_eq!(total, 64);
+                assert!(completed < 64, "the deadline must cut the grid short");
+            }
+            other => panic!("expected deadline error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The harness's core guarantees, tested end-to-end: byte-identical
 //! JSONL at any thread count, and panic-with-identity instead of hangs.
 
-use hetmem_harness::sweep::{run_grid, SweepOptions};
+use hetmem_harness::sweep::{run_grid, SweepError, SweepOptions};
 use hetmem_harness::telemetry::{fnv1a, PoolTelemetry, RunRecord};
 
 /// A stand-in for one simulated grid point: deterministic "work" whose
@@ -81,12 +81,19 @@ fn panicking_point_fails_the_sweep_with_its_identity() {
         },
     )
     .expect_err("sweep must fail");
-    assert_eq!(err.index, 7);
-    assert_eq!(err.label, "point-7");
+    let SweepError::Panic {
+        index,
+        label,
+        message,
+    } = &err
+    else {
+        panic!("expected a panic error, got {err}");
+    };
+    assert_eq!(*index, 7);
+    assert_eq!(label, "point-7");
     assert!(
-        err.message.contains("injected failure in point 7"),
-        "panic message lost: {}",
-        err.message
+        message.contains("injected failure in point 7"),
+        "panic message lost: {message}"
     );
     // Display carries the identity too (what a caller would print).
     let shown = err.to_string();
@@ -116,6 +123,9 @@ fn multiple_panics_report_earliest_grid_point() {
     // abort lands, but the reported one must be the earliest *started*
     // failure in grid order — and point 3 always starts (threads >=
     // 4 pick up indices 0..8 immediately).
-    assert_eq!(err.index % 5, 3);
-    assert!(err.message.contains("boom"));
+    let SweepError::Panic { index, message, .. } = &err else {
+        panic!("expected a panic error, got {err}");
+    };
+    assert_eq!(index % 5, 3);
+    assert!(message.contains("boom"));
 }

@@ -58,3 +58,39 @@ wait "$SERVE_PID"  # graceful drain: the server must exit 0 on its own
 trap - EXIT
 cargo run --release --offline -q -p hetmem-bench --bin hetmem-trace -- \
     check "$SERVE_DIR"/*.jsonl
+
+# Chaos smoke: the loopback test injects seeded worker panics, stalls,
+# torn writes, and cache corruption, and asserts every request ends
+# byte-correct or with a stable error code.
+cargo test --release --offline -q -p hetmem-bench --test chaos
+
+# Crash-safe resume smoke: run a checkpointed sweep, SIGKILL it
+# mid-flight (latency faults widen the kill window), resume from the
+# checkpoint, and require the merged output to be byte-identical to an
+# uninterrupted run.
+SWEEP_DIR=target/ci-sweep
+rm -rf "$SWEEP_DIR"
+mkdir -p "$SWEEP_DIR"
+cargo build --release --offline -q -p hetmem-bench --bin hetmem-sweep
+SWEEP_ARGS=(--workloads bfs,hotspot --policies LOCAL,INTERLEAVE,BW-AWARE
+    --mem-ops 3000 --sms 2 --threads 2)
+target/release/hetmem-sweep "${SWEEP_ARGS[@]}" --out "$SWEEP_DIR/clean.jsonl"
+target/release/hetmem-sweep "${SWEEP_ARGS[@]}" \
+    --checkpoint "$SWEEP_DIR/sweep.ckpt" --out "$SWEEP_DIR/resumed.jsonl" \
+    --faults seed=5,latency=1,latency-ms=400 &
+SWEEP_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$SWEEP_DIR/sweep.ckpt" ] && break
+    sleep 0.05
+done
+kill -9 "$SWEEP_PID" 2>/dev/null || true
+wait "$SWEEP_PID" 2>/dev/null || true
+[ -s "$SWEEP_DIR/sweep.ckpt" ]  # the kill must land after >=1 checkpointed point
+[ "$(wc -l < "$SWEEP_DIR/sweep.ckpt")" -lt 6 ]  # ...but before the sweep finished
+target/release/hetmem-sweep "${SWEEP_ARGS[@]}" \
+    --checkpoint "$SWEEP_DIR/sweep.ckpt" --out "$SWEEP_DIR/resumed.jsonl" \
+    2> "$SWEEP_DIR/resume.log"
+grep -q resuming "$SWEEP_DIR/resume.log"
+cmp "$SWEEP_DIR/clean.jsonl" "$SWEEP_DIR/resumed.jsonl"  # resume: same bytes
+cargo run --release --offline -q -p hetmem-bench --bin hetmem-trace -- \
+    check "$SWEEP_DIR/clean.jsonl"
