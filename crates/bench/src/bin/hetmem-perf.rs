@@ -1,0 +1,296 @@
+//! `hetmem-perf`: simulator-throughput benchmark and regression gate.
+//!
+//! Runs a fixed, seeded workload × policy matrix on the in-tree timing
+//! runner ([`hetmem_harness::timing::Bencher`]) and records, per grid
+//! point, the deterministic work done (engine events, simulated cycles)
+//! and the wall time to do it — giving events/sec and sim-cycles/sec,
+//! the two throughput numbers the benchmark trajectory
+//! (`BENCH_*.json`) tracks.
+//!
+//! ```text
+//! hetmem-perf run [--quick] [--label L] [--out FILE] [--iters N]
+//!                 [--mem-ops N] [--sms N] [--workloads a,b] [--policies p,q]
+//! hetmem-perf gate --baseline FILE --current FILE
+//!                  [--max-regress 0.30] [--min-speedup X]
+//! hetmem-perf report --baseline FILE --current FILE --out FILE
+//! ```
+//!
+//! * `run` measures the matrix and writes one JSON document (a
+//!   "section": label, matrix, per-point results, aggregate rates).
+//! * `gate` compares two sections and exits 4 if the current aggregate
+//!   events/sec regressed by more than `--max-regress` (default 0.30,
+//!   the CI smoke threshold) — or, with `--min-speedup`, if current is
+//!   not at least that factor faster than baseline.
+//! * `report` embeds both sections plus the speedup summary into one
+//!   document — the format committed as `BENCH_NNNN.json`.
+//!
+//! Exit codes: 0 ok, 2 usage error, 4 gate failure.
+
+use std::process::ExitCode;
+
+use gpusim::SimConfig;
+use hetmem::{topology_for, Placement, RunBuilder};
+use hetmem_harness::json::{array, JsonObject, JsonValue};
+use hetmem_harness::timing::Bencher;
+use mempolicy::Mempolicy;
+use workloads::catalog;
+
+/// The default fixed matrix: a pattern mix (graph, stencil, streaming,
+/// dense, sparse, table-lookup) under the two placement extremes.
+const DEFAULT_WORKLOADS: &[&str] = &["bfs", "hotspot", "lbm", "sgemm", "spmv", "xsbench"];
+const DEFAULT_POLICIES: &[&str] = &["LOCAL", "BW-AWARE"];
+const DEFAULT_MEM_OPS: u64 = 400_000;
+const DEFAULT_ITERS: u64 = 3;
+
+struct RunOpts {
+    label: String,
+    out: Option<String>,
+    workloads: Vec<String>,
+    policies: Vec<String>,
+    mem_ops: u64,
+    sms: u32,
+    iters: u64,
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("hetmem-perf: {msg}");
+    ExitCode::from(2)
+}
+
+fn run_matrix(opts: &RunOpts) -> Result<String, String> {
+    let mut sim = SimConfig::paper_baseline();
+    sim.num_sms = opts.sms;
+    let topo = topology_for(&sim, &vec![1; sim.pools.len()]);
+
+    let mut points = Vec::new();
+    let mut bencher = Bencher::from_env("hetmem-perf");
+    let mut total_events = 0u64;
+    let mut total_cycles = 0u64;
+    let mut total_min_ns = 0.0f64;
+    let mut total_mean_ns = 0.0f64;
+    for name in &opts.workloads {
+        let mut spec = catalog::by_name(name).ok_or_else(|| format!("unknown workload {name}"))?;
+        spec.mem_ops = opts.mem_ops;
+        for policy in &opts.policies {
+            let pol =
+                Mempolicy::parse(policy, &topo).map_err(|e| format!("policy {policy}: {e}"))?;
+            let placement = Placement::Policy(pol);
+            let builder = RunBuilder::new(&spec, &sim).placement(&placement);
+            // One instrumented run pins the deterministic work measure.
+            let (run, stats) = builder.run_instrumented();
+            let events = stats.events_processed;
+            let cycles = run.report.cycles;
+            let res = bencher
+                .bench(&format!("{name}/{policy}"), || builder.run())
+                .clone();
+            total_events += events;
+            total_cycles += cycles;
+            total_min_ns += res.min_ns;
+            total_mean_ns += res.mean_ns;
+            points.push(
+                JsonObject::new()
+                    .str("workload", name)
+                    .str("policy", policy)
+                    .u64("events", events)
+                    .u64("cycles", cycles)
+                    .u64("iters", res.iters)
+                    .f64("wall_ms_min", res.min_ns / 1e6)
+                    .f64("wall_ms_mean", res.mean_ns / 1e6)
+                    .f64("events_per_sec", events as f64 / (res.min_ns / 1e9))
+                    .f64("sim_cycles_per_sec", cycles as f64 / (res.min_ns / 1e9))
+                    .finish(),
+            );
+        }
+    }
+    let matrix = JsonObject::new()
+        .raw(
+            "workloads",
+            &array(opts.workloads.iter().map(|w| format!("\"{w}\""))),
+        )
+        .raw(
+            "policies",
+            &array(opts.policies.iter().map(|p| format!("\"{p}\""))),
+        )
+        .u64("mem_ops", opts.mem_ops)
+        .u64("sms", u64::from(opts.sms))
+        .u64("iters", opts.iters)
+        .finish();
+    Ok(JsonObject::new()
+        .str("bench", "hetmem-perf")
+        .str("label", &opts.label)
+        .raw("matrix", &matrix)
+        .raw("points", &array(points))
+        .f64("total_wall_ms_min", total_min_ns / 1e6)
+        .f64("total_wall_ms_mean", total_mean_ns / 1e6)
+        .u64("total_events", total_events)
+        .u64("total_sim_cycles", total_cycles)
+        .f64("events_per_sec", total_events as f64 / (total_min_ns / 1e9))
+        .f64(
+            "sim_cycles_per_sec",
+            total_cycles as f64 / (total_min_ns / 1e9),
+        )
+        .finish())
+}
+
+fn load_rate(path: &str) -> Result<(f64, JsonValue), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = JsonValue::parse(text.trim()).map_err(|e| format!("{path}: {e}"))?;
+    let rate = doc
+        .get("events_per_sec")
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("{path}: missing events_per_sec"))?;
+    Ok((rate, doc))
+}
+
+fn write_or_print(out: Option<&str>, body: &str) -> Result<(), String> {
+    match out {
+        Some(path) => std::fs::write(path, format!("{body}\n"))
+            .map_err(|e| format!("cannot write {path}: {e}")),
+        None => {
+            println!("{body}");
+            Ok(())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        return fail("usage: hetmem-perf <run|gate|report> [flags]");
+    };
+    let next = |flag: &str, args: &mut dyn Iterator<Item = String>| {
+        args.next()
+            .unwrap_or_else(|| panic!("{flag} needs a value"))
+    };
+
+    match cmd.as_str() {
+        "run" => {
+            let mut opts = RunOpts {
+                label: "current".to_string(),
+                out: None,
+                workloads: DEFAULT_WORKLOADS.iter().map(|s| s.to_string()).collect(),
+                policies: DEFAULT_POLICIES.iter().map(|s| s.to_string()).collect(),
+                mem_ops: DEFAULT_MEM_OPS,
+                sms: SimConfig::paper_baseline().num_sms,
+                iters: DEFAULT_ITERS,
+            };
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "--quick" => {
+                        opts.workloads = vec!["bfs".to_string(), "hotspot".to_string()];
+                        opts.mem_ops = 20_000;
+                        opts.sms = 4;
+                        opts.iters = 2;
+                    }
+                    "--label" => opts.label = next("--label", &mut args),
+                    "--out" => opts.out = Some(next("--out", &mut args)),
+                    "--iters" => {
+                        opts.iters = next("--iters", &mut args)
+                            .parse()
+                            .expect("--iters takes an integer");
+                    }
+                    "--mem-ops" => {
+                        opts.mem_ops = next("--mem-ops", &mut args)
+                            .parse()
+                            .expect("--mem-ops takes an integer");
+                    }
+                    "--sms" => {
+                        opts.sms = next("--sms", &mut args)
+                            .parse()
+                            .expect("--sms takes an integer");
+                    }
+                    "--workloads" => {
+                        opts.workloads = next("--workloads", &mut args)
+                            .split(',')
+                            .map(str::to_string)
+                            .collect();
+                    }
+                    "--policies" => {
+                        opts.policies = next("--policies", &mut args)
+                            .split(',')
+                            .map(|p| p.trim().to_ascii_uppercase())
+                            .collect();
+                    }
+                    other => return fail(&format!("unknown run flag {other}")),
+                }
+            }
+            // The timing runner reads its iteration count from the
+            // environment; pin it to the requested fixed count so every
+            // point measures the same way.
+            std::env::set_var("HM_BENCH_ITERS", opts.iters.to_string());
+            match run_matrix(&opts).and_then(|body| write_or_print(opts.out.as_deref(), &body)) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => fail(&e),
+            }
+        }
+        "gate" | "report" => {
+            let mut baseline = None;
+            let mut current = None;
+            let mut out = None;
+            let mut max_regress = 0.30f64;
+            let mut min_speedup: Option<f64> = None;
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "--baseline" => baseline = Some(next("--baseline", &mut args)),
+                    "--current" => current = Some(next("--current", &mut args)),
+                    "--out" => out = Some(next("--out", &mut args)),
+                    "--max-regress" => {
+                        max_regress = next("--max-regress", &mut args)
+                            .parse()
+                            .expect("--max-regress takes a float");
+                    }
+                    "--min-speedup" => {
+                        min_speedup = Some(
+                            next("--min-speedup", &mut args)
+                                .parse()
+                                .expect("--min-speedup takes a float"),
+                        );
+                    }
+                    other => return fail(&format!("unknown {cmd} flag {other}")),
+                }
+            }
+            let (Some(base_path), Some(cur_path)) = (baseline, current) else {
+                return fail(&format!("{cmd} needs --baseline and --current"));
+            };
+            let ((base_rate, base_doc), (cur_rate, cur_doc)) =
+                match (load_rate(&base_path), load_rate(&cur_path)) {
+                    (Ok(b), Ok(c)) => (b, c),
+                    (Err(e), _) | (_, Err(e)) => return fail(&e),
+                };
+            let speedup = cur_rate / base_rate;
+            eprintln!(
+                "hetmem-perf: baseline {base_rate:.0} ev/s, current {cur_rate:.0} ev/s, \
+                 speedup {speedup:.2}x"
+            );
+            if cmd == "report" {
+                let body = JsonObject::new()
+                    .str("bench", "hetmem-perf")
+                    .raw("baseline", &base_doc.render())
+                    .raw("current", &cur_doc.render())
+                    .f64("speedup_events_per_sec", speedup)
+                    .finish();
+                return match write_or_print(out.as_deref(), &body) {
+                    Ok(()) => ExitCode::SUCCESS,
+                    Err(e) => fail(&e),
+                };
+            }
+            if speedup < 1.0 - max_regress {
+                eprintln!(
+                    "hetmem-perf: GATE FAILED: regression {:.1}% exceeds {:.1}%",
+                    (1.0 - speedup) * 100.0,
+                    max_regress * 100.0
+                );
+                return ExitCode::from(4);
+            }
+            if let Some(min) = min_speedup {
+                if speedup < min {
+                    eprintln!("hetmem-perf: GATE FAILED: speedup {speedup:.2}x below {min:.2}x");
+                    return ExitCode::from(4);
+                }
+            }
+            eprintln!("hetmem-perf: gate ok");
+            ExitCode::SUCCESS
+        }
+        other => fail(&format!("unknown subcommand {other}")),
+    }
+}

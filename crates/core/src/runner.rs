@@ -12,7 +12,7 @@ use gpusim::{
     EventTracer, IntervalReport, IntervalSampler, ProbeObserver, SimConfig, SimReport,
     SimTraceEvent, Simulator,
 };
-use hmtypes::{MemKind, PageNum};
+use hmtypes::MemKind;
 use mempolicy::{AddressSpace, Mempolicy, PlacementEvent, ZoneId};
 use profiler::{get_allocation, MemHint, OraclePlacement, PageHistogram, RunProfile};
 use workloads::{TraceProgram, WorkloadSpec};
@@ -282,6 +282,27 @@ impl<'a> RunBuilder<'a> {
         })
     }
 
+    /// Executes the run like [`RunBuilder::run`], additionally returning
+    /// the engine's throughput counters ([`gpusim::EngineStats`]) — the
+    /// `hetmem-perf` benchmark path. The `WorkloadRun` is identical to
+    /// what [`RunBuilder::run`] produces.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`RunBuilder::run`].
+    pub fn run_instrumented(&self) -> (WorkloadRun, gpusim::EngineStats) {
+        self.with_effective(|spec, placement| {
+            let mut prep = prepare_run(spec, self.sim, self.capacity, placement, false);
+            let (translator, program) = prep.take_sim_parts();
+            let mut simulator = Simulator::new(self.sim.clone(), translator, program);
+            if self.profile_pages {
+                simulator = simulator.with_page_profiling();
+            }
+            let (report, _obs, stats) = simulator.run_instrumented();
+            (prep.finish(report), stats)
+        })
+    }
+
     /// Executes the run with the observability layer attached (interval
     /// sampler and/or event tracer per the builder's [`ObserveConfig`],
     /// plus the OS placement decision log) and returns the observed
@@ -493,10 +514,10 @@ fn preplace_oracle(rt: &HmRuntime, histogram: &PageHistogram, bo_pages: u64, tar
         .unwrap_or(ZoneId::new(0));
     let ranges = rt.alloc_ranges();
 
-    // BO set first (capacity guarantee), then everything else to CO.
-    let mut bo_set: Vec<PageNum> = oracle.bo_pages().collect();
-    bo_set.sort_unstable();
-    for page in bo_set {
+    // BO set first (capacity guarantee), then everything else to CO;
+    // `bo_pages()` iterates in page order, keeping placement (and hence
+    // frame assignment) deterministic.
+    for page in oracle.bo_pages() {
         mm.ensure_mapped_in(page, &[bo, co])
             .expect("oracle BO page");
     }

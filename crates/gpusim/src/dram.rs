@@ -48,6 +48,25 @@ struct QueuedReq {
     enq: u64,
 }
 
+/// Cached FR-FCFS winner for one bank: what the scheduling scan of that
+/// bank's queue would select. Only a serve from the bank invalidates it
+/// (row state and queue positions change); an enqueue is folded in
+/// incrementally — the scan's min over one more entry — so between
+/// serves the cached value always equals what a fresh scan would return.
+#[derive(Debug, Clone, Copy)]
+struct BankCand {
+    data_ready: f64,
+    seq: u64,
+    pos: usize,
+    hit: bool,
+    /// Whether the scan's examined prefix is closed: it broke at a row
+    /// hit or filled the scheduling window. Requests appended after a
+    /// sealed prefix are invisible to a fresh scan, so folding them into
+    /// the cached winner would *diverge* from the scan — they are
+    /// ignored instead.
+    sealed: bool,
+}
+
 /// Outcome of serving one request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Served {
@@ -96,7 +115,8 @@ impl ChannelStats {
 /// let cfg = SimConfig::paper_baseline();
 /// let mut chan = DramChannel::new(&cfg.pools[0], cfg.sm_clock_ghz);
 /// let tick_at = chan.enqueue(0, 0, true).expect("idle channel needs a kick");
-/// let served = chan.tick(tick_at).expect("one request is pending");
+/// assert_eq!(tick_at, 0); // schedule the tick here…
+/// let served = chan.tick().expect("one request is pending"); // …then serve
 /// assert!(served.done > 0);
 /// assert_eq!(served.next_tick, None); // queue drained
 /// ```
@@ -106,6 +126,10 @@ pub struct DramChannel {
     burst: f64,
     banks: Vec<Bank>,
     queues: Vec<VecDeque<QueuedReq>>,
+    /// Per-bank cached scheduling winner; `None` = stale or empty queue.
+    cand: Vec<Option<BankCand>>,
+    /// Total requests across all bank queues.
+    queued: usize,
     bus_free_at: f64,
     ticking: bool,
     seq: u64,
@@ -132,6 +156,8 @@ impl DramChannel {
             burst,
             banks: vec![Bank::default(); banks],
             queues: vec![VecDeque::new(); banks],
+            cand: vec![None; banks],
+            queued: 0,
             bus_free_at: 0.0,
             ticking: false,
             seq: 0,
@@ -155,14 +181,46 @@ impl DramChannel {
     pub fn enqueue(&mut self, now: u64, line: u64, read: bool) -> Option<u64> {
         let bank = self.bank_of(line);
         let row = self.row_of(line);
-        self.queues[bank].push_back(QueuedReq {
+        let old_len = self.queues[bank].len();
+        let req = QueuedReq {
             line,
             row,
             read,
             seq: self.seq,
             enq: now,
-        });
+        };
+        self.queues[bank].push_back(req);
         self.seq += 1;
+        self.queued += 1;
+        // Fold the new request into the bank's cached winner where that
+        // is exact; a full rescan is only ever needed after a serve.
+        match self.cand[bank] {
+            // A sealed prefix means a fresh scan would stop before
+            // reaching the appended request: the winner is unchanged.
+            Some(c) if c.sealed => {}
+            // Every scanned entry was a miss and the window has room, so
+            // a fresh scan = min(cached winner, the new entry). Seq ties
+            // are impossible (seq is unique and increasing).
+            Some(c) => {
+                let new = self.rate(bank, &req, old_len);
+                let mut merged = if (new.data_ready, new.seq) < (c.data_ready, c.seq) {
+                    new
+                } else {
+                    c
+                };
+                merged.sealed = new.hit || old_len + 1 >= SCHED_WINDOW;
+                self.cand[bank] = Some(merged);
+            }
+            // Empty queue: the new request is the whole scan.
+            None if old_len == 0 => {
+                let mut new = self.rate(bank, &req, 0);
+                new.sealed = new.hit;
+                self.cand[bank] = Some(new);
+            }
+            // Stale after a serve from this bank: row state changed, so
+            // the queue must be rescanned at the next tick.
+            None => {}
+        }
         if self.ticking {
             None
         } else {
@@ -171,56 +229,93 @@ impl DramChannel {
         }
     }
 
-    /// Serves the best pending request (FR-FCFS).
+    /// When `req` could deliver its data, given `b`'s current row state.
+    /// Command issue is pipelined: a request's CAS/activate could have
+    /// issued any time after it was enqueued, even while the data bus
+    /// was busy, so readiness is computed from its enqueue time — only
+    /// the data burst itself serializes on the bus.
+    #[inline]
+    fn rate(&self, b: usize, req: &QueuedReq, pos: usize) -> BankCand {
+        let bank = &self.banks[b];
+        let t = req.enq as f64;
+        let (ready, hit) = if bank.open_row == Some(req.row) {
+            (t.max(bank.row_ready), true)
+        } else {
+            let activate = t.max(bank.next_activate);
+            (
+                activate + self.timing.rp as f64 + self.timing.rcd as f64,
+                false,
+            )
+        };
+        let col = if req.read {
+            self.timing.cl as f64
+        } else {
+            self.timing.wr as f64
+        };
+        BankCand {
+            data_ready: ready + col,
+            seq: req.seq,
+            pos,
+            hit,
+            sealed: false,
+        }
+    }
+
+    /// The FR-FCFS scan of one bank's queue: earliest possible data
+    /// delivery wins; ties go to the oldest request.
+    fn scan_bank(&self, b: usize) -> Option<BankCand> {
+        let mut best: Option<BankCand> = None;
+        let mut hit_found = false;
+        for (pos, req) in self.queues[b].iter().take(SCHED_WINDOW).enumerate() {
+            let cand = self.rate(b, req, pos);
+            if best.is_none_or(|c| (cand.data_ready, cand.seq) < (c.data_ready, c.seq)) {
+                best = Some(cand);
+            }
+            if cand.hit {
+                // Within a bank, the first row hit is the best row hit
+                // (FCFS among equal rows); misses later in the queue
+                // cannot beat it either. Stop scanning.
+                hit_found = true;
+                break;
+            }
+        }
+        if let Some(c) = &mut best {
+            c.sealed = hit_found || self.queues[b].len() >= SCHED_WINDOW;
+        }
+        best
+    }
+
+    /// Serves the best pending request (FR-FCFS: row hits naturally beat
+    /// misses, ties go to the oldest request).
     ///
-    /// The tick time itself does not enter the timing math: the bus
-    /// cursor (`bus_free_at`) and per-request enqueue times fully
-    /// determine service times, and ticks are scheduled at bus-free
-    /// instants by construction.
+    /// The current time does not enter the timing math: the bus cursor
+    /// (`bus_free_at`) and per-request enqueue times fully determine
+    /// service times, and ticks are scheduled at bus-free instants by
+    /// construction — which is why `tick` takes no time argument.
     ///
     /// Returns `None` if no request is pending (a stale tick).
-    pub fn tick(&mut self, _now: u64) -> Option<Served> {
-        // FR-FCFS selection: earliest possible data delivery wins; row hits
-        // naturally beat misses. Ties go to the oldest request. Command
-        // issue is pipelined: a request's CAS/activate could have issued
-        // any time after it was enqueued, even while the data bus was
-        // busy, so readiness is computed from its enqueue time — only the
-        // data burst itself serializes on the bus.
-        let mut best: Option<(f64, u64, usize, usize, bool)> = None; // (data_ready, seq, bank, pos, hit)
-        for (b, queue) in self.queues.iter().enumerate() {
-            let bank = &self.banks[b];
-            for (pos, req) in queue.iter().take(SCHED_WINDOW).enumerate() {
-                let t = req.enq as f64;
-                let (ready, hit) = if bank.open_row == Some(req.row) {
-                    (t.max(bank.row_ready), true)
-                } else {
-                    let activate = t.max(bank.next_activate);
-                    (
-                        activate + self.timing.rp as f64 + self.timing.rcd as f64,
-                        false,
-                    )
-                };
-                let col = if req.read {
-                    self.timing.cl as f64
-                } else {
-                    self.timing.wr as f64
-                };
-                let data_ready = ready + col;
-                let key = (data_ready, req.seq);
-                if best.is_none_or(|(dr, seq, ..)| key < (dr, seq)) {
-                    best = Some((data_ready, req.seq, b, pos, hit));
-                }
-                if hit {
-                    // Within a bank, the first row hit is the best row hit
-                    // (FCFS among equal rows); misses later in the queue
-                    // cannot beat it either. Move to the next bank.
-                    break;
+    pub fn tick(&mut self) -> Option<Served> {
+        if self.queued == 0 {
+            return None;
+        }
+        // Refresh stale per-bank candidates (only banks touched since
+        // their last scan), then pick the channel-wide winner.
+        let mut best: Option<(f64, u64, usize)> = None;
+        for b in 0..self.banks.len() {
+            if self.cand[b].is_none() && !self.queues[b].is_empty() {
+                self.cand[b] = self.scan_bank(b);
+            }
+            if let Some(c) = self.cand[b] {
+                if best.is_none_or(|(dr, seq, _)| (c.data_ready, c.seq) < (dr, seq)) {
+                    best = Some((c.data_ready, c.seq, b));
                 }
             }
         }
 
-        let (data_ready, _, bank_idx, pos, hit) = best?;
+        let (data_ready, _, bank_idx) = best.expect("queued > 0");
+        let BankCand { pos, hit, .. } = self.cand[bank_idx].take().expect("winning bank");
         let req = self.queues[bank_idx].remove(pos).expect("position valid");
+        self.queued -= 1;
 
         if hit {
             self.stats.row_hits += 1;
@@ -239,8 +334,7 @@ impl DramChannel {
         self.stats.bytes += LINE_SIZE as u64;
         self.stats.busy_cycles += self.burst;
 
-        let pending = self.queues.iter().any(|q| !q.is_empty());
-        let next_tick = if pending {
+        let next_tick = if self.queued > 0 {
             Some(data_end.ceil() as u64)
         } else {
             self.ticking = false;
@@ -266,7 +360,7 @@ impl DramChannel {
 
     /// Number of queued requests.
     pub fn queue_depth(&self) -> usize {
-        self.queues.iter().map(VecDeque::len).sum()
+        self.queued
     }
 }
 
@@ -282,7 +376,7 @@ pub fn drain_channel(chan: &mut DramChannel, accesses: &[(u64, u64, bool)]) -> u
         let next_enq = accesses.get(i).map(|a| a.0);
         match (pending_tick, next_enq) {
             (Some(tick), Some(enq)) if tick <= enq => {
-                let served = chan.tick(tick).expect("tick had work");
+                let served = chan.tick().expect("tick had work");
                 last_done = last_done.max(served.done);
                 pending_tick = served.next_tick;
             }
@@ -293,8 +387,8 @@ pub fn drain_channel(chan: &mut DramChannel, accesses: &[(u64, u64, bool)]) -> u
                     pending_tick = Some(t);
                 }
             }
-            (Some(tick), None) => {
-                let served = chan.tick(tick).expect("tick had work");
+            (Some(_tick), None) => {
+                let served = chan.tick().expect("tick had work");
                 last_done = last_done.max(served.done);
                 pending_tick = served.next_tick;
             }
@@ -406,9 +500,9 @@ mod tests {
         let miss_line = LINES_PER_ROW * 16; // bank 0, row 1
         let tick = chan.enqueue(t1, miss_line, true).unwrap();
         assert_eq!(chan.enqueue(t1, 1, true), None);
-        let first = chan.tick(tick).unwrap();
+        let first = chan.tick().unwrap();
         assert_eq!(first.line, 1, "row hit served first");
-        let second = chan.tick(first.next_tick.unwrap()).unwrap();
+        let second = chan.tick().unwrap();
         assert_eq!(second.line, miss_line);
         assert_eq!(second.next_tick, None);
     }
@@ -446,7 +540,7 @@ mod tests {
     #[test]
     fn stale_tick_returns_none() {
         let mut chan = gddr5_channel();
-        assert!(chan.tick(0).is_none());
+        assert!(chan.tick().is_none());
         assert_eq!(chan.queue_depth(), 0);
     }
 }

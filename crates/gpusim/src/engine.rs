@@ -1,12 +1,34 @@
 //! The discrete-event calendar.
 //!
-//! A thin wrapper over a binary heap keyed by `(time, sequence)`. The
-//! monotonically increasing sequence number makes event ordering — and
-//! therefore the whole simulation — fully deterministic for equal
-//! timestamps.
+//! A bucketed **timing wheel** for the near future plus a binary-heap
+//! overflow for far-future events. Simulator latencies are a few hundred
+//! cycles, so nearly every event lands in the wheel, where scheduling is
+//! a ring-buffer push and popping is a bitmap scan — no comparison-heap
+//! traffic on the hot path.
+//!
+//! Ordering is exactly the classic `(time, sequence)` heap contract:
+//! events fire in time order, FIFO among equal timestamps, fully
+//! deterministic. Two structural facts let the wheel preserve it
+//! without storing sequence numbers:
+//!
+//! * The wheel spans `[now, now + WHEEL_BUCKETS)` and bucket index is
+//!   `time % WHEEL_BUCKETS`, so a bucket holds at most one distinct
+//!   timestamp and drains in insertion order.
+//! * At a given timestamp `T`, every overflow-heap insertion happens
+//!   while `now + WHEEL_BUCKETS <= T` and every wheel insertion while
+//!   `now + WHEEL_BUCKETS > T`; `now` is monotonic, so all heap events
+//!   at `T` were scheduled before all wheel events at `T`. Popping the
+//!   heap first on timestamp ties therefore *is* FIFO order.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Size of the timing wheel: events within this many cycles of `now` go
+/// to O(1) buckets, the rest to the overflow heap. Power of two.
+const WHEEL_BUCKETS: u64 = 4096;
+const WHEEL_MASK: u64 = WHEEL_BUCKETS - 1;
+/// Occupancy-bitmap words (64 bits each) covering the buckets.
+const BITMAP_WORDS: usize = (WHEEL_BUCKETS / 64) as usize;
 
 /// An event calendar over event payloads of type `E`.
 ///
@@ -19,6 +41,7 @@ use std::collections::BinaryHeap;
 /// cal.schedule(10, "b");
 /// cal.schedule(5, "a");
 /// cal.schedule(10, "c");
+/// assert_eq!(cal.peek_time(), Some(5));
 /// assert_eq!(cal.pop(), Some((5, "a")));
 /// assert_eq!(cal.pop(), Some((10, "b"))); // FIFO among equal times
 /// assert_eq!(cal.pop(), Some((10, "c")));
@@ -26,9 +49,31 @@ use std::collections::BinaryHeap;
 /// ```
 #[derive(Debug)]
 pub struct Calendar<E> {
+    /// `WHEEL_BUCKETS` ring buffers; bucket `time & WHEEL_MASK` holds the
+    /// events at the unique in-window timestamp mapping there. The
+    /// deques keep their capacity across wheel revolutions, so steady
+    /// state allocates nothing.
+    buckets: Vec<VecDeque<E>>,
+    /// One bit per bucket: does it hold events?
+    occupied: [u64; BITMAP_WORDS],
+    /// One bit per `occupied` word: is the word nonzero?
+    summary: u64,
+    /// Events in the wheel (not counting the heap).
+    wheel_len: usize,
+    /// Far-future events, keyed `(time, seq)`.
     heap: BinaryHeap<Reverse<(u64, u64, EventBox<E>)>>,
     seq: u64,
     now: u64,
+    pops: u64,
+}
+
+/// Counters describing one engine run, for throughput benchmarking
+/// (`hetmem-perf`). Not part of [`SimReport`](crate::SimReport): the
+/// report stays byte-identical whether or not anyone reads these.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Total events popped from the calendar over the run.
+    pub events_processed: u64,
 }
 
 /// Wrapper giving the payload a no-op ordering so the heap orders only on
@@ -56,10 +101,17 @@ impl<E> Ord for EventBox<E> {
 impl<E> Calendar<E> {
     /// Creates an empty calendar at time 0.
     pub fn new() -> Self {
+        let mut buckets = Vec::with_capacity(WHEEL_BUCKETS as usize);
+        buckets.resize_with(WHEEL_BUCKETS as usize, VecDeque::new);
         Calendar {
+            buckets,
+            occupied: [0; BITMAP_WORDS],
+            summary: 0,
+            wheel_len: 0,
             heap: BinaryHeap::new(),
             seq: 0,
             now: 0,
+            pops: 0,
         }
     }
 
@@ -69,15 +121,117 @@ impl<E> Calendar<E> {
     /// fires "now", after already-pending events at this time).
     pub fn schedule(&mut self, at: u64, event: E) {
         let at = at.max(self.now);
-        self.heap.push(Reverse((at, self.seq, EventBox(event))));
+        if at - self.now < WHEEL_BUCKETS {
+            let b = (at & WHEEL_MASK) as usize;
+            self.buckets[b].push_back(event);
+            self.occupied[b >> 6] |= 1u64 << (b & 63);
+            self.summary |= 1u64 << (b >> 6);
+            self.wheel_len += 1;
+        } else {
+            self.heap.push(Reverse((at, self.seq, EventBox(event))));
+        }
         self.seq += 1;
+    }
+
+    /// Schedules `event` `delta` cycles from now — the common hot-path
+    /// form (`schedule(now + delta, ..)` inside an event handler).
+    pub fn schedule_in(&mut self, delta: u64, event: E) {
+        self.schedule(self.now + delta, event);
+    }
+
+    /// First occupied bucket index at or (circularly) after `start`,
+    /// via the two-level bitmap. `None` when the wheel is empty.
+    fn next_occupied(&self, start: usize) -> Option<usize> {
+        if self.wheel_len == 0 {
+            return None;
+        }
+        let wi = start >> 6;
+        let bit = start & 63;
+        // Tail of the starting word (bits >= `bit`).
+        let tail = self.occupied[wi] & (!0u64 << bit);
+        if tail != 0 {
+            return Some((wi << 6) + tail.trailing_zeros() as usize);
+        }
+        // Words strictly after `wi`, then (wrapping) strictly before it.
+        let after = if wi == 63 {
+            0
+        } else {
+            self.summary & (!0u64 << (wi + 1))
+        };
+        let candidates = if after != 0 {
+            after
+        } else {
+            self.summary & ((1u64 << wi) - 1)
+        };
+        if candidates != 0 {
+            let word = candidates.trailing_zeros() as usize;
+            return Some((word << 6) + self.occupied[word].trailing_zeros() as usize);
+        }
+        // Only the starting word's head (bits < `bit`) can remain.
+        let head = self.occupied[wi] & !(!0u64 << bit);
+        debug_assert!(head != 0, "wheel_len > 0 but bitmap empty");
+        Some((wi << 6) + head.trailing_zeros() as usize)
+    }
+
+    /// Timestamp of the earliest wheel event, if any.
+    fn wheel_next_time(&self) -> Option<u64> {
+        let start = (self.now & WHEEL_MASK) as usize;
+        let b = self.next_occupied(start)?;
+        // Buckets map injectively onto [now, now + WHEEL_BUCKETS), so the
+        // circular bucket distance from `now` is the time delta.
+        Some(self.now + ((b as u64).wrapping_sub(self.now) & WHEEL_MASK))
     }
 
     /// Pops the next event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(u64, E)> {
+        let wheel_t = self.wheel_next_time();
+        let heap_t = self.heap.peek().map(|Reverse((t, ..))| *t);
+        match (wheel_t, heap_t) {
+            (None, None) => None,
+            // On equal timestamps the heap must win: its events were
+            // scheduled first (see module docs), so this is FIFO order.
+            (Some(wt), Some(ht)) if ht <= wt => self.pop_heap(),
+            (None, Some(_)) => self.pop_heap(),
+            (Some(wt), _) => Some(self.pop_wheel(wt)),
+        }
+    }
+
+    fn pop_heap(&mut self) -> Option<(u64, E)> {
         let Reverse((at, _, EventBox(event))) = self.heap.pop()?;
         self.now = at;
+        self.pops += 1;
         Some((at, event))
+    }
+
+    fn pop_wheel(&mut self, at: u64) -> (u64, E) {
+        let b = (at & WHEEL_MASK) as usize;
+        let event = self.buckets[b].pop_front().expect("occupied bucket");
+        if self.buckets[b].is_empty() {
+            self.occupied[b >> 6] &= !(1u64 << (b & 63));
+            if self.occupied[b >> 6] == 0 {
+                self.summary &= !(1u64 << (b >> 6));
+            }
+        }
+        self.wheel_len -= 1;
+        self.now = at;
+        self.pops += 1;
+        (at, event)
+    }
+
+    /// Timestamp of the next event without popping it, or `None` when
+    /// the calendar is empty.
+    pub fn peek_time(&self) -> Option<u64> {
+        let wheel_t = self.wheel_next_time();
+        let heap_t = self.heap.peek().map(|Reverse((t, ..))| *t);
+        match (wheel_t, heap_t) {
+            (Some(w), Some(h)) => Some(w.min(h)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Total events popped since construction.
+    pub fn pops(&self) -> u64 {
+        self.pops
     }
 
     /// The current simulation time (timestamp of the last popped event).
@@ -87,12 +241,12 @@ impl<E> Calendar<E> {
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.wheel_len + self.heap.len()
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 }
 
@@ -154,5 +308,105 @@ mod tests {
         assert_eq!(cal.len(), 1);
         cal.pop();
         assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn far_future_events_take_the_overflow_path() {
+        let mut cal = Calendar::new();
+        cal.schedule(WHEEL_BUCKETS * 10, "far");
+        cal.schedule(3, "near");
+        assert_eq!(cal.len(), 2);
+        assert_eq!(cal.pop(), Some((3, "near")));
+        assert_eq!(cal.pop(), Some((WHEEL_BUCKETS * 10, "far")));
+        assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn heap_and_wheel_interleave_fifo_on_equal_times() {
+        // "a" is scheduled while T is out of the window (heap); "b" at the
+        // same T once the window has advanced (wheel). FIFO demands a, b.
+        let mut cal = Calendar::new();
+        let t = WHEEL_BUCKETS + 100;
+        cal.schedule(t, "a");
+        cal.schedule(200, "step");
+        assert_eq!(cal.pop(), Some((200, "step")));
+        cal.schedule(t, "b"); // t - now < WHEEL_BUCKETS: wheel path
+        assert_eq!(cal.pop(), Some((t, "a")));
+        assert_eq!(cal.pop(), Some((t, "b")));
+    }
+
+    #[test]
+    fn wheel_wraparound_keeps_order() {
+        // March far past several wheel revolutions with varying strides.
+        let mut cal = Calendar::new();
+        let mut expect = Vec::new();
+        let mut t = 0u64;
+        for i in 0..10_000u64 {
+            t += (i * 37) % 97 + 1;
+            cal.schedule(t, i);
+            expect.push((t, i));
+        }
+        let got: Vec<(u64, u64)> = std::iter::from_fn(|| cal.pop()).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn stress_matches_reference_heap() {
+        // Mixed schedule/pop traffic vs a (time, seq) reference heap.
+        let mut cal = Calendar::new();
+        let mut reference: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut rng = 0x1234_5678_9abc_def0u64;
+        let mut next = |m: u64| {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng % m
+        };
+        let mut seq = 0u64;
+        for round in 0..50_000 {
+            if next(3) > 0 || reference.is_empty() {
+                // Mix near (wheel) and far (heap) horizons; repeat
+                // timestamps often enough to exercise tie-breaking.
+                let delta = if next(10) == 0 {
+                    WHEEL_BUCKETS + next(20_000)
+                } else {
+                    next(600)
+                };
+                let at = cal.now() + delta;
+                cal.schedule(at, seq);
+                reference.push(Reverse((at, seq)));
+                seq += 1;
+            } else {
+                let got = cal.pop();
+                let Reverse((at, id)) = reference.pop().unwrap();
+                assert_eq!(got, Some((at, id)), "round {round}");
+            }
+        }
+        while let Some(Reverse((at, id))) = reference.pop() {
+            assert_eq!(cal.pop(), Some((at, id)));
+        }
+        assert_eq!(cal.pop(), None);
+    }
+
+    #[test]
+    fn peek_time_is_non_mutating() {
+        let mut cal = Calendar::new();
+        assert_eq!(cal.peek_time(), None);
+        cal.schedule(9, "x");
+        cal.schedule(WHEEL_BUCKETS * 2, "y");
+        assert_eq!(cal.peek_time(), Some(9));
+        assert_eq!(cal.peek_time(), Some(9));
+        assert_eq!(cal.len(), 2);
+        cal.pop();
+        assert_eq!(cal.peek_time(), Some(WHEEL_BUCKETS * 2));
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut cal = Calendar::new();
+        cal.schedule(100, "a");
+        cal.pop();
+        cal.schedule_in(5, "b");
+        assert_eq!(cal.pop(), Some((105, "b")));
     }
 }

@@ -1,0 +1,351 @@
+//! Flat hot-path tables for the simulator.
+//!
+//! The simulator's per-event bookkeeping — MSHR waiter lists, per-SM
+//! pending-miss lists, per-page access counts — sits on the hottest
+//! path in the repo. `HashMap<u64, Vec<..>>` there means SipHash on
+//! every probe and a fresh `Vec` allocation per miss. This module
+//! replaces them with two purpose-built structures:
+//!
+//! * [`WaiterMap`]: an open-addressed multimap (`u64` key → list of
+//!   `Copy` waiters) with Fibonacci hashing, linear probing, and
+//!   backward-shift deletion. Waiter lists are **recycled**: removal
+//!   swaps the list into a caller-held scratch buffer, so the steady
+//!   state allocates nothing.
+//! * [`PageCounter`]: per-page access counts as a dense `Vec<u64>`
+//!   indexed by page number, with a `HashMap` spill for pathologically
+//!   high page numbers.
+//!
+//! Both are drop-in *behavioral* equivalents of the maps they replace;
+//! the golden-equivalence suite (`tests/golden_simreport.rs`) pins that.
+
+use std::collections::HashMap;
+
+use hmtypes::PageNum;
+
+/// Key sentinel for an empty slot. Simulator keys are line indices
+/// (`addr / 128`), which cannot reach `u64::MAX`.
+const EMPTY: u64 = u64::MAX;
+
+/// Fibonacci-hashing multiplier (2^64 / φ).
+const HASH_MUL: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Open-addressed multimap from `u64` keys to small lists of `Copy`
+/// waiters.
+///
+/// # Examples
+///
+/// ```
+/// use gpusim::flat::WaiterMap;
+///
+/// let mut map: WaiterMap<u32> = WaiterMap::with_key_capacity(16);
+/// assert!(map.push(7, 1)); // new key
+/// assert!(!map.push(7, 2)); // merged into the existing list
+/// assert_eq!(map.len(), 1);
+///
+/// let mut scratch = Vec::new();
+/// assert!(map.remove_into(7, &mut scratch));
+/// assert_eq!(scratch, [1, 2]);
+/// assert!(map.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct WaiterMap<W: Copy> {
+    keys: Vec<u64>,
+    /// Parallel to `keys`; empty (but capacity-bearing) for empty slots.
+    vals: Vec<Vec<W>>,
+    /// Number of distinct keys present.
+    len: usize,
+    mask: usize,
+    /// `64 - log2(capacity)`, for the Fibonacci hash.
+    shift: u32,
+}
+
+impl<W: Copy> WaiterMap<W> {
+    /// Creates a map sized so that `keys` distinct keys stay under a
+    /// 50% load factor (capacity is the next power of two above
+    /// `2 * keys`). The map still grows if the estimate is exceeded.
+    pub fn with_key_capacity(keys: usize) -> Self {
+        let cap = (keys.max(4) * 2).next_power_of_two();
+        WaiterMap {
+            keys: vec![EMPTY; cap],
+            vals: std::iter::repeat_with(Vec::new).take(cap).collect(),
+            len: 0,
+            mask: cap - 1,
+            shift: 64 - cap.trailing_zeros(),
+        }
+    }
+
+    #[inline]
+    fn home(&self, key: u64) -> usize {
+        (key.wrapping_mul(HASH_MUL) >> self.shift) as usize
+    }
+
+    /// Number of distinct keys (not waiters).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no keys are present.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends `w` to `key`'s waiter list, creating the list if the key
+    /// is new. Returns `true` iff the key was newly inserted.
+    #[inline]
+    pub fn push(&mut self, key: u64, w: W) -> bool {
+        debug_assert_ne!(key, EMPTY, "key sentinel");
+        if (self.len + 1) * 2 > self.keys.len() {
+            self.grow();
+        }
+        let mut i = self.home(key);
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                self.vals[i].push(w);
+                return false;
+            }
+            if k == EMPTY {
+                self.keys[i] = key;
+                self.vals[i].push(w);
+                self.len += 1;
+                return true;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Mutable access to `key`'s waiter list, if present.
+    #[inline]
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut Vec<W>> {
+        let mut i = self.home(key);
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                return Some(&mut self.vals[i]);
+            }
+            if k == EMPTY {
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Removes `key`, swapping its waiter list into `out` (cleared
+    /// first). Returns `false` (with `out` empty) if the key is absent.
+    ///
+    /// The swap recycles allocations in both directions: the caller's
+    /// scratch buffer becomes the slot's next waiter list.
+    pub fn remove_into(&mut self, key: u64, out: &mut Vec<W>) -> bool {
+        out.clear();
+        let mut i = self.home(key);
+        loop {
+            let k = self.keys[i];
+            if k == EMPTY {
+                return false;
+            }
+            if k == key {
+                break;
+            }
+            i = (i + 1) & self.mask;
+        }
+        std::mem::swap(&mut self.vals[i], out);
+        self.len -= 1;
+        // Backward-shift deletion: pull displaced entries into the hole
+        // so probe chains never need tombstones.
+        let mask = self.mask;
+        let mut hole = i;
+        let mut j = i;
+        loop {
+            j = (j + 1) & mask;
+            let k = self.keys[j];
+            if k == EMPTY {
+                break;
+            }
+            let h = self.home(k);
+            // Move iff the hole lies within k's probe path [h, j].
+            if (j.wrapping_sub(h) & mask) >= (j.wrapping_sub(hole) & mask) {
+                self.keys[hole] = k;
+                self.vals.swap(hole, j);
+                hole = j;
+            }
+        }
+        self.keys[hole] = EMPTY;
+        true
+    }
+
+    fn grow(&mut self) {
+        let new_cap = self.keys.len() * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; new_cap]);
+        let old_vals = std::mem::replace(
+            &mut self.vals,
+            std::iter::repeat_with(Vec::new).take(new_cap).collect(),
+        );
+        self.mask = new_cap - 1;
+        self.shift = 64 - new_cap.trailing_zeros();
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if k != EMPTY {
+                let mut i = self.home(k);
+                while self.keys[i] != EMPTY {
+                    i = (i + 1) & self.mask;
+                }
+                self.keys[i] = k;
+                self.vals[i] = v;
+            }
+        }
+    }
+}
+
+/// How many pages the dense counter array may cover (2^22 pages =
+/// 16 GiB of 4 kB-page address space — beyond any catalog footprint).
+const DENSE_PAGE_CAP: u64 = 1 << 22;
+
+/// Per-virtual-page access counter: dense array for the (universal)
+/// case of compact page numbers, hash-map spill beyond
+/// [`DENSE_PAGE_CAP`]. Replaces `HashMap<PageNum, u64>` on the DRAM
+/// access path; converts back to one in [`PageCounter::into_map`].
+#[derive(Debug, Default)]
+pub struct PageCounter {
+    dense: Vec<u64>,
+    spill: HashMap<u64, u64>,
+}
+
+impl PageCounter {
+    /// Creates an empty counter.
+    pub fn new() -> Self {
+        PageCounter::default()
+    }
+
+    /// Counts one access to `page`.
+    #[inline]
+    pub fn bump(&mut self, page: u64) {
+        if page < DENSE_PAGE_CAP {
+            let idx = page as usize;
+            if idx >= self.dense.len() {
+                self.dense.resize((idx + 1).next_power_of_two(), 0);
+            }
+            self.dense[idx] += 1;
+        } else {
+            *self.spill.entry(page).or_insert(0) += 1;
+        }
+    }
+
+    /// Converts to the report-facing map of nonzero counts.
+    pub fn into_map(self) -> HashMap<PageNum, u64> {
+        let mut map: HashMap<PageNum, u64> =
+            HashMap::with_capacity(self.spill.len() + self.dense.len() / 2);
+        for (page, count) in self.dense.into_iter().enumerate() {
+            if count > 0 {
+                map.insert(PageNum::new(page as u64), count);
+            }
+        }
+        for (page, count) in self.spill {
+            map.insert(PageNum::new(page), count);
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_remove_roundtrip() {
+        let mut map: WaiterMap<(u16, u64)> = WaiterMap::with_key_capacity(8);
+        assert!(map.push(100, (1, 10)));
+        assert!(!map.push(100, (2, 20)));
+        assert!(map.push(200, (3, 30)));
+        assert_eq!(map.len(), 2);
+        map.get_mut(100).unwrap().push((4, 40));
+        assert!(map.get_mut(999).is_none());
+
+        let mut out = vec![(9u16, 9u64)]; // stale contents must be cleared
+        assert!(map.remove_into(100, &mut out));
+        assert_eq!(out, [(1, 10), (2, 20), (4, 40)]);
+        assert!(!map.remove_into(100, &mut out));
+        assert!(out.is_empty());
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn grows_past_the_initial_estimate() {
+        let mut map: WaiterMap<u32> = WaiterMap::with_key_capacity(4);
+        for k in 0..1000u64 {
+            assert!(map.push(k * 7919, k as u32));
+        }
+        assert_eq!(map.len(), 1000);
+        let mut out = Vec::new();
+        for k in 0..1000u64 {
+            assert!(map.remove_into(k * 7919, &mut out), "key {k}");
+            assert_eq!(out, [k as u32]);
+        }
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn fuzz_matches_std_hashmap() {
+        let mut map: WaiterMap<u32> = WaiterMap::with_key_capacity(4);
+        let mut reference: HashMap<u64, Vec<u32>> = HashMap::new();
+        let mut rng = hmtypes::SplitMix64::new(42);
+        let mut out = Vec::new();
+        for step in 0..20_000u32 {
+            let key = rng.next_below(64); // small key space: heavy churn
+            if rng.next_below(3) > 0 {
+                let was_new = map.push(key, step);
+                assert_eq!(was_new, !reference.contains_key(&key));
+                reference.entry(key).or_default().push(step);
+            } else {
+                let removed = map.remove_into(key, &mut out);
+                match reference.remove(&key) {
+                    Some(want) => {
+                        assert!(removed);
+                        assert_eq!(out, want, "step {step} key {key}");
+                    }
+                    None => assert!(!removed && out.is_empty()),
+                }
+            }
+            assert_eq!(map.len(), reference.len());
+        }
+    }
+
+    #[test]
+    fn removal_recycles_list_capacity() {
+        let mut map: WaiterMap<u32> = WaiterMap::with_key_capacity(8);
+        for i in 0..100 {
+            map.push(5, i);
+        }
+        let mut out = Vec::new();
+        map.remove_into(5, &mut out);
+        let cap = out.capacity();
+        assert!(cap >= 100);
+        // The next removal swaps the big buffer back into the slot…
+        map.push(5, 0);
+        map.remove_into(5, &mut out);
+        // …so the following insert+removal cycle reuses it.
+        map.push(5, 1);
+        map.remove_into(5, &mut out);
+        assert_eq!(out.capacity(), cap);
+    }
+
+    #[test]
+    fn page_counter_matches_hashmap_semantics() {
+        let mut pc = PageCounter::new();
+        let mut reference: HashMap<u64, u64> = HashMap::new();
+        let mut rng = hmtypes::SplitMix64::new(7);
+        for _ in 0..10_000 {
+            // Mix dense-range pages with spill-range outliers.
+            let page = if rng.next_below(50) == 0 {
+                DENSE_PAGE_CAP + rng.next_below(1 << 30)
+            } else {
+                rng.next_below(5_000)
+            };
+            pc.bump(page);
+            *reference.entry(page).or_insert(0) += 1;
+        }
+        let got = pc.into_map();
+        assert_eq!(got.len(), reference.len());
+        for (page, count) in reference {
+            assert_eq!(got.get(&PageNum::new(page)), Some(&count), "page {page}");
+        }
+    }
+}

@@ -35,6 +35,7 @@ pub mod cache;
 pub mod config;
 pub mod dram;
 pub mod engine;
+pub mod flat;
 pub mod kernels;
 pub mod observe;
 pub mod request;
@@ -44,6 +45,7 @@ pub mod stats;
 pub use cache::{CacheOutcome, SetAssocCache};
 pub use config::{CacheConfig, DramTiming, PoolConfig, SimConfig};
 pub use dram::{ChannelStats, DramChannel};
+pub use engine::EngineStats;
 pub use kernels::StreamKernel;
 pub use observe::{
     EventTracer, IntervalPoolReport, IntervalReport, IntervalSampler, NullObserver, Observer,

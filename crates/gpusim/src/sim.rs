@@ -18,15 +18,13 @@
 //!   placement decides which slice and channel serve a page. L2 lines are
 //!   allocated when their DRAM fill completes, never at probe time.
 
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
-
-use hmtypes::{AccessKind, PageNum, VirtAddr, LINE_SIZE, PAGE_SIZE};
+use hmtypes::{AccessKind, VirtAddr, LINE_SIZE, PAGE_SIZE};
 
 use crate::cache::SetAssocCache;
 use crate::config::SimConfig;
 use crate::dram::DramChannel;
 use crate::engine::Calendar;
+use crate::flat::{PageCounter, WaiterMap};
 use crate::observe::{NullObserver, Observer};
 use crate::request::{AddressTranslator, WarpId, WarpOp, WarpProgram};
 use crate::stats::{PoolReport, SimReport};
@@ -34,28 +32,33 @@ use crate::stats::{PoolReport, SimReport};
 /// Virtual-line index → virtual page (32 lines per 4 kB page).
 const LINES_PER_PAGE: u64 = (PAGE_SIZE / LINE_SIZE) as u64;
 
-#[derive(Debug)]
+/// Slice indices are `u16` so [`Event`] stays within 24 bytes; the
+/// calendar moves millions of these per run. `Simulator::new` asserts
+/// the config fits.
+#[derive(Debug, Clone, Copy)]
 enum Event {
     WarpReady(WarpId),
     L2Arrive {
-        slice: u32,
         vline: u64,
         pline: u64,
+        slice: u16,
         sm: u16,
         read: bool,
     },
     DramTick {
-        slice: u32,
+        slice: u16,
     },
     L2Fill {
-        slice: u32,
         pline: u64,
+        slice: u16,
     },
     SmReceive {
-        sm: u16,
         vline: u64,
+        sm: u16,
     },
 }
+
+const _: () = assert!(std::mem::size_of::<Event>() <= 24, "Event grew");
 
 #[derive(Debug, Clone, Copy, Default)]
 struct WarpState {
@@ -68,14 +71,14 @@ struct WarpState {
 struct SmState {
     l1: SetAssocCache,
     /// Outstanding L1 misses by virtual line → warp slots to wake.
-    pending: HashMap<u64, Vec<u32>>,
+    pending: WaiterMap<u32>,
 }
 
 #[derive(Debug)]
 struct L2Slice {
     cache: SetAssocCache,
     /// Outstanding DRAM fills by physical line → (sm, vline) waiters.
-    mshr: HashMap<u64, Vec<(u16, u64)>>,
+    mshr: WaiterMap<(u16, u64)>,
     /// Reads blocked on MSHR exhaustion, drained as fills free entries
     /// (credit-based flow control rather than NACK-and-retry polling).
     waitq: std::collections::VecDeque<(u64, u64, u16)>,
@@ -141,7 +144,11 @@ pub struct Simulator<T, P, O = NullObserver> {
     retired: u32,
     bytes_read: Vec<u64>,
     bytes_written: Vec<u64>,
-    page_accesses: Option<HashMap<PageNum, u64>>,
+    page_accesses: Option<PageCounter>,
+    /// Drain buffers for [`WaiterMap::remove_into`]; the swap keeps the
+    /// same allocations circulating for the whole run.
+    pending_scratch: Vec<u32>,
+    mshr_scratch: Vec<(u16, u64)>,
     obs: O,
 }
 
@@ -161,10 +168,13 @@ impl<T: AddressTranslator, P: WarpProgram> Simulator<T, P> {
         );
         let mlp = program.mem_level_parallelism().max(1);
 
+        // Worst-case distinct pending lines per SM: every warp slot at
+        // its full memory-level parallelism.
+        let pending_keys = (warps_per_sm * mlp) as usize;
         let sms = (0..cfg.num_sms)
             .map(|_| SmState {
                 l1: SetAssocCache::new(cfg.l1),
-                pending: HashMap::new(),
+                pending: WaiterMap::with_key_capacity(pending_keys),
             })
             .collect();
 
@@ -176,13 +186,18 @@ impl<T: AddressTranslator, P: WarpProgram> Simulator<T, P> {
             for _ in 0..pool.channels {
                 slices.push(L2Slice {
                     cache: SetAssocCache::new(cfg.l2),
-                    mshr: HashMap::new(),
+                    // MSHR occupancy is capped at l2_mshrs keys.
+                    mshr: WaiterMap::with_key_capacity(cfg.l2_mshrs),
                     waitq: std::collections::VecDeque::new(),
                     pool: p,
                 });
                 chans.push(DramChannel::new(pool, cfg.sm_clock_ghz));
             }
         }
+        assert!(
+            slices.len() <= usize::from(u16::MAX),
+            "slice indices are u16 in Event"
+        );
 
         let total_warps = (cfg.num_sms * warps_per_sm) as usize;
         let num_pools = cfg.pools.len();
@@ -206,6 +221,8 @@ impl<T: AddressTranslator, P: WarpProgram> Simulator<T, P> {
             bytes_read: vec![0; num_pools],
             bytes_written: vec![0; num_pools],
             page_accesses: None,
+            pending_scratch: Vec::new(),
+            mshr_scratch: Vec::new(),
             obs: NullObserver,
         }
     }
@@ -215,7 +232,7 @@ impl<T: AddressTranslator, P: WarpProgram, O: Observer> Simulator<T, P, O> {
     /// Enables per-virtual-page DRAM access counting (paper Fig. 6/7
     /// profiling: accesses counted after cache filtering).
     pub fn with_page_profiling(mut self) -> Self {
-        self.page_accesses = Some(HashMap::new());
+        self.page_accesses = Some(PageCounter::new());
         self
     }
 
@@ -242,6 +259,8 @@ impl<T: AddressTranslator, P: WarpProgram, O: Observer> Simulator<T, P, O> {
             bytes_read: self.bytes_read,
             bytes_written: self.bytes_written,
             page_accesses: self.page_accesses,
+            pending_scratch: self.pending_scratch,
+            mshr_scratch: self.mshr_scratch,
             obs,
         }
     }
@@ -253,7 +272,15 @@ impl<T: AddressTranslator, P: WarpProgram, O: Observer> Simulator<T, P, O> {
 
     /// Like [`Simulator::run`], but also hands back the observer so its
     /// collected data (interval series, trace events) can be read.
-    pub fn run_observed(mut self) -> (SimReport, O) {
+    pub fn run_observed(self) -> (SimReport, O) {
+        let (report, obs, _) = self.run_instrumented();
+        (report, obs)
+    }
+
+    /// Like [`Simulator::run_observed`], additionally reporting engine
+    /// throughput counters ([`crate::EngineStats`]) for benchmarking.
+    /// The `SimReport` is identical to the other run paths'.
+    pub fn run_instrumented(mut self) -> (SimReport, O, crate::EngineStats) {
         for w in 0..self.warps.len() {
             self.cal.schedule(0, Event::WarpReady(WarpId(w as u32)));
         }
@@ -328,9 +355,12 @@ impl<T: AddressTranslator, P: WarpProgram, O: Observer> Simulator<T, P, O> {
             mshr_stalls: self.mshr_stalls,
             retired_warps: self.retired,
             pools,
-            page_accesses: self.page_accesses,
+            page_accesses: self.page_accesses.map(PageCounter::into_map),
         };
-        (report, self.obs)
+        let stats = crate::EngineStats {
+            events_processed: self.cal.pops(),
+        };
+        (report, self.obs, stats)
     }
 
     fn split(&self, w: WarpId) -> (u16, u32) {
@@ -374,13 +404,13 @@ impl<T: AddressTranslator, P: WarpProgram, O: Observer> Simulator<T, P, O> {
     /// per line: this keeps a streaming warp's consecutive lines in one
     /// row of one channel (row-buffer locality) while still spreading
     /// pages across all channels — the address mapping GPUs use.
-    fn route(&self, pool: usize, pline: u64) -> (u32, u64) {
+    fn route(&self, pool: usize, pline: u64) -> (u16, u64) {
         let channels = u64::from(self.cfg.pools[pool].channels);
         let stripe = pline / crate::dram::LINES_PER_ROW;
         let chan = stripe % channels;
         let local_line =
             (stripe / channels) * crate::dram::LINES_PER_ROW + pline % crate::dram::LINES_PER_ROW;
-        ((self.pool_offset[pool] as u64 + chan) as u32, local_line)
+        ((self.pool_offset[pool] as u64 + chan) as u16, local_line)
     }
 
     /// Channel-local line back to the physical line (inverse of `route`).
@@ -417,19 +447,18 @@ impl<T: AddressTranslator, P: WarpProgram, O: Observer> Simulator<T, P, O> {
         }
         let pline = placement.phys.line_index();
         let (slice, _) = self.route(placement.pool, pline);
-        let at = now + self.request_latency(placement.pool);
-        self.cal.schedule(
-            at,
+        self.cal.schedule_in(
+            self.request_latency(placement.pool),
             Event::L2Arrive {
-                slice,
                 vline,
                 pline,
+                slice,
                 sm,
                 read: false,
             },
         );
         // Stores are posted: the warp continues immediately.
-        self.cal.schedule(now + 1, Event::WarpReady(w));
+        self.cal.schedule_in(1, Event::WarpReady(w));
     }
 
     fn issue_read(&mut self, now: u64, w: WarpId, addr: VirtAddr) {
@@ -441,7 +470,7 @@ impl<T: AddressTranslator, P: WarpProgram, O: Observer> Simulator<T, P, O> {
         }
         if l1_hit {
             self.cal
-                .schedule(now + self.cfg.l1_latency, Event::WarpReady(w));
+                .schedule_in(self.cfg.l1_latency, Event::WarpReady(w));
             return;
         }
         let warp = &mut self.warps[w.index()];
@@ -451,16 +480,7 @@ impl<T: AddressTranslator, P: WarpProgram, O: Observer> Simulator<T, P, O> {
             warp.waiting = true;
         }
 
-        let first_for_line = match self.sms[sm as usize].pending.entry(vline) {
-            Entry::Occupied(mut e) => {
-                e.get_mut().push(slot);
-                false
-            }
-            Entry::Vacant(e) => {
-                e.insert(vec![slot]);
-                true
-            }
-        };
+        let first_for_line = self.sms[sm as usize].pending.push(vline, slot);
         if first_for_line {
             let placement = self.translator.translate(addr);
             if O::ENABLED {
@@ -471,38 +491,37 @@ impl<T: AddressTranslator, P: WarpProgram, O: Observer> Simulator<T, P, O> {
             }
             let pline = placement.phys.line_index();
             let (slice, _) = self.route(placement.pool, pline);
-            let at = now + self.request_latency(placement.pool);
-            self.cal.schedule(
-                at,
+            self.cal.schedule_in(
+                self.request_latency(placement.pool),
                 Event::L2Arrive {
-                    slice,
                     vline,
                     pline,
+                    slice,
                     sm,
                     read: true,
                 },
             );
         }
         if continue_issuing {
-            self.cal.schedule(now + 1, Event::WarpReady(w));
+            self.cal.schedule_in(1, Event::WarpReady(w));
         }
     }
 
     fn profile_page(&mut self, vline: u64) {
-        if let Some(map) = self.page_accesses.as_mut() {
-            *map.entry(PageNum::new(vline / LINES_PER_PAGE)).or_insert(0) += 1;
+        if let Some(counter) = self.page_accesses.as_mut() {
+            counter.bump(vline / LINES_PER_PAGE);
         }
     }
 
     /// Enqueues a DRAM access on `slice`'s channel, kicking it if idle.
-    fn dram_enqueue(&mut self, now: u64, slice: u32, local_line: u64, read: bool) {
-        if let Some(tick_at) = self.chans[slice as usize].enqueue(now, local_line, read) {
+    fn dram_enqueue(&mut self, now: u64, slice: u16, local_line: u64, read: bool) {
+        if let Some(tick_at) = self.chans[usize::from(slice)].enqueue(now, local_line, read) {
             self.cal.schedule(tick_at, Event::DramTick { slice });
         }
     }
 
-    fn l2_arrive(&mut self, now: u64, slice: u32, vline: u64, pline: u64, sm: u16, read: bool) {
-        let s = slice as usize;
+    fn l2_arrive(&mut self, now: u64, slice: u16, vline: u64, pline: u64, sm: u16, read: bool) {
+        let s = usize::from(slice);
         let pool = self.slices[s].pool;
         let (_, local_line) = self.route(pool, pline);
 
@@ -510,7 +529,7 @@ impl<T: AddressTranslator, P: WarpProgram, O: Observer> Simulator<T, P, O> {
             // Memory-side L2 write-allocate; a miss also writes DRAM.
             let hit = self.slices[s].cache.access(pline).is_hit();
             if O::ENABLED {
-                self.obs.l2_access(now, slice, pool, hit);
+                self.obs.l2_access(now, u32::from(slice), pool, hit);
             }
             if hit {
                 self.l2_hits += 1;
@@ -528,26 +547,26 @@ impl<T: AddressTranslator, P: WarpProgram, O: Observer> Simulator<T, P, O> {
 
         // Merge with an in-flight fill before probing the tag array: the
         // data is still in DRAM even though the fill is scheduled.
-        if let Some(waiters) = self.slices[s].mshr.get_mut(&pline) {
+        if let Some(waiters) = self.slices[s].mshr.get_mut(pline) {
             waiters.push((sm, vline));
             self.l2_misses += 1;
             if O::ENABLED {
-                self.obs.l2_access(now, slice, pool, false);
+                self.obs.l2_access(now, u32::from(slice), pool, false);
             }
             return;
         }
         if self.slices[s].cache.probe(pline) {
             self.l2_hits += 1;
             if O::ENABLED {
-                self.obs.l2_access(now, slice, pool, true);
+                self.obs.l2_access(now, u32::from(slice), pool, true);
             }
             let at = now + self.cfg.l2_latency + self.response_latency();
-            self.cal.schedule(at, Event::SmReceive { sm, vline });
+            self.cal.schedule(at, Event::SmReceive { vline, sm });
             return;
         }
         self.l2_misses += 1;
         if O::ENABLED {
-            self.obs.l2_access(now, slice, pool, false);
+            self.obs.l2_access(now, u32::from(slice), pool, false);
         }
         if self.slices[s].mshr.len() >= self.cfg.l2_mshrs {
             // All MSHRs busy: hold the request at the slice and drain it
@@ -555,12 +574,13 @@ impl<T: AddressTranslator, P: WarpProgram, O: Observer> Simulator<T, P, O> {
             // paper's §3.2.1 MSHR discussion is about).
             self.mshr_stalls += 1;
             if O::ENABLED {
-                self.obs.mshr_nack(now, slice, pool);
+                self.obs.mshr_nack(now, u32::from(slice), pool);
             }
             self.slices[s].waitq.push_back((vline, pline, sm));
             return;
         }
-        self.slices[s].mshr.insert(pline, vec![(sm, vline)]);
+        let newly_allocated = self.slices[s].mshr.push(pline, (sm, vline));
+        debug_assert!(newly_allocated, "merge path handled existing entries");
         if O::ENABLED {
             let occupancy = self.slices[s].mshr.len();
             self.obs.mshr_occupancy(now, occupancy);
@@ -573,42 +593,44 @@ impl<T: AddressTranslator, P: WarpProgram, O: Observer> Simulator<T, P, O> {
         self.profile_page(vline);
     }
 
-    fn dram_tick(&mut self, now: u64, slice: u32) {
-        let Some(served) = self.chans[slice as usize].tick(now) else {
+    fn dram_tick(&mut self, now: u64, slice: u16) {
+        let s = usize::from(slice);
+        let Some(served) = self.chans[s].tick() else {
             return;
         };
         if O::ENABLED {
-            let pool = self.slices[slice as usize].pool;
-            let burst = self.chans[slice as usize].burst_cycles();
+            let pool = self.slices[s].pool;
+            let burst = self.chans[s].burst_cycles();
             self.obs
-                .dram_service(now, slice, pool, served.read, served.done, burst);
+                .dram_service(now, u32::from(slice), pool, served.read, served.done, burst);
         }
         if served.read {
-            let pline = self.unroute(slice as usize, served.line);
+            let pline = self.unroute(s, served.line);
             self.cal
-                .schedule(served.done, Event::L2Fill { slice, pline });
+                .schedule(served.done, Event::L2Fill { pline, slice });
         }
         if let Some(next) = served.next_tick {
             self.cal.schedule(next, Event::DramTick { slice });
         }
     }
 
-    fn l2_fill(&mut self, now: u64, slice: u32, pline: u64) {
+    fn l2_fill(&mut self, now: u64, slice: u16, pline: u64) {
+        let s = usize::from(slice);
         // Install the line now that its data arrived.
-        let _ = self.slices[slice as usize].cache.access(pline);
-        let waiters = self.slices[slice as usize]
-            .mshr
-            .remove(&pline)
-            .expect("fill without mshr entry");
+        let _ = self.slices[s].cache.access(pline);
+        let mut waiters = std::mem::take(&mut self.mshr_scratch);
+        let found = self.slices[s].mshr.remove_into(pline, &mut waiters);
+        assert!(found, "fill without mshr entry");
         let at = now + self.response_latency();
-        for (sm, vline) in waiters {
-            self.cal.schedule(at, Event::SmReceive { sm, vline });
+        for &(sm, vline) in &waiters {
+            self.cal.schedule(at, Event::SmReceive { vline, sm });
         }
+        self.mshr_scratch = waiters;
         // A fill freed an MSHR: admit held requests while entries last.
         // Re-running the arrival path re-checks merge and tag state,
         // which may have changed while the request was held.
-        while self.slices[slice as usize].mshr.len() < self.cfg.l2_mshrs {
-            let Some((vline, pline, sm)) = self.slices[slice as usize].waitq.pop_front() else {
+        while self.slices[s].mshr.len() < self.cfg.l2_mshrs {
+            let Some((vline, pline, sm)) = self.slices[s].waitq.pop_front() else {
                 break;
             };
             self.l2_arrive(now, slice, vline, pline, sm, true);
@@ -619,19 +641,18 @@ impl<T: AddressTranslator, P: WarpProgram, O: Observer> Simulator<T, P, O> {
         if O::ENABLED {
             self.obs.request_retire(now, sm, vline);
         }
-        let slots = self.sms[sm as usize]
-            .pending
-            .remove(&vline)
-            .unwrap_or_default();
-        for slot in slots {
+        let mut slots = std::mem::take(&mut self.pending_scratch);
+        self.sms[sm as usize].pending.remove_into(vline, &mut slots);
+        for &slot in &slots {
             let w = WarpId(u32::from(sm) * self.warps_per_sm + slot);
             let warp = &mut self.warps[w.index()];
             warp.outstanding -= 1;
             if warp.waiting {
                 warp.waiting = false;
-                self.cal.schedule(now + 1, Event::WarpReady(w));
+                self.cal.schedule_in(1, Event::WarpReady(w));
             }
         }
+        self.pending_scratch = slots;
     }
 }
 

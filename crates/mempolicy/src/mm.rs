@@ -171,7 +171,7 @@ pub struct AddressSpace {
     allocator: FrameAllocator,
     task_policy: Mempolicy,
     vmas: Vec<Vma>,
-    page_table: HashMap<PageNum, FrameNum>,
+    page_table: PageTable,
     next_vma_id: u64,
     next_mmap_page: u64,
     /// Placement decisions recorded since [`AddressSpace::enable_placement_log`];
@@ -192,7 +192,7 @@ impl AddressSpace {
             allocator,
             task_policy: Mempolicy::local(),
             vmas: Vec::new(),
-            page_table: HashMap::new(),
+            page_table: PageTable::new(),
             next_vma_id: 0,
             next_mmap_page: Self::MMAP_BASE_PAGE,
             placement_log: None,
@@ -393,7 +393,7 @@ impl AddressSpace {
     /// * [`MemError::OutOfMemory`] / [`MemError::BindExhausted`] when the
     ///   policy's zones are full.
     pub fn ensure_mapped(&mut self, page: PageNum) -> Result<FrameNum, MemError> {
-        if let Some(&frame) = self.page_table.get(&page) {
+        if let Some(frame) = self.page_table.get(page) {
             return Ok(frame);
         }
         let addr = page.base();
@@ -446,7 +446,7 @@ impl AddressSpace {
         page: PageNum,
         zonelist: &[ZoneId],
     ) -> Result<FrameNum, MemError> {
-        if let Some(&frame) = self.page_table.get(&page) {
+        if let Some(frame) = self.page_table.get(page) {
             return Ok(frame);
         }
         let addr = page.base();
@@ -484,13 +484,13 @@ impl AddressSpace {
     /// the page is not (yet) mapped.
     pub fn translate(&self, addr: VirtAddr) -> Option<PhysAddr> {
         self.page_table
-            .get(&addr.page())
+            .get(addr.page())
             .map(|f| f.base().offset(addr.page_offset()))
     }
 
     /// The frame backing `page`, if mapped.
     pub fn frame_of(&self, page: PageNum) -> Option<FrameNum> {
-        self.page_table.get(&page).copied()
+        self.page_table.get(page)
     }
 
     /// The zone holding `page`'s frame, if mapped.
@@ -535,7 +535,7 @@ impl AddressSpace {
     /// paper hoist allocations, so address reuse is irrelevant here).
     pub fn unmap_range(&mut self, range: VmaRange) {
         for page in range.pages() {
-            if let Some(frame) = self.page_table.remove(&page) {
+            if let Some(frame) = self.page_table.remove(page) {
                 self.allocator.free(frame);
             }
         }
@@ -543,14 +543,14 @@ impl AddressSpace {
 
     /// Number of pages with physical frames.
     pub fn mapped_pages(&self) -> u64 {
-        self.page_table.len() as u64
+        self.page_table.len()
     }
 
     /// Count of mapped pages per zone, index-aligned with zone ids —
     /// the observable placement distribution.
     pub fn placement_histogram(&self) -> Vec<u64> {
         let mut hist = vec![0u64; self.topo.num_zones()];
-        for &frame in self.page_table.values() {
+        for (_, frame) in self.page_table.iter() {
             if let Some(zone) = self.allocator.zone_of(frame) {
                 hist[zone.index()] += 1;
             }
@@ -568,9 +568,104 @@ impl AddressSpace {
         &self.allocator
     }
 
-    /// Iterates over all (page, frame) mappings in unspecified order.
+    /// Iterates over all (page, frame) mappings; dense-range pages come
+    /// first in page order, spill pages follow in unspecified order.
     pub fn mappings(&self) -> impl Iterator<Item = (PageNum, FrameNum)> + '_ {
-        self.page_table.iter().map(|(&p, &f)| (p, f))
+        self.page_table.iter()
+    }
+}
+
+/// The process page table: page → frame as a flat vector indexed by
+/// page number, with a hash-map spill for pages beyond the dense range.
+/// Address spaces here start near page zero and stay compact, so in
+/// practice every lookup is one bounds-checked array load instead of a
+/// SipHash probe — [`AddressSpace::translate`]/[`AddressSpace::frame_of`]
+/// sit on the simulator's per-access hot path.
+#[derive(Debug, Clone, Default)]
+struct PageTable {
+    /// Frame index per page; [`PageTable::UNMAPPED`] marks absent slots.
+    dense: Vec<u64>,
+    spill: HashMap<PageNum, FrameNum>,
+    len: u64,
+}
+
+impl PageTable {
+    /// Pages covered by the dense array (2^22 pages = 16 GiB of 4 kB
+    /// page address space — beyond any catalog footprint).
+    const DENSE_CAP: u64 = 1 << 22;
+    /// Sentinel for an unmapped dense slot; frame numbers are bounded by
+    /// zone capacities and cannot reach it.
+    const UNMAPPED: u64 = u64::MAX;
+
+    fn new() -> Self {
+        PageTable::default()
+    }
+
+    #[inline]
+    fn get(&self, page: PageNum) -> Option<FrameNum> {
+        let idx = page.index();
+        if idx < Self::DENSE_CAP {
+            match self.dense.get(idx as usize) {
+                Some(&f) if f != Self::UNMAPPED => Some(FrameNum::new(f)),
+                _ => None,
+            }
+        } else {
+            self.spill.get(&page).copied()
+        }
+    }
+
+    /// Maps `page` to `frame`, replacing any existing mapping.
+    fn insert(&mut self, page: PageNum, frame: FrameNum) {
+        debug_assert_ne!(frame.index(), Self::UNMAPPED);
+        let idx = page.index();
+        if idx < Self::DENSE_CAP {
+            let i = idx as usize;
+            if i >= self.dense.len() {
+                self.dense
+                    .resize((i + 1).next_power_of_two(), Self::UNMAPPED);
+            }
+            if self.dense[i] == Self::UNMAPPED {
+                self.len += 1;
+            }
+            self.dense[i] = frame.index();
+        } else if self.spill.insert(page, frame).is_none() {
+            self.len += 1;
+        }
+    }
+
+    fn remove(&mut self, page: PageNum) -> Option<FrameNum> {
+        let idx = page.index();
+        if idx < Self::DENSE_CAP {
+            let slot = self.dense.get_mut(idx as usize)?;
+            if *slot == Self::UNMAPPED {
+                return None;
+            }
+            let frame = FrameNum::new(*slot);
+            *slot = Self::UNMAPPED;
+            self.len -= 1;
+            Some(frame)
+        } else {
+            let frame = self.spill.remove(&page);
+            if frame.is_some() {
+                self.len -= 1;
+            }
+            frame
+        }
+    }
+
+    /// Number of mapped pages.
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// All mappings: dense range in page order, then spill entries.
+    fn iter(&self) -> impl Iterator<Item = (PageNum, FrameNum)> + '_ {
+        self.dense
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f != Self::UNMAPPED)
+            .map(|(i, &f)| (PageNum::new(i as u64), FrameNum::new(f)))
+            .chain(self.spill.iter().map(|(&p, &f)| (p, f)))
     }
 }
 

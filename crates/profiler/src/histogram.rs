@@ -78,9 +78,12 @@ impl PageHistogram {
         Cdf { points }
     }
 
-    /// Iterates over `(page, count)` in unspecified order.
+    /// Iterates over `(page, count)` in ascending page order, so every
+    /// rendering of a histogram is deterministic.
     pub fn iter(&self) -> impl Iterator<Item = (PageNum, u64)> + '_ {
-        self.counts.iter().map(|(&p, &c)| (p, c))
+        let mut entries: Vec<_> = self.counts.iter().map(|(&p, &c)| (p, c)).collect();
+        entries.sort_unstable_by_key(|&(p, _)| p);
+        entries.into_iter()
     }
 }
 

@@ -139,9 +139,12 @@ impl OraclePlacement {
         self.bo_traffic_fraction
     }
 
-    /// Iterates over the BO page set in unspecified order.
+    /// Iterates over the BO page set in ascending page order, so every
+    /// rendering of an oracle placement is deterministic.
     pub fn bo_pages(&self) -> impl Iterator<Item = PageNum> + '_ {
-        self.bo_pages.iter().copied()
+        let mut pages: Vec<_> = self.bo_pages.iter().copied().collect();
+        pages.sort_unstable();
+        pages.into_iter()
     }
 }
 

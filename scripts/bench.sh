@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Simulator-core performance benchmark driver.
+#
+# Runs the hetmem-perf matrix (six catalog workloads x {LOCAL, BW-AWARE}
+# at 400k memory ops on 15 SMs, min-of-3 iterations per point) and
+# writes per-point events/sec, sim-cycles/sec and wall time as JSON.
+#
+# Usage:
+#   scripts/bench.sh                                  # run, write target/bench/current.json
+#   scripts/bench.sh --out my.json --label "my change"
+#   scripts/bench.sh --baseline BENCH_0005.json       # run + regression gate + merged report
+#   scripts/bench.sh --quick                          # small matrix for smoke testing
+#
+# Any unrecognized flags (e.g. --quick, --iters N, --workloads a,b) are
+# passed through to `hetmem-perf run`.
+#
+# With --baseline, the fresh run is gated against the baseline's
+# aggregate events/sec (>30% regression fails with exit 4) and a merged
+# baseline/current/speedup report is written next to --out (override
+# with --report). BENCH_0005.json in the repo root is such a report.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=target/bench/current.json
+BASELINE=
+REPORT=
+LABEL="$(git rev-parse --short HEAD 2>/dev/null || echo dev)"
+EXTRA=()
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --out) OUT=$2; shift 2 ;;
+        --baseline) BASELINE=$2; shift 2 ;;
+        --report) REPORT=$2; shift 2 ;;
+        --label) LABEL=$2; shift 2 ;;
+        *) EXTRA+=("$1"); shift ;;
+    esac
+done
+
+mkdir -p "$(dirname "$OUT")"
+cargo build --release --offline -q -p hetmem-bench --bin hetmem-perf
+target/release/hetmem-perf run --label "$LABEL" --out "$OUT" \
+    ${EXTRA[@]+"${EXTRA[@]}"}
+
+if [ -n "$BASELINE" ]; then
+    target/release/hetmem-perf gate --baseline "$BASELINE" --current "$OUT"
+    target/release/hetmem-perf report --baseline "$BASELINE" --current "$OUT" \
+        --out "${REPORT:-${OUT%.json}-report.json}"
+fi

@@ -94,3 +94,24 @@ grep -q resuming "$SWEEP_DIR/resume.log"
 cmp "$SWEEP_DIR/clean.jsonl" "$SWEEP_DIR/resumed.jsonl"  # resume: same bytes
 cargo run --release --offline -q -p hetmem-bench --bin hetmem-trace -- \
     check "$SWEEP_DIR/clean.jsonl"
+
+# Perf smoke: a quick benchmark run must produce a parseable result and
+# self-gate cleanly (1.00x vs itself is inside the 30% regression
+# budget). The gate's failure branch must also actually fire: demanding
+# a 2x speedup of a run over itself has to exit nonzero. CI machines are
+# too noisy for absolute thresholds, so real speedup claims live in the
+# committed BENCH_*.json reports (see scripts/bench.sh).
+PERF_DIR=target/ci-perf
+rm -rf "$PERF_DIR"
+mkdir -p "$PERF_DIR"
+cargo build --release --offline -q -p hetmem-bench --bin hetmem-perf
+target/release/hetmem-perf run --quick --label ci-smoke \
+    --out "$PERF_DIR/quick.json"
+target/release/hetmem-perf gate \
+    --baseline "$PERF_DIR/quick.json" --current "$PERF_DIR/quick.json"
+if target/release/hetmem-perf gate \
+    --baseline "$PERF_DIR/quick.json" --current "$PERF_DIR/quick.json" \
+    --min-speedup 2.0; then
+    echo "hetmem-perf gate failed to reject an impossible speedup" >&2
+    exit 1
+fi

@@ -1,0 +1,254 @@
+//! Golden-equivalence suite for the simulator hot path.
+//!
+//! Pins a canonical serialization of [`gpusim::SimReport`] (plus
+//! per-page profiling counts, zone placement, and interval-sampler
+//! counters) across the **full catalog** × {LOCAL, INTERLEAVE,
+//! BW-AWARE, ORACLE} at fixed seeds, against fixtures committed under
+//! `tests/fixtures/`. Any change to the engine calendar, the MSHR /
+//! pending tables, the DRAM scheduler, or the page profiler that
+//! perturbs a single counter, cycle count, or float shows up here as a
+//! byte diff.
+//!
+//! Regenerate the fixtures (only when an *intentional* model change
+//! lands) with:
+//!
+//! ```text
+//! HM_GOLDEN_WRITE=1 cargo test --release --test golden_simreport
+//! ```
+
+use gpusim::observe::IntervalReport;
+use gpusim::{SimConfig, SimReport};
+use hetmem::runner::{Capacity, ObserveConfig, Placement, RunBuilder};
+use hetmem::{profile_workload, topology_for};
+use hetmem_harness::json::{array, JsonObject};
+use mempolicy::Mempolicy;
+use workloads::catalog;
+
+const POLICIES: &[&str] = &["LOCAL", "INTERLEAVE", "BW-AWARE", "ORACLE"];
+/// Reduced operation count: the suite pins behavior, not scale. 76
+/// points (19 workloads x 4 policies) must stay test-suite fast.
+const GOLDEN_MEM_OPS: u64 = 12_000;
+const GOLDEN_SMS: u32 = 4;
+
+fn golden_sim() -> SimConfig {
+    let mut sim = SimConfig::paper_baseline();
+    sim.num_sms = GOLDEN_SMS;
+    sim
+}
+
+/// Canonical JSON for a report: every counter, every pool, floats in
+/// Rust's shortest-roundtrip formatting, page counts in ascending page
+/// order (never map iteration order).
+fn canonical_report(r: &SimReport) -> String {
+    let pools = array(r.pools.iter().map(|p| {
+        JsonObject::new()
+            .str("name", &p.name)
+            .u64("bytes_read", p.bytes_read)
+            .u64("bytes_written", p.bytes_written)
+            .f64("row_hit_rate", p.row_hit_rate)
+            .f64("bus_busy_cycles", p.bus_busy_cycles)
+            .f64("energy_joules", p.energy_joules)
+            .finish()
+    }));
+    let mut obj = JsonObject::new()
+        .u64("cycles", r.cycles)
+        .bool("completed", r.completed)
+        .u64("mem_ops", r.mem_ops)
+        .u64("l1_hits", r.l1.0)
+        .u64("l1_misses", r.l1.1)
+        .u64("l2_hits", r.l2.0)
+        .u64("l2_misses", r.l2.1)
+        .u64("mshr_stalls", r.mshr_stalls)
+        .u64("retired_warps", u64::from(r.retired_warps))
+        .raw("pools", &pools);
+    if let Some(pages) = &r.page_accesses {
+        let mut sorted: Vec<_> = pages.iter().map(|(p, c)| (p.index(), *c)).collect();
+        sorted.sort_unstable();
+        obj = obj.raw(
+            "page_accesses",
+            &array(sorted.iter().map(|(p, c)| format!("[{p},{c}]"))),
+        );
+    }
+    obj.finish()
+}
+
+fn canonical_intervals(intervals: &[IntervalReport]) -> String {
+    array(intervals.iter().map(|i| {
+        let pools = array(i.pools.iter().map(|p| {
+            JsonObject::new()
+                .u64("bytes_read", p.bytes_read)
+                .u64("bytes_written", p.bytes_written)
+                .u64("services", p.services)
+                .f64("busy_cycles", p.busy_cycles)
+                .u64("zone_pages", p.zone_pages)
+                .finish()
+        }));
+        JsonObject::new()
+            .u64("index", i.index)
+            .u64("mem_ops", i.mem_ops)
+            .u64("l1_hits", i.l1_hits)
+            .u64("l1_misses", i.l1_misses)
+            .u64("l2_hits", i.l2_hits)
+            .u64("l2_misses", i.l2_misses)
+            .u64("mshr_stalls", i.mshr_stalls)
+            .u64("mshr_peak", i.mshr_peak)
+            .u64("warps_retired", i.warps_retired)
+            .raw("pools", &pools)
+            .finish()
+    }))
+}
+
+fn placement_for(policy: &str, spec: &workloads::WorkloadSpec, sim: &SimConfig) -> Placement {
+    match policy {
+        "ORACLE" => {
+            let (histogram, _) = profile_workload(spec, sim);
+            Placement::Oracle(histogram)
+        }
+        other => {
+            let topo = topology_for(sim, &vec![1; sim.pools.len()]);
+            Placement::Policy(Mempolicy::parse(other, &topo).expect("known policy"))
+        }
+    }
+}
+
+/// Compares (or, under `HM_GOLDEN_WRITE=1`, rewrites) one fixture.
+fn check_fixture(name: &str, lines: &[String]) {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    let body: String = lines.iter().map(|l| format!("{l}\n")).collect();
+    if std::env::var("HM_GOLDEN_WRITE").is_ok() {
+        std::fs::write(&path, &body).expect("write fixture");
+        eprintln!("golden: wrote {path} ({} line(s))", lines.len());
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing fixture {path}: {e}; regenerate with HM_GOLDEN_WRITE=1")
+    });
+    let want_lines: Vec<&str> = want.lines().collect();
+    assert_eq!(
+        want_lines.len(),
+        lines.len(),
+        "{name}: fixture has {} line(s), run produced {}",
+        want_lines.len(),
+        lines.len()
+    );
+    for (i, (want, got)) in want_lines.iter().zip(lines).enumerate() {
+        assert_eq!(
+            want, got,
+            "{name}: line {i} diverged — the hot path is no longer \
+             byte-equivalent (regenerate ONLY for intentional model changes)"
+        );
+    }
+}
+
+/// The core matrix: full catalog x 4 policies, unconstrained capacity.
+#[test]
+fn catalog_matrix_reports_are_golden() {
+    let sim = golden_sim();
+    let mut lines = Vec::new();
+    for name in catalog::names() {
+        let mut spec = catalog::by_name(name).expect("catalog name");
+        spec.mem_ops = GOLDEN_MEM_OPS;
+        for policy in POLICIES {
+            let placement = placement_for(policy, &spec, &sim);
+            let run = RunBuilder::new(&spec, &sim).placement(&placement).run();
+            lines.push(
+                JsonObject::new()
+                    .str("workload", name)
+                    .str("policy", policy)
+                    .raw("report", &canonical_report(&run.report))
+                    .raw(
+                        "zone_pages",
+                        &array(run.placement.iter().map(u64::to_string)),
+                    )
+                    .finish(),
+            );
+        }
+    }
+    check_fixture("golden_reports.jsonl", &lines);
+}
+
+/// Capacity-constrained ORACLE (greedy regime) pins the profile →
+/// oracle → pre-placement pipeline, including page-order determinism.
+#[test]
+fn constrained_oracle_reports_are_golden() {
+    let sim = golden_sim();
+    let mut lines = Vec::new();
+    for name in ["bfs", "hotspot", "xsbench", "sgemm"] {
+        let mut spec = catalog::by_name(name).expect("catalog name");
+        spec.mem_ops = GOLDEN_MEM_OPS;
+        let placement = placement_for("ORACLE", &spec, &sim);
+        let run = RunBuilder::new(&spec, &sim)
+            .capacity(Capacity::FractionOfFootprint(0.10))
+            .placement(&placement)
+            .run();
+        lines.push(
+            JsonObject::new()
+                .str("workload", name)
+                .str("policy", "ORACLE-10pct")
+                .raw("report", &canonical_report(&run.report))
+                .raw(
+                    "zone_pages",
+                    &array(run.placement.iter().map(u64::to_string)),
+                )
+                .finish(),
+        );
+    }
+    check_fixture("golden_oracle_constrained.jsonl", &lines);
+}
+
+/// Profiled runs pin the per-page DRAM access counts themselves, in
+/// sorted page order.
+#[test]
+fn profiled_page_counts_are_golden() {
+    let sim = golden_sim();
+    let mut lines = Vec::new();
+    for name in ["bfs", "hotspot", "xsbench", "spmv"] {
+        let mut spec = catalog::by_name(name).expect("catalog name");
+        spec.mem_ops = GOLDEN_MEM_OPS;
+        let placement = placement_for("BW-AWARE", &spec, &sim);
+        let run = RunBuilder::new(&spec, &sim)
+            .placement(&placement)
+            .profiled()
+            .run();
+        assert!(run.report.page_accesses.is_some(), "profiling was on");
+        lines.push(
+            JsonObject::new()
+                .str("workload", name)
+                .raw("report", &canonical_report(&run.report))
+                .finish(),
+        );
+    }
+    check_fixture("golden_profiles.jsonl", &lines);
+}
+
+/// Interval-sampler counters from observed runs stay golden too (the
+/// sampler sits on the same hot path through the observer hooks).
+#[test]
+fn interval_counters_are_golden() {
+    let sim = golden_sim();
+    let mut lines = Vec::new();
+    for name in ["bfs", "lbm"] {
+        let mut spec = catalog::by_name(name).expect("catalog name");
+        spec.mem_ops = GOLDEN_MEM_OPS;
+        for policy in ["LOCAL", "BW-AWARE"] {
+            let placement = placement_for(policy, &spec, &sim);
+            let observed = RunBuilder::new(&spec, &sim)
+                .placement(&placement)
+                .observe(ObserveConfig {
+                    sample_cycles: Some(5_000),
+                    trace: false,
+                    trace_budget: 0,
+                })
+                .run_observed();
+            lines.push(
+                JsonObject::new()
+                    .str("workload", name)
+                    .str("policy", policy)
+                    .raw("report", &canonical_report(&observed.run.report))
+                    .raw("intervals", &canonical_intervals(&observed.intervals))
+                    .finish(),
+            );
+        }
+    }
+    check_fixture("golden_intervals.jsonl", &lines);
+}
