@@ -8,7 +8,7 @@
 //! (`BENCH_*.json`) tracks.
 //!
 //! ```text
-//! hetmem-perf run [--quick] [--label L] [--out FILE] [--iters N]
+//! hetmem-perf run [--quick] [--migrate] [--label L] [--out FILE] [--iters N]
 //!                 [--mem-ops N] [--sms N] [--workloads a,b] [--policies p,q]
 //! hetmem-perf gate --baseline FILE --current FILE
 //!                  [--max-regress 0.30] [--min-speedup X]
@@ -39,6 +39,12 @@ use workloads::catalog;
 /// dense, sparse, table-lookup) under the two placement extremes.
 const DEFAULT_WORKLOADS: &[&str] = &["bfs", "hotspot", "lbm", "sgemm", "spmv", "xsbench"];
 const DEFAULT_POLICIES: &[&str] = &["LOCAL", "BW-AWARE"];
+/// The opt-in `--migrate` scenario: an eager online-migration point
+/// measuring the engine's epoch walks, copy bursts, and remap stalls.
+/// Opt-in (not in `DEFAULT_POLICIES`) so sections stay comparable with
+/// trajectory entries recorded before the engine existed. Uses `+`
+/// separators because `--policies` splits its list on commas.
+const MIGRATE_POLICY: &str = "MIGRATE:epoch=20000+hot=4";
 const DEFAULT_MEM_OPS: u64 = 400_000;
 const DEFAULT_ITERS: u64 = 3;
 
@@ -182,6 +188,7 @@ fn main() -> ExitCode {
                         opts.sms = 4;
                         opts.iters = 2;
                     }
+                    "--migrate" => opts.policies.push(MIGRATE_POLICY.to_string()),
                     "--label" => opts.label = next("--label", &mut args),
                     "--out" => opts.out = Some(next("--out", &mut args)),
                     "--iters" => {

@@ -682,20 +682,31 @@ fn parse_simulate(params: &JsonValue) -> Result<(SimPoint, String), HetmemError>
         Some(_) => return Err(HetmemError::invalid("'capacity_pct' must be in 1..=100")),
         None => Capacity::Unconstrained,
     };
-    let policy_str = params
-        .get("policy")
-        .and_then(JsonValue::as_str)
-        .unwrap_or("BW-AWARE");
+    // A present-but-non-string policy is rejected, not defaulted: list
+    // clients split comma values into arrays, which would otherwise
+    // silently turn `MIGRATE:epoch=..,hot=..` into BW-AWARE.
+    let policy_str = match params.get("policy") {
+        None => "BW-AWARE",
+        Some(v) => v.as_str().ok_or_else(|| {
+            HetmemError::invalid(
+                "'policy' must be a string (separate MIGRATE keys with '+', \
+                 not ',', in clients that split comma lists)",
+            )
+        })?,
+    };
     let (policy, config_label) = match policy_str.trim().to_ascii_uppercase().as_str() {
         "ORACLE" => (PolicyChoice::Oracle, "ORACLE".to_string()),
         "HINTED" | "ANNOTATED" => (PolicyChoice::Hinted, "HINTED".to_string()),
         _ => {
             let topo = topology_for(&sim, &vec![1; sim.pools.len()]);
-            let policy = Mempolicy::parse(policy_str, &topo).map_err(|_| {
-                HetmemError::invalid(format!(
+            let policy = Mempolicy::parse(policy_str, &topo).map_err(|e| match e {
+                // A recognized-but-malformed spec (e.g. a bad `MIGRATE:`
+                // string) keeps its dedicated stable wire code.
+                e @ mempolicy::MemError::InvalidPolicySpec { .. } => HetmemError::Mem(e),
+                _ => HetmemError::invalid(format!(
                     "unknown policy '{policy_str}' \
-                     (want LOCAL, INTERLEAVE, BW-AWARE, xC-yB, ORACLE, or HINTED)"
-                ))
+                     (want LOCAL, INTERLEAVE, BW-AWARE, xC-yB, MIGRATE[:k=v...], ORACLE, or HINTED)"
+                )),
             })?;
             let label = policy.name();
             (PolicyChoice::Os(policy), label)

@@ -233,6 +233,15 @@ fn protocol_and_validation_errors_are_structured() {
         sim_request(13, r#"{"workload":"bfs","policy":"FASTEST"}"#).encode(),
         sim_request(14, r#"{"workload":"bfs","capacity_pct":500}"#).encode(),
         sim_request(15, r#"{"workload":"bfs","mem_ops":0}"#).encode(),
+        sim_request(16, r#"{"workload":"bfs","policy":"MIGRATE:hot=x"}"#).encode(),
+        sim_request(17, r#"{"workload":"bfs","policy":"MIGRATE:epoch=0"}"#).encode(),
+        // A comma-splitting client turned the spec into an array; that
+        // must be rejected, never silently defaulted to BW-AWARE.
+        sim_request(
+            18,
+            r#"{"workload":"bfs","policy":["MIGRATE:epoch=2000","hot=2"]}"#,
+        )
+        .encode(),
     ];
     for line in &lines {
         writer.write_all(line.as_bytes()).unwrap();
@@ -246,13 +255,18 @@ fn protocol_and_validation_errors_are_structured() {
         Response::decode(reply.trim_end()).unwrap()
     };
 
-    let expected: [(u64, &str); 6] = [
+    let expected: [(u64, &str); 9] = [
         (0, "bad-json"), // id 0: the request never parsed
         (11, "unknown-op"),
         (12, "unknown-workload"),
         (13, "invalid-request"),
         (14, "invalid-request"),
         (15, "invalid-request"),
+        // A recognized-but-malformed MIGRATE spec keeps its dedicated
+        // stable code so clients can distinguish it from a typo'd name.
+        (16, "invalid-policy-spec"),
+        (17, "invalid-policy-spec"),
+        (18, "invalid-request"),
     ];
     for (want_id, want_code) in expected {
         let resp = read_response();
@@ -268,6 +282,41 @@ fn protocol_and_validation_errors_are_structured() {
     writer.flush().unwrap();
     let resp = read_response();
     assert!(resp.is_ok(), "connection must survive bad requests");
+
+    handle.shutdown();
+    handle.wait();
+}
+
+#[test]
+fn migrate_policy_simulates_with_migration_counters() {
+    let handle = server(1, 4);
+    let addr = handle.addr().to_string();
+
+    // A capacity-constrained run with an eager migrate spec: short
+    // epochs and a low hot threshold so pages actually move.
+    let body = r#"{"workload":"hotspot","policy":"MIGRATE:epoch=2000,hot=2",
+                   "mem_ops":4000,"sms":2,"capacity_pct":10,"seed":7}"#;
+    let resp = roundtrip(&addr, &sim_request(1, body)).unwrap();
+    let record = JsonValue::parse(expect_ok(&resp)).unwrap();
+    assert!(stat(&record, &["cycles"]) > 0);
+    assert!(
+        record
+            .get("config")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .starts_with("MIGRATE(epoch=2000,hot=2,"),
+        "cache key and record carry the canonical policy name"
+    );
+    assert!(
+        stat(&record, &["migration", "epochs"]) >= 1,
+        "migration telemetry block must be present for MIGRATE runs"
+    );
+    assert!(stat(&record, &["migration", "pages_migrated"]) >= 1);
+
+    // Same request again: a pure cache hit with identical bytes.
+    let again = roundtrip(&addr, &sim_request(2, body)).unwrap();
+    assert_eq!(expect_ok(&again), expect_ok(&resp));
 
     handle.shutdown();
     handle.wait();

@@ -70,6 +70,7 @@ impl HetmemError {
         match self {
             HetmemError::Mem(MemError::OutOfMemory { .. }) => "out-of-memory",
             HetmemError::Mem(MemError::BindExhausted { .. }) => "bind-exhausted",
+            HetmemError::Mem(MemError::InvalidPolicySpec { .. }) => "invalid-policy-spec",
             HetmemError::Mem(_) => "mem-error",
             HetmemError::Sweep(SweepError::DeadlineExceeded { .. }) => "deadline-exceeded",
             HetmemError::Sweep(_) => "sim-panic",
@@ -159,6 +160,10 @@ mod tests {
                 page: PageNum::new(1),
             }),
             HetmemError::Mem(MemError::EmptyNodeSet),
+            HetmemError::Mem(MemError::InvalidPolicySpec {
+                spec: "MIGRATE:hot=x".into(),
+                reason: "hot wants an integer".into(),
+            }),
             HetmemError::Sweep(SweepError::Panic {
                 index: 2,
                 label: "bfs/LOCAL".into(),

@@ -18,7 +18,8 @@ use std::sync::Mutex;
 use gpusim::{IntervalReport, SimConfig, TraceEventKind};
 use hetmem_harness::sweep::{run_grid, SweepOptions};
 use hetmem_harness::telemetry::{
-    fnv1a, summary, IntervalPoolTelemetry, IntervalRecord, PoolTelemetry, RunRecord,
+    fnv1a, summary, IntervalPoolTelemetry, IntervalRecord, MigrationTelemetry, PoolTelemetry,
+    RunRecord,
 };
 use hetmem_harness::trace::{ChromeTrace, TraceEvent};
 use mempolicy::{PlacementEvent, PlacementEventKind};
@@ -169,6 +170,15 @@ pub fn record_for(
         mshr_stalls: run.report.mshr_stalls,
         energy_joules: run.report.dram_energy_joules(),
         pools,
+        migration: run.report.migration.map(|m| MigrationTelemetry {
+            pages_migrated: m.pages_migrated(),
+            pages_promoted: m.pages_promoted,
+            pages_demoted: m.pages_demoted,
+            pages_evicted: m.pages_evicted,
+            epochs: m.epochs,
+            copy_bytes: m.copy_bytes,
+            remap_stall_cycles: m.remap_stall_cycles,
+        }),
         wall_ms: None,
     }
 }

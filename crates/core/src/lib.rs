@@ -43,6 +43,7 @@
 pub mod error;
 pub mod experiments;
 pub mod grid;
+pub mod migrate;
 pub mod migration;
 pub mod runner;
 pub mod runtime;
@@ -50,8 +51,9 @@ pub mod translate;
 
 pub use error::HetmemError;
 pub use grid::{chrome_trace_for, config_hash, interval_records_for, record_for, TelemetrySink};
+pub use migrate::{MigrationModel, OnlineMigrator};
 pub use migration::{
-    evaluate_migration, ext_migration, ext_online, run_online, MigrationModel, MigrationOutcome,
+    evaluate_migration, ext_migration, ext_online, ext_reactive, run_online, MigrationOutcome,
     OnlineOutcome,
 };
 pub use runner::{

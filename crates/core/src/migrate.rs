@@ -1,0 +1,418 @@
+//! The cycle-level online page-migration engine behind the `MIGRATE`
+//! policy.
+//!
+//! [`OnlineMigrator`] implements [`gpusim::PageMigrator`] on top of the
+//! OS model's shared [`AddressSpace`] — the same handle the simulator's
+//! translator faults pages through. The simulator calls it on every
+//! DRAM-level access (the cache-filtered stream the paper's Figure 6
+//! profiles); at self-scheduled epoch boundaries the engine ranks the
+//! epoch's hot pages, rewrites the page table (`migrate_page`, the
+//! `migrate_pages(2)` analog), and returns the physical copies for the
+//! simulator to charge as real DRAM channel traffic. A freshly moved
+//! page additionally stalls its next accesses for the remap latency —
+//! the paper's "several microseconds" from invalidation to first
+//! re-use, shared with the offline what-if study via
+//! [`MigrationModel`].
+//!
+//! The decision scheme is deliberately AutoNUMA-flavoured:
+//!
+//! * pages with at least `hot` DRAM accesses in the epoch are promoted
+//!   into the bandwidth-optimized zone, hottest first, capped at
+//!   `batch` per epoch;
+//! * when the BO zone is full, the least-recently-touched BO page is
+//!   evicted to capacity-optimized memory to make room;
+//! * pages colder than `cold` are demoted eagerly (off by default).
+//!
+//! Every ranking ties on the page number, so a run is deterministic —
+//! byte-identical reports at any sweep thread count.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use gpusim::{MigrationCounters, PageCopy, PageMigrator, SimConfig};
+use hmtypes::{Bandwidth, MemKind, PageNum, PAGE_SIZE};
+use mempolicy::{AddressSpace, MigrateSpec, ZoneId};
+
+/// Cost model for moving pages between memory zones — the single
+/// source of truth shared by the online engine (remap latency) and the
+/// offline what-if study in [`crate::migration`] (bulk copy cost).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationModel {
+    /// Sustained page-copy bandwidth (paper: "not possible to migrate
+    /// pages between NUMA memory zones at a rate faster than several
+    /// GB/s" on Linux 3.16).
+    pub copy_bandwidth: Bandwidth,
+    /// One-time latency from invalidation to first re-use, in
+    /// microseconds (paper: "several microseconds").
+    pub pipeline_latency_us: f64,
+}
+
+impl Default for MigrationModel {
+    fn default() -> Self {
+        MigrationModel {
+            copy_bandwidth: Bandwidth::from_gbps(4.0),
+            pipeline_latency_us: 3.0,
+        }
+    }
+}
+
+impl MigrationModel {
+    /// SM cycles to migrate `pages` pages at `sm_clock_ghz`, bulk copy
+    /// plus one pipeline drain — the offline study's charge.
+    pub fn cost_cycles(&self, pages: u64, sm_clock_ghz: f64) -> u64 {
+        let bytes = pages as f64 * PAGE_SIZE as f64;
+        let seconds = bytes / self.copy_bandwidth.bytes_per_sec() + self.pipeline_latency_us * 1e-6;
+        (seconds * sm_clock_ghz * 1e9).ceil() as u64
+    }
+
+    /// SM cycles from invalidation to first re-use of one remapped page
+    /// — the per-page stall the online engine charges. The copy itself
+    /// is not included: the simulator charges it as DRAM channel
+    /// occupancy instead.
+    pub fn remap_cycles(&self, sm_clock_ghz: f64) -> u64 {
+        (self.pipeline_latency_us * 1e-6 * sm_clock_ghz * 1e9).ceil() as u64
+    }
+}
+
+/// The `MIGRATE` policy's engine: epoch-based hotness tracking over the
+/// shared address space, with promotion, LRU eviction, and demotion.
+///
+/// Constructed by the run paths in [`crate::runner`] whenever the
+/// effective [`mempolicy::Mempolicy`] carries a [`MigrateSpec`]; the
+/// base placement faults pages in as usual and this engine rewrites the
+/// page table mid-run.
+#[derive(Debug)]
+pub struct OnlineMigrator {
+    mm: Rc<RefCell<AddressSpace>>,
+    spec: MigrateSpec,
+    bo: ZoneId,
+    co: ZoneId,
+    remap_cycles: u64,
+    next_epoch: u64,
+    /// 1-based index of the epoch currently being accumulated.
+    epoch_index: u64,
+    /// DRAM accesses per virtual page within the current epoch.
+    counts: HashMap<u64, u64>,
+    /// Cumulative accesses per page across all epochs (shared out via
+    /// [`OnlineMigrator::hotness_tally`] so tests can reconcile it
+    /// against the profiler's histogram).
+    tally: Rc<RefCell<HashMap<u64, u64>>>,
+    /// Last epoch each page was touched in (LRU eviction order).
+    last_access: HashMap<u64, u64>,
+    /// Pages mid-migration: page → cycle its new mapping is usable.
+    pending: HashMap<u64, u64>,
+    counters: MigrationCounters,
+}
+
+impl OnlineMigrator {
+    /// Builds the engine over the run's shared address space. The remap
+    /// latency comes from `spec` when given, else from
+    /// [`MigrationModel::default`] at the machine's SM clock.
+    pub fn new(mm: Rc<RefCell<AddressSpace>>, spec: MigrateSpec, sim: &SimConfig) -> Self {
+        let (bo, co) = {
+            let mm_ref = mm.borrow();
+            let topo = mm_ref.topology();
+            (
+                topo.zone_of_kind(MemKind::BandwidthOptimized)
+                    .unwrap_or(ZoneId::new(0)),
+                topo.zone_of_kind(MemKind::CapacityOptimized)
+                    .unwrap_or(ZoneId::new(0)),
+            )
+        };
+        let remap_cycles = spec
+            .remap_cycles
+            .unwrap_or_else(|| MigrationModel::default().remap_cycles(sim.sm_clock_ghz));
+        OnlineMigrator {
+            mm,
+            spec,
+            bo,
+            co,
+            remap_cycles,
+            next_epoch: spec.epoch_cycles.max(1),
+            epoch_index: 1,
+            counts: HashMap::new(),
+            tally: Rc::new(RefCell::new(HashMap::new())),
+            last_access: HashMap::new(),
+            pending: HashMap::new(),
+            counters: MigrationCounters::default(),
+        }
+    }
+
+    /// Shared handle to the cumulative per-page access tally. Clone it
+    /// before handing the migrator to the simulator; after the run it
+    /// holds exactly the accesses every epoch counted.
+    pub fn hotness_tally(&self) -> Rc<RefCell<HashMap<u64, u64>>> {
+        Rc::clone(&self.tally)
+    }
+
+    /// The per-page remap stall this engine charges, in cycles.
+    pub fn remap_latency_cycles(&self) -> u64 {
+        self.remap_cycles
+    }
+
+    /// Moves `page` to `dst`, returning the physical copy to charge, or
+    /// `None` when the zone is full (the caller then evicts).
+    fn move_page(mm: &mut AddressSpace, page: u64, dst: ZoneId) -> Option<PageCopy> {
+        let page = PageNum::new(page);
+        let old = mm.frame_of(page)?;
+        let src = mm.allocator().zone_of(old)?;
+        let new = mm.migrate_page(page, dst).ok()?;
+        Some(PageCopy {
+            src_pool: src.index(),
+            src_line: old.base().line_index(),
+            dst_pool: dst.index(),
+            dst_line: new.base().line_index(),
+        })
+    }
+}
+
+impl PageMigrator for OnlineMigrator {
+    fn record_access(&mut self, _now: u64, page: u64) {
+        *self.counts.entry(page).or_insert(0) += 1;
+        *self.tally.borrow_mut().entry(page).or_insert(0) += 1;
+        self.last_access.insert(page, self.epoch_index);
+    }
+
+    fn remap_stall(&mut self, now: u64, page: u64) -> u64 {
+        match self.pending.get(&page) {
+            Some(&ready) => ready.saturating_sub(now),
+            None => 0,
+        }
+    }
+
+    fn next_epoch(&self) -> u64 {
+        self.next_epoch
+    }
+
+    fn epoch(&mut self, now: u64) -> Vec<PageCopy> {
+        self.counters.epochs += 1;
+        self.epoch_index += 1;
+        self.next_epoch = now + self.spec.epoch_cycles.max(1);
+        self.pending.retain(|_, ready| *ready > now);
+
+        let mut mm = self.mm.borrow_mut();
+        let mut copies = Vec::new();
+
+        // Residency snapshot in page order (the dense page table
+        // iterates low to high), the base order every ranking below
+        // ties back to — keeping each epoch fully deterministic.
+        let resident: Vec<(u64, ZoneId)> = mm
+            .mappings()
+            .filter_map(|(page, frame)| mm.allocator().zone_of(frame).map(|z| (page.index(), z)))
+            .collect();
+        let zone_of: HashMap<u64, ZoneId> = resident.iter().copied().collect();
+
+        // Demote cold BO pages first so their frames are reusable.
+        let mut demoted = HashSet::new();
+        if self.spec.cold_threshold > 0 {
+            for &(page, zone) in &resident {
+                if zone != self.bo {
+                    continue;
+                }
+                let count = self.counts.get(&page).copied().unwrap_or(0);
+                if count >= self.spec.cold_threshold {
+                    continue;
+                }
+                if let Some(copy) = Self::move_page(&mut mm, page, self.co) {
+                    copies.push(copy);
+                    self.counters.demoted += 1;
+                    self.pending.insert(page, now + self.remap_cycles);
+                    demoted.insert(page);
+                }
+            }
+        }
+
+        // Promotion candidates: pages outside BO that crossed the hot
+        // threshold this epoch, hottest first, capped at the batch.
+        let mut hot: Vec<(u64, u64)> = self
+            .counts
+            .iter()
+            .filter(|&(page, &count)| {
+                count >= self.spec.hot_threshold && zone_of.get(page) == Some(&self.co)
+            })
+            .map(|(&page, &count)| (count, page))
+            .collect();
+        hot.sort_by_key(|&(count, page)| (std::cmp::Reverse(count), page));
+        hot.truncate(self.spec.batch_pages as usize);
+
+        // Eviction order: least-recently-touched BO page first, the
+        // hot set and already-demoted pages excluded.
+        let hot_set: HashSet<u64> = hot.iter().map(|&(_, page)| page).collect();
+        let mut victims: Vec<u64> = resident
+            .iter()
+            .filter(|(page, zone)| {
+                *zone == self.bo && !demoted.contains(page) && !hot_set.contains(page)
+            })
+            .map(|&(page, _)| page)
+            .collect();
+        victims.sort_by_key(|page| (self.last_access.get(page).copied().unwrap_or(0), *page));
+        let mut victims = victims.into_iter();
+
+        for (_, page) in hot {
+            loop {
+                if let Some(copy) = Self::move_page(&mut mm, page, self.bo) {
+                    copies.push(copy);
+                    self.counters.promoted += 1;
+                    self.pending.insert(page, now + self.remap_cycles);
+                    break;
+                }
+                // BO full: evict the LRU victim, then retry the promote.
+                let Some(victim) = victims.next() else { break };
+                let Some(copy) = Self::move_page(&mut mm, victim, self.co) else {
+                    break;
+                };
+                copies.push(copy);
+                self.counters.evicted += 1;
+                self.pending.insert(victim, now + self.remap_cycles);
+            }
+        }
+
+        self.counts.clear();
+        copies
+    }
+
+    fn counters(&self) -> MigrationCounters {
+        self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::translate::topology_for;
+    use hmtypes::PAGE_SIZE;
+
+    fn setup(bo_pages: u64) -> (Rc<RefCell<AddressSpace>>, SimConfig) {
+        let sim = SimConfig::paper_baseline();
+        let topo = topology_for(&sim, &[bo_pages, 64]);
+        let mm = AddressSpace::new(topo);
+        (Rc::new(RefCell::new(mm)), sim)
+    }
+
+    fn map_pages(mm: &Rc<RefCell<AddressSpace>>, n: u64, zone: ZoneId) -> Vec<u64> {
+        let mut m = mm.borrow_mut();
+        let range = m.mmap(n * PAGE_SIZE as u64).unwrap();
+        let mut pages = Vec::new();
+        for page in range.pages() {
+            m.ensure_mapped_in(page, &[zone]).unwrap();
+            pages.push(page.index());
+        }
+        pages
+    }
+
+    #[test]
+    fn remap_cycles_derive_from_shared_model() {
+        // 3 us at 1.4 GHz = 4200 cycles.
+        assert_eq!(MigrationModel::default().remap_cycles(1.4), 4200);
+        let (mm, sim) = setup(4);
+        let mig = OnlineMigrator::new(mm, MigrateSpec::default(), &sim);
+        assert_eq!(mig.remap_latency_cycles(), 4200);
+        let spec = MigrateSpec {
+            remap_cycles: Some(77),
+            ..MigrateSpec::default()
+        };
+        let (mm2, sim2) = setup(4);
+        assert_eq!(
+            OnlineMigrator::new(mm2, spec, &sim2).remap_latency_cycles(),
+            77
+        );
+    }
+
+    #[test]
+    fn hot_page_promotes_and_stalls_until_remapped() {
+        let (mm, sim) = setup(4);
+        let co = ZoneId::new(1);
+        let pages = map_pages(&mm, 2, co);
+        let mut mig = OnlineMigrator::new(Rc::clone(&mm), MigrateSpec::default(), &sim);
+        assert_eq!(mig.next_epoch(), 100_000);
+        for _ in 0..10 {
+            mig.record_access(50, pages[0]);
+        }
+        let copies = mig.epoch(100_000);
+        assert_eq!(copies.len(), 1);
+        assert_eq!(copies[0].src_pool, 1);
+        assert_eq!(copies[0].dst_pool, 0);
+        assert_eq!(mig.counters().promoted, 1);
+        assert_eq!(mig.next_epoch(), 200_000);
+        assert_eq!(
+            mm.borrow().zone_of_page(PageNum::new(pages[0])),
+            Some(ZoneId::new(0))
+        );
+        // The rewritten mapping stalls accesses until it settles.
+        assert_eq!(mig.remap_stall(100_000, pages[0]), 4200);
+        assert_eq!(mig.remap_stall(103_000, pages[0]), 1200);
+        assert_eq!(mig.remap_stall(105_000, pages[0]), 0);
+        assert_eq!(mig.remap_stall(100_000, pages[1]), 0);
+        // Cold page stays put; counts reset between epochs.
+        assert!(mig.epoch(200_000).is_empty());
+        assert_eq!(mig.counters().epochs, 2);
+    }
+
+    #[test]
+    fn full_bo_evicts_lru_victim_to_make_room() {
+        let (mm, sim) = setup(1);
+        let bo = ZoneId::new(0);
+        let co = ZoneId::new(1);
+        let cold = map_pages(&mm, 1, bo);
+        let pages = map_pages(&mm, 2, co);
+        let mut mig = OnlineMigrator::new(Rc::clone(&mm), MigrateSpec::default(), &sim);
+        for _ in 0..10 {
+            mig.record_access(10, pages[1]);
+        }
+        let copies = mig.epoch(100_000);
+        // The untouched BO page was evicted, then the hot page promoted.
+        assert_eq!(copies.len(), 2);
+        assert_eq!(mig.counters().evicted, 1);
+        assert_eq!(mig.counters().promoted, 1);
+        assert_eq!(
+            mm.borrow().zone_of_page(PageNum::new(cold[0])),
+            Some(co),
+            "LRU victim lands in CO"
+        );
+        assert_eq!(mm.borrow().zone_of_page(PageNum::new(pages[1])), Some(bo));
+    }
+
+    #[test]
+    fn cold_threshold_demotes_idle_bo_pages() {
+        let (mm, sim) = setup(4);
+        let bo = ZoneId::new(0);
+        let pages = map_pages(&mm, 2, bo);
+        let spec = MigrateSpec {
+            cold_threshold: 3,
+            ..MigrateSpec::default()
+        };
+        let mut mig = OnlineMigrator::new(Rc::clone(&mm), spec, &sim);
+        // pages[0] stays warm enough; pages[1] is cold.
+        for _ in 0..5 {
+            mig.record_access(1, pages[0]);
+        }
+        mig.record_access(1, pages[1]);
+        let copies = mig.epoch(100_000);
+        assert_eq!(copies.len(), 1);
+        assert_eq!(mig.counters().demoted, 1);
+        assert_eq!(
+            mm.borrow().zone_of_page(PageNum::new(pages[1])),
+            Some(ZoneId::new(1))
+        );
+        assert_eq!(mm.borrow().zone_of_page(PageNum::new(pages[0])), Some(bo));
+    }
+
+    #[test]
+    fn tally_accumulates_across_epochs() {
+        let (mm, sim) = setup(4);
+        let pages = map_pages(&mm, 2, ZoneId::new(1));
+        let mut mig = OnlineMigrator::new(mm, MigrateSpec::default(), &sim);
+        let tally = mig.hotness_tally();
+        for _ in 0..3 {
+            mig.record_access(1, pages[0]);
+        }
+        mig.epoch(100_000);
+        for _ in 0..2 {
+            mig.record_access(150_000, pages[0]);
+        }
+        mig.record_access(150_000, pages[1]);
+        assert_eq!(tally.borrow().get(&pages[0]), Some(&5));
+        assert_eq!(tally.borrow().get(&pages[1]), Some(&1));
+    }
+}

@@ -13,10 +13,11 @@ use gpusim::{
     SimTraceEvent, Simulator,
 };
 use hmtypes::MemKind;
-use mempolicy::{AddressSpace, Mempolicy, PlacementEvent, ZoneId};
+use mempolicy::{AddressSpace, Mempolicy, MigrateSpec, PlacementEvent, ZoneId};
 use profiler::{get_allocation, MemHint, OraclePlacement, PageHistogram, RunProfile};
 use workloads::{TraceProgram, WorkloadSpec};
 
+use crate::migrate::OnlineMigrator;
 use crate::runtime::HmRuntime;
 use crate::translate::{topology_for, OsTranslator};
 
@@ -273,6 +274,15 @@ impl<'a> RunBuilder<'a> {
         self.with_effective(|spec, placement| {
             let mut prep = prepare_run(spec, self.sim, self.capacity, placement, false);
             let (translator, program) = prep.take_sim_parts();
+            if let Some(ms) = migrate_spec_of(placement) {
+                let mig = OnlineMigrator::new(Rc::clone(&prep.mm), ms, self.sim);
+                let mut simulator =
+                    Simulator::new(self.sim.clone(), translator, program).with_migrator(mig);
+                if self.profile_pages {
+                    simulator = simulator.with_page_profiling();
+                }
+                return prep.finish(simulator.run());
+            }
             let mut simulator = Simulator::new(self.sim.clone(), translator, program);
             if self.profile_pages {
                 simulator = simulator.with_page_profiling();
@@ -294,6 +304,16 @@ impl<'a> RunBuilder<'a> {
         self.with_effective(|spec, placement| {
             let mut prep = prepare_run(spec, self.sim, self.capacity, placement, false);
             let (translator, program) = prep.take_sim_parts();
+            if let Some(ms) = migrate_spec_of(placement) {
+                let mig = OnlineMigrator::new(Rc::clone(&prep.mm), ms, self.sim);
+                let mut simulator =
+                    Simulator::new(self.sim.clone(), translator, program).with_migrator(mig);
+                if self.profile_pages {
+                    simulator = simulator.with_page_profiling();
+                }
+                let (report, _obs, stats) = simulator.run_instrumented();
+                return (prep.finish(report), stats);
+            }
             let mut simulator = Simulator::new(self.sim.clone(), translator, program);
             if self.profile_pages {
                 simulator = simulator.with_page_profiling();
@@ -322,9 +342,17 @@ impl<'a> RunBuilder<'a> {
                     .map(|n| IntervalSampler::new(n, self.sim.pools.len())),
                 obs.trace.then(|| EventTracer::new(obs.trace_budget)),
             );
-            let simulator =
-                Simulator::new(self.sim.clone(), translator, program).with_observer(probe);
-            let (report, probe) = simulator.run_observed();
+            let (report, probe) = if let Some(ms) = migrate_spec_of(placement) {
+                let mig = OnlineMigrator::new(Rc::clone(&prep.mm), ms, self.sim);
+                Simulator::new(self.sim.clone(), translator, program)
+                    .with_observer(probe)
+                    .with_migrator(mig)
+                    .run_observed()
+            } else {
+                Simulator::new(self.sim.clone(), translator, program)
+                    .with_observer(probe)
+                    .run_observed()
+            };
             let placements = prep.mm.borrow_mut().take_placement_log();
             let run = prep.finish(report);
             ObservedRun {
@@ -416,6 +444,15 @@ impl PreparedRun {
             bo_pages: self.bo_pages,
             ranges: self.ranges,
         }
+    }
+}
+
+/// The `MIGRATE` spec of a policy placement, if any — what decides
+/// whether a run path attaches an [`OnlineMigrator`].
+fn migrate_spec_of(placement: &Placement) -> Option<MigrateSpec> {
+    match placement {
+        Placement::Policy(p) => p.migrate_spec().copied(),
+        _ => None,
     }
 }
 

@@ -37,6 +37,7 @@ pub mod dram;
 pub mod engine;
 pub mod flat;
 pub mod kernels;
+pub mod migrate;
 pub mod observe;
 pub mod request;
 pub mod sim;
@@ -47,6 +48,7 @@ pub use config::{CacheConfig, DramTiming, PoolConfig, SimConfig};
 pub use dram::{ChannelStats, DramChannel};
 pub use engine::EngineStats;
 pub use kernels::StreamKernel;
+pub use migrate::{MigrationCounters, NullMigrator, PageCopy, PageMigrator};
 pub use observe::{
     EventTracer, IntervalPoolReport, IntervalReport, IntervalSampler, NullObserver, Observer,
     ProbeObserver, SimTraceEvent, TraceEventKind,
@@ -55,4 +57,4 @@ pub use request::{
     AddressTranslator, FixedPoolTranslator, Placement, RatioTranslator, WarpId, WarpOp, WarpProgram,
 };
 pub use sim::Simulator;
-pub use stats::{PoolReport, SimReport};
+pub use stats::{MigrationReport, PoolReport, SimReport};

@@ -25,9 +25,10 @@ use crate::config::SimConfig;
 use crate::dram::DramChannel;
 use crate::engine::Calendar;
 use crate::flat::{PageCounter, WaiterMap};
+use crate::migrate::{NullMigrator, PageMigrator};
 use crate::observe::{NullObserver, Observer};
 use crate::request::{AddressTranslator, WarpId, WarpOp, WarpProgram};
-use crate::stats::{PoolReport, SimReport};
+use crate::stats::{MigrationReport, PoolReport, SimReport};
 
 /// Virtual-line index → virtual page (32 lines per 4 kB page).
 const LINES_PER_PAGE: u64 = (PAGE_SIZE / LINE_SIZE) as u64;
@@ -56,6 +57,9 @@ enum Event {
         vline: u64,
         sm: u16,
     },
+    /// An online-migration epoch boundary (only scheduled when a real
+    /// [`PageMigrator`] is attached).
+    MigrationEpoch,
 }
 
 const _: () = assert!(std::mem::size_of::<Event>() <= 24, "Event grew");
@@ -94,6 +98,12 @@ struct L2Slice {
 /// real observer with [`Simulator::with_observer`] and retrieve it with
 /// [`Simulator::run_observed`].
 ///
+/// The fourth type parameter is the attached
+/// [`PageMigrator`](crate::migrate::PageMigrator), defaulting to the
+/// equally free [`NullMigrator`]; attach a real engine with
+/// [`Simulator::with_migrator`] to run epoch-based online page
+/// migration whose copies occupy real DRAM channel bandwidth.
+///
 /// # Examples
 ///
 /// ```
@@ -122,7 +132,7 @@ struct L2Slice {
 /// assert_eq!(sampled, report.mem_ops);
 /// ```
 #[derive(Debug)]
-pub struct Simulator<T, P, O = NullObserver> {
+pub struct Simulator<T, P, O = NullObserver, M = NullMigrator> {
     cfg: SimConfig,
     translator: T,
     program: P,
@@ -150,6 +160,13 @@ pub struct Simulator<T, P, O = NullObserver> {
     pending_scratch: Vec<u32>,
     mshr_scratch: Vec<(u16, u64)>,
     obs: O,
+    mig: M,
+    /// Copy traffic charged for migrations (bytes on the DRAM buses).
+    copy_bytes: u64,
+    /// DRAM data-bus cycles occupied by migration copy bursts.
+    copy_cycles: f64,
+    /// Cycles accesses stalled on freshly rewritten mappings.
+    remap_stall_cycles: u64,
 }
 
 impl<T: AddressTranslator, P: WarpProgram> Simulator<T, P> {
@@ -224,11 +241,15 @@ impl<T: AddressTranslator, P: WarpProgram> Simulator<T, P> {
             pending_scratch: Vec::new(),
             mshr_scratch: Vec::new(),
             obs: NullObserver,
+            mig: NullMigrator,
+            copy_bytes: 0,
+            copy_cycles: 0.0,
+            remap_stall_cycles: 0,
         }
     }
 }
 
-impl<T: AddressTranslator, P: WarpProgram, O: Observer> Simulator<T, P, O> {
+impl<T: AddressTranslator, P: WarpProgram, O: Observer, M: PageMigrator> Simulator<T, P, O, M> {
     /// Enables per-virtual-page DRAM access counting (paper Fig. 6/7
     /// profiling: accesses counted after cache filtering).
     pub fn with_page_profiling(mut self) -> Self {
@@ -238,7 +259,7 @@ impl<T: AddressTranslator, P: WarpProgram, O: Observer> Simulator<T, P, O> {
 
     /// Attaches `obs`, replacing the current observer. The typical flow
     /// is `Simulator::new(..).with_observer(probe).run_observed()`.
-    pub fn with_observer<O2: Observer>(self, obs: O2) -> Simulator<T, P, O2> {
+    pub fn with_observer<O2: Observer>(self, obs: O2) -> Simulator<T, P, O2, M> {
         Simulator {
             cfg: self.cfg,
             translator: self.translator,
@@ -262,6 +283,43 @@ impl<T: AddressTranslator, P: WarpProgram, O: Observer> Simulator<T, P, O> {
             pending_scratch: self.pending_scratch,
             mshr_scratch: self.mshr_scratch,
             obs,
+            mig: self.mig,
+            copy_bytes: self.copy_bytes,
+            copy_cycles: self.copy_cycles,
+            remap_stall_cycles: self.remap_stall_cycles,
+        }
+    }
+
+    /// Attaches `mig`, replacing the current migrator — this is how the
+    /// `MIGRATE` policy plugs its engine into the run.
+    pub fn with_migrator<M2: PageMigrator>(self, mig: M2) -> Simulator<T, P, O, M2> {
+        Simulator {
+            cfg: self.cfg,
+            translator: self.translator,
+            program: self.program,
+            warps_per_sm: self.warps_per_sm,
+            mlp: self.mlp,
+            cal: self.cal,
+            sms: self.sms,
+            warps: self.warps,
+            slices: self.slices,
+            chans: self.chans,
+            pool_offset: self.pool_offset,
+            mem_ops: self.mem_ops,
+            l2_hits: self.l2_hits,
+            l2_misses: self.l2_misses,
+            mshr_stalls: self.mshr_stalls,
+            retired: self.retired,
+            bytes_read: self.bytes_read,
+            bytes_written: self.bytes_written,
+            page_accesses: self.page_accesses,
+            pending_scratch: self.pending_scratch,
+            mshr_scratch: self.mshr_scratch,
+            obs: self.obs,
+            mig,
+            copy_bytes: self.copy_bytes,
+            copy_cycles: self.copy_cycles,
+            remap_stall_cycles: self.remap_stall_cycles,
         }
     }
 
@@ -284,11 +342,21 @@ impl<T: AddressTranslator, P: WarpProgram, O: Observer> Simulator<T, P, O> {
         for w in 0..self.warps.len() {
             self.cal.schedule(0, Event::WarpReady(WarpId(w as u32)));
         }
+        if M::ENABLED {
+            self.cal
+                .schedule(self.mig.next_epoch(), Event::MigrationEpoch);
+        }
 
         let mut completed = true;
+        // Run end time: the last *demand* event's timestamp. Epoch
+        // boundary events are bookkeeping, not work — a trailing epoch
+        // that decides nothing must not inflate the cycle count (and
+        // with the null migrator this is exactly the calendar's clock).
+        let mut end = 0;
         while let Some((now, event)) = self.cal.pop() {
             if now > self.cfg.max_cycles {
                 completed = false;
+                end = now;
                 break;
             }
             match event {
@@ -303,10 +371,15 @@ impl<T: AddressTranslator, P: WarpProgram, O: Observer> Simulator<T, P, O> {
                 Event::DramTick { slice } => self.dram_tick(now, slice),
                 Event::L2Fill { slice, pline } => self.l2_fill(now, slice, pline),
                 Event::SmReceive { sm, vline } => self.sm_receive(now, sm, vline),
+                Event::MigrationEpoch => {
+                    self.migration_epoch(now);
+                    continue;
+                }
             }
+            end = now;
         }
 
-        let cycles = self.cal.now();
+        let cycles = end;
         let mut l1 = (0, 0);
         for sm in &self.sms {
             let (h, m) = sm.l1.stats();
@@ -346,6 +419,20 @@ impl<T: AddressTranslator, P: WarpProgram, O: Observer> Simulator<T, P, O> {
         if O::ENABLED {
             self.obs.run_finished(cycles);
         }
+        let migration = if M::ENABLED {
+            let c = self.mig.counters();
+            Some(MigrationReport {
+                pages_promoted: c.promoted,
+                pages_demoted: c.demoted,
+                pages_evicted: c.evicted,
+                epochs: c.epochs,
+                copy_bytes: self.copy_bytes,
+                copy_cycles: self.copy_cycles,
+                remap_stall_cycles: self.remap_stall_cycles,
+            })
+        } else {
+            None
+        };
         let report = SimReport {
             cycles,
             completed,
@@ -356,6 +443,7 @@ impl<T: AddressTranslator, P: WarpProgram, O: Observer> Simulator<T, P, O> {
             retired_warps: self.retired,
             pools,
             page_accesses: self.page_accesses.map(PageCounter::into_map),
+            migration,
         };
         let stats = crate::EngineStats {
             events_processed: self.cal.pops(),
@@ -447,8 +535,14 @@ impl<T: AddressTranslator, P: WarpProgram, O: Observer> Simulator<T, P, O> {
         }
         let pline = placement.phys.line_index();
         let (slice, _) = self.route(placement.pool, pline);
+        let mut latency = self.request_latency(placement.pool);
+        if M::ENABLED {
+            let stall = self.mig.remap_stall(now, vline / LINES_PER_PAGE);
+            self.remap_stall_cycles += stall;
+            latency += stall;
+        }
         self.cal.schedule_in(
-            self.request_latency(placement.pool),
+            latency,
             Event::L2Arrive {
                 vline,
                 pline,
@@ -491,8 +585,14 @@ impl<T: AddressTranslator, P: WarpProgram, O: Observer> Simulator<T, P, O> {
             }
             let pline = placement.phys.line_index();
             let (slice, _) = self.route(placement.pool, pline);
+            let mut latency = self.request_latency(placement.pool);
+            if M::ENABLED {
+                let stall = self.mig.remap_stall(now, vline / LINES_PER_PAGE);
+                self.remap_stall_cycles += stall;
+                latency += stall;
+            }
             self.cal.schedule_in(
-                self.request_latency(placement.pool),
+                latency,
                 Event::L2Arrive {
                     vline,
                     pline,
@@ -507,9 +607,49 @@ impl<T: AddressTranslator, P: WarpProgram, O: Observer> Simulator<T, P, O> {
         }
     }
 
-    fn profile_page(&mut self, vline: u64) {
+    /// Counts one post-cache DRAM access against its virtual page, for
+    /// both the profiler and the migration engine's hotness tracker
+    /// (the engine sees exactly the stream the profiler counts).
+    fn profile_page(&mut self, now: u64, vline: u64) {
         if let Some(counter) = self.page_accesses.as_mut() {
             counter.bump(vline / LINES_PER_PAGE);
+        }
+        if M::ENABLED {
+            self.mig.record_access(now, vline / LINES_PER_PAGE);
+        }
+    }
+
+    /// One epoch boundary: ask the engine for its decisions and charge
+    /// every page copy as line bursts on the source and destination
+    /// DRAM channels — migration bandwidth is demand bandwidth.
+    fn migration_epoch(&mut self, now: u64) {
+        let copies = self.mig.epoch(now);
+        for c in &copies {
+            for i in 0..LINES_PER_PAGE {
+                let (src_slice, src_local) = self.route(c.src_pool, c.src_line + i);
+                self.dram_enqueue(now, src_slice, src_local, false);
+                self.bytes_read[c.src_pool] += LINE_SIZE as u64;
+                self.copy_cycles += self.chans[usize::from(src_slice)].burst_cycles();
+                if O::ENABLED {
+                    self.obs
+                        .dram_traffic(now, c.src_pool, LINE_SIZE as u64, true);
+                }
+                let (dst_slice, dst_local) = self.route(c.dst_pool, c.dst_line + i);
+                self.dram_enqueue(now, dst_slice, dst_local, false);
+                self.bytes_written[c.dst_pool] += LINE_SIZE as u64;
+                self.copy_cycles += self.chans[usize::from(dst_slice)].burst_cycles();
+                if O::ENABLED {
+                    self.obs
+                        .dram_traffic(now, c.dst_pool, LINE_SIZE as u64, false);
+                }
+            }
+            self.copy_bytes += 2 * PAGE_SIZE as u64;
+        }
+        // Keep ticking epochs only while warps are still running; once
+        // the last warp retires there is nothing left to migrate for.
+        if self.retired < self.warps.len() as u32 {
+            self.cal
+                .schedule(self.mig.next_epoch(), Event::MigrationEpoch);
         }
     }
 
@@ -540,7 +680,7 @@ impl<T: AddressTranslator, P: WarpProgram, O: Observer> Simulator<T, P, O> {
                 if O::ENABLED {
                     self.obs.dram_traffic(now, pool, LINE_SIZE as u64, false);
                 }
-                self.profile_page(vline);
+                self.profile_page(now, vline);
             }
             return;
         }
@@ -590,7 +730,7 @@ impl<T: AddressTranslator, P: WarpProgram, O: Observer> Simulator<T, P, O> {
         if O::ENABLED {
             self.obs.dram_traffic(now, pool, LINE_SIZE as u64, true);
         }
-        self.profile_page(vline);
+        self.profile_page(now, vline);
     }
 
     fn dram_tick(&mut self, now: u64, slice: u16) {

@@ -43,6 +43,35 @@ impl SimReport {
     }
 }
 
+/// What the online migration engine did during one run: decision
+/// counters plus the DRAM and translation cost the simulator charged
+/// for them. Present in [`SimReport::migration`] only when a real
+/// [`PageMigrator`](crate::migrate::PageMigrator) was attached.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MigrationReport {
+    /// Pages promoted into the bandwidth-optimized zone.
+    pub pages_promoted: u64,
+    /// Pages demoted by the cold threshold.
+    pub pages_demoted: u64,
+    /// Pages evicted to make room for promotions.
+    pub pages_evicted: u64,
+    /// Epoch boundaries processed.
+    pub epochs: u64,
+    /// Bytes of copy traffic charged to DRAM (reads + writes).
+    pub copy_bytes: u64,
+    /// DRAM data-bus cycles occupied by copy bursts.
+    pub copy_cycles: f64,
+    /// Cycles accesses stalled on freshly rewritten mappings.
+    pub remap_stall_cycles: u64,
+}
+
+impl MigrationReport {
+    /// Total pages physically moved.
+    pub fn pages_migrated(&self) -> u64 {
+        self.pages_promoted + self.pages_demoted + self.pages_evicted
+    }
+}
+
 /// The result of one simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
@@ -66,6 +95,9 @@ pub struct SimReport {
     /// "after being filtered by on-chip caches"). Present only when page
     /// profiling was enabled.
     pub page_accesses: Option<HashMap<PageNum, u64>>,
+    /// Online migration activity and cost. Present only when a real
+    /// migrator drove the run (the `MIGRATE` policy); `None` otherwise.
+    pub migration: Option<MigrationReport>,
 }
 
 impl SimReport {
@@ -153,6 +185,7 @@ mod tests {
                 },
             ],
             page_accesses: None,
+            migration: None,
         }
     }
 

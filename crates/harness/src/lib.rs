@@ -70,7 +70,8 @@ pub use queue::{BoundedQueue, PushError};
 pub use rng::{SplitMix64, Xoshiro256StarStar};
 pub use sweep::{run_grid, PointCtx, SweepError, SweepOptions};
 pub use telemetry::{
-    fnv1a, hit_rate, summary, IntervalPoolTelemetry, IntervalRecord, PoolTelemetry, RunRecord,
+    fnv1a, hit_rate, summary, IntervalPoolTelemetry, IntervalRecord, MigrationTelemetry,
+    PoolTelemetry, RunRecord,
 };
 pub use timing::{BenchResult, Bencher};
 pub use trace::{ChromeTrace, TraceEvent};

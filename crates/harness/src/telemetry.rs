@@ -66,9 +66,31 @@ pub struct RunRecord {
     pub energy_joules: f64,
     /// Per-pool traffic.
     pub pools: Vec<PoolTelemetry>,
+    /// Online migration counters — present (and serialized) only for
+    /// runs driven by the `MIGRATE` policy.
+    pub migration: Option<MigrationTelemetry>,
     /// Host wall-clock for the point, milliseconds (nondeterministic;
     /// not serialized unless asked).
     pub wall_ms: Option<f64>,
+}
+
+/// What the online migration engine did during one `MIGRATE` run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationTelemetry {
+    /// Total pages physically moved (promoted + demoted + evicted).
+    pub pages_migrated: u64,
+    /// Pages promoted into the bandwidth-optimized pool.
+    pub pages_promoted: u64,
+    /// Pages demoted by the cold threshold.
+    pub pages_demoted: u64,
+    /// Pages evicted to make room for promotions.
+    pub pages_evicted: u64,
+    /// Epoch boundaries processed.
+    pub epochs: u64,
+    /// Bytes of page-copy traffic charged to DRAM.
+    pub copy_bytes: u64,
+    /// Cycles accesses stalled on freshly rewritten mappings.
+    pub remap_stall_cycles: u64,
 }
 
 impl RunRecord {
@@ -99,6 +121,18 @@ impl RunRecord {
             .u64("mshr_stalls", self.mshr_stalls)
             .f64("energy_joules", self.energy_joules)
             .raw("pools", &pools);
+        if let Some(m) = &self.migration {
+            let mig = JsonObject::new()
+                .u64("pages_migrated", m.pages_migrated)
+                .u64("pages_promoted", m.pages_promoted)
+                .u64("pages_demoted", m.pages_demoted)
+                .u64("pages_evicted", m.pages_evicted)
+                .u64("epochs", m.epochs)
+                .u64("copy_bytes", m.copy_bytes)
+                .u64("remap_stall_cycles", m.remap_stall_cycles)
+                .finish();
+            obj = obj.raw("migration", &mig);
+        }
         if include_timing {
             if let Some(ms) = self.wall_ms {
                 obj = obj.f64("wall_ms", ms);
@@ -310,6 +344,7 @@ mod tests {
                 achieved_gbps: 10.0,
                 row_hit_rate: 0.75,
             }],
+            migration: None,
             wall_ms: Some(3.25),
         }
     }
@@ -327,6 +362,27 @@ mod tests {
         assert!(line.contains(r#""pools":[{"name":"GDDR5""#));
         assert!(line.contains(r#""row_hit_rate":0.75"#));
         assert!(r.jsonl(true).contains(r#""wall_ms":3.25"#));
+    }
+
+    #[test]
+    fn migration_block_serialized_only_when_present() {
+        let plain = record("LOCAL", 1000);
+        assert!(!plain.jsonl(false).contains("migration"));
+        let mut migrated = record("MIGRATE", 1000);
+        migrated.migration = Some(MigrationTelemetry {
+            pages_migrated: 6,
+            pages_promoted: 4,
+            pages_demoted: 1,
+            pages_evicted: 1,
+            epochs: 3,
+            copy_bytes: 49152,
+            remap_stall_cycles: 8400,
+        });
+        let line = migrated.jsonl(false);
+        assert!(line.contains(r#""migration":{"pages_migrated":6,"pages_promoted":4"#));
+        assert!(line.contains(r#""epochs":3"#));
+        // The block sits between the pools array and end of record.
+        assert!(line.find("pools").unwrap() < line.find("migration").unwrap());
     }
 
     #[test]

@@ -29,6 +29,7 @@ fn simulate(workload: usize, config: usize, seed: u64) -> RunRecord {
             achieved_gbps: cycles as f64 / 1003.0,
             row_hit_rate: 0.9,
         }],
+        migration: None,
         wall_ms: None,
     }
 }

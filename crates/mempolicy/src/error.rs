@@ -39,6 +39,13 @@ pub enum MemError {
     },
     /// A policy was constructed with an empty node set.
     EmptyNodeSet,
+    /// A textual policy spec (e.g. a `MIGRATE:` string) failed to parse.
+    InvalidPolicySpec {
+        /// The offending spec, as given.
+        spec: String,
+        /// What was wrong with it.
+        reason: String,
+    },
 }
 
 impl fmt::Display for MemError {
@@ -58,6 +65,9 @@ impl fmt::Display for MemError {
             }
             MemError::NoSuchZone { zone } => write!(f, "zone {zone} does not exist"),
             MemError::EmptyNodeSet => write!(f, "policy node set is empty"),
+            MemError::InvalidPolicySpec { spec, reason } => {
+                write!(f, "invalid policy spec '{spec}': {reason}")
+            }
         }
     }
 }
@@ -88,6 +98,10 @@ mod tests {
                 zone: ZoneId::new(9),
             },
             MemError::EmptyNodeSet,
+            MemError::InvalidPolicySpec {
+                spec: "MIGRATE:hot=x".into(),
+                reason: "hot wants an integer".into(),
+            },
         ];
         for e in errs {
             let msg = e.to_string();

@@ -47,7 +47,7 @@ pub mod zone;
 
 pub use error::MemError;
 pub use mm::{AddressSpace, PlacementEvent, PlacementEventKind, Vma, VmaId, VmaRange};
-pub use policy::{Mempolicy, PolicyMode};
+pub use policy::{Mempolicy, MigrateSpec, PolicyMode};
 pub use table::{Sbit, Slit};
 pub use topology::{NumaTopology, TopologyBuilder, ZoneId, ZoneSpec};
 pub use zone::{FrameAllocator, ZoneStats};

@@ -44,6 +44,44 @@ pub enum PolicyMode {
     },
 }
 
+/// Tuning knobs for the online page-migration engine, attached to a
+/// base placement policy by the `MIGRATE:` spec grammar (see
+/// [`Mempolicy::parse`]). The base policy decides first-touch
+/// placement; the engine then promotes/demotes pages between zones at
+/// epoch boundaries based on observed DRAM access counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrateSpec {
+    /// Epoch length in SM cycles between migration decisions.
+    pub epoch_cycles: u64,
+    /// DRAM accesses within one epoch at or above which a
+    /// capacity-zone page becomes a promotion candidate
+    /// (`u64::MAX` = never promote).
+    pub hot_threshold: u64,
+    /// DRAM accesses within one epoch strictly below which a
+    /// bandwidth-zone page becomes a demotion candidate (0 = never
+    /// demote by coldness; eviction under capacity pressure still
+    /// applies).
+    pub cold_threshold: u64,
+    /// Maximum pages promoted per epoch.
+    pub batch_pages: u64,
+    /// Cycles a migrated page stalls its next access while the mapping
+    /// is rewritten; `None` derives it from the shared migration cost
+    /// model's pipeline latency.
+    pub remap_cycles: Option<u64>,
+}
+
+impl Default for MigrateSpec {
+    fn default() -> Self {
+        MigrateSpec {
+            epoch_cycles: 100_000,
+            hot_threshold: 8,
+            cold_threshold: 0,
+            batch_pages: 64,
+            remap_cycles: None,
+        }
+    }
+}
+
 /// A memory placement policy plus its per-task mutable state (interleave
 /// cursor, fast-path RNG).
 ///
@@ -65,6 +103,7 @@ pub struct Mempolicy {
     mode: PolicyMode,
     interleave_next: usize,
     rng: SplitMix64,
+    migrate: Option<MigrateSpec>,
 }
 
 impl Mempolicy {
@@ -141,7 +180,19 @@ impl Mempolicy {
             mode,
             interleave_next: 0,
             rng: SplitMix64::new(Self::DEFAULT_SEED),
+            migrate: None,
         }
+    }
+
+    /// Attaches online-migration tuning to this (base) policy.
+    pub fn with_migrate(mut self, spec: MigrateSpec) -> Self {
+        self.migrate = Some(spec);
+        self
+    }
+
+    /// The online-migration tuning, when this is a `MIGRATE` policy.
+    pub fn migrate_spec(&self) -> Option<&MigrateSpec> {
+        self.migrate.as_ref()
     }
 
     /// Replaces the fast-path RNG seed (for independent experiment trials).
@@ -238,13 +289,24 @@ impl Mempolicy {
     /// This is how `hetmem-serve` turns a request's policy string into a
     /// concrete policy without clients ever naming zones.
     ///
+    /// The online-migration engine is requested with `MIGRATE` (all
+    /// defaults) or `MIGRATE:key=value,...` where pairs are separated
+    /// by `,` or `+` (the latter survives comma-split CLI lists) and
+    /// keys are `epoch`, `hot` (integer or `never`), `cold`, `batch`,
+    /// `remap`, and `base` (any non-`MIGRATE` spec this function
+    /// accepts; default `BW-AWARE`). Example:
+    /// `MIGRATE:epoch=50000+hot=4+base=LOCAL`.
+    ///
     /// # Errors
     ///
-    /// Returns [`MemError::EmptyNodeSet`] for anything else (the only
-    /// policy-construction error variant: the spec resolves to no usable
-    /// node set).
+    /// Returns [`MemError::InvalidPolicySpec`] for a malformed
+    /// `MIGRATE:` spec and [`MemError::EmptyNodeSet`] for anything else
+    /// (the spec resolves to no usable node set).
     pub fn parse(spec: &str, topo: &NumaTopology) -> Result<Self, MemError> {
         let upper = spec.trim().to_ascii_uppercase();
+        if upper == "MIGRATE" || upper.starts_with("MIGRATE:") {
+            return Self::parse_migrate(spec.trim(), &upper, topo);
+        }
         match upper.as_str() {
             "LOCAL" => return Ok(Mempolicy::local()),
             "INTERLEAVE" => return Ok(Mempolicy::interleave_all(topo)),
@@ -264,9 +326,104 @@ impl Mempolicy {
         Err(MemError::EmptyNodeSet)
     }
 
+    /// Parses the body of a `MIGRATE[:k=v...]` spec. `orig` is the
+    /// trimmed original (for error messages), `upper` its uppercased
+    /// form (what the grammar matches on).
+    fn parse_migrate(orig: &str, upper: &str, topo: &NumaTopology) -> Result<Self, MemError> {
+        let err = |reason: String| MemError::InvalidPolicySpec {
+            spec: orig.to_string(),
+            reason,
+        };
+        let int = |key: &str, val: &str| -> Result<u64, MemError> {
+            val.parse::<u64>()
+                .map_err(|_| err(format!("{key} wants an unsigned integer, got '{val}'")))
+        };
+        let mut ms = MigrateSpec::default();
+        let mut base: Option<Mempolicy> = None;
+        if let Some(body) = upper.strip_prefix("MIGRATE:") {
+            if body.trim().is_empty() {
+                return Err(err("empty parameter list after ':'".into()));
+            }
+            for pair in body.split(['+', ',']) {
+                let pair = pair.trim();
+                let Some((key, val)) = pair.split_once('=') else {
+                    return Err(err(format!("'{pair}' is not a key=value pair")));
+                };
+                let (key, val) = (key.trim(), val.trim());
+                match key {
+                    "EPOCH" => {
+                        ms.epoch_cycles = int("epoch", val)?;
+                        if ms.epoch_cycles == 0 {
+                            return Err(err("epoch must be positive".into()));
+                        }
+                    }
+                    "HOT" => {
+                        ms.hot_threshold = if val == "NEVER" {
+                            u64::MAX
+                        } else {
+                            int("hot", val)?
+                        };
+                    }
+                    "COLD" => ms.cold_threshold = int("cold", val)?,
+                    "BATCH" => {
+                        ms.batch_pages = int("batch", val)?;
+                        if ms.batch_pages == 0 {
+                            return Err(err("batch must be positive".into()));
+                        }
+                    }
+                    "REMAP" => ms.remap_cycles = Some(int("remap", val)?),
+                    "BASE" => {
+                        if val.starts_with("MIGRATE") {
+                            return Err(err("base policy cannot itself be MIGRATE".into()));
+                        }
+                        base = Some(Mempolicy::parse(val, topo).map_err(|_| {
+                            err(format!(
+                                "unknown base policy '{}'",
+                                val.to_ascii_lowercase()
+                            ))
+                        })?);
+                    }
+                    other => {
+                        return Err(err(format!("unknown key '{}'", other.to_ascii_lowercase())));
+                    }
+                }
+            }
+        }
+        Ok(base
+            .unwrap_or_else(|| Mempolicy::bw_aware_for(topo))
+            .with_migrate(ms))
+    }
+
     /// A short name in the paper's nomenclature, e.g. `LOCAL`,
-    /// `INTERLEAVE`, `BW-AWARE(286/714)`.
+    /// `INTERLEAVE`, `BW-AWARE(286/714)`, or for migration policies the
+    /// canonical `MIGRATE(epoch=..,hot=..,cold=..,batch=..,base=..)`
+    /// form (every knob spelled out, so equal configurations always
+    /// produce equal labels).
     pub fn name(&self) -> String {
+        let base = self.base_name();
+        match &self.migrate {
+            None => base,
+            Some(m) => {
+                let hot = if m.hot_threshold == u64::MAX {
+                    "never".to_string()
+                } else {
+                    m.hot_threshold.to_string()
+                };
+                let remap = m
+                    .remap_cycles
+                    .map(|r| format!("remap={r},"))
+                    .unwrap_or_default();
+                format!(
+                    "MIGRATE(epoch={},hot={hot},cold={},batch={},{remap}base={base})",
+                    m.epoch_cycles, m.cold_threshold, m.batch_pages
+                )
+            }
+        }
+    }
+
+    /// [`Mempolicy::name`] of the base placement mode, ignoring any
+    /// attached migration tuning.
+    pub fn base_name(&self) -> String {
         match &self.mode {
             PolicyMode::Local => "LOCAL".to_string(),
             PolicyMode::Interleave { .. } => "INTERLEAVE".to_string(),
@@ -332,6 +489,73 @@ mod tests {
         for bad in ["", "oracle", "30C-60B", "130C--30B", "C-B", "30C-70"] {
             assert!(Mempolicy::parse(bad, &t).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn parse_migrate_defaults_and_name_round_trip() {
+        let t = topo();
+        let p = Mempolicy::parse("MIGRATE", &t).unwrap();
+        let spec = *p.migrate_spec().expect("migrate spec");
+        assert_eq!(spec, MigrateSpec::default());
+        assert_eq!(
+            p.name(),
+            format!(
+                "MIGRATE(epoch=100000,hot=8,cold=0,batch=64,base={})",
+                Mempolicy::bw_aware_for(&t).name()
+            )
+        );
+        // The canonical name parses back to an equivalent policy.
+        let again = Mempolicy::parse(&p.name(), &t);
+        assert!(again.is_err(), "parens form is a label, not a spec");
+    }
+
+    #[test]
+    fn parse_migrate_accepts_both_separators_and_base() {
+        let t = topo();
+        let comma = Mempolicy::parse("MIGRATE:epoch=50000,hot=4,base=LOCAL", &t).unwrap();
+        let plus = Mempolicy::parse("migrate:epoch=50000+hot=4+base=local", &t).unwrap();
+        assert_eq!(comma.name(), plus.name());
+        assert_eq!(comma.base_name(), "LOCAL");
+        let spec = comma.migrate_spec().unwrap();
+        assert_eq!(spec.epoch_cycles, 50_000);
+        assert_eq!(spec.hot_threshold, 4);
+
+        let ratio = Mempolicy::parse("MIGRATE:base=30C-70B+cold=2+remap=900", &t).unwrap();
+        let spec = ratio.migrate_spec().unwrap();
+        assert_eq!(ratio.base_name(), "BW-AWARE(30C-70B)");
+        assert_eq!(spec.cold_threshold, 2);
+        assert_eq!(spec.remap_cycles, Some(900));
+
+        let never = Mempolicy::parse("MIGRATE:hot=never", &t).unwrap();
+        assert_eq!(never.migrate_spec().unwrap().hot_threshold, u64::MAX);
+        assert!(never.name().contains("hot=never"));
+    }
+
+    #[test]
+    fn parse_migrate_rejects_malformed_specs() {
+        let t = topo();
+        for bad in [
+            "MIGRATE:",
+            "MIGRATE:epoch",
+            "MIGRATE:epoch=0",
+            "MIGRATE:batch=0",
+            "MIGRATE:hot=x",
+            "MIGRATE:bogus=1",
+            "MIGRATE:base=oracle",
+            "MIGRATE:base=MIGRATE",
+            "MIGRATE:epoch=100000,",
+        ] {
+            let got = Mempolicy::parse(bad, &t);
+            assert!(
+                matches!(got, Err(MemError::InvalidPolicySpec { .. })),
+                "{bad:?} -> {got:?}"
+            );
+        }
+        // Non-MIGRATE garbage keeps the historical error variant.
+        assert_eq!(
+            Mempolicy::parse("oracle", &t).unwrap_err(),
+            MemError::EmptyNodeSet
+        );
     }
 
     #[test]

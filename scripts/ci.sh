@@ -95,6 +95,29 @@ cmp "$SWEEP_DIR/clean.jsonl" "$SWEEP_DIR/resumed.jsonl"  # resume: same bytes
 cargo run --release --offline -q -p hetmem-bench --bin hetmem-trace -- \
     check "$SWEEP_DIR/clean.jsonl"
 
+# Online-migration smoke: a capacity-constrained MIGRATE sweep must
+# actually move pages, the LOCAL point next to it must carry no
+# migration block (zero cost when disabled), and the whole sweep must
+# be byte-identical at 1 and 4 worker threads. ('+' separates the
+# MIGRATE keys because --policies splits its list on commas.)
+MIG_DIR=target/ci-migrate
+rm -rf "$MIG_DIR"
+mkdir -p "$MIG_DIR"
+MIG_ARGS=(--workloads hotspot --policies "LOCAL,MIGRATE:epoch=2000+hot=2"
+    --mem-ops 4000 --sms 2 --capacity-pct 10)
+target/release/hetmem-sweep "${MIG_ARGS[@]}" --threads 1 \
+    --out "$MIG_DIR/t1.jsonl"
+target/release/hetmem-sweep "${MIG_ARGS[@]}" --threads 4 \
+    --out "$MIG_DIR/t4.jsonl"
+cmp "$MIG_DIR/t1.jsonl" "$MIG_DIR/t4.jsonl"  # engine determinism
+grep -q '"pages_migrated":[1-9]' "$MIG_DIR/t1.jsonl"  # pages moved
+if grep '"config":"LOCAL"' "$MIG_DIR/t1.jsonl" | grep -q '"migration"'; then
+    echo "non-MIGRATE run leaked a migration block" >&2
+    exit 1
+fi
+cargo run --release --offline -q -p hetmem-bench --bin hetmem-trace -- \
+    check "$MIG_DIR/t1.jsonl"
+
 # Perf smoke: a quick benchmark run must produce a parseable result and
 # self-gate cleanly (1.00x vs itself is inside the 30% regression
 # budget). The gate's failure branch must also actually fire: demanding
@@ -105,7 +128,7 @@ PERF_DIR=target/ci-perf
 rm -rf "$PERF_DIR"
 mkdir -p "$PERF_DIR"
 cargo build --release --offline -q -p hetmem-bench --bin hetmem-perf
-target/release/hetmem-perf run --quick --label ci-smoke \
+target/release/hetmem-perf run --quick --migrate --label ci-smoke \
     --out "$PERF_DIR/quick.json"
 target/release/hetmem-perf gate \
     --baseline "$PERF_DIR/quick.json" --current "$PERF_DIR/quick.json"

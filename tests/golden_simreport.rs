@@ -69,6 +69,18 @@ fn canonical_report(r: &SimReport) -> String {
             &array(sorted.iter().map(|(p, c)| format!("[{p},{c}]"))),
         );
     }
+    if let Some(m) = &r.migration {
+        let mig = JsonObject::new()
+            .u64("pages_promoted", m.pages_promoted)
+            .u64("pages_demoted", m.pages_demoted)
+            .u64("pages_evicted", m.pages_evicted)
+            .u64("epochs", m.epochs)
+            .u64("copy_bytes", m.copy_bytes)
+            .f64("copy_cycles", m.copy_cycles)
+            .u64("remap_stall_cycles", m.remap_stall_cycles)
+            .finish();
+        obj = obj.raw("migration", &mig);
+    }
     obj.finish()
 }
 
@@ -219,6 +231,49 @@ fn profiled_page_counts_are_golden() {
         );
     }
     check_fixture("golden_profiles.jsonl", &lines);
+}
+
+/// Capacity-constrained MIGRATE runs pin the whole online engine:
+/// hotness epochs, the promotion/eviction state machine, copy-burst
+/// scheduling, and remap stalls, across two migrate configurations.
+#[test]
+fn migrate_reports_are_golden() {
+    let sim = golden_sim();
+    let topo = topology_for(&sim, &vec![1; sim.pools.len()]);
+    let mut lines = Vec::new();
+    for name in ["bfs", "hotspot", "xsbench", "sgemm"] {
+        let mut spec = catalog::by_name(name).expect("catalog name");
+        spec.mem_ops = GOLDEN_MEM_OPS;
+        for policy in [
+            "MIGRATE:epoch=20000,hot=4",
+            "MIGRATE:epoch=20000,hot=2,cold=1,batch=16",
+        ] {
+            let placement =
+                Placement::Policy(Mempolicy::parse(policy, &topo).expect("valid migrate spec"));
+            let run = RunBuilder::new(&spec, &sim)
+                .capacity(Capacity::FractionOfFootprint(0.10))
+                .placement(&placement)
+                .run();
+            let m = run
+                .report
+                .migration
+                .as_ref()
+                .expect("MIGRATE runs always carry a migration report");
+            assert!(m.epochs >= 1, "{name}/{policy}: at least one epoch fired");
+            lines.push(
+                JsonObject::new()
+                    .str("workload", name)
+                    .str("policy", policy)
+                    .raw("report", &canonical_report(&run.report))
+                    .raw(
+                        "zone_pages",
+                        &array(run.placement.iter().map(u64::to_string)),
+                    )
+                    .finish(),
+            );
+        }
+    }
+    check_fixture("golden_migrate.jsonl", &lines);
 }
 
 /// Interval-sampler counters from observed runs stay golden too (the
