@@ -10,7 +10,7 @@
 //! hetmem-client 127.0.0.1:7711 shutdown
 //! ```
 //!
-//! Flags (all optional, before `<addr>`):
+//! Flags (all optional, anywhere on the line):
 //!
 //! * `--retries <n>` — extra attempts after the first (default 3);
 //!   transport errors and the retryable codes `overloaded` /
@@ -21,6 +21,11 @@
 //! * `--timeout-ms <n>` — per-attempt socket read timeout (default
 //!   120000)
 //! * `--backoff-seed <n>` — jitter seed, for reproducible schedules
+//! * `--request-id <s>` — tag the request; the server echoes it on the
+//!   response (success or error) and stamps it on every telemetry line
+//!   for the request, across all retries of this one call
+//! * `--trace` — ask the server to log per-phase `serve-span` lines
+//!   for this request (render with `hetmem-trace spans`)
 //!
 //! Values parse as (in order): unsigned integer, float, boolean,
 //! comma-separated number array (`sizes=1048576,2097152`), else
@@ -67,6 +72,8 @@ fn scalar(value: &str) -> JsonValue {
 fn main() -> ExitCode {
     let mut opts = ClientOptions::default();
     let mut backoff_seed = 0u64;
+    let mut request_id: Option<String> = None;
+    let mut trace = false;
     let mut rest: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -88,10 +95,17 @@ fn main() -> ExitCode {
                 let v = args.next().expect("--backoff-seed needs a value");
                 backoff_seed = v.parse().expect("--backoff-seed takes an integer");
             }
-            _ => {
-                rest.push(arg);
-                rest.extend(args.by_ref());
+            "--request-id" => {
+                let v = args.next().expect("--request-id needs a value");
+                assert!(!v.is_empty(), "--request-id must be non-empty");
+                request_id = Some(v);
             }
+            "--trace" => trace = true,
+            other if other.starts_with("--") => {
+                eprintln!("hetmem-client: unknown flag '{other}'");
+                return ExitCode::from(1);
+            }
+            _ => rest.push(arg),
         }
     }
     if rest.len() < 2 {
@@ -102,7 +116,13 @@ fn main() -> ExitCode {
     let addr = &rest[0];
     let op = &rest[1];
     let params = JsonValue::Object(rest[2..].iter().map(|pair| field(pair)).collect());
-    let req = Request::with_params(1, op, params);
+    let mut req = Request::with_params(1, op, params);
+    if let Some(id) = &request_id {
+        req = req.request_id(id);
+    }
+    if trace {
+        req = req.trace();
+    }
     match call(addr, &req, &opts) {
         Ok(outcome) => {
             println!("{}", outcome.response.encode());

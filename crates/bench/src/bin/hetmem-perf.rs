@@ -3,9 +3,9 @@
 //! Runs a fixed, seeded workload × policy matrix on the in-tree timing
 //! runner ([`hetmem_harness::timing::Bencher`]) and records, per grid
 //! point, the deterministic work done (engine events, simulated cycles)
-//! and the wall time to do it — giving events/sec and sim-cycles/sec,
-//! the two throughput numbers the benchmark trajectory
-//! (`BENCH_*.json`) tracks.
+//! and the wall time to do it — min/mean plus p50/p99 iteration tails
+//! — giving events/sec and sim-cycles/sec, the two throughput numbers
+//! the benchmark trajectory (`BENCH_*.json`) tracks.
 //!
 //! ```text
 //! hetmem-perf run [--quick] [--migrate] [--label L] [--out FILE] [--iters N]
@@ -74,6 +74,8 @@ fn run_matrix(opts: &RunOpts) -> Result<String, String> {
     let mut total_cycles = 0u64;
     let mut total_min_ns = 0.0f64;
     let mut total_mean_ns = 0.0f64;
+    let mut total_p50_ns = 0.0f64;
+    let mut total_p99_ns = 0.0f64;
     for name in &opts.workloads {
         let mut spec = catalog::by_name(name).ok_or_else(|| format!("unknown workload {name}"))?;
         spec.mem_ops = opts.mem_ops;
@@ -93,6 +95,8 @@ fn run_matrix(opts: &RunOpts) -> Result<String, String> {
             total_cycles += cycles;
             total_min_ns += res.min_ns;
             total_mean_ns += res.mean_ns;
+            total_p50_ns += res.p50_ns;
+            total_p99_ns += res.p99_ns;
             points.push(
                 JsonObject::new()
                     .str("workload", name)
@@ -102,6 +106,8 @@ fn run_matrix(opts: &RunOpts) -> Result<String, String> {
                     .u64("iters", res.iters)
                     .f64("wall_ms_min", res.min_ns / 1e6)
                     .f64("wall_ms_mean", res.mean_ns / 1e6)
+                    .f64("wall_ms_p50", res.p50_ns / 1e6)
+                    .f64("wall_ms_p99", res.p99_ns / 1e6)
                     .f64("events_per_sec", events as f64 / (res.min_ns / 1e9))
                     .f64("sim_cycles_per_sec", cycles as f64 / (res.min_ns / 1e9))
                     .finish(),
@@ -128,6 +134,8 @@ fn run_matrix(opts: &RunOpts) -> Result<String, String> {
         .raw("points", &array(points))
         .f64("total_wall_ms_min", total_min_ns / 1e6)
         .f64("total_wall_ms_mean", total_mean_ns / 1e6)
+        .f64("total_wall_ms_p50", total_p50_ns / 1e6)
+        .f64("total_wall_ms_p99", total_p99_ns / 1e6)
         .u64("total_events", total_events)
         .u64("total_sim_cycles", total_cycles)
         .f64("events_per_sec", total_events as f64 / (total_min_ns / 1e9))

@@ -3,6 +3,9 @@
 //! ```text
 //! hetmem-trace check <file...>          validate JSONL / trace JSON files
 //! hetmem-trace summary <file> [--top K] summarize one telemetry or trace file
+//! hetmem-trace spans <file> --request <id> [--out <path>]
+//!                                       render one request's serve-spans
+//! hetmem-trace promcheck <file...>      validate Prometheus expositions
 //! ```
 //!
 //! `check` parses every line of a `.jsonl` telemetry file (or the whole
@@ -19,20 +22,38 @@
 //! * **Chrome trace JSON** (`traceEvents`): event counts and total
 //!   duration per event name, plus the `truncated` marker if the tracer
 //!   budget dropped events.
+//!
+//! `spans` filters a `serve.jsonl` for the `serve-span` lines of one
+//! `request_id` (a request sent with `"trace":true`) and renders them
+//! as a Chrome `trace_event` timeline — one complete event per phase
+//! (read, decode, queue wait, cache lookup, execute, encode) — to
+//! `--out` or stdout. It fails when the id has no spans, so a CI smoke
+//! can assert tracing actually fired.
+//!
+//! `promcheck` validates Prometheus text exposition files through the
+//! in-tree [`parse_prometheus`] validator. It accepts either the raw
+//! text or a `metrics` op response envelope / body (JSON carrying the
+//! text under `"text"`), so a captured `hetmem-client ... metrics
+//! format=prometheus` line checks directly.
 
 use std::fs;
 use std::process::ExitCode;
 
-use hetmem_harness::{validate_jsonl, JsonValue};
+use hetmem_harness::trace::{ChromeTrace, TraceEvent};
+use hetmem_harness::{parse_prometheus, validate_jsonl, JsonValue};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("check") if args.len() > 1 => check(&args[1..]),
         Some("summary") if args.len() > 1 => summary(&args[1..]),
+        Some("spans") if args.len() > 1 => spans(&args[1..]),
+        Some("promcheck") if args.len() > 1 => promcheck(&args[1..]),
         _ => {
             eprintln!("usage: hetmem-trace check <file...>");
             eprintln!("       hetmem-trace summary <file> [--top K]");
+            eprintln!("       hetmem-trace spans <file> --request <id> [--out <path>]");
+            eprintln!("       hetmem-trace promcheck <file...>");
             ExitCode::from(2)
         }
     }
@@ -231,6 +252,141 @@ fn summarize_jsonl(path: &str, text: &str, top: usize) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// `spans`: one request's `serve-span` lines as a Chrome timeline.
+fn spans(args: &[String]) -> ExitCode {
+    let mut path = None;
+    let mut request = None;
+    let mut out = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--request" => request = Some(it.next().expect("--request needs an id").clone()),
+            "--out" => out = Some(it.next().expect("--out needs a path").clone()),
+            _ => path = Some(a.clone()),
+        }
+    }
+    let (Some(path), Some(request)) = (path, request) else {
+        eprintln!("usage: hetmem-trace spans <file> --request <id> [--out <path>]");
+        return ExitCode::from(2);
+    };
+    let text = match fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut trace = ChromeTrace::new();
+    trace.name_process(0, &format!("request {request} (server phases)"));
+    let mut n = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = match JsonValue::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("{path}:{}: invalid JSON: {e}", i + 1);
+                return ExitCode::FAILURE;
+            }
+        };
+        let str_of = |key: &str| v.get(key).and_then(JsonValue::as_str);
+        if str_of("kind") != Some("serve-span") || str_of("request_id") != Some(&request) {
+            continue;
+        }
+        let int = |key: &str| v.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+        let phase = str_of("phase").unwrap_or("?");
+        let op = str_of("op").unwrap_or("?");
+        trace.push(
+            TraceEvent::complete(
+                phase,
+                "serve",
+                int("start_us") as f64,
+                int("dur_us") as f64,
+                0,
+                0,
+            )
+            .arg("op", format!("\"{op}\"")),
+        );
+        n += 1;
+    }
+    if n == 0 {
+        eprintln!(
+            "{path}: no serve-span lines for request_id '{request}' \
+             (was the request sent with --trace?)"
+        );
+        return ExitCode::FAILURE;
+    }
+    let doc = trace.render();
+    match out {
+        Some(out_path) => {
+            if let Err(e) = fs::write(&out_path, &doc) {
+                eprintln!("{out_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("{out_path}: {n} spans for request '{request}'");
+        }
+        None => println!("{doc}"),
+    }
+    ExitCode::SUCCESS
+}
+
+/// `promcheck`: Prometheus exposition validation, raw or enveloped.
+fn promcheck(files: &[String]) -> ExitCode {
+    let mut failed = false;
+    for path in files {
+        let text = match fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        // A JSON document (a `metrics` op response line, or its result
+        // body) carries the exposition under a "text" field, possibly
+        // nested under "result".
+        let exposition = if text.trim_start().starts_with('{') {
+            match JsonValue::parse(text.trim()) {
+                Ok(v) => {
+                    let inner = v
+                        .get("text")
+                        .or_else(|| v.get("result").and_then(|r| r.get("text")))
+                        .and_then(JsonValue::as_str)
+                        .map(str::to_string);
+                    match inner {
+                        Some(t) => t,
+                        None => {
+                            eprintln!("{path}: JSON input has no 'text' field to check");
+                            failed = true;
+                            continue;
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{path}: invalid JSON envelope: {e}");
+                    failed = true;
+                    continue;
+                }
+            }
+        } else {
+            text
+        };
+        match parse_prometheus(&exposition) {
+            Ok(n) => println!("{path}: {n} samples OK"),
+            Err(e) => {
+                eprintln!("{path}: invalid exposition: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn summarize_trace(path: &str, text: &str) -> ExitCode {

@@ -14,7 +14,10 @@
 //! construction**: the request line is re-encoded from the same
 //! [`Request`] (minus the shrinking deadline), and the server's
 //! content-addressed cache makes a replayed simulation byte-identical
-//! to the first attempt.
+//! to the first attempt. Because the whole `Request` is cloned, a
+//! client-supplied `request_id` rides along on every attempt — all
+//! retries of one logical call share one id in the server's telemetry,
+//! and client-side deadline errors name it too.
 //!
 //! Delays come from the seeded [`Backoff`] schedule — capped
 //! exponential with deterministic jitter — and every sleep is clamped
@@ -85,7 +88,7 @@ pub fn call(addr: &str, req: &Request, opts: &ClientOptions) -> io::Result<CallO
             Some(b) => {
                 let left = b.saturating_sub(start.elapsed());
                 if left.is_zero() {
-                    return Err(deadline_error(attempt));
+                    return Err(deadline_error(attempt, req.request_id.as_deref()));
                 }
                 Some(left)
             }
@@ -135,10 +138,11 @@ pub fn call(addr: &str, req: &Request, opts: &ClientOptions) -> io::Result<CallO
     }
 }
 
-fn deadline_error(attempts: u32) -> io::Error {
+fn deadline_error(attempts: u32, request_id: Option<&str>) -> io::Error {
+    let tag = request_id.map_or(String::new(), |id| format!(" (request_id {id})"));
     io::Error::new(
         io::ErrorKind::TimedOut,
-        format!("client deadline exceeded after {attempts} attempt(s)"),
+        format!("client deadline exceeded after {attempts} attempt(s){tag}"),
     )
 }
 
@@ -169,6 +173,17 @@ mod tests {
         };
         let err = call(&addr, &Request::new(1, "stats"), &opts).unwrap_err();
         assert_ne!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn deadline_error_names_the_request_id() {
+        let opts = ClientOptions {
+            deadline_ms: Some(0),
+            ..ClientOptions::default()
+        };
+        let req = Request::new(1, "stats").request_id("cli-7");
+        let err = call("127.0.0.1:1", &req, &opts).unwrap_err();
+        assert!(err.to_string().contains("request_id cli-7"));
     }
 
     #[test]

@@ -27,6 +27,7 @@
 
 pub mod client;
 pub mod serve;
+pub mod top;
 
 use std::sync::Arc;
 

@@ -2,7 +2,7 @@
 //!
 //! A std-only TCP server speaking the JSONL protocol of
 //! [`hetmem_harness::protocol`] — one request object per line, one
-//! response object back. Three query operations plus a control one:
+//! response object back. Four query operations plus a control one:
 //!
 //! * **`place`** — turn allocation annotations (sizes + hotness, or a
 //!   catalog workload's) into per-allocation placement hints via the
@@ -14,9 +14,37 @@
 //!   returns byte-identical bytes without re-simulating.
 //! * **`stats`** — server counters (requests, errors, load sheds) and
 //!   cache statistics as JSON.
+//! * **`metrics`** — the full [`hetmem_harness::metrics`] registry:
+//!   per-op request-latency histograms, per-phase timings (read,
+//!   decode, queue wait, cache lookup, execute, encode, write), cache
+//!   and queue occupancy, and migration-engine aggregates. Serves JSON
+//!   (`format=json`, the default) or Prometheus text exposition
+//!   (`format=prometheus`, wrapped as `{"format":...,"text":...}`).
 //! * **`shutdown`** — stop accepting work, drain in-flight requests,
 //!   exit. Every request received before the drain still gets its
 //!   response.
+//!
+//! ## Observability
+//!
+//! Every request phase is timed into the registry; recording is a few
+//! relaxed atomics, and nothing observable changes when a sink or the
+//! `metrics` op is unused — responses carry no timing, and cached
+//! results stay byte-identical (tested by the no-perturbation test in
+//! `tests/serve.rs`). The per-op duration histograms and the
+//! `hm_requests_total` counter are both recorded *before* the response
+//! bytes are written, so a scrape issued after a response is read
+//! already counts that request — the conservation invariant
+//! (`Σ per-op histogram counts == hm_requests_total`) that
+//! `hetmem-top --check` and CI assert.
+//!
+//! Requests may carry a `request_id` (any non-empty string). It is
+//! echoed on the response (success or error) and stamped on every
+//! `serve.jsonl` telemetry line for the request, joining client retry
+//! logs to server records; without one the server generates `srv-N`
+//! for telemetry only, keeping responses to identical request lines
+//! byte-identical. With `"trace":true` the request additionally emits
+//! `serve-span` telemetry lines (one per phase, chained end-to-start)
+//! that `hetmem-trace spans` renders onto a Chrome timeline.
 //!
 //! Jobs route to worker shards by the FNV-1a hash of their canonical
 //! cache key, so identical concurrent requests serialize on one shard
@@ -57,8 +85,9 @@ use hetmem::{
     HetmemError, Placement, RunBuilder, TelemetrySink,
 };
 use hetmem_harness::json::{self, JsonObject, JsonValue};
+use hetmem_harness::metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 use hetmem_harness::sweep::{run_grid, SweepOptions};
-use hetmem_harness::telemetry::fnv1a;
+use hetmem_harness::telemetry::{fnv1a, MigrationTelemetry};
 use hetmem_harness::{
     BoundedQueue, FaultInjector, FaultPlan, ProtocolError, PushError, Request, Response,
     ResultCache,
@@ -138,11 +167,261 @@ struct Job {
     point: SimPoint,
     /// Cooperative deadline carried over from the request envelope.
     deadline: Option<Instant>,
+    /// When the job entered its shard queue (queue-wait timing).
+    enqueued: Instant,
     reply: mpsc::Sender<JobReply>,
 }
 
-/// Worker → connection reply: `(result JSON, was a cache hit)`.
-type JobReply = Result<(String, bool), HetmemError>;
+/// Worker → connection reply.
+type JobReply = Result<SimReply, HetmemError>;
+
+/// Worker-phase timings for one request, microseconds. `None` for
+/// phases the request never entered (inline ops skip the pool; cache
+/// hits skip execute).
+#[derive(Debug, Clone, Copy, Default)]
+struct PhaseTimes {
+    queue_wait_us: Option<u64>,
+    cache_lookup_us: Option<u64>,
+    execute_us: Option<u64>,
+}
+
+/// A successful op result plus how it was produced.
+struct SimReply {
+    body: String,
+    cache_hit: bool,
+    phases: PhaseTimes,
+}
+
+impl SimReply {
+    /// Wraps a body computed inline on the connection thread.
+    fn inline(body: String) -> Self {
+        SimReply {
+            body,
+            cache_hit: false,
+            phases: PhaseTimes::default(),
+        }
+    }
+}
+
+/// Everything [`finish_request`] needs to account one request after its
+/// response is encoded: identity, outcome, and phase timings.
+struct ReqMeta {
+    /// Raw op name (`"decode"` for lines that never parsed).
+    op: String,
+    /// Client-supplied or server-generated (`srv-N`) trace id.
+    request_id: String,
+    /// Span logging requested by the client.
+    trace: bool,
+    /// `"ok"` or the stable error code.
+    status: String,
+    cache_hit: bool,
+    read_us: u64,
+    decode_us: u64,
+    phases: PhaseTimes,
+    /// Dispatch entry (right after the line was read); per-op request
+    /// duration is measured from here to the end of encode.
+    t0: Instant,
+}
+
+/// Saturating microseconds.
+fn us(d: Duration) -> u64 {
+    d.as_micros().min(u128::from(u64::MAX)) as u64
+}
+
+/// The registry embedded in every server, plus direct handles to the
+/// metrics the hot paths record. Hot-path updates are pure atomics;
+/// scrape-time mirrors (cache stats, queue depths, uptime) are filled
+/// in by [`ServeMetrics::refresh`].
+struct ServeMetrics {
+    registry: MetricsRegistry,
+    /// Completed requests; recorded with the per-op histogram so the
+    /// conservation invariant holds at every scrape.
+    requests_total: Arc<Counter>,
+    responses_ok: Arc<Counter>,
+    responses_err: Arc<Counter>,
+    req_place: Arc<Histogram>,
+    req_simulate: Arc<Histogram>,
+    req_stats: Arc<Histogram>,
+    req_metrics: Arc<Histogram>,
+    req_shutdown: Arc<Histogram>,
+    req_decode: Arc<Histogram>,
+    req_other: Arc<Histogram>,
+    ph_read: Arc<Histogram>,
+    ph_decode: Arc<Histogram>,
+    ph_queue_wait: Arc<Histogram>,
+    ph_cache_lookup: Arc<Histogram>,
+    ph_execute: Arc<Histogram>,
+    ph_encode: Arc<Histogram>,
+    ph_write: Arc<Histogram>,
+    // Scrape-time mirrors of ServerStats / cache counters.
+    overloaded: Arc<Counter>,
+    deadline_exceeded: Arc<Counter>,
+    worker_restarts: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    cache_insertions: Arc<Counter>,
+    cache_evictions: Arc<Counter>,
+    cache_corruptions: Arc<Counter>,
+    cache_entries: Arc<Gauge>,
+    cache_capacity: Arc<Gauge>,
+    queue_depth: Vec<Arc<Gauge>>,
+    queue_capacity: Arc<Gauge>,
+    uptime_ms: Arc<Gauge>,
+    // Migration-engine aggregates, accumulated on fresh executions.
+    mig_promoted: Arc<Counter>,
+    mig_demoted: Arc<Counter>,
+    mig_evicted: Arc<Counter>,
+    mig_epochs: Arc<Counter>,
+    mig_copy_bytes: Arc<Counter>,
+}
+
+impl ServeMetrics {
+    fn new(shards: usize) -> Self {
+        let reg = MetricsRegistry::new();
+        let req_help = "Request latency from decode start to encoded response, microseconds.";
+        let op_hist = |op| reg.histogram("hm_request_duration_us", req_help, &[("op", op)]);
+        let ph_help = "Per-phase request latency, microseconds.";
+        let ph_hist = |ph| reg.histogram("hm_phase_duration_us", ph_help, &[("phase", ph)]);
+        let cache_help = "Result-cache events, mirrored from cache stats at scrape time.";
+        let cache_ev = |ev| reg.counter("hm_cache_events_total", cache_help, &[("event", ev)]);
+        let mig_help = "Pages moved by the online migration engine, by movement kind.";
+        let mig = |kind| reg.counter("hm_migration_pages_total", mig_help, &[("kind", kind)]);
+        ServeMetrics {
+            requests_total: reg.counter(
+                "hm_requests_total",
+                "Requests completed (equals the sum of hm_request_duration_us counts).",
+                &[],
+            ),
+            responses_ok: reg.counter(
+                "hm_responses_total",
+                "Responses by outcome.",
+                &[("status", "ok")],
+            ),
+            responses_err: reg.counter(
+                "hm_responses_total",
+                "Responses by outcome.",
+                &[("status", "error")],
+            ),
+            req_place: op_hist("place"),
+            req_simulate: op_hist("simulate"),
+            req_stats: op_hist("stats"),
+            req_metrics: op_hist("metrics"),
+            req_shutdown: op_hist("shutdown"),
+            req_decode: op_hist("decode"),
+            req_other: op_hist("other"),
+            ph_read: ph_hist("read"),
+            ph_decode: ph_hist("decode"),
+            ph_queue_wait: ph_hist("queue_wait"),
+            ph_cache_lookup: ph_hist("cache_lookup"),
+            ph_execute: ph_hist("execute"),
+            ph_encode: ph_hist("encode"),
+            ph_write: ph_hist("write"),
+            overloaded: reg.counter(
+                "hm_overloaded_total",
+                "Requests shed because a shard queue was full.",
+                &[],
+            ),
+            deadline_exceeded: reg.counter(
+                "hm_deadline_exceeded_total",
+                "Requests refused past their deadline.",
+                &[],
+            ),
+            worker_restarts: reg.counter(
+                "hm_worker_restarts_total",
+                "Shard workers restarted by the supervisor.",
+                &[],
+            ),
+            cache_hits: cache_ev("hit"),
+            cache_misses: cache_ev("miss"),
+            cache_insertions: cache_ev("insertion"),
+            cache_evictions: cache_ev("eviction"),
+            cache_corruptions: cache_ev("corruption"),
+            cache_entries: reg.gauge(
+                "hm_cache_entries",
+                "Result-cache entries resident at scrape time.",
+                &[],
+            ),
+            cache_capacity: reg.gauge("hm_cache_capacity", "Result-cache capacity.", &[]),
+            queue_depth: (0..shards)
+                .map(|i| {
+                    reg.gauge(
+                        "hm_queue_depth",
+                        "Jobs queued per shard at scrape time.",
+                        &[("shard", &i.to_string())],
+                    )
+                })
+                .collect(),
+            queue_capacity: reg.gauge("hm_queue_capacity", "Per-shard queue capacity.", &[]),
+            uptime_ms: reg.gauge(
+                "hm_uptime_ms",
+                "Milliseconds since the server started.",
+                &[],
+            ),
+            mig_promoted: mig("promoted"),
+            mig_demoted: mig("demoted"),
+            mig_evicted: mig("evicted"),
+            mig_epochs: reg.counter(
+                "hm_migration_epochs_total",
+                "Migration epochs processed across simulate executions.",
+                &[],
+            ),
+            mig_copy_bytes: reg.counter(
+                "hm_migration_copy_bytes_total",
+                "Bytes of page-copy traffic charged by the migration engine.",
+                &[],
+            ),
+            registry: reg,
+        }
+    }
+
+    /// The request-duration histogram for an op label.
+    fn op_hist(&self, op: &str) -> &Histogram {
+        match op {
+            "place" => &self.req_place,
+            "simulate" => &self.req_simulate,
+            "stats" => &self.req_stats,
+            "metrics" => &self.req_metrics,
+            "shutdown" => &self.req_shutdown,
+            "decode" => &self.req_decode,
+            _ => &self.req_other,
+        }
+    }
+
+    /// Accumulates one fresh execution's migration aggregate (cache
+    /// hits don't re-count the cached run's work).
+    fn record_migration(&self, mt: &MigrationTelemetry) {
+        self.mig_promoted.add(mt.pages_promoted);
+        self.mig_demoted.add(mt.pages_demoted);
+        self.mig_evicted.add(mt.pages_evicted);
+        self.mig_epochs.add(mt.epochs);
+        self.mig_copy_bytes.add(mt.copy_bytes);
+    }
+
+    /// Fills the scrape-time mirrors: external monotonic sources (cache
+    /// stats, shed/restart counters) and instantaneous gauges.
+    fn refresh(&self, shared: &Shared) {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        self.overloaded.store(load(&shared.stats.overloaded));
+        self.deadline_exceeded
+            .store(load(&shared.stats.deadline_exceeded));
+        self.worker_restarts
+            .store(load(&shared.stats.worker_restarts));
+        let c = shared.cache.stats();
+        self.cache_hits.store(c.hits);
+        self.cache_misses.store(c.misses);
+        self.cache_insertions.store(c.insertions);
+        self.cache_evictions.store(c.evictions);
+        self.cache_corruptions.store(c.corruptions);
+        self.cache_entries.set(c.entries as u64);
+        self.cache_capacity.set(c.capacity as u64);
+        for (gauge, queue) in self.queue_depth.iter().zip(&shared.queues) {
+            gauge.set(queue.len() as u64);
+        }
+        self.queue_capacity.set(shared.queues[0].capacity() as u64);
+        self.uptime_ms
+            .set(shared.started.elapsed().as_millis() as u64);
+    }
+}
 
 /// Requests currently between decode and response write; shutdown
 /// waits for this to reach zero so every accepted request is answered.
@@ -199,6 +478,7 @@ struct ServerStats {
     op_place: AtomicU64,
     op_simulate: AtomicU64,
     op_stats: AtomicU64,
+    op_metrics: AtomicU64,
     op_shutdown: AtomicU64,
     op_other: AtomicU64,
     worker_restarts: AtomicU64,
@@ -218,6 +498,9 @@ struct Shared {
     faults: FaultInjector,
     read_timeout: Duration,
     write_timeout: Duration,
+    metrics: ServeMetrics,
+    /// Source for server-generated `srv-N` request ids.
+    next_rid: AtomicU64,
 }
 
 /// A running server: the bound address plus the threads to join.
@@ -302,6 +585,8 @@ pub fn start(cfg: ServeConfig) -> io::Result<ServerHandle> {
             .map_or_else(FaultInjector::disabled, FaultInjector::new),
         read_timeout: Duration::from_millis(read_timeout_ms),
         write_timeout: Duration::from_millis(write_timeout_ms),
+        metrics: ServeMetrics::new(shards),
+        next_rid: AtomicU64::new(1),
     });
     let workers = (0..shards)
         .map(|i| {
@@ -404,10 +689,14 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
     let mut line = String::new();
     loop {
         line.clear();
+        // The read phase covers the socket wait for the next line, so
+        // on a keep-alive connection it includes client think time.
+        let read_start = Instant::now();
         match reader.read_line(&mut line) {
             Ok(0) | Err(_) => break,
             Ok(_) => {}
         }
+        let read_us = us(read_start.elapsed());
         let trimmed = line.trim();
         if trimmed.is_empty() {
             continue;
@@ -415,9 +704,16 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
         // The guard spans decode → response write: shutdown's drain
         // waits for it, so an accepted request always gets its bytes.
         let guard = ActiveGuard::new(&shared.active);
-        let resp = dispatch(shared, trimmed);
+        let (resp, meta) = dispatch(shared, trimmed, read_us);
+        let encode_start = Instant::now();
         let mut out = resp.encode();
         out.push('\n');
+        let encode_us = us(encode_start.elapsed());
+        // Account the request *before* its bytes go out: a scrape
+        // issued after reading this response must already count it
+        // (the conservation invariant). Only the write phase below is
+        // recorded afterwards.
+        finish_request(shared, &meta, encode_us);
         if shared.faults.maybe_wire_error() {
             // Chaos: tear the response mid-line and drop the
             // connection. The client sees a short read / EOF (never a
@@ -428,7 +724,9 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
             drop(guard);
             break;
         }
+        let write_start = Instant::now();
         let write_ok = writer.write_all(out.as_bytes()).is_ok() && writer.flush().is_ok();
+        shared.metrics.ph_write.record(us(write_start.elapsed()));
         drop(guard);
         if !write_ok || shared.shutting.load(Ordering::SeqCst) {
             break;
@@ -436,53 +734,85 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
     }
 }
 
-/// Decodes and executes one request line, returning the response and
-/// recording counters + telemetry.
-fn dispatch(shared: &Arc<Shared>, line: &str) -> Response {
+/// A fresh server-generated request id, used for telemetry joining
+/// when the client did not supply one. Never echoed on responses.
+fn gen_rid(shared: &Shared) -> String {
+    format!("srv-{}", shared.next_rid.fetch_add(1, Ordering::Relaxed))
+}
+
+/// Decodes and executes one request line, returning the response plus
+/// the accounting record that [`finish_request`] consumes.
+fn dispatch(shared: &Arc<Shared>, line: &str, read_us: u64) -> (Response, ReqMeta) {
     let t0 = Instant::now();
     shared.stats.requests.fetch_add(1, Ordering::Relaxed);
-    let req = match Request::decode(line) {
+    let decoded = Request::decode(line);
+    let decode_us = us(t0.elapsed());
+    let req = match decoded {
         Ok(req) => req,
         Err(e) => {
             shared.stats.errors.fetch_add(1, Ordering::Relaxed);
             let resp = Response::err(0, e.code(), &e.to_string());
-            record_request(shared, "decode", Some(e.code()), false, t0);
-            return resp;
+            // The line never parsed, so there is no client id to echo.
+            let meta = ReqMeta {
+                op: "decode".to_string(),
+                request_id: gen_rid(shared),
+                trace: false,
+                status: e.code().to_string(),
+                cache_hit: false,
+                read_us,
+                decode_us,
+                phases: PhaseTimes::default(),
+                t0,
+            };
+            return (resp, meta);
         }
     };
     let op_counter = match req.op.as_str() {
         "place" => &shared.stats.op_place,
         "simulate" => &shared.stats.op_simulate,
         "stats" => &shared.stats.op_stats,
+        "metrics" => &shared.stats.op_metrics,
         "shutdown" => &shared.stats.op_shutdown,
         _ => &shared.stats.op_other,
     };
     op_counter.fetch_add(1, Ordering::Relaxed);
+    // Client-supplied ids are echoed on the response; generated ones
+    // exist only in telemetry so identical request lines keep
+    // byte-identical responses.
+    let client_rid = req.request_id.clone();
+    let rid = client_rid.clone().unwrap_or_else(|| gen_rid(shared));
     // The request's cooperative deadline, anchored at receipt time.
     let deadline = req.deadline_ms.map(|ms| t0 + Duration::from_millis(ms));
 
-    let outcome: Result<(String, bool), HetmemError> = if shared.shutting.load(Ordering::SeqCst) {
+    let outcome: Result<SimReply, HetmemError> = if shared.shutting.load(Ordering::SeqCst) {
         Err(HetmemError::ShuttingDown)
     } else if deadline.is_some_and(|d| Instant::now() >= d) {
         Err(HetmemError::DeadlineExceeded)
     } else {
         match req.op.as_str() {
-            "place" => handle_place(&req.params).map(|body| (body, false)),
+            "place" => handle_place(&req.params).map(SimReply::inline),
             "simulate" => handle_simulate(shared, &req.params, deadline),
-            "stats" => Ok((stats_json(shared), false)),
+            "stats" => Ok(SimReply::inline(stats_json(shared))),
+            "metrics" => metrics_json(shared, &req.params).map(SimReply::inline),
             "shutdown" => {
                 begin_shutdown(shared);
-                Ok((JsonObject::new().bool("draining", true).finish(), false))
+                Ok(SimReply::inline(
+                    JsonObject::new().bool("draining", true).finish(),
+                ))
             }
             op => Err(HetmemError::UnknownOp { op: op.to_string() }),
         }
     };
 
-    match outcome {
-        Ok((body, cache_hit)) => {
+    let (resp, status, cache_hit, phases) = match outcome {
+        Ok(reply) => {
             shared.stats.ok.fetch_add(1, Ordering::Relaxed);
-            record_request(shared, &req.op, None, cache_hit, t0);
-            Response::ok(req.id, body)
+            (
+                Response::ok(req.id, reply.body).with_request_id(client_rid),
+                "ok".to_string(),
+                reply.cache_hit,
+                reply.phases,
+            )
         }
         Err(e) => {
             shared.stats.errors.fetch_add(1, Ordering::Relaxed);
@@ -495,25 +825,93 @@ fn dispatch(shared: &Arc<Shared>, line: &str) -> Response {
                     .deadline_exceeded
                     .fetch_add(1, Ordering::Relaxed);
             }
-            record_request(shared, &req.op, Some(e.code()), false, t0);
-            Response::err(req.id, e.code(), &e.to_string())
+            (
+                Response::err(req.id, e.code(), &e.to_string()).with_request_id(client_rid),
+                e.code().to_string(),
+                false,
+                PhaseTimes::default(),
+            )
         }
-    }
+    };
+    let meta = ReqMeta {
+        op: req.op,
+        request_id: rid,
+        trace: req.trace,
+        status,
+        cache_hit,
+        read_us,
+        decode_us,
+        phases,
+        t0,
+    };
+    (resp, meta)
 }
 
-/// Appends one `serve-request` telemetry line when a sink is attached.
-fn record_request(shared: &Shared, op: &str, err_code: Option<&str>, cache_hit: bool, t0: Instant) {
+/// Accounts one finished request: registry histograms and counters,
+/// the `serve-request` telemetry line, and (with `"trace":true`) one
+/// `serve-span` line per phase. Runs *before* the response bytes are
+/// written — see the conservation note in [`handle_conn`].
+fn finish_request(shared: &Shared, meta: &ReqMeta, encode_us: u64) {
+    let m = &shared.metrics;
+    m.op_hist(&meta.op).record(us(meta.t0.elapsed()));
+    m.requests_total.inc();
+    if meta.status == "ok" {
+        m.responses_ok.inc();
+    } else {
+        m.responses_err.inc();
+    }
+    let spans = [
+        ("read", Some(meta.read_us)),
+        ("decode", Some(meta.decode_us)),
+        ("queue_wait", meta.phases.queue_wait_us),
+        ("cache_lookup", meta.phases.cache_lookup_us),
+        ("execute", meta.phases.execute_us),
+        ("encode", Some(encode_us)),
+    ];
+    m.ph_read.record(meta.read_us);
+    m.ph_decode.record(meta.decode_us);
+    if let Some(v) = meta.phases.queue_wait_us {
+        m.ph_queue_wait.record(v);
+    }
+    if let Some(v) = meta.phases.cache_lookup_us {
+        m.ph_cache_lookup.record(v);
+    }
+    if let Some(v) = meta.phases.execute_us {
+        m.ph_execute.record(v);
+    }
+    m.ph_encode.record(encode_us);
     let Some(sink) = &shared.telemetry else {
         return;
     };
-    let line = JsonObject::new()
+    let mut lines = vec![JsonObject::new()
         .str("kind", "serve-request")
-        .str("op", op)
-        .str("status", err_code.unwrap_or("ok"))
-        .bool("cache_hit", cache_hit)
-        .f64("wall_ms", t0.elapsed().as_secs_f64() * 1e3)
-        .finish();
-    let _ = sink.record_lines("serve", &[line]);
+        .str("request_id", &meta.request_id)
+        .str("op", &meta.op)
+        .str("status", &meta.status)
+        .bool("cache_hit", meta.cache_hit)
+        .f64("wall_ms", meta.t0.elapsed().as_secs_f64() * 1e3)
+        .finish()];
+    if meta.trace {
+        // Spans chain end-to-start (`start_us` is relative to the
+        // start of the read phase), so a renderer can lay them on one
+        // timeline without clock plumbing.
+        let mut start = 0u64;
+        for (phase, dur) in spans {
+            let Some(dur) = dur else { continue };
+            lines.push(
+                JsonObject::new()
+                    .str("kind", "serve-span")
+                    .str("request_id", &meta.request_id)
+                    .str("op", &meta.op)
+                    .str("phase", phase)
+                    .u64("start_us", start)
+                    .u64("dur_us", dur)
+                    .finish(),
+            );
+            start += dur;
+        }
+    }
+    let _ = sink.record_lines("serve", &lines);
 }
 
 /// Sets the drain flag once: close every shard queue (workers finish
@@ -551,6 +949,7 @@ fn supervise_worker(shared: &Arc<Shared>, shard: usize) {
 
 fn worker_loop(shared: &Arc<Shared>, shard: usize) {
     while let Some(job) = shared.queues[shard].pop() {
+        let queue_wait_us = us(job.enqueued.elapsed());
         // Chaos hooks, rolled in a fixed order so a seeded plan
         // replays the same decisions: crash the worker, stall it, or
         // rot the cached entry (which the integrity checksum catches).
@@ -568,15 +967,39 @@ fn worker_loop(shared: &Arc<Shared>, shard: usize) {
         }
         // Identical concurrent requests hash to this same shard, so by
         // the time a duplicate is popped the first result is cached.
-        let reply = match shared.cache.get(&job.key) {
-            Some(body) => Ok((body, true)),
-            None => match execute(&job.point, job.deadline) {
-                Ok(body) => {
-                    shared.cache.insert(&job.key, body.clone());
-                    Ok((body, false))
+        let lookup_start = Instant::now();
+        let cached = shared.cache.get(&job.key);
+        let mut phases = PhaseTimes {
+            queue_wait_us: Some(queue_wait_us),
+            cache_lookup_us: Some(us(lookup_start.elapsed())),
+            execute_us: None,
+        };
+        let reply = match cached {
+            Some(body) => Ok(SimReply {
+                body,
+                cache_hit: true,
+                phases,
+            }),
+            None => {
+                let exec_start = Instant::now();
+                match execute(&job.point, job.deadline) {
+                    Ok((body, migration)) => {
+                        phases.execute_us = Some(us(exec_start.elapsed()));
+                        // Aggregates count work actually done: cache
+                        // hits don't re-count the cached run's epochs.
+                        if let Some(mt) = &migration {
+                            shared.metrics.record_migration(mt);
+                        }
+                        shared.cache.insert(&job.key, body.clone());
+                        Ok(SimReply {
+                            body,
+                            cache_hit: false,
+                            phases,
+                        })
+                    }
+                    Err(e) => Err(e),
                 }
-                Err(e) => Err(e),
-            },
+            }
         };
         let _ = job.reply.send(reply);
     }
@@ -584,7 +1007,10 @@ fn worker_loop(shared: &Arc<Shared>, shard: usize) {
 
 /// Runs one point through the sweep engine (single-threaded, one
 /// point) so a simulator panic comes back as a structured error.
-fn execute(point: &SimPoint, deadline: Option<Instant>) -> Result<String, HetmemError> {
+fn execute(
+    point: &SimPoint,
+    deadline: Option<Instant>,
+) -> Result<(String, Option<MigrationTelemetry>), HetmemError> {
     let opts = SweepOptions {
         threads: 1,
         progress: false,
@@ -600,7 +1026,7 @@ fn execute(point: &SimPoint, deadline: Option<Instant>) -> Result<String, Hetmem
     Ok(results.pop().expect("one point in, one result out"))
 }
 
-fn run_point(p: &SimPoint) -> String {
+fn run_point(p: &SimPoint) -> (String, Option<MigrationTelemetry>) {
     let placement = match &p.policy {
         PolicyChoice::Os(policy) => Placement::Policy(policy.clone()),
         PolicyChoice::Oracle => {
@@ -616,7 +1042,9 @@ fn run_point(p: &SimPoint) -> String {
         .capacity(p.capacity)
         .placement(&placement)
         .run();
-    record_for("serve", p.spec.name, &p.config_label, &p.sim, &run).jsonl(false)
+    let rec = record_for("serve", p.spec.name, &p.config_label, &p.sim, &run);
+    let migration = rec.migration;
+    (rec.jsonl(false), migration)
 }
 
 /// `simulate`: resolve, consult/route to the sharded pool, reply.
@@ -624,7 +1052,7 @@ fn handle_simulate(
     shared: &Arc<Shared>,
     params: &JsonValue,
     deadline: Option<Instant>,
-) -> Result<(String, bool), HetmemError> {
+) -> Result<SimReply, HetmemError> {
     let (point, key) = parse_simulate(params)?;
     let shard = (fnv1a(key.as_bytes()) % shared.queues.len() as u64) as usize;
     let (tx, rx) = mpsc::channel();
@@ -632,6 +1060,7 @@ fn handle_simulate(
         key,
         point,
         deadline,
+        enqueued: Instant::now(),
         reply: tx,
     };
     match shared.queues[shard].try_push(job) {
@@ -868,6 +1297,7 @@ fn stats_json(shared: &Shared) -> String {
         .u64("place", load(&s.op_place))
         .u64("simulate", load(&s.op_simulate))
         .u64("stats", load(&s.op_stats))
+        .u64("metrics", load(&s.op_metrics))
         .u64("shutdown", load(&s.op_shutdown))
         .u64("other", load(&s.op_other))
         .finish();
@@ -905,6 +1335,29 @@ fn stats_json(shared: &Shared) -> String {
         obj = obj.raw("faults", &faults);
     }
     obj.finish()
+}
+
+/// The `metrics` result body: the full registry in the requested
+/// format. Scrape-time mirrors (cache stats, queue depths, uptime)
+/// are refreshed first, so both formats see one coherent snapshot.
+fn metrics_json(shared: &Shared, params: &JsonValue) -> Result<String, HetmemError> {
+    let format = match params.get("format") {
+        None => "json",
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| HetmemError::invalid("'format' must be a string"))?,
+    };
+    shared.metrics.refresh(shared);
+    match format {
+        "json" => Ok(shared.metrics.registry.render_json()),
+        "prometheus" => Ok(JsonObject::new()
+            .str("format", "prometheus")
+            .str("text", &shared.metrics.registry.render_prometheus())
+            .finish()),
+        other => Err(HetmemError::invalid(format!(
+            "unknown metrics format '{other}' (want json or prometheus)"
+        ))),
+    }
 }
 
 /// Maps a client-side decode failure onto the protocol's error space

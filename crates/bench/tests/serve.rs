@@ -9,12 +9,14 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
+use hetmem::{record_for, Capacity, Placement, RunBuilder, TelemetrySink};
 use hetmem_bench::serve::{roundtrip, start, ServeConfig, ServerHandle};
 use hetmem_harness::json::JsonValue;
-use hetmem_harness::{Request, Response};
+use hetmem_harness::{parse_prometheus, Request, Response};
 
 fn sim_request(id: u64, json_params: &str) -> Request {
     Request::with_params(id, "simulate", JsonValue::parse(json_params).unwrap())
@@ -320,6 +322,259 @@ fn migrate_policy_simulates_with_migration_counters() {
 
     handle.shutdown();
     handle.wait();
+}
+
+#[test]
+fn metrics_op_serves_both_formats_and_conserves_counts() {
+    let handle = server(2, 32);
+    let addr = handle.addr().to_string();
+
+    // Mixed traffic: a place, two simulates (miss + hit), a stats, and
+    // one line that never parses.
+    roundtrip(
+        &addr,
+        &Request::with_params(
+            1,
+            "place",
+            JsonValue::parse(r#"{"workload":"bfs","capacity_pct":10}"#).unwrap(),
+        ),
+    )
+    .unwrap();
+    roundtrip(&addr, &sim_request(2, QUICK)).unwrap();
+    roundtrip(&addr, &sim_request(3, QUICK)).unwrap();
+    stats(&addr);
+    {
+        let stream = TcpStream::connect(&addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        writer.write_all(b"not json\n").unwrap();
+        writer.flush().unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+    }
+
+    // JSON format: per-op histogram counts must sum to
+    // hm_requests_total (the conservation invariant: both sides are
+    // recorded before each response is written, so this sequential
+    // scrape sees a consistent ledger).
+    let resp = roundtrip(&addr, &Request::new(10, "metrics")).unwrap();
+    let doc = JsonValue::parse(expect_ok(&resp)).unwrap();
+    let families = doc.get("metrics").unwrap().as_array().unwrap();
+    let family = |name: &str| {
+        families
+            .iter()
+            .find(|f| f.get("name").and_then(JsonValue::as_str) == Some(name))
+            .unwrap_or_else(|| panic!("no {name} family"))
+    };
+    let requests_total = family("hm_requests_total")
+        .get("series")
+        .unwrap()
+        .as_array()
+        .unwrap()[0]
+        .get("value")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    assert_eq!(requests_total, 5, "4 requests + the decode failure");
+    let duration_series = family("hm_request_duration_us")
+        .get("series")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .to_vec();
+    let mut by_op = std::collections::BTreeMap::new();
+    for s in &duration_series {
+        let op = s
+            .get("labels")
+            .and_then(|l| l.get("op"))
+            .and_then(JsonValue::as_str)
+            .unwrap()
+            .to_string();
+        by_op.insert(op, s.get("count").unwrap().as_u64().unwrap());
+    }
+    assert_eq!(by_op.values().sum::<u64>(), requests_total);
+    assert_eq!(by_op["place"], 1);
+    assert_eq!(by_op["simulate"], 2);
+    assert_eq!(by_op["stats"], 1);
+    assert_eq!(by_op["decode"], 1);
+    // The simulate histogram carries a real latency distribution.
+    let sim = duration_series
+        .iter()
+        .find(|s| {
+            s.get("labels")
+                .and_then(|l| l.get("op"))
+                .and_then(JsonValue::as_str)
+                == Some("simulate")
+        })
+        .unwrap();
+    assert!(sim.get("p99").unwrap().as_u64().unwrap() > 0);
+    // Cache mirrors agree with stats: one miss, one hit.
+    let cache_series = family("hm_cache_events_total")
+        .get("series")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .to_vec();
+    let cache_event = |ev: &str| {
+        cache_series
+            .iter()
+            .find(|s| {
+                s.get("labels")
+                    .and_then(|l| l.get("event"))
+                    .and_then(JsonValue::as_str)
+                    == Some(ev)
+            })
+            .and_then(|s| s.get("value"))
+            .and_then(JsonValue::as_u64)
+            .unwrap()
+    };
+    assert_eq!(cache_event("hit"), 1);
+    assert_eq!(cache_event("miss"), 1);
+
+    // Prometheus format: the exposition must validate, and the request
+    // ledger keeps growing (the JSON scrape above is now counted).
+    let req = Request::with_params(
+        11,
+        "metrics",
+        JsonValue::parse(r#"{"format":"prometheus"}"#).unwrap(),
+    );
+    let resp = roundtrip(&addr, &req).unwrap();
+    let body = JsonValue::parse(expect_ok(&resp)).unwrap();
+    assert_eq!(body.get("format").unwrap().as_str(), Some("prometheus"));
+    let text = body.get("text").unwrap().as_str().unwrap().to_string();
+    let samples = parse_prometheus(&text).expect("valid exposition");
+    assert!(samples > 20, "got only {samples} samples");
+    assert!(text.contains("hm_requests_total 6"), "JSON scrape counted");
+    assert!(text.contains(r#"hm_request_duration_us_count{op="metrics"} 1"#));
+
+    // An unknown format is a structured error, not a hang or a panic.
+    let req = Request::with_params(
+        12,
+        "metrics",
+        JsonValue::parse(r#"{"format":"xml"}"#).unwrap(),
+    );
+    let resp = roundtrip(&addr, &req).unwrap();
+    let (code, message) = expect_err(&resp);
+    assert_eq!(code, "invalid-request");
+    assert!(message.contains("xml"));
+
+    handle.shutdown();
+    handle.wait();
+}
+
+#[test]
+fn request_ids_are_echoed_and_traced_through_telemetry() {
+    let dir = std::env::temp_dir().join(format!("hetmem-serve-rid-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let sink = Arc::new(TelemetrySink::create(&dir).unwrap());
+    let handle = start(ServeConfig {
+        shards: 1,
+        queue_depth: 8,
+        telemetry: Some(sink),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr().to_string();
+
+    // A traced simulate: the response echoes the client id.
+    let req = sim_request(1, QUICK).request_id("it-sim-1").trace();
+    let resp = roundtrip(&addr, &req).unwrap();
+    assert_eq!(resp.request_id(), Some("it-sim-1"));
+    expect_ok(&resp);
+
+    // Errors echo it too — the join key survives the failure path.
+    let req = Request::new(2, "frobnicate").request_id("it-err-1");
+    let resp = roundtrip(&addr, &req).unwrap();
+    assert_eq!(resp.request_id(), Some("it-err-1"));
+    assert_eq!(expect_err(&resp).0, "unknown-op");
+
+    // Without a client id the response carries none (a server-side
+    // srv-N id exists only in telemetry, keeping identical request
+    // lines byte-identical).
+    let resp = roundtrip(&addr, &sim_request(3, QUICK)).unwrap();
+    assert_eq!(resp.request_id(), None);
+
+    handle.shutdown();
+    handle.wait();
+
+    let log = std::fs::read_to_string(dir.join("serve.jsonl")).unwrap();
+    let lines: Vec<JsonValue> = log.lines().map(|l| JsonValue::parse(l).unwrap()).collect();
+    let of_kind = |kind: &str| {
+        lines
+            .iter()
+            .filter(|v| v.get("kind").and_then(JsonValue::as_str) == Some(kind))
+            .collect::<Vec<_>>()
+    };
+    let requests = of_kind("serve-request");
+    let rid = |v: &JsonValue| {
+        v.get("request_id")
+            .and_then(JsonValue::as_str)
+            .unwrap()
+            .to_string()
+    };
+    // Every request line carries an id; client ids verbatim, the rest
+    // server-generated.
+    assert!(requests.iter().any(|v| rid(v) == "it-sim-1"));
+    assert!(requests.iter().any(|v| rid(v) == "it-err-1"
+        && v.get("status").and_then(JsonValue::as_str) == Some("unknown-op")));
+    assert!(requests.iter().all(|v| !rid(v).is_empty()));
+    assert!(requests.iter().any(|v| rid(v).starts_with("srv-")));
+
+    // Spans exist only for the traced request, chain end-to-start from
+    // zero, and cover the worker phases of a fresh simulate.
+    let spans = of_kind("serve-span");
+    assert!(!spans.is_empty(), "traced request must emit spans");
+    assert!(spans.iter().all(|v| rid(v) == "it-sim-1"));
+    let phases: Vec<&str> = spans
+        .iter()
+        .map(|v| v.get("phase").and_then(JsonValue::as_str).unwrap())
+        .collect();
+    for want in [
+        "read",
+        "decode",
+        "queue_wait",
+        "cache_lookup",
+        "execute",
+        "encode",
+    ] {
+        assert!(phases.contains(&want), "missing {want} span in {phases:?}");
+    }
+    let mut cursor = 0u64;
+    for span in &spans {
+        assert_eq!(stat(span, &["start_us"]), cursor, "spans must chain");
+        cursor += stat(span, &["dur_us"]);
+    }
+}
+
+#[test]
+fn served_simulate_bytes_match_an_unobserved_local_run() {
+    // The no-perturbation contract: the observability layer must not
+    // change simulation results. A served simulate's body is exactly
+    // the record a direct in-process run produces.
+    let handle = server(1, 4);
+    let addr = handle.addr().to_string();
+    let resp = roundtrip(&addr, &sim_request(1, QUICK)).unwrap();
+    let served = expect_ok(&resp).to_string();
+    handle.shutdown();
+    handle.wait();
+
+    let mut spec = workloads::catalog::by_name("hotspot").unwrap();
+    spec.mem_ops = 4000;
+    spec.seed = 7;
+    let mut sim = gpusim::SimConfig::paper_baseline();
+    sim.num_sms = 2;
+    let topo = hetmem::topology_for(&sim, &vec![1; sim.pools.len()]);
+    let policy = mempolicy::Mempolicy::parse("LOCAL", &topo).unwrap();
+    let label = policy.name();
+    let run = RunBuilder::new(&spec, &sim)
+        .capacity(Capacity::Unconstrained)
+        .placement(&Placement::Policy(policy))
+        .run();
+    let local = record_for("serve", spec.name, &label, &sim, &run).jsonl(false);
+    assert_eq!(served, local, "served bytes must match the local run");
 }
 
 #[test]

@@ -26,6 +26,7 @@ use mempolicy::{PlacementEvent, PlacementEventKind};
 use workloads::WorkloadSpec;
 
 use crate::experiments::ExpOptions;
+use crate::migrate::MigrationEpochEvent;
 use crate::runner::{Capacity, ObservedRun, Placement, RunBuilder, SimTrace, WorkloadRun};
 
 /// Collects per-run telemetry across sweeps and streams it to one JSONL
@@ -260,10 +261,13 @@ pub fn interval_records_for(
 }
 
 /// Converts one traced run into a Chrome `trace_event` document with
-/// four process tracks: SM request spans (pid 0, tid = SM), DRAM channel
+/// five process tracks: SM request spans (pid 0, tid = SM), DRAM channel
 /// bursts and MSHR NACKs (pid 1, tid = global channel), simulator-time
-/// page faults (pid 2), and the OS mempolicy decision log (pid 3, where
-/// `ts` is the decision sequence number, not simulated time). Timestamps
+/// page faults (pid 2), the OS mempolicy decision log (pid 3, where
+/// `ts` is the decision sequence number, not simulated time), and the
+/// online-migration epoch log (pid 4: one `epoch` instant per closed
+/// epoch carrying its movement deltas, plus `promote`/`demote`/`evict`
+/// instants on their own rows when that epoch moved pages). Timestamps
 /// are microseconds at the SM clock. When the tracer's budget dropped
 /// events (or capped the decision log), a `truncated` instant carries
 /// the drop count.
@@ -271,6 +275,7 @@ pub fn chrome_trace_for(
     sim: &SimConfig,
     trace: &SimTrace,
     placements: &[PlacementEvent],
+    migration_epochs: &[MigrationEpochEvent],
 ) -> ChromeTrace {
     let us = |cycles: u64| cycles as f64 / (sim.sm_clock_ghz * 1e3);
     let mut ct = ChromeTrace::new();
@@ -278,6 +283,9 @@ pub fn chrome_trace_for(
     ct.name_process(1, "DRAM channels");
     ct.name_process(2, "page faults (sim time)");
     ct.name_process(3, "mempolicy decisions (seq order)");
+    if !migration_epochs.is_empty() {
+        ct.name_process(4, "migration epochs (sim time)");
+    }
     for ev in &trace.events {
         match ev.kind {
             TraceEventKind::Request { sm, vline, .. } => {
@@ -332,6 +340,33 @@ pub fn chrome_trace_for(
                 .arg("page", pe.page.index().to_string())
                 .arg("detail", detail.to_string()),
         );
+    }
+    // Migration epochs are already bounded (one event per epoch), so
+    // they are not budget-capped. tid 0 holds the per-epoch summary;
+    // tids 1-3 put promotions, demotions, and evictions on their own
+    // rows so the movement kinds read as separate lanes.
+    for me in migration_epochs {
+        let ts = us(me.cycle);
+        ct.push(
+            TraceEvent::instant("epoch", "migration", ts, 4, 0)
+                .arg("index", me.index.to_string())
+                .arg("promoted", me.promoted.to_string())
+                .arg("demoted", me.demoted.to_string())
+                .arg("evicted", me.evicted.to_string())
+                .arg("copy_pages", me.copy_pages.to_string()),
+        );
+        for (name, tid, pages) in [
+            ("promote", 1, me.promoted),
+            ("demote", 2, me.demoted),
+            ("evict", 3, me.evicted),
+        ] {
+            if pages > 0 {
+                ct.push(
+                    TraceEvent::instant(name, "migration", ts, 4, tid)
+                        .arg("pages", pages.to_string()),
+                );
+            }
+        }
     }
     let dropped = trace.dropped + (placements.len() - kept) as u64;
     if dropped > 0 {
@@ -459,7 +494,7 @@ pub(crate) fn run_point_sweep(
         fs::create_dir_all(dir).unwrap_or_else(|e| panic!("{figure}: trace dir: {e}"));
         for (i, (p, r)) in points.iter().zip(&results).enumerate() {
             let Some(tr) = &r.trace else { continue };
-            let ct = chrome_trace_for(&p.sim, tr, &r.placements);
+            let ct = chrome_trace_for(&p.sim, tr, &r.placements, &r.migration_epochs);
             let name = format!(
                 "{figure}-{i:03}-{}-{}.json",
                 p.spec.name,
@@ -539,6 +574,47 @@ mod tests {
         assert_eq!(sink.records().len(), 3);
         assert!(sink.summary().contains("total: 3 runs"));
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn chrome_trace_renders_migration_epoch_track() {
+        let sim = SimConfig::paper_baseline();
+        let trace = SimTrace {
+            events: Vec::new(),
+            dropped: 0,
+            budget: 100,
+        };
+        let epochs = [
+            MigrationEpochEvent {
+                cycle: 2_000,
+                index: 1,
+                promoted: 2,
+                demoted: 1,
+                evicted: 1,
+                copy_pages: 4,
+            },
+            MigrationEpochEvent {
+                cycle: 4_000,
+                index: 2,
+                ..MigrationEpochEvent::default()
+            },
+        ];
+        let doc = chrome_trace_for(&sim, &trace, &[], &epochs).render();
+        assert!(doc.contains("migration epochs (sim time)"));
+        assert!(doc.contains(r#""name":"epoch""#));
+        for kind in ["promote", "demote", "evict"] {
+            assert!(
+                doc.contains(&format!(r#""name":"{kind}""#)),
+                "missing {kind}"
+            );
+        }
+        assert!(doc.contains(r#""copy_pages":4"#));
+        // A quiet epoch contributes only its summary instant; epoch 2
+        // must not add movement instants.
+        assert_eq!(doc.matches(r#""name":"promote""#).count(), 1);
+        // Without epochs the track (and its process name) is absent.
+        let bare = chrome_trace_for(&sim, &trace, &[], &[]).render();
+        assert!(!bare.contains("migration epochs"));
     }
 
     #[test]

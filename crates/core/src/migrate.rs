@@ -75,6 +75,27 @@ impl MigrationModel {
     }
 }
 
+/// One epoch boundary's page-movement summary: the per-epoch deltas
+/// behind the run-level [`MigrationCounters`] aggregate. Collected by
+/// [`OnlineMigrator`] into a shared log (see
+/// [`OnlineMigrator::epoch_log`]) so observed runs can render epochs as
+/// their own Chrome-trace track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MigrationEpochEvent {
+    /// SM cycle at which the epoch closed.
+    pub cycle: u64,
+    /// 1-based index of the epoch that just closed.
+    pub index: u64,
+    /// Pages promoted into bandwidth-optimized memory this epoch.
+    pub promoted: u64,
+    /// Cold pages demoted to capacity-optimized memory this epoch.
+    pub demoted: u64,
+    /// LRU victims evicted to make room for promotions this epoch.
+    pub evicted: u64,
+    /// Physical page copies issued (promoted + demoted + evicted).
+    pub copy_pages: u64,
+}
+
 /// The `MIGRATE` policy's engine: epoch-based hotness tracking over the
 /// shared address space, with promotion, LRU eviction, and demotion.
 ///
@@ -103,6 +124,9 @@ pub struct OnlineMigrator {
     /// Pages mid-migration: page → cycle its new mapping is usable.
     pending: HashMap<u64, u64>,
     counters: MigrationCounters,
+    /// Per-epoch movement log (shared out via
+    /// [`OnlineMigrator::epoch_log`], same pattern as the tally).
+    epochs: Rc<RefCell<Vec<MigrationEpochEvent>>>,
 }
 
 impl OnlineMigrator {
@@ -136,6 +160,7 @@ impl OnlineMigrator {
             last_access: HashMap::new(),
             pending: HashMap::new(),
             counters: MigrationCounters::default(),
+            epochs: Rc::new(RefCell::new(Vec::new())),
         }
     }
 
@@ -144,6 +169,13 @@ impl OnlineMigrator {
     /// holds exactly the accesses every epoch counted.
     pub fn hotness_tally(&self) -> Rc<RefCell<HashMap<u64, u64>>> {
         Rc::clone(&self.tally)
+    }
+
+    /// Shared handle to the per-epoch movement log. Clone it before
+    /// handing the migrator to the simulator; after the run it holds
+    /// one [`MigrationEpochEvent`] per closed epoch, in cycle order.
+    pub fn epoch_log(&self) -> Rc<RefCell<Vec<MigrationEpochEvent>>> {
+        Rc::clone(&self.epochs)
     }
 
     /// The per-page remap stall this engine charges, in cycles.
@@ -186,6 +218,8 @@ impl PageMigrator for OnlineMigrator {
     }
 
     fn epoch(&mut self, now: u64) -> Vec<PageCopy> {
+        let before = self.counters;
+        let closed_index = self.epoch_index;
         self.counters.epochs += 1;
         self.epoch_index += 1;
         self.next_epoch = now + self.spec.epoch_cycles.max(1);
@@ -269,6 +303,14 @@ impl PageMigrator for OnlineMigrator {
         }
 
         self.counts.clear();
+        self.epochs.borrow_mut().push(MigrationEpochEvent {
+            cycle: now,
+            index: closed_index,
+            promoted: self.counters.promoted - before.promoted,
+            demoted: self.counters.demoted - before.demoted,
+            evicted: self.counters.evicted - before.evicted,
+            copy_pages: copies.len() as u64,
+        });
         copies
     }
 
@@ -396,6 +438,46 @@ mod tests {
             Some(ZoneId::new(1))
         );
         assert_eq!(mm.borrow().zone_of_page(PageNum::new(pages[0])), Some(bo));
+    }
+
+    #[test]
+    fn epoch_log_records_per_epoch_deltas() {
+        let (mm, sim) = setup(1);
+        let bo = ZoneId::new(0);
+        let co = ZoneId::new(1);
+        map_pages(&mm, 1, bo);
+        let pages = map_pages(&mm, 2, co);
+        let mut mig = OnlineMigrator::new(Rc::clone(&mm), MigrateSpec::default(), &sim);
+        let log = mig.epoch_log();
+        for _ in 0..10 {
+            mig.record_access(10, pages[1]);
+        }
+        mig.epoch(100_000); // evict + promote
+        mig.epoch(200_000); // quiet epoch
+        let events = log.borrow();
+        assert_eq!(events.len(), 2);
+        assert_eq!(
+            events[0],
+            MigrationEpochEvent {
+                cycle: 100_000,
+                index: 1,
+                promoted: 1,
+                demoted: 0,
+                evicted: 1,
+                copy_pages: 2,
+            }
+        );
+        assert_eq!(events[1].cycle, 200_000);
+        assert_eq!(events[1].index, 2);
+        assert_eq!(events[1].copy_pages, 0);
+        // Deltas reconcile with the run-level aggregate.
+        let total: u64 = events
+            .iter()
+            .map(|e| e.promoted + e.demoted + e.evicted)
+            .sum();
+        let c = mig.counters();
+        assert_eq!(total, c.promoted + c.demoted + c.evicted);
+        assert_eq!(events.len() as u64, c.epochs);
     }
 
     #[test]

@@ -17,7 +17,7 @@ use mempolicy::{AddressSpace, Mempolicy, MigrateSpec, PlacementEvent, ZoneId};
 use profiler::{get_allocation, MemHint, OraclePlacement, PageHistogram, RunProfile};
 use workloads::{TraceProgram, WorkloadSpec};
 
-use crate::migrate::OnlineMigrator;
+use crate::migrate::{MigrationEpochEvent, OnlineMigrator};
 use crate::runtime::HmRuntime;
 use crate::translate::{topology_for, OsTranslator};
 
@@ -132,6 +132,9 @@ pub struct ObservedRun {
     pub trace: Option<SimTrace>,
     /// Every OS placement decision, in decision order.
     pub placements: Vec<PlacementEvent>,
+    /// Per-epoch migration deltas, in cycle order (empty unless the
+    /// placement carried a `MIGRATE` spec).
+    pub migration_epochs: Vec<MigrationEpochEvent>,
 }
 
 /// The BW-AWARE bandwidth-service target for the BO pool
@@ -342,8 +345,10 @@ impl<'a> RunBuilder<'a> {
                     .map(|n| IntervalSampler::new(n, self.sim.pools.len())),
                 obs.trace.then(|| EventTracer::new(obs.trace_budget)),
             );
+            let mut epoch_log = None;
             let (report, probe) = if let Some(ms) = migrate_spec_of(placement) {
                 let mig = OnlineMigrator::new(Rc::clone(&prep.mm), ms, self.sim);
+                epoch_log = Some(mig.epoch_log());
                 Simulator::new(self.sim.clone(), translator, program)
                     .with_observer(probe)
                     .with_migrator(mig)
@@ -354,6 +359,7 @@ impl<'a> RunBuilder<'a> {
                     .run_observed()
             };
             let placements = prep.mm.borrow_mut().take_placement_log();
+            let migration_epochs = epoch_log.map_or_else(Vec::new, |log| log.borrow().clone());
             let run = prep.finish(report);
             ObservedRun {
                 run,
@@ -371,6 +377,7 @@ impl<'a> RunBuilder<'a> {
                     }
                 }),
                 placements,
+                migration_epochs,
             }
         })
     }

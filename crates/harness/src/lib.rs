@@ -22,7 +22,8 @@
 //!    request/response envelope), [`cache`] (a content-addressed LRU
 //!    result cache whose hits are byte-identical to recomputation), and
 //!    [`queue`] (bounded backpressure queues with close-and-drain
-//!    shutdown).
+//!    shutdown), and [`metrics`] (a lock-cheap counter/gauge/histogram
+//!    registry rendering JSON and Prometheus text exposition).
 //!
 //! # Examples
 //!
@@ -50,6 +51,7 @@ pub mod cache;
 pub mod checkpoint;
 pub mod fault;
 pub mod json;
+pub mod metrics;
 pub mod prop;
 pub mod protocol;
 pub mod queue;
@@ -64,6 +66,9 @@ pub use cache::{CacheStats, ResultCache};
 pub use checkpoint::{read_checkpoint, run_grid_resumable, CheckpointEntry, CheckpointWriter};
 pub use fault::{FaultCounts, FaultInjector, FaultPlan, INJECTED_PANIC_MARKER};
 pub use json::{validate_jsonl, JsonError, JsonValue};
+pub use metrics::{
+    parse_prometheus, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry,
+};
 pub use prop::{any_u64, vec_of, Gen, Sample};
 pub use protocol::{ProtocolError, Request, Response};
 pub use queue::{BoundedQueue, PushError};

@@ -37,6 +37,20 @@ pub struct Request {
     /// cut cooperatively at grid-point boundaries, so an in-flight
     /// simulation point still runs to completion.
     pub deadline_ms: Option<u64>,
+    /// Optional request-scoped trace id, echoed in error responses,
+    /// success responses, and every server telemetry line touching this
+    /// request — the join key between client retry logs and server-side
+    /// records. Unlike `id` (a per-connection pipelining counter), a
+    /// `request_id` is globally meaningful; the server generates one
+    /// (`srv-N`) for telemetry when the client omits it, but only
+    /// client-supplied ids are echoed on responses (so responses stay
+    /// byte-identical for identical request lines).
+    pub request_id: Option<String>,
+    /// Opt-in per-request span logging: when set, the server emits
+    /// `serve-span` telemetry lines covering every phase of this
+    /// request, renderable onto a Chrome trace timeline
+    /// (`hetmem-trace spans`).
+    pub trace: bool,
     /// Operation parameters; `{}` when the line omits `params`.
     pub params: JsonValue,
 }
@@ -48,6 +62,8 @@ impl Request {
             id,
             op: op.to_string(),
             deadline_ms: None,
+            request_id: None,
+            trace: false,
             params: JsonValue::Object(Vec::new()),
         }
     }
@@ -55,10 +71,8 @@ impl Request {
     /// Builds a request with the given params object and no deadline.
     pub fn with_params(id: u64, op: &str, params: JsonValue) -> Self {
         Request {
-            id,
-            op: op.to_string(),
-            deadline_ms: None,
             params,
+            ..Request::new(id, op)
         }
     }
 
@@ -69,11 +83,34 @@ impl Request {
         self
     }
 
+    /// Sets the request-scoped trace id.
+    #[must_use]
+    pub fn request_id(mut self, rid: &str) -> Self {
+        self.request_id = Some(rid.to_string());
+        self
+    }
+
+    /// Enables per-request span logging.
+    #[must_use]
+    pub fn trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
     /// Encodes the request as one JSON line (no trailing newline).
+    /// `request_id` and `trace` are emitted only when set, so requests
+    /// that don't use them encode to the same bytes as before they
+    /// existed.
     pub fn encode(&self) -> String {
         let mut obj = JsonObject::new().u64("id", self.id).str("op", &self.op);
+        if let Some(rid) = &self.request_id {
+            obj = obj.str("request_id", rid);
+        }
         if let Some(ms) = self.deadline_ms {
             obj = obj.u64("deadline_ms", ms);
+        }
+        if self.trace {
+            obj = obj.bool("trace", true);
         }
         obj.raw("params", &self.params.render()).finish()
     }
@@ -105,6 +142,24 @@ impl Request {
                 ProtocolError::bad_request("'deadline_ms' must be a non-negative integer")
             })?),
         };
+        let request_id = match v.get("request_id") {
+            None => None,
+            Some(r) => {
+                let rid = r
+                    .as_str()
+                    .ok_or_else(|| ProtocolError::bad_request("'request_id' must be a string"))?;
+                if rid.is_empty() {
+                    return Err(ProtocolError::bad_request("'request_id' must be non-empty"));
+                }
+                Some(rid.to_string())
+            }
+        };
+        let trace = match v.get("trace") {
+            None => false,
+            Some(t) => t
+                .as_bool()
+                .ok_or_else(|| ProtocolError::bad_request("'trace' must be a boolean"))?,
+        };
         let params = match v.get("params") {
             Some(JsonValue::Object(fields)) => JsonValue::Object(fields.clone()),
             None => JsonValue::Object(Vec::new()),
@@ -114,6 +169,8 @@ impl Request {
             id,
             op,
             deadline_ms,
+            request_id,
+            trace,
             params,
         })
     }
@@ -126,6 +183,9 @@ pub enum Response {
     Ok {
         /// Echoed request id.
         id: u64,
+        /// Echoed client-supplied trace id (never server-generated, so
+        /// identical request lines keep byte-identical responses).
+        request_id: Option<String>,
         /// The result body, already serialized (often straight from the
         /// result cache, so bytes are stable).
         result: String,
@@ -134,6 +194,9 @@ pub enum Response {
     Err {
         /// Echoed request id (0 when the request never parsed).
         id: u64,
+        /// Echoed client-supplied trace id, so retry logs can be joined
+        /// against server-side telemetry.
+        request_id: Option<String>,
         /// Stable error code (e.g. `overloaded`, `unknown-workload`).
         code: String,
         /// Human-readable detail.
@@ -144,16 +207,32 @@ pub enum Response {
 impl Response {
     /// Builds a success response from a pre-serialized result.
     pub fn ok(id: u64, result: String) -> Self {
-        Response::Ok { id, result }
+        Response::Ok {
+            id,
+            request_id: None,
+            result,
+        }
     }
 
     /// Builds an error response.
     pub fn err(id: u64, code: &str, message: &str) -> Self {
         Response::Err {
             id,
+            request_id: None,
             code: code.to_string(),
             message: message.to_string(),
         }
+    }
+
+    /// Attaches (or clears) the echoed trace id.
+    #[must_use]
+    pub fn with_request_id(mut self, rid: Option<String>) -> Self {
+        match &mut self {
+            Response::Ok { request_id, .. } | Response::Err { request_id, .. } => {
+                *request_id = rid;
+            }
+        }
+        self
     }
 
     /// The echoed request id.
@@ -163,30 +242,56 @@ impl Response {
         }
     }
 
+    /// The echoed trace id, if the request carried one.
+    pub fn request_id(&self) -> Option<&str> {
+        match self {
+            Response::Ok { request_id, .. } | Response::Err { request_id, .. } => {
+                request_id.as_deref()
+            }
+        }
+    }
+
     /// Whether this is a success response.
     pub fn is_ok(&self) -> bool {
         matches!(self, Response::Ok { .. })
     }
 
     /// Encodes the response as one JSON line (no trailing newline).
+    /// `request_id` is emitted only when present, keeping responses to
+    /// id-less requests byte-identical to the pre-`request_id` wire
+    /// format.
     pub fn encode(&self) -> String {
         match self {
-            Response::Ok { id, result } => JsonObject::new()
-                .u64("id", *id)
-                .bool("ok", true)
-                .raw("result", result)
-                .finish(),
-            Response::Err { id, code, message } => JsonObject::new()
-                .u64("id", *id)
-                .bool("ok", false)
-                .raw(
+            Response::Ok {
+                id,
+                request_id,
+                result,
+            } => {
+                let mut obj = JsonObject::new().u64("id", *id).bool("ok", true);
+                if let Some(rid) = request_id {
+                    obj = obj.str("request_id", rid);
+                }
+                obj.raw("result", result).finish()
+            }
+            Response::Err {
+                id,
+                request_id,
+                code,
+                message,
+            } => {
+                let mut obj = JsonObject::new().u64("id", *id).bool("ok", false);
+                if let Some(rid) = request_id {
+                    obj = obj.str("request_id", rid);
+                }
+                obj.raw(
                     "error",
                     &JsonObject::new()
                         .str("code", code)
                         .str("message", message)
                         .finish(),
                 )
-                .finish(),
+                .finish()
+            }
         }
     }
 
@@ -203,6 +308,14 @@ impl Response {
             .get("id")
             .and_then(JsonValue::as_u64)
             .ok_or_else(|| ProtocolError::bad_request("missing or non-integer 'id'"))?;
+        let request_id = match v.get("request_id") {
+            None => None,
+            Some(r) => Some(
+                r.as_str()
+                    .ok_or_else(|| ProtocolError::bad_request("'request_id' must be a string"))?
+                    .to_string(),
+            ),
+        };
         match v.get("ok").and_then(JsonValue::as_bool) {
             Some(true) => {
                 let result = v
@@ -210,6 +323,7 @@ impl Response {
                     .ok_or_else(|| ProtocolError::bad_request("ok response without 'result'"))?;
                 Ok(Response::Ok {
                     id,
+                    request_id,
                     result: result.render(),
                 })
             }
@@ -225,7 +339,7 @@ impl Response {
                     .get("message")
                     .and_then(JsonValue::as_str)
                     .unwrap_or("");
-                Ok(Response::err(id, code, message))
+                Ok(Response::err(id, code, message).with_request_id(request_id))
             }
             None => Err(ProtocolError::bad_request("missing or non-boolean 'ok'")),
         }
@@ -324,6 +438,47 @@ mod tests {
     }
 
     #[test]
+    fn request_id_and_trace_roundtrip() {
+        let req = Request::new(9, "simulate").request_id("cli-42").trace();
+        let line = req.encode();
+        assert_eq!(
+            line,
+            r#"{"id":9,"op":"simulate","request_id":"cli-42","trace":true,"params":{}}"#
+        );
+        assert_eq!(Request::decode(&line).unwrap(), req);
+        // Absent fields stay absent — old wire bytes are unchanged.
+        let plain = Request::new(1, "stats");
+        assert_eq!(plain.encode(), r#"{"id":1,"op":"stats","params":{}}"#);
+        let decoded = Request::decode(&plain.encode()).unwrap();
+        assert_eq!(decoded.request_id, None);
+        assert!(!decoded.trace);
+    }
+
+    #[test]
+    fn response_echoes_request_id_only_when_present() {
+        let ok = Response::ok(2, "{}".to_string()).with_request_id(Some("cli-42".into()));
+        assert_eq!(
+            ok.encode(),
+            r#"{"id":2,"ok":true,"request_id":"cli-42","result":{}}"#
+        );
+        assert_eq!(Response::decode(&ok.encode()).unwrap(), ok);
+        assert_eq!(ok.request_id(), Some("cli-42"));
+
+        let err =
+            Response::err(3, "overloaded", "queue full").with_request_id(Some("cli-43".into()));
+        assert_eq!(
+            err.encode(),
+            r#"{"id":3,"ok":false,"request_id":"cli-43","error":{"code":"overloaded","message":"queue full"}}"#
+        );
+        assert_eq!(Response::decode(&err.encode()).unwrap(), err);
+
+        // Without an id the wire format is exactly the old one.
+        let bare = Response::ok(2, "{}".to_string());
+        assert_eq!(bare.encode(), r#"{"id":2,"ok":true,"result":{}}"#);
+        assert_eq!(bare.request_id(), None);
+    }
+
+    #[test]
     fn request_rejects_bad_envelopes() {
         assert!(matches!(
             Request::decode("not json"),
@@ -337,6 +492,9 @@ mod tests {
             r#"{"id":1,"op":"x","params":[1]}"#,
             r#"{"id":1,"op":"x","deadline_ms":"soon"}"#,
             r#"{"id":1,"op":"x","deadline_ms":-5}"#,
+            r#"{"id":1,"op":"x","request_id":7}"#,
+            r#"{"id":1,"op":"x","request_id":""}"#,
+            r#"{"id":1,"op":"x","trace":"yes"}"#,
         ] {
             assert!(
                 matches!(Request::decode(bad), Err(ProtocolError::BadRequest(_))),

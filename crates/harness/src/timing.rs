@@ -12,6 +12,8 @@
 
 use std::time::Instant;
 
+use crate::metrics::Histogram;
+
 /// One benchmark's measurements.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchResult {
@@ -23,16 +25,23 @@ pub struct BenchResult {
     pub mean_ns: f64,
     /// Fastest iteration, nanoseconds.
     pub min_ns: f64,
+    /// Median iteration, nanoseconds (log-bucket midpoint estimate,
+    /// within 1/16 relative error of the true order statistic).
+    pub p50_ns: f64,
+    /// 99th-percentile iteration, nanoseconds (same estimator).
+    pub p99_ns: f64,
 }
 
 impl BenchResult {
     fn fmt_line(&self) -> String {
         format!(
-            "{:<44}{:>8} iters   mean {:>12}   min {:>12}",
+            "{:<44}{:>8} iters   mean {:>12}   min {:>12}   p50 {:>12}   p99 {:>12}",
             self.name,
             self.iters,
             fmt_ns(self.mean_ns),
-            fmt_ns(self.min_ns)
+            fmt_ns(self.min_ns),
+            fmt_ns(self.p50_ns),
+            fmt_ns(self.p99_ns)
         )
     }
 }
@@ -102,11 +111,15 @@ impl Bencher {
         let mut iters = 0u64;
         let mut total_ns = 0.0f64;
         let mut min_ns = f64::INFINITY;
+        // Per-iteration samples (warm-up excluded) feed a log-bucketed
+        // histogram, giving tail quantiles without storing the series.
+        let samples = Histogram::new();
         while iters < max_iters {
             let state = setup();
             let start = Instant::now();
             std::hint::black_box(f(state));
             let ns = start.elapsed().as_nanos() as f64;
+            samples.record(start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
             total_ns += ns;
             min_ns = min_ns.min(ns);
             iters += 1;
@@ -114,11 +127,14 @@ impl Bencher {
                 break;
             }
         }
+        let snap = samples.snapshot();
         let result = BenchResult {
             name: name.to_string(),
             iters,
             mean_ns: total_ns / iters as f64,
             min_ns,
+            p50_ns: snap.quantile(0.50) as f64,
+            p99_ns: snap.quantile(0.99) as f64,
         };
         eprintln!("{}", result.fmt_line());
         self.results.push(result);
@@ -154,6 +170,10 @@ mod tests {
         let r = b.bench("t/sum", || (0..1000u64).sum::<u64>()).clone();
         assert_eq!(r.iters, 5);
         assert!(r.min_ns <= r.mean_ns);
+        // Quantiles are bucket-midpoint estimates over real samples:
+        // ordered, positive, and p99 within the sampled range's bucket.
+        assert!(r.p50_ns > 0.0);
+        assert!(r.p50_ns <= r.p99_ns);
         assert_eq!(b.results().len(), 1);
         b.finish();
     }

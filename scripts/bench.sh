@@ -3,7 +3,8 @@
 #
 # Runs the hetmem-perf matrix (six catalog workloads x {LOCAL, BW-AWARE}
 # at 400k memory ops on 15 SMs, min-of-3 iterations per point) and
-# writes per-point events/sec, sim-cycles/sec and wall time as JSON.
+# writes per-point events/sec, sim-cycles/sec and wall time — min/mean
+# plus p50/p99 iteration tails — as JSON.
 #
 # Usage:
 #   scripts/bench.sh                                  # run, write target/bench/current.json

@@ -53,11 +53,35 @@ client simulate workload=hotspot policy=LOCAL mem_ops=4000 sms=2 \
 cmp "$SERVE_DIR/sim1.jsonl" "$SERVE_DIR/sim2.jsonl"  # cache hit: same bytes
 client stats > "$SERVE_DIR/stats.jsonl"
 grep -q '"hits":1' "$SERVE_DIR/stats.jsonl"
+
+# Metrics/tracing smoke: a traced request's id must be echoed on both
+# the success and error paths, the metrics op must serve JSON and a
+# valid Prometheus exposition whose per-op histogram counts conserve
+# (hetmem-top --check), and the span log must render to a Chrome trace.
+cargo build --release --offline -q -p hetmem-bench --bin hetmem-top
+client --request-id ci-trace-1 --trace simulate \
+    workload=hotspot policy=LOCAL mem_ops=4000 sms=2 > "$SERVE_DIR/sim3.jsonl"
+grep -q '"request_id":"ci-trace-1"' "$SERVE_DIR/sim3.jsonl"
+client --request-id ci-err-1 simulate workload=no-such-app \
+    > "$SERVE_DIR/err.jsonl" || true
+grep -q '"request_id":"ci-err-1"' "$SERVE_DIR/err.jsonl"
+grep -q '"code":"unknown-workload"' "$SERVE_DIR/err.jsonl"
+client metrics > "$SERVE_DIR/metrics.json"
+grep -q 'hm_requests_total' "$SERVE_DIR/metrics.json"
+client metrics format=prometheus > "$SERVE_DIR/metrics-prom.json"
+cargo run --release --offline -q -p hetmem-bench --bin hetmem-trace -- \
+    promcheck "$SERVE_DIR/metrics-prom.json"
+target/release/hetmem-top "$ADDR" --once --json --check > "$SERVE_DIR/top.json"
+grep -q '"p99_us"' "$SERVE_DIR/top.json"
+
 client shutdown | grep -q '"draining":true'
 wait "$SERVE_PID"  # graceful drain: the server must exit 0 on its own
 trap - EXIT
 cargo run --release --offline -q -p hetmem-bench --bin hetmem-trace -- \
-    check "$SERVE_DIR"/*.jsonl
+    spans "$SERVE_DIR/serve.jsonl" --request ci-trace-1 \
+    --out "$SERVE_DIR/spans.json"
+cargo run --release --offline -q -p hetmem-bench --bin hetmem-trace -- \
+    check "$SERVE_DIR"/*.jsonl "$SERVE_DIR/spans.json"
 
 # Chaos smoke: the loopback test injects seeded worker panics, stalls,
 # torn writes, and cache corruption, and asserts every request ends
