@@ -26,6 +26,9 @@
 //!   for the request, across all retries of this one call
 //! * `--trace` — ask the server to log per-phase `serve-span` lines
 //!   for this request (render with `hetmem-trace spans`)
+//! * `--batch <n>` — wrap the request in one protocol-v2 `batch`
+//!   envelope carrying `n` copies (sub-ids 1..=n) through a single
+//!   dispatch; each sub-response prints on its own line
 //!
 //! Values parse as (in order): unsigned integer, float, boolean,
 //! comma-separated number array (`sizes=1048576,2097152`), else
@@ -36,7 +39,7 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use hetmem_bench::client::{call, ClientOptions};
+use hetmem_bench::client::ClientBuilder;
 use hetmem_harness::json::JsonValue;
 use hetmem_harness::{Backoff, Request, Response};
 
@@ -70,26 +73,29 @@ fn scalar(value: &str) -> JsonValue {
 }
 
 fn main() -> ExitCode {
-    let mut opts = ClientOptions::default();
+    let mut retries = 3u32;
+    let mut deadline_ms: Option<u64> = None;
+    let mut timeout = Duration::from_secs(120);
     let mut backoff_seed = 0u64;
     let mut request_id: Option<String> = None;
     let mut trace = false;
+    let mut batch: Option<u64> = None;
     let mut rest: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--retries" => {
                 let v = args.next().expect("--retries needs a value");
-                opts.retries = v.parse().expect("--retries takes an integer");
+                retries = v.parse().expect("--retries takes an integer");
             }
             "--deadline-ms" => {
                 let v = args.next().expect("--deadline-ms needs a value");
-                opts.deadline_ms = Some(v.parse().expect("--deadline-ms takes an integer"));
+                deadline_ms = Some(v.parse().expect("--deadline-ms takes an integer"));
             }
             "--timeout-ms" => {
                 let v = args.next().expect("--timeout-ms needs a value");
                 let ms: u64 = v.parse().expect("--timeout-ms takes an integer");
-                opts.read_timeout = Duration::from_millis(ms.max(1));
+                timeout = Duration::from_millis(ms.max(1));
             }
             "--backoff-seed" => {
                 let v = args.next().expect("--backoff-seed needs a value");
@@ -101,6 +107,12 @@ fn main() -> ExitCode {
                 request_id = Some(v);
             }
             "--trace" => trace = true,
+            "--batch" => {
+                let v = args.next().expect("--batch needs a count");
+                let n: u64 = v.parse().expect("--batch takes an integer");
+                assert!(n > 0, "--batch must be positive");
+                batch = Some(n);
+            }
             other if other.starts_with("--") => {
                 eprintln!("hetmem-client: unknown flag '{other}'");
                 return ExitCode::from(1);
@@ -112,9 +124,15 @@ fn main() -> ExitCode {
         eprintln!("usage: hetmem-client [flags] <addr> <op> [key=value ...]");
         return ExitCode::from(1);
     }
-    opts.backoff = Backoff::new(50, 2000, backoff_seed);
     let addr = &rest[0];
     let op = &rest[1];
+    let mut client = ClientBuilder::new(addr)
+        .retries(retries)
+        .backoff(Backoff::new(50, 2000, backoff_seed))
+        .read_timeout(timeout);
+    if let Some(ms) = deadline_ms {
+        client = client.deadline_ms(ms);
+    }
     let params = JsonValue::Object(rest[2..].iter().map(|pair| field(pair)).collect());
     let mut req = Request::with_params(1, op, params);
     if let Some(id) = &request_id {
@@ -123,7 +141,40 @@ fn main() -> ExitCode {
     if trace {
         req = req.trace();
     }
-    match call(addr, &req, &opts) {
+    if let Some(n) = batch {
+        let subs: Vec<Request> = (1..=n)
+            .map(|i| {
+                let mut sub = req.clone();
+                sub.id = i;
+                sub
+            })
+            .collect();
+        return match client.call_batch(1, &subs) {
+            Ok(outcome) => {
+                if let Response::Err { .. } = &outcome.response {
+                    // The envelope itself was refused (batch-too-large,
+                    // shutting-down, ...): one line, like a bare error.
+                    println!("{}", outcome.response.encode());
+                    return ExitCode::from(2);
+                }
+                let mut all_ok = true;
+                for sub in &outcome.responses {
+                    println!("{}", sub.encode());
+                    all_ok &= matches!(sub, Response::Ok { .. });
+                }
+                if all_ok {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::from(2)
+                }
+            }
+            Err(e) => {
+                eprintln!("hetmem-client: {e}");
+                ExitCode::from(1)
+            }
+        };
+    }
+    match client.call(&req) {
         Ok(outcome) => {
             println!("{}", outcome.response.encode());
             if matches!(outcome.response, Response::Ok { .. }) {

@@ -10,6 +10,8 @@
 //! ```text
 //! hetmem-perf run [--quick] [--migrate] [--label L] [--out FILE] [--iters N]
 //!                 [--mem-ops N] [--sms N] [--workloads a,b] [--policies p,q]
+//! hetmem-perf serve [--conns N] [--reqs N] [--depth N] [--core both|poll|threaded]
+//!                   [--out FILE] [--min-speedup X]
 //! hetmem-perf gate --baseline FILE --current FILE
 //!                  [--max-regress 0.30] [--min-speedup X]
 //! hetmem-perf report --baseline FILE --current FILE --out FILE
@@ -17,6 +19,13 @@
 //!
 //! * `run` measures the matrix and writes one JSON document (a
 //!   "section": label, matrix, per-point results, aggregate rates).
+//! * `serve` measures front-end throughput: `--conns` loopback
+//!   connections each pipeline `--reqs` cheap `stats` requests at
+//!   `--depth` in-flight lines per socket against an in-process
+//!   `hetmem-serve`. With `--core both` it benches the blocking
+//!   thread-per-connection baseline, then the poll(2) readiness loop,
+//!   and emits a report document with `speedup_requests_per_sec`;
+//!   `--min-speedup` turns that comparison into a gate (exit 4).
 //! * `gate` compares two sections and exits 4 if the current aggregate
 //!   events/sec regressed by more than `--max-regress` (default 0.30,
 //!   the CI smoke threshold) — or, with `--min-speedup`, if current is
@@ -26,12 +35,18 @@
 //!
 //! Exit codes: 0 ok, 2 usage error, 4 gate failure.
 
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::process::ExitCode;
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
 
 use gpusim::SimConfig;
 use hetmem::{topology_for, Placement, RunBuilder};
+use hetmem_bench::serve::{roundtrip, start, ServeConfig, ServeCore};
 use hetmem_harness::json::{array, JsonObject, JsonValue};
 use hetmem_harness::timing::Bencher;
+use hetmem_harness::Request;
 use mempolicy::Mempolicy;
 use workloads::catalog;
 
@@ -146,6 +161,96 @@ fn run_matrix(opts: &RunOpts) -> Result<String, String> {
         .finish())
 }
 
+/// One serve-throughput measurement: `conns` loopback connections,
+/// each pipelining `reqs` `stats` requests with `depth` lines in
+/// flight per socket, against a fresh in-process server running the
+/// given front end. Returns requests/sec and the section JSON.
+fn serve_section(core: ServeCore, conns: usize, reqs: usize, depth: usize) -> (f64, String) {
+    let label = match core {
+        ServeCore::Poll => "poll",
+        ServeCore::Threaded => "threaded",
+    };
+    let cfg = ServeConfig {
+        core,
+        ..ServeConfig::default()
+    };
+    let handle = start(cfg).unwrap_or_else(|e| panic!("serve bench: cannot start server: {e}"));
+    let addr = handle.addr().to_string();
+
+    // Pre-encode the request lines once; every connection sends the
+    // same bytes, so the measurement is pure front-end work.
+    let lines: Arc<Vec<String>> = Arc::new(
+        (1..=reqs as u64)
+            .map(|id| {
+                let mut line = Request::new(id, "stats").encode();
+                line.push('\n');
+                line
+            })
+            .collect(),
+    );
+    let barrier = Arc::new(Barrier::new(conns + 1));
+    let workers: Vec<_> = (0..conns)
+        .map(|_| {
+            let addr = addr.clone();
+            let lines = Arc::clone(&lines);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || -> Result<(), String> {
+                let stream = TcpStream::connect(&addr).map_err(|e| format!("connect: {e}"))?;
+                stream.set_nodelay(true).ok();
+                let mut reader =
+                    BufReader::new(stream.try_clone().map_err(|e| format!("clone: {e}"))?);
+                let mut writer = stream;
+                barrier.wait();
+                let mut resp = String::new();
+                for chunk in lines.chunks(depth.max(1)) {
+                    let burst: String = chunk.concat();
+                    writer
+                        .write_all(burst.as_bytes())
+                        .map_err(|e| format!("write: {e}"))?;
+                    for _ in chunk {
+                        resp.clear();
+                        let n = reader
+                            .read_line(&mut resp)
+                            .map_err(|e| format!("read: {e}"))?;
+                        if n == 0 {
+                            return Err("server closed mid-pipeline".to_string());
+                        }
+                        if !resp.contains("\"ok\":true") {
+                            return Err(format!("unexpected response: {}", resp.trim_end()));
+                        }
+                    }
+                }
+                Ok(())
+            })
+        })
+        .collect();
+    barrier.wait();
+    let t0 = Instant::now();
+    for w in workers {
+        w.join()
+            .expect("serve bench client panicked")
+            .unwrap_or_else(|e| panic!("serve bench client failed: {e}"));
+    }
+    let wall = t0.elapsed();
+    roundtrip(&addr, &Request::new(1, "shutdown"))
+        .unwrap_or_else(|e| panic!("serve bench shutdown: {e}"));
+    handle.wait();
+
+    let total = (conns * reqs) as f64;
+    let rate = total / wall.as_secs_f64();
+    let section = JsonObject::new()
+        .str("bench", "hetmem-perf-serve")
+        .str("label", label)
+        .u64("conns", conns as u64)
+        .u64("reqs_per_conn", reqs as u64)
+        .u64("pipeline_depth", depth as u64)
+        .u64("requests", (conns * reqs) as u64)
+        .f64("wall_ms", wall.as_secs_f64() * 1e3)
+        .f64("requests_per_sec", rate)
+        .finish();
+    (rate, section)
+}
+
 fn load_rate(path: &str) -> Result<(f64, JsonValue), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let doc = JsonValue::parse(text.trim()).map_err(|e| format!("{path}: {e}"))?;
@@ -237,6 +342,81 @@ fn main() -> ExitCode {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => fail(&e),
             }
+        }
+        "serve" => {
+            let mut conns = 64usize;
+            let mut reqs = 400usize;
+            let mut depth = 32usize;
+            let mut core = "both".to_string();
+            let mut out: Option<String> = None;
+            let mut min_speedup: Option<f64> = None;
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "--conns" => {
+                        conns = next("--conns", &mut args)
+                            .parse()
+                            .expect("--conns takes an integer");
+                    }
+                    "--reqs" => {
+                        reqs = next("--reqs", &mut args)
+                            .parse()
+                            .expect("--reqs takes an integer");
+                    }
+                    "--depth" => {
+                        depth = next("--depth", &mut args)
+                            .parse()
+                            .expect("--depth takes an integer");
+                    }
+                    "--core" => core = next("--core", &mut args),
+                    "--out" => out = Some(next("--out", &mut args)),
+                    "--min-speedup" => {
+                        min_speedup = Some(
+                            next("--min-speedup", &mut args)
+                                .parse()
+                                .expect("--min-speedup takes a float"),
+                        );
+                    }
+                    other => return fail(&format!("unknown serve flag {other}")),
+                }
+            }
+            if conns == 0 || reqs == 0 {
+                return fail("--conns and --reqs must be positive");
+            }
+            if core != "both" {
+                let core = match ServeCore::parse(&core) {
+                    Ok(c) => c,
+                    Err(e) => return fail(&e),
+                };
+                let (rate, section) = serve_section(core, conns, reqs, depth);
+                eprintln!("hetmem-perf: serve [{core:?}] {rate:.0} req/s");
+                return match write_or_print(out.as_deref(), &section) {
+                    Ok(()) => ExitCode::SUCCESS,
+                    Err(e) => fail(&e),
+                };
+            }
+            let (base_rate, base_section) = serve_section(ServeCore::Threaded, conns, reqs, depth);
+            let (cur_rate, cur_section) = serve_section(ServeCore::Poll, conns, reqs, depth);
+            let speedup = cur_rate / base_rate;
+            eprintln!(
+                "hetmem-perf: serve threaded {base_rate:.0} req/s, poll {cur_rate:.0} req/s, \
+                 speedup {speedup:.2}x"
+            );
+            let body = JsonObject::new()
+                .str("bench", "hetmem-perf-serve")
+                .raw("baseline", &base_section)
+                .raw("current", &cur_section)
+                .f64("speedup_requests_per_sec", speedup)
+                .finish();
+            if let Err(e) = write_or_print(out.as_deref(), &body) {
+                return fail(&e);
+            }
+            if let Some(min) = min_speedup {
+                if speedup < min {
+                    eprintln!("hetmem-perf: GATE FAILED: speedup {speedup:.2}x below {min:.2}x");
+                    return ExitCode::from(4);
+                }
+            }
+            ExitCode::SUCCESS
         }
         "gate" | "report" => {
             let mut baseline = None;

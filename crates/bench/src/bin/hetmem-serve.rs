@@ -10,9 +10,17 @@
 //!
 //! * `--addr <host:port>` — bind address (default `127.0.0.1:0`; port
 //!   0 picks an ephemeral port, printed on stdout)
+//! * `--core <poll|threaded>` — connection front end (default `poll`,
+//!   the readiness loop with pipelining; `threaded` is the blocking
+//!   thread-per-connection baseline)
 //! * `--shards <n>` — simulation worker shards (default 2)
 //! * `--queue-depth <n>` — bounded queue depth per shard (default 32)
 //! * `--cache <n>` — result cache capacity in entries (default 128)
+//! * `--max-batch <n>` — `batch` sub-request ceiling per envelope
+//!   (default 64); beyond it the envelope is refused `batch-too-large`
+//! * `--conn-buf <bytes>` — poll-core backpressure threshold (default
+//!   262144); a connection holding this much unflushed response
+//!   backlog has further requests shed with `overloaded`
 //! * `--out <dir>` — stream per-request telemetry to `<dir>/serve.jsonl`
 //! * `--fsync` — fsync the telemetry file after every append
 //! * `--read-timeout-ms <n>` — accepted-connection read timeout
@@ -30,7 +38,7 @@
 use std::sync::Arc;
 
 use hetmem::TelemetrySink;
-use hetmem_bench::serve::{start, ServeConfig};
+use hetmem_bench::serve::{start, ServeConfig, ServeCore};
 use hetmem_harness::FaultPlan;
 
 fn main() {
@@ -42,6 +50,18 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => cfg.addr = args.next().expect("--addr needs host:port"),
+            "--core" => {
+                let v = args.next().expect("--core needs poll or threaded");
+                cfg.core = ServeCore::parse(&v).unwrap_or_else(|e| panic!("{e}"));
+            }
+            "--max-batch" => {
+                let v = args.next().expect("--max-batch needs a value");
+                cfg.max_batch = v.parse().expect("--max-batch takes an integer");
+            }
+            "--conn-buf" => {
+                let v = args.next().expect("--conn-buf needs a value");
+                cfg.conn_buffer = v.parse().expect("--conn-buf takes an integer");
+            }
             "--shards" => {
                 let v = args.next().expect("--shards needs a value");
                 cfg.shards = v.parse().expect("--shards takes an integer");

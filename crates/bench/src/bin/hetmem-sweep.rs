@@ -39,9 +39,20 @@
 //! * `--faults <spec>` — deterministic chaos (only latency faults
 //!   apply here), e.g. `seed=7,latency=1,latency-ms=200` — used by CI
 //!   to widen the kill window of the SIGKILL/resume smoke test
+//! * `--addr <host:port>` — **remote mode**: instead of simulating
+//!   locally, send every grid point to a running `hetmem-serve` as
+//!   `simulate` sub-requests inside protocol-v2 `batch` envelopes
+//!   (chunked by `--batch`, default 32), via the retrying
+//!   [`ClientBuilder`](hetmem_bench::client::ClientBuilder). Output
+//!   stays in grid order; the server's records carry its `serve` tag
+//!   rather than `sweep`, and its result cache makes re-runs
+//!   byte-identical. Incompatible with `--checkpoint`/`--resume`
+//!   (the server owns execution; resume locally instead)
+//! * `--batch <n>` — sub-requests per envelope in remote mode
+//!   (default 32; must not exceed the server's `--max-batch`)
 //!
 //! Exit codes: 0 success, 2 usage/setup error, 3 sweep failure
-//! (panicking point or deadline exceeded).
+//! (panicking point, deadline exceeded, or a failed remote point).
 
 use std::io::Write;
 use std::process::ExitCode;
@@ -51,10 +62,11 @@ use gpusim::SimConfig;
 use hetmem::{
     hints_from_profile, profile_workload, record_for, topology_for, Capacity, Placement, RunBuilder,
 };
+use hetmem_bench::client::ClientBuilder;
 use hetmem_harness::checkpoint::{run_grid_resumable, CheckpointWriter};
-use hetmem_harness::json::JsonObject;
+use hetmem_harness::json::{JsonObject, JsonValue};
 use hetmem_harness::sweep::{run_grid, PointCtx, SweepOptions};
-use hetmem_harness::{FaultInjector, FaultPlan};
+use hetmem_harness::{FaultInjector, FaultPlan, Request, Response};
 use mempolicy::Mempolicy;
 use workloads::{catalog, WorkloadSpec};
 
@@ -82,6 +94,36 @@ impl Point {
 
     fn label(&self) -> String {
         format!("{}/{}", self.spec.name, self.policy)
+    }
+
+    /// The `simulate` request carrying this point's resolved knobs —
+    /// the same fields the server's parser keys its result cache on,
+    /// so a remote sweep hits the cache exactly where a local resume
+    /// would skip.
+    fn request(&self, id: u64) -> Request {
+        let mut fields = vec![
+            (
+                "workload".to_string(),
+                JsonValue::Str(self.spec.name.to_string()),
+            ),
+            ("policy".to_string(), JsonValue::Str(self.policy.clone())),
+            (
+                "mem_ops".to_string(),
+                JsonValue::Num(self.spec.mem_ops as f64),
+            ),
+            (
+                "sms".to_string(),
+                JsonValue::Num(f64::from(self.sim.num_sms)),
+            ),
+            ("seed".to_string(), JsonValue::Num(self.spec.seed as f64)),
+        ];
+        if self.capacity_pct > 0 {
+            fields.push((
+                "capacity_pct".to_string(),
+                JsonValue::Num(self.capacity_pct as f64),
+            ));
+        }
+        Request::with_params(id, "simulate", JsonValue::Object(fields))
     }
 
     fn run(&self) -> String {
@@ -119,6 +161,48 @@ fn fail(msg: &str) -> ExitCode {
     ExitCode::from(2)
 }
 
+/// Runs the grid against a live `hetmem-serve`, chunking points into
+/// `batch`-sized protocol-v2 envelopes. Responses come back in
+/// sub-request order, so the output stays in grid order without any
+/// local reordering.
+fn run_remote(
+    addr: &str,
+    points: &[Point],
+    batch: usize,
+    deadline_ms: Option<u64>,
+) -> Result<Vec<String>, String> {
+    let mut client = ClientBuilder::new(addr).request_id_prefix("sweep");
+    if let Some(ms) = deadline_ms {
+        client = client.deadline_ms(ms);
+    }
+    let mut lines = Vec::with_capacity(points.len());
+    for (envelope, chunk) in points.chunks(batch.max(1)).enumerate() {
+        let subs: Vec<Request> = chunk
+            .iter()
+            .enumerate()
+            .map(|(i, p)| p.request(i as u64 + 1))
+            .collect();
+        let outcome = client
+            .call_batch(envelope as u64 + 1, &subs)
+            .map_err(|e| format!("remote sweep against {addr}: {e}"))?;
+        if let Response::Err { code, message, .. } = &outcome.response {
+            return Err(format!("server refused batch envelope: {code}: {message}"));
+        }
+        for (sub, p) in outcome.responses.iter().zip(chunk) {
+            match sub {
+                Response::Ok { result, .. } => lines.push(result.clone()),
+                Response::Err { code, message, .. } => {
+                    return Err(format!(
+                        "point {} failed remotely: {code}: {message}",
+                        p.label()
+                    ));
+                }
+            }
+        }
+    }
+    Ok(lines)
+}
+
 #[allow(clippy::too_many_lines)]
 fn main() -> ExitCode {
     let mut workloads = vec!["bfs".to_string(), "hotspot".to_string()];
@@ -131,6 +215,9 @@ fn main() -> ExitCode {
     let mut fsync = false;
     let mut out: Option<String> = None;
     let mut faults: Option<FaultPlan> = None;
+    let mut addr: Option<String> = None;
+    let mut batch: usize = 32;
+    let mut deadline_ms: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -179,7 +266,13 @@ fn main() -> ExitCode {
                 let ms: u64 = next("--deadline-ms")
                     .parse()
                     .expect("--deadline-ms takes an integer");
+                deadline_ms = Some(ms);
                 opts.deadline = Some(Instant::now() + Duration::from_millis(ms));
+            }
+            "--addr" => addr = Some(next("--addr")),
+            "--batch" => {
+                batch = next("--batch").parse().expect("--batch takes an integer");
+                assert!(batch > 0, "--batch must be positive");
             }
             "--faults" => {
                 let spec = next("--faults");
@@ -229,21 +322,32 @@ fn main() -> ExitCode {
         p.run()
     };
 
-    let result = match &checkpoint {
-        Some(path) => {
-            let ckpt = match CheckpointWriter::open(path, fsync) {
-                Ok(w) => w,
-                Err(e) => return fail(&format!("cannot open checkpoint {path}: {e}")),
-            };
-            if !ckpt.is_empty() {
-                eprintln!(
-                    "hetmem-sweep: resuming from {path} ({} point(s) checkpointed)",
-                    ckpt.len()
-                );
-            }
-            run_grid_resumable(&points, &opts, Point::key, Point::label, run_point, &ckpt)
+    let result = if let Some(addr) = &addr {
+        if checkpoint.is_some() {
+            return fail(
+                "--addr (remote mode) is incompatible with --checkpoint/--resume; \
+                 the server owns execution — resume locally instead",
+            );
         }
-        None => run_grid(&points, &opts, Point::label, run_point),
+        run_remote(addr, &points, batch, deadline_ms)
+    } else {
+        match &checkpoint {
+            Some(path) => {
+                let ckpt = match CheckpointWriter::open(path, fsync) {
+                    Ok(w) => w,
+                    Err(e) => return fail(&format!("cannot open checkpoint {path}: {e}")),
+                };
+                if !ckpt.is_empty() {
+                    eprintln!(
+                        "hetmem-sweep: resuming from {path} ({} point(s) checkpointed)",
+                        ckpt.len()
+                    );
+                }
+                run_grid_resumable(&points, &opts, Point::key, Point::label, run_point, &ckpt)
+                    .map_err(|e| e.to_string())
+            }
+            None => run_grid(&points, &opts, Point::label, run_point).map_err(|e| e.to_string()),
+        }
     };
     let lines = match result {
         Ok(lines) => lines,

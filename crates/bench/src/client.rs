@@ -1,8 +1,13 @@
 //! The resilient `hetmem-serve` client: retries with deterministic
 //! backoff, deadline budgets, and idempotent replays.
 //!
-//! [`call`] wraps [`roundtrip_timeout`](crate::serve::roundtrip_timeout)
-//! in a retry loop. Two classes of failure are retried:
+//! [`ClientBuilder`] is the client API: configure the target address,
+//! retry count, backoff schedule, deadline budget, socket timeout, and
+//! an optional request-id prefix once, then issue [`ClientBuilder::call`]
+//! (one request) or [`ClientBuilder::call_batch`] (a protocol-v2 `batch`
+//! envelope) as many times as needed. The retry engine underneath wraps
+//! [`roundtrip_timeout`](crate::serve::roundtrip_timeout); two classes
+//! of failure are retried:
 //!
 //! * **Transport errors** — refused connections, timeouts, short reads
 //!   (a torn response never parses: the newline is missing), EOF.
@@ -21,21 +26,26 @@
 //!
 //! Delays come from the seeded [`Backoff`] schedule — capped
 //! exponential with deterministic jitter — and every sleep is clamped
-//! to the remaining deadline budget, so a caller with a
-//! [`ClientOptions::deadline_ms`] of 2000 never blocks past ~2 s
-//! regardless of retry count.
+//! to the remaining deadline budget, so a caller with a 2000 ms
+//! deadline never blocks past ~2 s regardless of retry count.
+//!
+//! The positional [`call`] free function from the v1 API survives as a
+//! deprecated shim over the same engine; its behavior is pinned
+//! bit-equivalent to the builder path in `tests/pipeline.rs`.
 
 use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use hetmem_harness::{Backoff, Request, Response};
+use hetmem_harness::{batch_request, Backoff, Request, Response};
 
 use crate::serve::roundtrip_timeout;
 
 /// Error codes the server guarantees are safe to retry.
 pub const RETRYABLE_CODES: [&str; 2] = ["overloaded", "worker-restarted"];
 
-/// Retry/deadline knobs for [`call`].
+/// Retry/deadline knobs shared by [`ClientBuilder`] and the deprecated
+/// [`call`] shim.
 #[derive(Debug, Clone)]
 pub struct ClientOptions {
     /// Additional attempts after the first (so `retries: 3` = at most
@@ -62,7 +72,7 @@ impl Default for ClientOptions {
     }
 }
 
-/// Outcome of one [`call`], with the attempt count that produced it.
+/// Outcome of one call, with the attempt count that produced it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CallOutcome {
     /// The final response (success or structured error).
@@ -71,15 +81,161 @@ pub struct CallOutcome {
     pub attempts: u32,
 }
 
-/// Sends `req` with retries, backoff, and a deadline budget.
+/// Outcome of one [`ClientBuilder::call_batch`]: the envelope response
+/// plus the per-sub-request responses split back out in order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchOutcome {
+    /// The whole-envelope response. An `Err` here (e.g.
+    /// `batch-too-large`) means no sub-request ran.
+    pub response: Response,
+    /// Sub-responses in sub-request order; empty when the envelope
+    /// itself failed. Each is byte-identical to what the bare request
+    /// would have returned.
+    pub responses: Vec<Response>,
+    /// Round-trips performed, including the successful one (≥ 1).
+    pub attempts: u32,
+}
+
+/// The configured client: address plus retry policy, reusable across
+/// calls (and threads, behind an `Arc`).
+///
+/// ```no_run
+/// use hetmem_bench::client::ClientBuilder;
+/// use hetmem_harness::Request;
+///
+/// let client = ClientBuilder::new("127.0.0.1:7077")
+///     .retries(5)
+///     .deadline_ms(2000)
+///     .request_id_prefix("sweep");
+/// let outcome = client.call(&Request::new(1, "stats")).unwrap();
+/// assert_eq!(outcome.attempts, 1);
+/// ```
+#[derive(Debug)]
+pub struct ClientBuilder {
+    addr: String,
+    opts: ClientOptions,
+    rid_prefix: Option<String>,
+    /// Sequence for prefix-stamped request ids (`<prefix>-N`).
+    next_rid: AtomicU64,
+}
+
+impl ClientBuilder {
+    /// A client for `addr` with default retry policy (3 retries,
+    /// default backoff, no deadline, 120 s socket timeout).
+    pub fn new(addr: impl Into<String>) -> Self {
+        ClientBuilder {
+            addr: addr.into(),
+            opts: ClientOptions::default(),
+            rid_prefix: None,
+            next_rid: AtomicU64::new(1),
+        }
+    }
+
+    /// Additional attempts after the first.
+    #[must_use]
+    pub fn retries(mut self, retries: u32) -> Self {
+        self.opts.retries = retries;
+        self
+    }
+
+    /// The delay schedule between attempts.
+    #[must_use]
+    pub fn backoff(mut self, backoff: Backoff) -> Self {
+        self.opts.backoff = backoff;
+        self
+    }
+
+    /// Overall budget across all attempts of each call.
+    #[must_use]
+    pub fn deadline_ms(mut self, ms: u64) -> Self {
+        self.opts.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Per-attempt socket read timeout.
+    #[must_use]
+    pub fn read_timeout(mut self, d: Duration) -> Self {
+        self.opts.read_timeout = d;
+        self
+    }
+
+    /// Stamp requests that carry no `request_id` of their own with
+    /// `<prefix>-N` (N counts up per builder), joining client logs to
+    /// server telemetry without per-call plumbing.
+    #[must_use]
+    pub fn request_id_prefix(mut self, prefix: impl Into<String>) -> Self {
+        self.rid_prefix = Some(prefix.into());
+        self
+    }
+
+    /// The retry policy this builder resolved to.
+    pub fn options(&self) -> &ClientOptions {
+        &self.opts
+    }
+
+    /// Sends `req` with retries, backoff, and the deadline budget.
+    ///
+    /// # Errors
+    ///
+    /// The last transport error once attempts (or the deadline budget)
+    /// are exhausted. A structured server error response is a *success*
+    /// of the transport and is returned in the outcome, except the
+    /// retryable codes, which are retried while budget remains.
+    pub fn call(&self, req: &Request) -> io::Result<CallOutcome> {
+        match (&self.rid_prefix, &req.request_id) {
+            (Some(prefix), None) => {
+                let n = self.next_rid.fetch_add(1, Ordering::Relaxed);
+                let stamped = req.clone().request_id(&format!("{prefix}-{n}"));
+                call_engine(&self.addr, &stamped, &self.opts)
+            }
+            _ => call_engine(&self.addr, req, &self.opts),
+        }
+    }
+
+    /// Wraps `subs` in one protocol-v2 `batch` envelope (id `id`),
+    /// sends it through the same retry engine, and splits the
+    /// sub-responses back out in order.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors as for [`ClientBuilder::call`], plus
+    /// `InvalidData` if a successful envelope carries a malformed
+    /// `responses` array (a server protocol bug, never retried).
+    pub fn call_batch(&self, id: u64, subs: &[Request]) -> io::Result<BatchOutcome> {
+        let outcome = self.call(&batch_request(id, subs))?;
+        let responses = match &outcome.response {
+            Response::Ok { .. } => outcome
+                .response
+                .batch_responses()
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?,
+            Response::Err { .. } => Vec::new(),
+        };
+        Ok(BatchOutcome {
+            response: outcome.response,
+            responses,
+            attempts: outcome.attempts,
+        })
+    }
+}
+
+/// Sends `req` with retries, backoff, and a deadline budget — the v1
+/// positional API.
 ///
 /// # Errors
 ///
-/// The last transport error once attempts (or the deadline budget) are
-/// exhausted. A structured server error response is a *success* of the
-/// transport and is returned in the outcome, except the retryable
-/// codes, which are retried while budget remains.
+/// As for [`ClientBuilder::call`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use ClientBuilder::new(addr).call(&req); this shim forwards to the same engine"
+)]
 pub fn call(addr: &str, req: &Request, opts: &ClientOptions) -> io::Result<CallOutcome> {
+    call_engine(addr, req, opts)
+}
+
+/// The retry engine both the builder and the deprecated shim share —
+/// their bit-equivalence is by construction, and pinned in
+/// `tests/pipeline.rs`.
+fn call_engine(addr: &str, req: &Request, opts: &ClientOptions) -> io::Result<CallOutcome> {
     let start = Instant::now();
     let budget = opts.deadline_ms.map(Duration::from_millis);
     let mut attempt: u32 = 0;
@@ -156,6 +312,20 @@ mod tests {
         assert_eq!(o.retries, 3);
         assert!(o.deadline_ms.is_none());
         assert!(o.read_timeout >= Duration::from_secs(1));
+        let b = ClientBuilder::new("127.0.0.1:1");
+        assert_eq!(b.options().retries, 3);
+    }
+
+    #[test]
+    fn builder_knobs_land_in_options() {
+        let b = ClientBuilder::new("127.0.0.1:1")
+            .retries(7)
+            .backoff(Backoff::new(1, 2, 3))
+            .deadline_ms(1234)
+            .read_timeout(Duration::from_millis(50));
+        assert_eq!(b.options().retries, 7);
+        assert_eq!(b.options().deadline_ms, Some(1234));
+        assert_eq!(b.options().read_timeout, Duration::from_millis(50));
     }
 
     #[test]
@@ -166,28 +336,49 @@ mod tests {
             l.local_addr().unwrap().port()
         };
         let addr = format!("127.0.0.1:{port}");
-        let opts = ClientOptions {
-            retries: 2,
-            backoff: Backoff::new(1, 2, 7),
-            ..ClientOptions::default()
-        };
-        let err = call(&addr, &Request::new(1, "stats"), &opts).unwrap_err();
+        let client = ClientBuilder::new(addr)
+            .retries(2)
+            .backoff(Backoff::new(1, 2, 7));
+        let err = client.call(&Request::new(1, "stats")).unwrap_err();
         assert_ne!(err.kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]
     fn deadline_error_names_the_request_id() {
-        let opts = ClientOptions {
-            deadline_ms: Some(0),
-            ..ClientOptions::default()
-        };
+        let client = ClientBuilder::new("127.0.0.1:1").deadline_ms(0);
         let req = Request::new(1, "stats").request_id("cli-7");
-        let err = call("127.0.0.1:1", &req, &opts).unwrap_err();
+        let err = client.call(&req).unwrap_err();
         assert!(err.to_string().contains("request_id cli-7"));
     }
 
     #[test]
+    fn prefix_stamps_only_requests_without_an_id() {
+        // A zero deadline fails before connecting, and the error
+        // message names the request id the engine actually saw.
+        let client = ClientBuilder::new("127.0.0.1:1")
+            .deadline_ms(0)
+            .request_id_prefix("top");
+        let err = client.call(&Request::new(1, "stats")).unwrap_err();
+        assert!(err.to_string().contains("request_id top-1"), "{err}");
+        let err = client.call(&Request::new(1, "stats")).unwrap_err();
+        assert!(err.to_string().contains("request_id top-2"), "{err}");
+        // An explicit id wins over the prefix.
+        let err = client
+            .call(&Request::new(1, "stats").request_id("mine"))
+            .unwrap_err();
+        assert!(err.to_string().contains("request_id mine"), "{err}");
+    }
+
+    #[test]
     fn zero_budget_fails_fast_without_connecting() {
+        let client = ClientBuilder::new("127.0.0.1:1").deadline_ms(0);
+        let err = client.call(&Request::new(1, "stats")).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_still_compiles_and_forwards() {
         let opts = ClientOptions {
             deadline_ms: Some(0),
             ..ClientOptions::default()

@@ -1,0 +1,654 @@
+//! The poll(2) readiness front end: every connection in one loop.
+//!
+//! Std-only and allocation-light — the only FFI is `poll(2)` itself
+//! (declared here, no libc crate). The loop owns a nonblocking
+//! listener plus one [`Conn`] per accepted socket, each with a read
+//! buffer (bytes → lines) and a write buffer (responses waiting for
+//! the socket to accept them). Requests are decoded as lines complete
+//! and resolved through the same `dispatch_prepare` pipeline as the
+//! threaded core:
+//!
+//! * inline ops finish immediately, their bytes appended to the
+//!   connection's write buffer;
+//! * simulate-shaped work is submitted to the shard pool with an
+//!   [`EventSink`] reply path — the worker pushes a [`Completion`]
+//!   onto a channel and tickles the wake pipe, and the loop finishes
+//!   the request when it drains completions. Many requests per
+//!   connection can be in flight at once (pipelining); responses go
+//!   out in completion order, matched by `id`.
+//!
+//! **Backpressure** is structural: a connection holding more than
+//! `conn_buffer` bytes of unflushed responses has further requests
+//! shed with `overloaded` (the work is never submitted), and past 4×
+//! that the loop stops reading from it entirely until it drains. A
+//! slow reader degrades; it never wedges the loop.
+//!
+//! **Shutdown** mirrors the threaded core's drain: once `shutting` is
+//! observed the listener is dropped, every accepted request still gets
+//! its response bytes flushed, and the [`DrainGate`](super::DrainGate)
+//! is marked so [`ServerHandle::wait`](super::ServerHandle::wait) can
+//! return. The loop thread itself is detached — it lingers to answer
+//! `shutting-down` on connections a client still holds open, and
+//! exits once they close.
+
+use std::collections::HashMap;
+use std::ffi::{c_int, c_ulong};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
+
+use hetmem::HetmemError;
+use hetmem_harness::Response;
+
+use super::{
+    dispatch_prepare, finish_batch, finish_outcome, finish_request, sub_sim_response, submit_job,
+    us, JobReply, OwnedGuard, Prepared, ReplySink, ReqHead, ReqMeta, Shared, SubWork,
+};
+
+const POLLIN: i16 = 0x001;
+const POLLOUT: i16 = 0x004;
+
+/// `struct pollfd` from `<poll.h>`.
+#[repr(C)]
+struct PollFd {
+    fd: RawFd,
+    events: i16,
+    revents: i16,
+}
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+}
+
+/// Blocks until an fd is ready or `timeout_ms` passes. Errors
+/// (EINTR included) read as "nothing ready"; the loop just re-polls.
+fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) {
+    // SAFETY: `fds` is a live, correctly-repr(C) slice for the call's
+    // duration, and poll(2) writes only to `revents` within it.
+    unsafe {
+        poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms);
+    }
+}
+
+/// Wakes the poll loop from another thread by writing one byte into
+/// the loop's wake pipe. Infallible by design: if the pipe is full the
+/// loop is already scheduled to wake.
+#[derive(Clone)]
+pub(super) struct Waker(Arc<UnixStream>);
+
+impl Waker {
+    fn wake(&self) {
+        let _ = (&*self.0).write(&[1u8]);
+    }
+}
+
+/// A finished pool job flowing back to the loop.
+pub(super) struct Completion {
+    token: u64,
+    reply: JobReply,
+}
+
+/// The event core's reply path: a worker delivers the job's outcome to
+/// the completion channel and wakes the loop. Dropping the sink
+/// without delivering (the worker panicked and dropped the job)
+/// delivers `worker-restarted`, so every submitted request completes
+/// exactly once.
+pub(super) struct EventSink {
+    tx: mpsc::Sender<Completion>,
+    token: u64,
+    waker: Waker,
+    sent: bool,
+}
+
+impl EventSink {
+    pub(super) fn deliver(&mut self, reply: JobReply) {
+        if self.sent {
+            return;
+        }
+        self.sent = true;
+        let _ = self.tx.send(Completion {
+            token: self.token,
+            reply,
+        });
+        self.waker.wake();
+    }
+}
+
+impl Drop for EventSink {
+    fn drop(&mut self) {
+        self.deliver(Err(HetmemError::WorkerRestarted));
+    }
+}
+
+/// One accepted connection's state machine.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes read but not yet split into complete request lines.
+    rbuf: Vec<u8>,
+    /// Encoded responses the socket hasn't accepted yet; `wpos` marks
+    /// how far the kernel has taken them.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Requests submitted to the pool whose completions haven't been
+    /// delivered to this connection yet.
+    inflight: usize,
+    /// No more reads; flush what's pending, wait out `inflight`, drop.
+    closing: bool,
+    /// A wire fault tore a response on this connection: all later
+    /// appends are discarded so a torn line is never followed by more
+    /// bytes (the client must see a short read, not a corrupt stream).
+    poisoned: bool,
+    /// Write failed hard (reset/EPIPE): drop without flushing.
+    dead: bool,
+    last_read: Instant,
+    /// End of the previous request line — the per-line read phase
+    /// (socket wait + client think time, as in the threaded core) is
+    /// measured from here.
+    last_line_done: Instant,
+    /// Last time the socket accepted response bytes; a stalled writer
+    /// past `write_timeout` is dropped.
+    last_write_ok: Instant,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        let now = Instant::now();
+        Conn {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            inflight: 0,
+            closing: false,
+            poisoned: false,
+            dead: false,
+            last_read: now,
+            last_line_done: now,
+            last_write_ok: now,
+        }
+    }
+
+    /// Unflushed response bytes — the backpressure signal.
+    fn pending(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+}
+
+/// An in-flight pool job's bookkeeping, keyed by completion token.
+enum Pending {
+    /// A bare `simulate`: finish and respond on its connection.
+    Single {
+        conn: u64,
+        head: ReqHead,
+        _guard: OwnedGuard,
+    },
+    /// One slot of a batch envelope.
+    Sub {
+        batch: u64,
+        slot: usize,
+        id: u64,
+        client_rid: Option<String>,
+    },
+}
+
+/// A batch envelope waiting for its pool-bound slots.
+struct BatchPending {
+    conn: u64,
+    head: ReqHead,
+    slots: Vec<Option<Response>>,
+    remaining: usize,
+    _guard: OwnedGuard,
+}
+
+/// Loop-wide mutable state the per-line and per-completion handlers
+/// share (connections live in their own map so a handler can hold
+/// `&mut Conn` alongside this).
+struct LoopState {
+    done_tx: mpsc::Sender<Completion>,
+    waker: Waker,
+    next_token: u64,
+    pending: HashMap<u64, Pending>,
+    batches: HashMap<u64, BatchPending>,
+}
+
+impl LoopState {
+    fn token(&mut self) -> u64 {
+        let t = self.next_token;
+        self.next_token += 1;
+        t
+    }
+
+    fn sink(&mut self, token: u64) -> ReplySink {
+        ReplySink::Event(EventSink {
+            tx: self.done_tx.clone(),
+            token,
+            waker: self.waker.clone(),
+            sent: false,
+        })
+    }
+}
+
+/// Marks the drain gate when the loop exits for any reason (including
+/// a panic), so `ServerHandle::wait` can never hang on a dead loop.
+struct MarkOnExit(Arc<Shared>);
+
+impl Drop for MarkOnExit {
+    fn drop(&mut self) {
+        self.0.drain.mark();
+    }
+}
+
+pub(super) fn event_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    let _mark = MarkOnExit(Arc::clone(shared));
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    let Ok((wake_tx, wake_rx)) = UnixStream::pair() else {
+        return;
+    };
+    let _ = wake_tx.set_nonblocking(true);
+    let _ = wake_rx.set_nonblocking(true);
+    let (done_tx, done_rx) = mpsc::channel();
+    let mut state = LoopState {
+        done_tx,
+        waker: Waker(Arc::new(wake_tx)),
+        next_token: 1,
+        pending: HashMap::new(),
+        batches: HashMap::new(),
+    };
+    let mut listener = Some(listener);
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_conn: u64 = 1;
+    let mut drain_marked = false;
+    let mut chunk = vec![0u8; 64 * 1024];
+    let mut wake_scratch = [0u8; 256];
+    loop {
+        let shutting = shared.shutting.load(Ordering::SeqCst);
+        if shutting && listener.is_some() {
+            // Refuse new connections; everything accepted still drains.
+            listener = None;
+        }
+        if shutting
+            && listener.is_none()
+            && conns.is_empty()
+            && state.pending.is_empty()
+            && state.batches.is_empty()
+        {
+            return;
+        }
+
+        // Build the interest set: wake pipe, listener, and each
+        // connection's read/write interests.
+        let mut fds = Vec::with_capacity(2 + conns.len());
+        fds.push(PollFd {
+            fd: wake_rx.as_raw_fd(),
+            events: POLLIN,
+            revents: 0,
+        });
+        if let Some(l) = &listener {
+            fds.push(PollFd {
+                fd: l.as_raw_fd(),
+                events: POLLIN,
+                revents: 0,
+            });
+        }
+        let read_cap = shared.conn_buffer.saturating_mul(4);
+        let mut polled: Vec<u64> = Vec::with_capacity(conns.len());
+        for (&id, c) in &conns {
+            let mut events = 0i16;
+            // Reads pause entirely once the backlog passes 4× the shed
+            // threshold: past that point even `overloaded` responses
+            // would grow the buffer without bound.
+            if !c.closing && c.pending() < read_cap {
+                events |= POLLIN;
+            }
+            if c.pending() > 0 {
+                events |= POLLOUT;
+            }
+            if events != 0 {
+                fds.push(PollFd {
+                    fd: c.stream.as_raw_fd(),
+                    events,
+                    revents: 0,
+                });
+                polled.push(id);
+            }
+        }
+        poll_fds(&mut fds, 200);
+
+        // Drain the wake pipe (level-triggered: one byte left behind
+        // would spin the loop).
+        while matches!((&wake_rx).read(&mut wake_scratch), Ok(n) if n > 0) {}
+
+        // Completions from the shard pool.
+        while let Ok(comp) = done_rx.try_recv() {
+            handle_completion(shared, &mut conns, &mut state, comp);
+        }
+
+        // New connections.
+        if let Some(l) = &listener {
+            loop {
+                match l.accept() {
+                    Ok((stream, _)) => {
+                        if stream.set_nonblocking(true).is_ok() {
+                            conns.insert(next_conn, Conn::new(stream));
+                            next_conn += 1;
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+
+        // Readable connections: pull bytes, split lines, dispatch.
+        let conn_fds_start = fds.len() - polled.len();
+        for (pfd, &id) in fds[conn_fds_start..].iter().zip(&polled) {
+            if pfd.revents == 0 {
+                continue;
+            }
+            let Some(c) = conns.get_mut(&id) else {
+                continue;
+            };
+            if pfd.revents & POLLIN == 0 && pfd.revents == POLLOUT {
+                continue; // write-ready only; flushed below
+            }
+            loop {
+                match c.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        c.closing = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        c.last_read = Instant::now();
+                        c.rbuf.extend_from_slice(&chunk[..n]);
+                        if c.pending() >= read_cap {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(_) => {
+                        c.dead = true;
+                        break;
+                    }
+                }
+            }
+            while let Some(line) = next_line(c) {
+                handle_line(shared, c, id, &line, &mut state);
+            }
+        }
+
+        // Inline work above may have queued completions synchronously
+        // (a full shard queue answers through the sink immediately);
+        // fold them in before flushing so their bytes ride this pass.
+        while let Ok(comp) = done_rx.try_recv() {
+            handle_completion(shared, &mut conns, &mut state, comp);
+        }
+
+        // Flush every connection with unwritten response bytes.
+        for c in conns.values_mut() {
+            flush_conn(shared, c);
+        }
+
+        // Close what's finished, time out what's stalled.
+        let now = Instant::now();
+        conns.retain(|_, c| {
+            if c.dead {
+                return false;
+            }
+            if c.closing && c.pending() == 0 && c.inflight == 0 {
+                return false;
+            }
+            if c.inflight == 0
+                && c.pending() == 0
+                && now.saturating_duration_since(c.last_read) > shared.read_timeout
+            {
+                return false; // idle past the read timeout
+            }
+            if c.pending() > 0
+                && now.saturating_duration_since(c.last_write_ok) > shared.write_timeout
+            {
+                return false; // writer stalled past the write timeout
+            }
+            true
+        });
+
+        // The drain handshake: every accepted request has its response
+        // bytes flushed and no new connection can arrive, so wait()
+        // may return even though the loop lingers for held conns.
+        if !drain_marked
+            && shutting
+            && listener.is_none()
+            && state.pending.is_empty()
+            && state.batches.is_empty()
+            && conns.values().all(|c| c.pending() == 0)
+        {
+            shared.drain.mark();
+            drain_marked = true;
+        }
+    }
+}
+
+/// Splits the next complete request line (newline included) out of the
+/// connection's read buffer.
+fn next_line(c: &mut Conn) -> Option<String> {
+    let pos = c.rbuf.iter().position(|&b| b == b'\n')?;
+    let line: Vec<u8> = c.rbuf.drain(..=pos).collect();
+    Some(String::from_utf8_lossy(&line).into_owned())
+}
+
+/// One complete request line: dispatch, and either respond now or park
+/// the request until its pool completion arrives.
+fn handle_line(
+    shared: &Arc<Shared>,
+    c: &mut Conn,
+    conn_id: u64,
+    line: &str,
+    state: &mut LoopState,
+) {
+    let now = Instant::now();
+    let read_us = us(now.saturating_duration_since(c.last_line_done));
+    c.last_line_done = now;
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        return;
+    }
+    // The guard spans decode → response write (it rides inside pending
+    // state for pool-bound work): shutdown's drain waits for it.
+    let guard = OwnedGuard::new(shared);
+    let shed = c.pending() >= shared.conn_buffer;
+    match dispatch_prepare(shared, trimmed, read_us, shed) {
+        Prepared::Done(resp, meta) => {
+            let out = account_response(shared, resp, &meta);
+            deliver(shared, c, &out);
+            drop(guard);
+        }
+        Prepared::Sim(work) => {
+            let token = state.token();
+            c.inflight += 1;
+            state.pending.insert(
+                token,
+                Pending::Single {
+                    conn: conn_id,
+                    head: work.head,
+                    _guard: guard,
+                },
+            );
+            let sink = state.sink(token);
+            submit_job(shared, work.key, work.point, work.deadline, sink);
+        }
+        Prepared::Batch(work) => {
+            let mut slots = Vec::with_capacity(work.subs.len());
+            let mut sims = Vec::new();
+            for (slot, sub) in work.subs.into_iter().enumerate() {
+                match sub {
+                    SubWork::Ready(resp) => slots.push(Some(resp)),
+                    SubWork::Sim {
+                        id,
+                        client_rid,
+                        point,
+                        key,
+                        deadline,
+                    } => {
+                        slots.push(None);
+                        sims.push((slot, id, client_rid, point, key, deadline));
+                    }
+                }
+            }
+            if sims.is_empty() {
+                let responses = slots.into_iter().map(Option::unwrap).collect();
+                let (resp, meta) = finish_batch(shared, work.head, responses);
+                let out = account_response(shared, resp, &meta);
+                deliver(shared, c, &out);
+                drop(guard);
+                return;
+            }
+            // The whole envelope is one in-flight unit on the conn;
+            // its slots fan out to the pool concurrently.
+            c.inflight += 1;
+            let batch_token = state.token();
+            state.batches.insert(
+                batch_token,
+                BatchPending {
+                    conn: conn_id,
+                    head: work.head,
+                    remaining: sims.len(),
+                    slots,
+                    _guard: guard,
+                },
+            );
+            for (slot, id, client_rid, point, key, deadline) in sims {
+                let token = state.token();
+                state.pending.insert(
+                    token,
+                    Pending::Sub {
+                        batch: batch_token,
+                        slot,
+                        id,
+                        client_rid,
+                    },
+                );
+                let sink = state.sink(token);
+                submit_job(shared, key, point, deadline, sink);
+            }
+        }
+    }
+}
+
+/// A pool job finished: finish its request (accounted even if the
+/// connection is gone — completed work always counts) and queue the
+/// response bytes if the client is still there.
+fn handle_completion(
+    shared: &Arc<Shared>,
+    conns: &mut HashMap<u64, Conn>,
+    state: &mut LoopState,
+    comp: Completion,
+) {
+    match state.pending.remove(&comp.token) {
+        None => {}
+        Some(Pending::Single { conn, head, _guard }) => {
+            let (resp, meta) = finish_outcome(shared, head, comp.reply);
+            let out = account_response(shared, resp, &meta);
+            if let Some(c) = conns.get_mut(&conn) {
+                c.inflight -= 1;
+                deliver(shared, c, &out);
+            }
+        }
+        Some(Pending::Sub {
+            batch,
+            slot,
+            id,
+            client_rid,
+        }) => {
+            let resp = sub_sim_response(shared, id, client_rid, comp.reply);
+            let Some(b) = state.batches.get_mut(&batch) else {
+                return;
+            };
+            b.slots[slot] = Some(resp);
+            b.remaining -= 1;
+            if b.remaining > 0 {
+                return;
+            }
+            let b = state.batches.remove(&batch).expect("batch present");
+            let responses = b.slots.into_iter().map(Option::unwrap).collect();
+            let (resp, meta) = finish_batch(shared, b.head, responses);
+            let out = account_response(shared, resp, &meta);
+            if let Some(c) = conns.get_mut(&b.conn) {
+                c.inflight -= 1;
+                deliver(shared, c, &out);
+            }
+        }
+    }
+}
+
+/// Encodes and accounts one finished request — *before* its bytes go
+/// anywhere near a socket, preserving the conservation invariant.
+fn account_response(shared: &Shared, resp: Response, meta: &ReqMeta) -> String {
+    let encode_start = Instant::now();
+    let mut out = resp.encode();
+    out.push('\n');
+    let encode_us = us(encode_start.elapsed());
+    finish_request(shared, meta, encode_us);
+    out
+}
+
+/// Queues response bytes on a connection, honoring chaos wire faults
+/// and the post-shutdown close-after-response contract.
+fn deliver(shared: &Shared, c: &mut Conn, out: &str) {
+    if c.poisoned {
+        return;
+    }
+    if shared.faults.maybe_wire_error() {
+        // Chaos: tear the response mid-line and poison the connection
+        // so no later response can follow the torn bytes. The client
+        // sees a short read / EOF and retries.
+        let bytes = out.as_bytes();
+        c.wbuf.extend_from_slice(&bytes[..bytes.len() / 2]);
+        c.poisoned = true;
+        c.closing = true;
+        return;
+    }
+    c.wbuf.extend_from_slice(out.as_bytes());
+    if shared.shutting.load(Ordering::SeqCst) {
+        // Mirror the threaded core: once draining, a connection closes
+        // after its responses flush.
+        c.closing = true;
+    }
+}
+
+/// Writes as much buffered response data as the socket will take.
+fn flush_conn(shared: &Shared, c: &mut Conn) {
+    while c.pending() > 0 {
+        let write_start = Instant::now();
+        match c.stream.write(&c.wbuf[c.wpos..]) {
+            Ok(0) => {
+                c.dead = true;
+                break;
+            }
+            Ok(n) => {
+                shared.metrics.ph_write.record(us(write_start.elapsed()));
+                c.wpos += n;
+                c.last_write_ok = Instant::now();
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(_) => {
+                c.dead = true;
+                break;
+            }
+        }
+    }
+    // Reclaim flushed space: all of it when caught up, else only once
+    // the dead prefix is big enough to be worth the memmove.
+    if c.wpos == c.wbuf.len() {
+        c.wbuf.clear();
+        c.wpos = 0;
+    } else if c.wpos > 64 * 1024 {
+        c.wbuf.drain(..c.wpos);
+        c.wpos = 0;
+    }
+}

@@ -23,6 +23,28 @@
 //! * **`shutdown`** — stop accepting work, drain in-flight requests,
 //!   exit. Every request received before the drain still gets its
 //!   response.
+//! * **`batch`** (protocol v2, `"proto":2`) — an array of full request
+//!   envelopes through one dispatch; the result is
+//!   `{"responses":[...]}` in sub-request order, each element encoding
+//!   to exactly the bytes the bare single-request response would.
+//!   Oversized batches are refused with `batch-too-large`; unknown
+//!   protocol major versions with `unsupported-protocol`.
+//!
+//! ## Front ends
+//!
+//! Two interchangeable connection cores serve the same dispatch
+//! pipeline ([`ServeCore`]):
+//!
+//! * **`Poll`** (default on unix) — a std-only poll(2) readiness loop
+//!   in one thread: nonblocking accept/read/write with per-connection
+//!   read/write buffers. Connections may **pipeline**: many requests
+//!   in flight, responses written as their workers complete,
+//!   order-independent by `id`. A connection whose unread response
+//!   backlog exceeds [`ServeConfig::conn_buffer`] is shed with
+//!   structured `overloaded` errors instead of stalling the loop.
+//! * **`Threaded`** — the blocking thread-per-connection core (and the
+//!   non-unix fallback). Same protocol, responses strictly in request
+//!   order.
 //!
 //! ## Observability
 //!
@@ -71,6 +93,10 @@
 //! integrity checksums turn injected corruption into a counted miss
 //! and recompute, never a wrong answer.
 
+#[cfg(unix)]
+mod event;
+mod threaded;
+
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -90,7 +116,7 @@ use hetmem_harness::sweep::{run_grid, SweepOptions};
 use hetmem_harness::telemetry::{fnv1a, MigrationTelemetry};
 use hetmem_harness::{
     BoundedQueue, FaultInjector, FaultPlan, ProtocolError, PushError, Request, Response,
-    ResultCache,
+    ResultCache, PROTO_V2,
 };
 use mempolicy::Mempolicy;
 use profiler::get_allocation;
@@ -100,6 +126,41 @@ use workloads::{catalog, WorkloadSpec};
 const DEFAULT_READ_TIMEOUT_MS: u64 = 120_000;
 /// Default server socket write timeout.
 const DEFAULT_WRITE_TIMEOUT_MS: u64 = 30_000;
+/// Default `batch` sub-request ceiling per envelope.
+const DEFAULT_MAX_BATCH: usize = 64;
+/// Default per-connection unflushed-response backlog (bytes) before
+/// the poll core sheds that connection's requests as `overloaded`.
+const DEFAULT_CONN_BUFFER: usize = 256 * 1024;
+
+/// Which connection front end serves the dispatch pipeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ServeCore {
+    /// One poll(2) readiness loop for every connection: nonblocking
+    /// I/O, pipelining, buffered-backlog backpressure. Falls back to
+    /// [`ServeCore::Threaded`] off unix.
+    #[default]
+    Poll,
+    /// One blocking thread per connection — the pre-v2 front end, kept
+    /// as the baseline for throughput comparison.
+    Threaded,
+}
+
+impl ServeCore {
+    /// Parses a `--core` flag value.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the accepted values.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "poll" => Ok(ServeCore::Poll),
+            "threaded" => Ok(ServeCore::Threaded),
+            other => Err(format!(
+                "unknown serve core '{other}' (want poll or threaded)"
+            )),
+        }
+    }
+}
 
 /// Server construction knobs. `Default` binds an ephemeral loopback
 /// port with two worker shards.
@@ -126,6 +187,15 @@ pub struct ServeConfig {
     pub write_timeout_ms: u64,
     /// Deterministic chaos injection; `None` serves faithfully.
     pub faults: Option<FaultPlan>,
+    /// Connection front end (default: the poll(2) readiness loop).
+    pub core: ServeCore,
+    /// `batch` sub-request ceiling per envelope (0 = default 64);
+    /// beyond it the envelope is refused with `batch-too-large`.
+    pub max_batch: usize,
+    /// Poll-core backpressure threshold in bytes (0 = default 256 KiB):
+    /// a connection holding this much unflushed response backlog has
+    /// further requests shed with `overloaded` until it drains.
+    pub conn_buffer: usize,
 }
 
 impl ServeConfig {
@@ -160,8 +230,8 @@ struct SimPoint {
     config_label: String,
 }
 
-/// A queued simulate job: the point plus the reply channel back to the
-/// connection thread.
+/// A queued simulate job: the point plus the reply path back to
+/// whichever front end submitted it.
 struct Job {
     key: String,
     point: SimPoint,
@@ -169,11 +239,35 @@ struct Job {
     deadline: Option<Instant>,
     /// When the job entered its shard queue (queue-wait timing).
     enqueued: Instant,
-    reply: mpsc::Sender<JobReply>,
+    reply: ReplySink,
 }
 
-/// Worker → connection reply.
+/// Worker → front-end reply.
 type JobReply = Result<SimReply, HetmemError>;
+
+/// How a completed job's reply travels back: a blocking channel the
+/// connection thread is parked on (threaded core), or a completion
+/// queue plus wake-up for the poll loop (event core).
+enum ReplySink {
+    Oneshot(mpsc::Sender<JobReply>),
+    #[cfg(unix)]
+    Event(event::EventSink),
+}
+
+impl ReplySink {
+    /// Delivers the reply. Dropping an event sink without sending
+    /// (worker panic drops the whole job) delivers `worker-restarted`,
+    /// mirroring the closed-channel semantics of the oneshot path.
+    fn send(self, reply: JobReply) {
+        match self {
+            ReplySink::Oneshot(tx) => {
+                let _ = tx.send(reply);
+            }
+            #[cfg(unix)]
+            ReplySink::Event(mut sink) => sink.deliver(reply),
+        }
+    }
+}
 
 /// Worker-phase timings for one request, microseconds. `None` for
 /// phases the request never entered (inline ops skip the pool; cache
@@ -228,6 +322,63 @@ fn us(d: Duration) -> u64 {
     d.as_micros().min(u128::from(u64::MAX)) as u64
 }
 
+/// The identity of one in-flight request — everything needed to build
+/// its response envelope and accounting record once its outcome is
+/// known, independent of which front end carries it.
+struct ReqHead {
+    id: u64,
+    op: String,
+    /// Echoed on the response; `None` keeps old wire bytes.
+    client_rid: Option<String>,
+    /// Telemetry id: the client's, or a generated `srv-N`.
+    rid: String,
+    trace: bool,
+    read_us: u64,
+    decode_us: u64,
+    t0: Instant,
+}
+
+/// What [`dispatch_prepare`] decided about one request line: finished
+/// inline, or work for the shard pool that the front end must submit
+/// and later complete with [`finish_outcome`] / [`finish_batch`].
+enum Prepared {
+    /// Response ready (inline op, refusal, or decode error) — already
+    /// accounted in `ServerStats`; hand to [`finish_request`] after
+    /// encoding.
+    Done(Response, ReqMeta),
+    /// A `simulate` bound for the pool.
+    Sim(SimWork),
+    /// A `batch` envelope; inline sub-ops are already resolved, the
+    /// remaining sub-simulations are bound for the pool.
+    Batch(BatchWork),
+}
+
+struct SimWork {
+    head: ReqHead,
+    point: SimPoint,
+    key: String,
+    deadline: Option<Instant>,
+}
+
+struct BatchWork {
+    head: ReqHead,
+    subs: Vec<SubWork>,
+}
+
+/// One slot of a batch, in sub-request order.
+enum SubWork {
+    /// Resolved during prepare (inline op or per-sub refusal).
+    Ready(Response),
+    /// A sub-simulation to fan out to the pool.
+    Sim {
+        id: u64,
+        client_rid: Option<String>,
+        point: SimPoint,
+        key: String,
+        deadline: Option<Instant>,
+    },
+}
+
 /// The registry embedded in every server, plus direct handles to the
 /// metrics the hot paths record. Hot-path updates are pure atomics;
 /// scrape-time mirrors (cache stats, queue depths, uptime) are filled
@@ -244,6 +395,7 @@ struct ServeMetrics {
     req_stats: Arc<Histogram>,
     req_metrics: Arc<Histogram>,
     req_shutdown: Arc<Histogram>,
+    req_batch: Arc<Histogram>,
     req_decode: Arc<Histogram>,
     req_other: Arc<Histogram>,
     ph_read: Arc<Histogram>,
@@ -307,6 +459,7 @@ impl ServeMetrics {
             req_stats: op_hist("stats"),
             req_metrics: op_hist("metrics"),
             req_shutdown: op_hist("shutdown"),
+            req_batch: op_hist("batch"),
             req_decode: op_hist("decode"),
             req_other: op_hist("other"),
             ph_read: ph_hist("read"),
@@ -382,6 +535,7 @@ impl ServeMetrics {
             "stats" => &self.req_stats,
             "metrics" => &self.req_metrics,
             "shutdown" => &self.req_shutdown,
+            "batch" => &self.req_batch,
             "decode" => &self.req_decode,
             _ => &self.req_other,
         }
@@ -468,6 +622,48 @@ impl Drop for ActiveGuard<'_> {
     }
 }
 
+/// An owning [`ActiveGuard`]: the poll core parks it inside pending
+/// request state, which outlives any single stack frame.
+struct OwnedGuard(Arc<Shared>);
+
+impl OwnedGuard {
+    fn new(shared: &Arc<Shared>) -> Self {
+        shared.active.begin();
+        OwnedGuard(Arc::clone(shared))
+    }
+}
+
+impl Drop for OwnedGuard {
+    fn drop(&mut self) {
+        self.0.active.end();
+    }
+}
+
+/// The poll core's drain handshake: [`ServerHandle::wait`] blocks here
+/// until the loop confirms every accepted request's response bytes are
+/// flushed (the loop itself is detached — it lingers only to answer
+/// `shutting-down` on connections the client still holds open).
+#[derive(Default)]
+struct DrainGate {
+    flushed: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl DrainGate {
+    fn mark(&self) {
+        let mut flushed = self.flushed.lock().unwrap_or_else(|e| e.into_inner());
+        *flushed = true;
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) {
+        let mut flushed = self.flushed.lock().unwrap_or_else(|e| e.into_inner());
+        while !*flushed {
+            flushed = self.cv.wait(flushed).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
 /// Monotonic server counters, all exposed by the `stats` op.
 #[derive(Default)]
 struct ServerStats {
@@ -480,7 +676,11 @@ struct ServerStats {
     op_stats: AtomicU64,
     op_metrics: AtomicU64,
     op_shutdown: AtomicU64,
+    op_batch: AtomicU64,
     op_other: AtomicU64,
+    /// Sub-requests carried inside accepted `batch` envelopes (each
+    /// envelope itself counts once in `requests`).
+    batch_subrequests: AtomicU64,
     worker_restarts: AtomicU64,
     deadline_exceeded: AtomicU64,
 }
@@ -501,6 +701,12 @@ struct Shared {
     metrics: ServeMetrics,
     /// Source for server-generated `srv-N` request ids.
     next_rid: AtomicU64,
+    /// Resolved [`ServeConfig::max_batch`].
+    max_batch: usize,
+    /// Resolved [`ServeConfig::conn_buffer`].
+    conn_buffer: usize,
+    /// Poll-core drain handshake (unused by the threaded core).
+    drain: DrainGate,
 }
 
 /// A running server: the bound address plus the threads to join.
@@ -509,6 +715,9 @@ pub struct ServerHandle {
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     shared: Arc<Shared>,
+    /// Whether the poll core is serving (its loop thread is detached;
+    /// [`ServerHandle::wait`] synchronizes on the drain gate instead).
+    event_core: bool,
 }
 
 impl ServerHandle {
@@ -529,7 +738,10 @@ impl ServerHandle {
 
     /// Blocks until the server has fully drained: the acceptor has
     /// stopped, the shard workers have finished every queued job, and
-    /// every in-flight request has written its response.
+    /// every in-flight request has written its response. Under the
+    /// poll core the loop thread itself is not joined — it lingers
+    /// (detached) to answer `shutting-down` on connections a client
+    /// still holds open, and exits once they close.
     pub fn wait(mut self) {
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
@@ -538,11 +750,14 @@ impl ServerHandle {
             let _ = worker.join();
         }
         self.shared.active.wait_zero();
+        if self.event_core {
+            self.shared.drain.wait();
+        }
     }
 }
 
-/// Binds and starts the service: one acceptor thread, one thread per
-/// connection, and `shards` simulation workers.
+/// Binds and starts the service: the connection front end selected by
+/// [`ServeConfig::core`] plus `shards` simulation workers.
 ///
 /// # Errors
 ///
@@ -550,6 +765,7 @@ impl ServerHandle {
 pub fn start(cfg: ServeConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(cfg.addr_or_default())?;
     let addr = listener.local_addr()?;
+    let use_event = cfg.core == ServeCore::Poll && cfg!(unix);
     let shards = if cfg.shards == 0 { 2 } else { cfg.shards };
     let depth = if cfg.queue_depth == 0 {
         32
@@ -571,6 +787,16 @@ pub fn start(cfg: ServeConfig) -> io::Result<ServerHandle> {
     } else {
         cfg.write_timeout_ms
     };
+    let max_batch = if cfg.max_batch == 0 {
+        DEFAULT_MAX_BATCH
+    } else {
+        cfg.max_batch
+    };
+    let conn_buffer = if cfg.conn_buffer == 0 {
+        DEFAULT_CONN_BUFFER
+    } else {
+        cfg.conn_buffer
+    };
     let shared = Arc::new(Shared {
         addr,
         cache: ResultCache::new(cache_cap),
@@ -587,6 +813,9 @@ pub fn start(cfg: ServeConfig) -> io::Result<ServerHandle> {
         write_timeout: Duration::from_millis(write_timeout_ms),
         metrics: ServeMetrics::new(shards),
         next_rid: AtomicU64::new(1),
+        max_batch,
+        conn_buffer,
+        drain: DrainGate::default(),
     });
     let workers = (0..shards)
         .map(|i| {
@@ -596,17 +825,32 @@ pub fn start(cfg: ServeConfig) -> io::Result<ServerHandle> {
                 .spawn(move || supervise_worker(&s, i))
         })
         .collect::<io::Result<Vec<_>>>()?;
-    let acceptor = {
+    let mut acceptor = None;
+    if use_event {
+        // The loop thread is detached: wait() synchronizes on the
+        // drain gate, and the loop exits on its own once every
+        // connection is gone.
+        #[cfg(unix)]
+        {
+            let s = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("hetmem-serve-poll".to_string())
+                .spawn(move || event::event_loop(&s, listener))?;
+        }
+    } else {
         let s = Arc::clone(&shared);
-        thread::Builder::new()
-            .name("hetmem-serve-accept".to_string())
-            .spawn(move || accept_loop(&s, listener))?
-    };
+        acceptor = Some(
+            thread::Builder::new()
+                .name("hetmem-serve-accept".to_string())
+                .spawn(move || threaded::accept_loop(&s, listener))?,
+        );
+    }
     Ok(ServerHandle {
         addr,
-        acceptor: Some(acceptor),
+        acceptor,
         workers,
         shared,
+        event_core: use_event,
     })
 }
 
@@ -635,7 +879,7 @@ pub fn roundtrip_timeout(
     read_timeout: Duration,
 ) -> io::Result<Response> {
     let stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(read_timeout.max(Duration::from_millis(1))))?;
+    configure_blocking_stream(&stream, read_timeout, None)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     let mut line = req.encode();
@@ -662,76 +906,21 @@ pub fn roundtrip_timeout(
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
 }
 
-fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
-    for conn in listener.incoming() {
-        if shared.shutting.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(stream) = conn else { continue };
-        let s = Arc::clone(shared);
-        let _ = thread::Builder::new()
-            .name("hetmem-serve-conn".to_string())
-            .spawn(move || handle_conn(&s, stream));
+/// The one place blocking-socket timeout semantics live: client
+/// round-trips and the threaded core's accepted connections both come
+/// through here, with the same ≥1 ms clamp (a zero `Duration` means
+/// "non-blocking" to the OS — never what a blocking stream wants).
+fn configure_blocking_stream(
+    stream: &TcpStream,
+    read_timeout: Duration,
+    write_timeout: Option<Duration>,
+) -> io::Result<()> {
+    let floor = Duration::from_millis(1);
+    stream.set_read_timeout(Some(read_timeout.max(floor)))?;
+    if let Some(write_timeout) = write_timeout {
+        stream.set_write_timeout(Some(write_timeout.max(floor)))?;
     }
-    // Dropping the listener here refuses all later connections.
-}
-
-fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
-    // Timeouts bound both directions: an idle client eventually frees
-    // the thread, and a client that stops draining cannot wedge it.
-    let _ = stream.set_read_timeout(Some(shared.read_timeout));
-    let _ = stream.set_write_timeout(Some(shared.write_timeout));
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = stream;
-    let mut line = String::new();
-    loop {
-        line.clear();
-        // The read phase covers the socket wait for the next line, so
-        // on a keep-alive connection it includes client think time.
-        let read_start = Instant::now();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => break,
-            Ok(_) => {}
-        }
-        let read_us = us(read_start.elapsed());
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            continue;
-        }
-        // The guard spans decode → response write: shutdown's drain
-        // waits for it, so an accepted request always gets its bytes.
-        let guard = ActiveGuard::new(&shared.active);
-        let (resp, meta) = dispatch(shared, trimmed, read_us);
-        let encode_start = Instant::now();
-        let mut out = resp.encode();
-        out.push('\n');
-        let encode_us = us(encode_start.elapsed());
-        // Account the request *before* its bytes go out: a scrape
-        // issued after reading this response must already count it
-        // (the conservation invariant). Only the write phase below is
-        // recorded afterwards.
-        finish_request(shared, &meta, encode_us);
-        if shared.faults.maybe_wire_error() {
-            // Chaos: tear the response mid-line and drop the
-            // connection. The client sees a short read / EOF (never a
-            // parseable-but-wrong line, the newline is missing) and
-            // retries; the cache makes the retry byte-identical.
-            let _ = writer.write_all(&out.as_bytes()[..out.len() / 2]);
-            let _ = writer.flush();
-            drop(guard);
-            break;
-        }
-        let write_start = Instant::now();
-        let write_ok = writer.write_all(out.as_bytes()).is_ok() && writer.flush().is_ok();
-        shared.metrics.ph_write.record(us(write_start.elapsed()));
-        drop(guard);
-        if !write_ok || shared.shutting.load(Ordering::SeqCst) {
-            break;
-        }
-    }
+    Ok(())
 }
 
 /// A fresh server-generated request id, used for telemetry joining
@@ -740,9 +929,16 @@ fn gen_rid(shared: &Shared) -> String {
     format!("srv-{}", shared.next_rid.fetch_add(1, Ordering::Relaxed))
 }
 
-/// Decodes and executes one request line, returning the response plus
-/// the accounting record that [`finish_request`] consumes.
-fn dispatch(shared: &Arc<Shared>, line: &str, read_us: u64) -> (Response, ReqMeta) {
+/// Decodes one request line and resolves it as far as a front end can
+/// without blocking: inline ops (and every refusal) come back as
+/// [`Prepared::Done`], pool-bound work as [`Prepared::Sim`] /
+/// [`Prepared::Batch`] for the front end to submit and complete.
+///
+/// `shed` is the poll core's backpressure signal: a connection too far
+/// behind on reading its responses has everything but `shutdown`
+/// refused with `overloaded`, so a slow reader degrades structurally
+/// instead of stalling the loop or ballooning its buffer.
+fn dispatch_prepare(shared: &Arc<Shared>, line: &str, read_us: u64, shed: bool) -> Prepared {
     let t0 = Instant::now();
     shared.stats.requests.fetch_add(1, Ordering::Relaxed);
     let decoded = Request::decode(line);
@@ -764,7 +960,7 @@ fn dispatch(shared: &Arc<Shared>, line: &str, read_us: u64) -> (Response, ReqMet
                 phases: PhaseTimes::default(),
                 t0,
             };
-            return (resp, meta);
+            return Prepared::Done(resp, meta);
         }
     };
     let op_counter = match req.op.as_str() {
@@ -773,6 +969,7 @@ fn dispatch(shared: &Arc<Shared>, line: &str, read_us: u64) -> (Response, ReqMet
         "stats" => &shared.stats.op_stats,
         "metrics" => &shared.stats.op_metrics,
         "shutdown" => &shared.stats.op_shutdown,
+        "batch" => &shared.stats.op_batch,
         _ => &shared.stats.op_other,
     };
     op_counter.fetch_add(1, Ordering::Relaxed);
@@ -783,32 +980,109 @@ fn dispatch(shared: &Arc<Shared>, line: &str, read_us: u64) -> (Response, ReqMet
     let rid = client_rid.clone().unwrap_or_else(|| gen_rid(shared));
     // The request's cooperative deadline, anchored at receipt time.
     let deadline = req.deadline_ms.map(|ms| t0 + Duration::from_millis(ms));
-
-    let outcome: Result<SimReply, HetmemError> = if shared.shutting.load(Ordering::SeqCst) {
-        Err(HetmemError::ShuttingDown)
-    } else if deadline.is_some_and(|d| Instant::now() >= d) {
-        Err(HetmemError::DeadlineExceeded)
-    } else {
-        match req.op.as_str() {
-            "place" => handle_place(&req.params).map(SimReply::inline),
-            "simulate" => handle_simulate(shared, &req.params, deadline),
-            "stats" => Ok(SimReply::inline(stats_json(shared))),
-            "metrics" => metrics_json(shared, &req.params).map(SimReply::inline),
-            "shutdown" => {
-                begin_shutdown(shared);
-                Ok(SimReply::inline(
-                    JsonObject::new().bool("draining", true).finish(),
-                ))
-            }
-            op => Err(HetmemError::UnknownOp { op: op.to_string() }),
-        }
+    let head = ReqHead {
+        id: req.id,
+        op: req.op.clone(),
+        client_rid,
+        rid,
+        trace: req.trace,
+        read_us,
+        decode_us,
+        t0,
     };
 
+    // Envelope-level refusals, in priority order.
+    if shared.shutting.load(Ordering::SeqCst) {
+        return done(shared, head, Err(HetmemError::ShuttingDown));
+    }
+    if req.proto == 0 || req.proto > PROTO_V2 {
+        return done(
+            shared,
+            head,
+            Err(HetmemError::UnsupportedProtocol { proto: req.proto }),
+        );
+    }
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        return done(shared, head, Err(HetmemError::DeadlineExceeded));
+    }
+    if shed && req.op != "shutdown" {
+        return done(shared, head, Err(HetmemError::Overloaded));
+    }
+
+    match req.op.as_str() {
+        "place" => {
+            let outcome = handle_place(&req.params).map(SimReply::inline);
+            done(shared, head, outcome)
+        }
+        "simulate" => match parse_simulate(&req.params) {
+            Ok((point, key)) => Prepared::Sim(SimWork {
+                head,
+                point,
+                key,
+                deadline,
+            }),
+            Err(e) => done(shared, head, Err(e)),
+        },
+        "stats" => {
+            let body = stats_json(shared);
+            done(shared, head, Ok(SimReply::inline(body)))
+        }
+        "metrics" => {
+            let outcome = metrics_json(shared, &req.params).map(SimReply::inline);
+            done(shared, head, outcome)
+        }
+        "shutdown" => {
+            begin_shutdown(shared);
+            let body = JsonObject::new().bool("draining", true).finish();
+            done(shared, head, Ok(SimReply::inline(body)))
+        }
+        "batch" => {
+            if req.proto < PROTO_V2 {
+                let e = HetmemError::invalid(
+                    "op 'batch' requires \"proto\":2 or newer in the envelope",
+                );
+                return done(shared, head, Err(e));
+            }
+            match prepare_batch(shared, &req, deadline, t0) {
+                Ok(subs) => Prepared::Batch(BatchWork { head, subs }),
+                Err(e) => done(shared, head, Err(e)),
+            }
+        }
+        op => {
+            let e = HetmemError::UnknownOp { op: op.to_string() };
+            done(shared, head, Err(e))
+        }
+    }
+}
+
+/// [`finish_outcome`] wrapped as a [`Prepared::Done`].
+fn done(shared: &Arc<Shared>, head: ReqHead, outcome: JobReply) -> Prepared {
+    let (resp, meta) = finish_outcome(shared, head, outcome);
+    Prepared::Done(resp, meta)
+}
+
+/// Counts the refusal kinds `stats` breaks out separately.
+fn count_refusal(shared: &Shared, e: &HetmemError) {
+    if matches!(e, HetmemError::Overloaded) {
+        shared.stats.overloaded.fetch_add(1, Ordering::Relaxed);
+    }
+    if matches!(e, HetmemError::DeadlineExceeded) {
+        shared
+            .stats
+            .deadline_exceeded
+            .fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Turns a request's final outcome into its response envelope and
+/// accounting record — the single place `ok`/`errors` counting and
+/// request-id echo policy live, shared by both front ends.
+fn finish_outcome(shared: &Arc<Shared>, head: ReqHead, outcome: JobReply) -> (Response, ReqMeta) {
     let (resp, status, cache_hit, phases) = match outcome {
         Ok(reply) => {
             shared.stats.ok.fetch_add(1, Ordering::Relaxed);
             (
-                Response::ok(req.id, reply.body).with_request_id(client_rid),
+                Response::ok(head.id, reply.body).with_request_id(head.client_rid),
                 "ok".to_string(),
                 reply.cache_hit,
                 reply.phases,
@@ -816,17 +1090,9 @@ fn dispatch(shared: &Arc<Shared>, line: &str, read_us: u64) -> (Response, ReqMet
         }
         Err(e) => {
             shared.stats.errors.fetch_add(1, Ordering::Relaxed);
-            if matches!(e, HetmemError::Overloaded) {
-                shared.stats.overloaded.fetch_add(1, Ordering::Relaxed);
-            }
-            if matches!(e, HetmemError::DeadlineExceeded) {
-                shared
-                    .stats
-                    .deadline_exceeded
-                    .fetch_add(1, Ordering::Relaxed);
-            }
+            count_refusal(shared, &e);
             (
-                Response::err(req.id, e.code(), &e.to_string()).with_request_id(client_rid),
+                Response::err(head.id, e.code(), &e.to_string()).with_request_id(head.client_rid),
                 e.code().to_string(),
                 false,
                 PhaseTimes::default(),
@@ -834,23 +1100,178 @@ fn dispatch(shared: &Arc<Shared>, line: &str, read_us: u64) -> (Response, ReqMet
         }
     };
     let meta = ReqMeta {
-        op: req.op,
-        request_id: rid,
-        trace: req.trace,
+        op: head.op,
+        request_id: head.rid,
+        trace: head.trace,
         status,
         cache_hit,
-        read_us,
-        decode_us,
+        read_us: head.read_us,
+        decode_us: head.decode_us,
         phases,
-        t0,
+        t0: head.t0,
     };
     (resp, meta)
+}
+
+/// Assembles a completed batch: the envelope counts once as an `ok`
+/// response; per-sub outcomes live inside the `responses` array.
+fn finish_batch(
+    shared: &Arc<Shared>,
+    head: ReqHead,
+    responses: Vec<Response>,
+) -> (Response, ReqMeta) {
+    let body = JsonObject::new()
+        .raw(
+            "responses",
+            &json::array(responses.iter().map(Response::encode)),
+        )
+        .finish();
+    finish_outcome(shared, head, Ok(SimReply::inline(body)))
+}
+
+/// Validates a `batch` envelope and resolves every sub-request:
+/// inline sub-ops run now, sub-simulations come back as
+/// [`SubWork::Sim`] for the front end to fan out.
+fn prepare_batch(
+    shared: &Arc<Shared>,
+    req: &Request,
+    parent_deadline: Option<Instant>,
+    t0: Instant,
+) -> Result<Vec<SubWork>, HetmemError> {
+    let items = req
+        .params
+        .get("requests")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| {
+            HetmemError::invalid("batch needs a 'requests' array of request envelopes")
+        })?;
+    if items.is_empty() {
+        return Err(HetmemError::invalid("batch 'requests' must be non-empty"));
+    }
+    if items.len() > shared.max_batch {
+        return Err(HetmemError::BatchTooLarge {
+            got: items.len(),
+            max: shared.max_batch,
+        });
+    }
+    shared
+        .stats
+        .batch_subrequests
+        .fetch_add(items.len() as u64, Ordering::Relaxed);
+    Ok(items
+        .iter()
+        .map(|item| prepare_sub(shared, item, parent_deadline, t0))
+        .collect())
+}
+
+/// Resolves one batch slot. Per-sub failures become structured error
+/// responses in that slot; they never fail the whole envelope.
+fn prepare_sub(
+    shared: &Arc<Shared>,
+    item: &JsonValue,
+    parent_deadline: Option<Instant>,
+    t0: Instant,
+) -> SubWork {
+    let sub = match Request::from_value(item) {
+        Ok(sub) => sub,
+        // The slot never parsed; like a bare undecodable line, the
+        // error response carries id 0.
+        Err(e) => return SubWork::Ready(Response::err(0, e.code(), &e.to_string())),
+    };
+    let client_rid = sub.request_id.clone();
+    let fail = |e: HetmemError| {
+        count_refusal(shared, &e);
+        SubWork::Ready(
+            Response::err(sub.id, e.code(), &e.to_string()).with_request_id(client_rid.clone()),
+        )
+    };
+    if sub.proto == 0 || sub.proto > PROTO_V2 {
+        return fail(HetmemError::UnsupportedProtocol { proto: sub.proto });
+    }
+    // A sub-deadline is anchored at batch decode and never outlives
+    // the parent envelope's.
+    let sub_deadline = sub.deadline_ms.map(|ms| t0 + Duration::from_millis(ms));
+    let deadline = match (parent_deadline, sub_deadline) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    };
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        return fail(HetmemError::DeadlineExceeded);
+    }
+    let ready = |result: Result<String, HetmemError>| match result {
+        Ok(body) => SubWork::Ready(Response::ok(sub.id, body).with_request_id(client_rid.clone())),
+        Err(e) => fail(e),
+    };
+    match sub.op.as_str() {
+        "place" => ready(handle_place(&sub.params)),
+        "stats" => ready(Ok(stats_json(shared))),
+        "metrics" => ready(metrics_json(shared, &sub.params)),
+        "simulate" => match parse_simulate(&sub.params) {
+            Ok((point, key)) => SubWork::Sim {
+                id: sub.id,
+                client_rid,
+                point,
+                key,
+                deadline,
+            },
+            Err(e) => fail(e),
+        },
+        "batch" => fail(HetmemError::invalid("'batch' does not nest")),
+        "shutdown" => fail(HetmemError::invalid(
+            "'shutdown' cannot ride inside a batch",
+        )),
+        op => fail(HetmemError::UnknownOp { op: op.to_string() }),
+    }
+}
+
+/// Builds one slot's response from its pool reply. Sub-requests don't
+/// count in `ok`/`errors` (the envelope already counted once), but
+/// shed and deadline refusals still feed their dedicated counters.
+fn sub_sim_response(
+    shared: &Shared,
+    id: u64,
+    client_rid: Option<String>,
+    reply: JobReply,
+) -> Response {
+    match reply {
+        Ok(r) => Response::ok(id, r.body).with_request_id(client_rid),
+        Err(e) => {
+            count_refusal(shared, &e);
+            Response::err(id, e.code(), &e.to_string()).with_request_id(client_rid)
+        }
+    }
+}
+
+/// Routes a job to its shard by cache-key hash. A full or closed
+/// queue answers through the job's own reply sink, so both front ends
+/// observe refusals exactly like any other completion.
+fn submit_job(
+    shared: &Arc<Shared>,
+    key: String,
+    point: SimPoint,
+    deadline: Option<Instant>,
+    reply: ReplySink,
+) {
+    let shard = (fnv1a(key.as_bytes()) % shared.queues.len() as u64) as usize;
+    let job = Job {
+        key,
+        point,
+        deadline,
+        enqueued: Instant::now(),
+        reply,
+    };
+    match shared.queues[shard].try_push(job) {
+        Ok(()) => {}
+        Err(PushError::Overloaded(job)) => job.reply.send(Err(HetmemError::Overloaded)),
+        Err(PushError::Closed(job)) => job.reply.send(Err(HetmemError::ShuttingDown)),
+    }
 }
 
 /// Accounts one finished request: registry histograms and counters,
 /// the `serve-request` telemetry line, and (with `"trace":true`) one
 /// `serve-span` line per phase. Runs *before* the response bytes are
-/// written — see the conservation note in [`handle_conn`].
+/// written — see the conservation note in the module docs (both front
+/// ends account first, then write).
 fn finish_request(shared: &Shared, meta: &ReqMeta, encode_us: u64) {
     let m = &shared.metrics;
     m.op_hist(&meta.op).record(us(meta.t0.elapsed()));
@@ -961,8 +1382,8 @@ fn worker_loop(shared: &Arc<Shared>, shard: usize) {
             shared.cache.corrupt(&job.key);
         }
         if job.deadline.is_some_and(|d| Instant::now() >= d) {
-            // Counted once, in dispatch, when the reply flows back.
-            let _ = job.reply.send(Err(HetmemError::DeadlineExceeded));
+            // Counted once, by the front end, when the reply flows back.
+            job.reply.send(Err(HetmemError::DeadlineExceeded));
             continue;
         }
         // Identical concurrent requests hash to this same shard, so by
@@ -1001,7 +1422,7 @@ fn worker_loop(shared: &Arc<Shared>, shard: usize) {
                 }
             }
         };
-        let _ = job.reply.send(reply);
+        job.reply.send(reply);
     }
 }
 
@@ -1045,37 +1466,6 @@ fn run_point(p: &SimPoint) -> (String, Option<MigrationTelemetry>) {
     let rec = record_for("serve", p.spec.name, &p.config_label, &p.sim, &run);
     let migration = rec.migration;
     (rec.jsonl(false), migration)
-}
-
-/// `simulate`: resolve, consult/route to the sharded pool, reply.
-fn handle_simulate(
-    shared: &Arc<Shared>,
-    params: &JsonValue,
-    deadline: Option<Instant>,
-) -> Result<SimReply, HetmemError> {
-    let (point, key) = parse_simulate(params)?;
-    let shard = (fnv1a(key.as_bytes()) % shared.queues.len() as u64) as usize;
-    let (tx, rx) = mpsc::channel();
-    let job = Job {
-        key,
-        point,
-        deadline,
-        enqueued: Instant::now(),
-        reply: tx,
-    };
-    match shared.queues[shard].try_push(job) {
-        Ok(()) => {}
-        Err(PushError::Overloaded(_)) => return Err(HetmemError::Overloaded),
-        Err(PushError::Closed(_)) => return Err(HetmemError::ShuttingDown),
-    }
-    match rx.recv() {
-        Ok(reply) => reply,
-        // A clean drain answers every successfully queued job, so a
-        // dropped reply channel means the worker died mid-job and was
-        // respawned by its supervisor. The request did not complete;
-        // simulations are idempotent, so retrying is always safe.
-        Err(_) => Err(HetmemError::WorkerRestarted),
-    }
 }
 
 /// Resolves a `simulate` request into a concrete [`SimPoint`] and its
@@ -1299,6 +1689,7 @@ fn stats_json(shared: &Shared) -> String {
         .u64("stats", load(&s.op_stats))
         .u64("metrics", load(&s.op_metrics))
         .u64("shutdown", load(&s.op_shutdown))
+        .u64("batch", load(&s.op_batch))
         .u64("other", load(&s.op_other))
         .finish();
     let cache_obj = JsonObject::new()
@@ -1317,6 +1708,7 @@ fn stats_json(shared: &Shared) -> String {
         .u64("overloaded", load(&s.overloaded))
         .u64("worker_restarts", load(&s.worker_restarts))
         .u64("deadline_exceeded", load(&s.deadline_exceeded))
+        .u64("batch_subrequests", load(&s.batch_subrequests))
         .raw("ops", &ops)
         .raw("cache", &cache_obj)
         .u64("shards", shared.queues.len() as u64)

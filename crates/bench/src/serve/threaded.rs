@@ -1,0 +1,158 @@
+//! The blocking thread-per-connection front end — the pre-v2 core,
+//! kept as the non-unix fallback and the throughput baseline the poll
+//! core is measured against. One thread per accepted connection,
+//! strictly request → response in order (no pipelining); `batch`
+//! envelopes fan their sub-simulations out to the pool concurrently
+//! and collect the slots back in order.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::Instant;
+
+use hetmem::HetmemError;
+use hetmem_harness::Response;
+
+use super::{
+    configure_blocking_stream, dispatch_prepare, finish_batch, finish_outcome, finish_request,
+    sub_sim_response, submit_job, us, ActiveGuard, Prepared, ReplySink, ReqMeta, Shared, SubWork,
+};
+
+pub(super) fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    for conn in listener.incoming() {
+        if shared.shutting.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let s = Arc::clone(shared);
+        let _ = thread::Builder::new()
+            .name("hetmem-serve-conn".to_string())
+            .spawn(move || handle_conn(&s, stream));
+    }
+    // Dropping the listener here refuses all later connections.
+}
+
+fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
+    // Timeouts bound both directions: an idle client eventually frees
+    // the thread, and a client that stops draining cannot wedge it.
+    let _ = configure_blocking_stream(&stream, shared.read_timeout, Some(shared.write_timeout));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        // The read phase covers the socket wait for the next line, so
+        // on a keep-alive connection it includes client think time.
+        let read_start = Instant::now();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        let read_us = us(read_start.elapsed());
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        // The guard spans decode → response write: shutdown's drain
+        // waits for it, so an accepted request always gets its bytes.
+        let guard = ActiveGuard::new(&shared.active);
+        let (resp, meta) = dispatch_blocking(shared, trimmed, read_us);
+        let encode_start = Instant::now();
+        let mut out = resp.encode();
+        out.push('\n');
+        let encode_us = us(encode_start.elapsed());
+        // Account the request *before* its bytes go out: a scrape
+        // issued after reading this response must already count it
+        // (the conservation invariant). Only the write phase below is
+        // recorded afterwards.
+        finish_request(shared, &meta, encode_us);
+        if shared.faults.maybe_wire_error() {
+            // Chaos: tear the response mid-line and drop the
+            // connection. The client sees a short read / EOF (never a
+            // parseable-but-wrong line, the newline is missing) and
+            // retries; the cache makes the retry byte-identical.
+            let _ = writer.write_all(&out.as_bytes()[..out.len() / 2]);
+            let _ = writer.flush();
+            drop(guard);
+            break;
+        }
+        let write_start = Instant::now();
+        let write_ok = writer.write_all(out.as_bytes()).is_ok() && writer.flush().is_ok();
+        shared.metrics.ph_write.record(us(write_start.elapsed()));
+        drop(guard);
+        if !write_ok || shared.shutting.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+}
+
+/// Runs one request line to completion, parking this connection
+/// thread on the pool's reply channel for simulate-shaped work.
+fn dispatch_blocking(shared: &Arc<Shared>, line: &str, read_us: u64) -> (Response, ReqMeta) {
+    match dispatch_prepare(shared, line, read_us, false) {
+        Prepared::Done(resp, meta) => (resp, meta),
+        Prepared::Sim(work) => {
+            let (tx, rx) = mpsc::channel();
+            submit_job(
+                shared,
+                work.key,
+                work.point,
+                work.deadline,
+                ReplySink::Oneshot(tx),
+            );
+            // A clean drain answers every successfully queued job, so a
+            // dropped reply channel means the worker died mid-job and
+            // was respawned by its supervisor. The request did not
+            // complete; simulations are idempotent, so retrying is
+            // always safe.
+            let reply = rx.recv().unwrap_or(Err(HetmemError::WorkerRestarted));
+            finish_outcome(shared, work.head, reply)
+        }
+        Prepared::Batch(work) => {
+            // Fan every sub-simulation out before collecting anything,
+            // so a batch's jobs run concurrently across the shards.
+            enum Slot {
+                Ready(Response),
+                Pending {
+                    id: u64,
+                    client_rid: Option<String>,
+                    rx: mpsc::Receiver<super::JobReply>,
+                },
+            }
+            let slots: Vec<Slot> = work
+                .subs
+                .into_iter()
+                .map(|sub| match sub {
+                    SubWork::Ready(resp) => Slot::Ready(resp),
+                    SubWork::Sim {
+                        id,
+                        client_rid,
+                        point,
+                        key,
+                        deadline,
+                    } => {
+                        let (tx, rx) = mpsc::channel();
+                        submit_job(shared, key, point, deadline, ReplySink::Oneshot(tx));
+                        Slot::Pending { id, client_rid, rx }
+                    }
+                })
+                .collect();
+            let responses = slots
+                .into_iter()
+                .map(|slot| match slot {
+                    Slot::Ready(resp) => resp,
+                    Slot::Pending { id, client_rid, rx } => {
+                        let reply = rx.recv().unwrap_or(Err(HetmemError::WorkerRestarted));
+                        sub_sim_response(shared, id, client_rid, reply)
+                    }
+                })
+                .collect();
+            finish_batch(shared, work.head, responses)
+        }
+    }
+}

@@ -15,7 +15,7 @@ use std::time::Duration;
 use hetmem_harness::json::{JsonObject, JsonValue};
 use hetmem_harness::{Request, Response};
 
-use crate::serve::roundtrip_timeout;
+use crate::client::ClientBuilder;
 
 /// One op's row in the dashboard: volume and latency tail, pulled
 /// from the `hm_request_duration_us{op=...}` histogram series.
@@ -159,25 +159,39 @@ impl TopSnapshot {
         Ok(snap)
     }
 
-    /// Polls a server for one snapshot (one `stats` + one `metrics`
-    /// round-trip).
+    /// Polls a server for one snapshot: `stats` + `metrics` carried in
+    /// a single protocol-v2 `batch` round-trip, so both bodies come
+    /// from one dispatch instead of two connections.
     ///
     /// # Errors
     ///
     /// Transport failures, structured error responses, or bodies that
     /// fail to parse.
     pub fn fetch(addr: &str, read_timeout: Duration) -> io::Result<TopSnapshot> {
-        let body = |op: &str, id: u64| -> io::Result<String> {
-            match roundtrip_timeout(addr, &Request::new(id, op), read_timeout)? {
-                Response::Ok { result, .. } => Ok(result),
+        let client = ClientBuilder::new(addr)
+            .retries(0)
+            .read_timeout(read_timeout);
+        let subs = [Request::new(1, "stats"), Request::new(2, "metrics")];
+        let outcome = client.call_batch(1, &subs)?;
+        if let Response::Err { code, message, .. } = &outcome.response {
+            return Err(io::Error::other(format!("batch failed: {code}: {message}")));
+        }
+        let mut bodies = Vec::new();
+        for (sub, op) in outcome.responses.iter().zip(["stats", "metrics"]) {
+            match sub {
+                Response::Ok { result, .. } => bodies.push(result.as_str()),
                 Response::Err { code, message, .. } => {
-                    Err(io::Error::other(format!("{op} failed: {code}: {message}")))
+                    return Err(io::Error::other(format!("{op} failed: {code}: {message}")));
                 }
             }
+        }
+        let [stats, metrics] = bodies[..] else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("batch returned {} responses, wanted 2", bodies.len()),
+            ));
         };
-        let stats = body("stats", 1)?;
-        let metrics = body("metrics", 2)?;
-        TopSnapshot::parse(&stats, &metrics)
+        TopSnapshot::parse(stats, metrics)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
     }
 

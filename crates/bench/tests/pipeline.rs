@@ -1,0 +1,343 @@
+//! Integration tests for the event-driven serve core: pipelining,
+//! protocol-v2 `batch` envelopes, slow-reader backpressure, and the
+//! ClientBuilder / deprecated-shim bit-equivalence contract.
+//!
+//! The chaos and serve suites already pin the dispatch pipeline's
+//! behavior (and run against the poll core by default); this suite
+//! pins what is *new* in the readiness-loop front end: many in-flight
+//! requests per connection answered order-independently by id, batch
+//! sub-responses byte-identical to bare requests, and a stalled reader
+//! degrading to structured `overloaded` instead of wedging the loop.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use hetmem_bench::client::{ClientBuilder, ClientOptions};
+use hetmem_bench::serve::{roundtrip, start, ServeConfig, ServerHandle};
+use hetmem_harness::json::JsonValue;
+use hetmem_harness::{batch_request, Backoff, Request, Response, PROTO_V2};
+
+fn sim_request(id: u64, json_params: &str) -> Request {
+    Request::with_params(id, "simulate", JsonValue::parse(json_params).unwrap())
+}
+
+fn expect_ok(resp: &Response) -> &str {
+    match resp {
+        Response::Ok { result, .. } => result,
+        Response::Err { code, message, .. } => panic!("expected ok, got {code}: {message}"),
+    }
+}
+
+fn expect_err(resp: &Response) -> (&str, &str) {
+    match resp {
+        Response::Err { code, message, .. } => (code, message),
+        Response::Ok { result, .. } => panic!("expected error, got ok: {result}"),
+    }
+}
+
+fn server(cfg: ServeConfig) -> ServerHandle {
+    start(cfg).expect("bind loopback")
+}
+
+/// A connected pipelining client: raw line writes, buffered line reads.
+struct Pipe {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Pipe {
+    fn connect(addr: &str) -> Pipe {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        Pipe {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn send_all(&mut self, reqs: &[Request]) {
+        let mut burst = String::new();
+        for r in reqs {
+            burst.push_str(&r.encode());
+            burst.push('\n');
+        }
+        self.writer.write_all(burst.as_bytes()).unwrap();
+        self.writer.flush().unwrap();
+    }
+
+    fn recv_line(&mut self) -> String {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).unwrap();
+        assert!(n > 0, "server closed the connection mid-pipeline");
+        line.trim_end().to_string()
+    }
+}
+
+/// Distinct quick simulate points (unique seeds → unique cache keys).
+fn grid(n: u64) -> Vec<Request> {
+    (0..n)
+        .map(|i| {
+            sim_request(
+                i + 1,
+                &format!(
+                    r#"{{"workload":"hotspot","policy":"LOCAL","mem_ops":2000,"sms":2,"seed":{}}}"#,
+                    40 + i
+                ),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn pipelined_responses_are_byte_identical_to_serial() {
+    // Two fresh servers: one answers 10 requests pipelined down a
+    // single connection, the other answers the same 10 one at a time
+    // on separate connections. Neither run is cache-warmed by the
+    // other, so this compares real computations, not cache echoes.
+    let reqs = grid(10);
+
+    let pipelined = server(ServeConfig::default());
+    let mut pipe = Pipe::connect(&pipelined.addr().to_string());
+    pipe.send_all(&reqs);
+    // Responses complete order-independently (simulations land on
+    // different shards), so collect them by id.
+    let mut by_id: HashMap<u64, String> = HashMap::new();
+    for _ in &reqs {
+        let line = pipe.recv_line();
+        let resp = Response::decode(&line).unwrap();
+        assert!(by_id.insert(resp.id(), line).is_none(), "duplicate id");
+    }
+    drop(pipe);
+    pipelined.shutdown();
+    pipelined.wait();
+
+    let serial = server(ServeConfig::default());
+    let serial_addr = serial.addr().to_string();
+    for req in &reqs {
+        let resp = roundtrip(&serial_addr, req).unwrap();
+        let line = by_id.get(&req.id).expect("pipelined response for id");
+        assert_eq!(
+            line,
+            &resp.encode(),
+            "pipelined bytes must match serial for id {}",
+            req.id
+        );
+    }
+    serial.shutdown();
+    serial.wait();
+}
+
+#[test]
+fn batch_of_one_matches_bare_request_bytes() {
+    let handle = server(ServeConfig::default());
+    let addr = handle.addr().to_string();
+
+    let req = sim_request(
+        7,
+        r#"{"workload":"bfs","policy":"BW-AWARE","mem_ops":2000,"sms":2,"seed":3}"#,
+    );
+    let bare = roundtrip(&addr, &req).unwrap();
+
+    let envelope = roundtrip(&addr, &batch_request(99, &[req.clone()])).unwrap();
+    assert!(envelope.is_ok(), "envelope refused: {envelope:?}");
+    let subs = envelope.batch_responses().unwrap();
+    assert_eq!(subs.len(), 1);
+    assert_eq!(
+        subs[0].encode(),
+        bare.encode(),
+        "a batch of one must carry exactly the bare response"
+    );
+
+    handle.shutdown();
+    handle.wait();
+}
+
+#[test]
+fn batch_mixes_results_and_structured_errors_in_order() {
+    let handle = server(ServeConfig::default());
+    let addr = handle.addr().to_string();
+
+    let subs = [
+        Request::new(1, "stats"),
+        sim_request(2, r#"{"workload":"no-such-app"}"#),
+        sim_request(
+            3,
+            r#"{"workload":"hotspot","policy":"LOCAL","mem_ops":2000,"sms":2,"seed":5}"#,
+        ),
+        Request::new(4, "frobnicate"),
+    ];
+    let envelope = roundtrip(&addr, &batch_request(50, &subs)).unwrap();
+    let responses = envelope.batch_responses().unwrap();
+    assert_eq!(responses.len(), 4, "one sub-response per sub-request");
+    let ids: Vec<u64> = responses.iter().map(Response::id).collect();
+    assert_eq!(ids, vec![1, 2, 3, 4], "sub-responses keep request order");
+    expect_ok(&responses[0]);
+    assert_eq!(expect_err(&responses[1]).0, "unknown-workload");
+    expect_ok(&responses[2]);
+    assert_eq!(expect_err(&responses[3]).0, "unknown-op");
+
+    handle.shutdown();
+    handle.wait();
+}
+
+#[test]
+fn oversized_batches_and_unknown_protocols_are_refused() {
+    let handle = server(ServeConfig {
+        max_batch: 4,
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr().to_string();
+
+    // Five sub-requests against a max of four: a stable whole-envelope
+    // refusal, and no sub-request runs.
+    let subs: Vec<Request> = (1..=5).map(|i| Request::new(i, "stats")).collect();
+    let resp = roundtrip(&addr, &batch_request(9, &subs)).unwrap();
+    let (code, message) = expect_err(&resp);
+    assert_eq!(code, "batch-too-large");
+    assert!(message.contains('5') && message.contains('4'), "{message}");
+
+    // Unknown protocol majors are rejected with their own stable code,
+    // for v0 and for versions from the future alike.
+    for proto in [0, 9] {
+        let resp = roundtrip(&addr, &Request::new(1, "stats").proto(proto)).unwrap();
+        let (code, message) = expect_err(&resp);
+        assert_eq!(code, "unsupported-protocol", "proto {proto}");
+        assert!(message.contains("1-2"), "{message}");
+    }
+
+    // `batch` without a v2 envelope is an invalid request: v1 clients
+    // must opt in before the server accepts compound dispatch.
+    let mut v1_batch = batch_request(9, &[Request::new(1, "stats")]);
+    v1_batch.proto = 1;
+    let resp = roundtrip(&addr, &v1_batch).unwrap();
+    let (code, message) = expect_err(&resp);
+    assert_eq!(code, "invalid-request");
+    assert!(message.contains("proto"), "{message}");
+
+    // Batches do not nest, and shutdown cannot ride inside one.
+    let nested = batch_request(2, &[Request::new(1, "stats")]);
+    let resp = roundtrip(&addr, &batch_request(9, &[nested])).unwrap();
+    let inner = resp.batch_responses().unwrap();
+    assert_eq!(expect_err(&inner[0]).0, "invalid-request");
+    let resp = roundtrip(&addr, &batch_request(9, &[Request::new(1, "shutdown")])).unwrap();
+    let inner = resp.batch_responses().unwrap();
+    assert_eq!(expect_err(&inner[0]).0, "invalid-request");
+
+    // The envelope still checks plain-request invariants.
+    let mut empty = Request::new(9, "batch").proto(PROTO_V2);
+    empty.params = JsonValue::parse(r#"{"requests":[]}"#).unwrap();
+    let resp = roundtrip(&addr, &empty).unwrap();
+    assert_eq!(expect_err(&resp).0, "invalid-request");
+
+    handle.shutdown();
+    handle.wait();
+}
+
+#[test]
+fn slow_reader_backpressure_sheds_overloaded_without_wedging() {
+    // A tiny per-connection backlog budget: one fat Prometheus
+    // metrics body alone exceeds it, so a burst of pipelined scrapes
+    // from a reader that never drains must shed almost immediately.
+    let handle = server(ServeConfig {
+        conn_buffer: 1024,
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr().to_string();
+
+    const REQS: u64 = 400;
+    let reqs: Vec<Request> = (1..=REQS)
+        .map(|id| {
+            Request::with_params(
+                id,
+                "metrics",
+                JsonValue::parse(r#"{"format":"prometheus"}"#).unwrap(),
+            )
+        })
+        .collect();
+    let mut stalled = Pipe::connect(&addr);
+    stalled.send_all(&reqs);
+    // ...and then refuse to read anything for a while.
+    std::thread::sleep(Duration::from_millis(300));
+
+    // The loop is not wedged: a second connection gets served while
+    // the first one's backlog is jammed.
+    let probe = roundtrip(&addr, &Request::new(9000, "stats")).unwrap();
+    expect_ok(&probe);
+
+    // Now drain the stalled connection: every request is answered —
+    // some with full metrics bodies, the overflow with structured
+    // `overloaded` — and nothing is lost or reordered past its id.
+    let mut ok = 0u64;
+    let mut shed = 0u64;
+    for _ in 0..REQS {
+        let line = stalled.recv_line();
+        let resp = Response::decode(&line).unwrap();
+        match &resp {
+            Response::Ok { .. } => ok += 1,
+            Response::Err { code, .. } => {
+                assert_eq!(code, "overloaded", "only backpressure sheds expected");
+                shed += 1;
+            }
+        }
+    }
+    assert_eq!(ok + shed, REQS);
+    assert!(ok >= 1, "early requests fit the backlog budget");
+    assert!(
+        shed >= 1,
+        "a stalled reader must shed once its backlog budget is spent"
+    );
+
+    // The connection recovers once the client reads again.
+    stalled.send_all(&[Request::new(9001, "stats")]);
+    let resp = Response::decode(&stalled.recv_line()).unwrap();
+    expect_ok(&resp);
+
+    handle.shutdown();
+    handle.wait();
+}
+
+#[test]
+#[allow(deprecated)]
+fn client_builder_and_deprecated_shim_are_bit_equivalent() {
+    let handle = server(ServeConfig::default());
+    let addr = handle.addr().to_string();
+
+    let req = sim_request(
+        21,
+        r#"{"workload":"bfs","policy":"LOCAL","mem_ops":2000,"sms":2,"seed":11}"#,
+    )
+    .request_id("pin-1");
+    let opts = ClientOptions {
+        retries: 2,
+        backoff: Backoff::new(10, 100, 7),
+        deadline_ms: Some(30_000),
+        read_timeout: Duration::from_secs(30),
+    };
+    let client = ClientBuilder::new(addr.clone())
+        .retries(opts.retries)
+        .backoff(opts.backoff.clone())
+        .deadline_ms(30_000)
+        .read_timeout(opts.read_timeout);
+
+    let via_builder = client.call(&req).unwrap();
+    let via_shim = hetmem_bench::client::call(&addr, &req, &opts).unwrap();
+    assert_eq!(via_builder.attempts, 1);
+    assert_eq!(via_shim.attempts, 1);
+    assert_eq!(
+        via_builder.response.encode(),
+        via_shim.response.encode(),
+        "the deprecated shim and the builder must produce identical bytes"
+    );
+
+    // The batch path returns the same bytes for the same sub-request.
+    let batched = client.call_batch(60, &[req.clone()]).unwrap();
+    assert_eq!(batched.responses.len(), 1);
+    assert_eq!(batched.responses[0].encode(), via_builder.response.encode());
+
+    handle.shutdown();
+    handle.wait();
+}

@@ -53,6 +53,20 @@ pub enum HetmemError {
     /// The shard worker handling this request died and was restarted;
     /// the request was not completed (retrying is safe and idempotent).
     WorkerRestarted,
+    /// A `batch` request carried more sub-requests than the server
+    /// accepts in one envelope.
+    BatchTooLarge {
+        /// How many sub-requests the envelope carried.
+        got: usize,
+        /// The server's per-envelope ceiling.
+        max: usize,
+    },
+    /// The request envelope named a protocol major version this server
+    /// does not speak.
+    UnsupportedProtocol {
+        /// The version the client asked for.
+        proto: u64,
+    },
 }
 
 impl HetmemError {
@@ -83,6 +97,8 @@ impl HetmemError {
             HetmemError::ShuttingDown => "shutting-down",
             HetmemError::DeadlineExceeded => "deadline-exceeded",
             HetmemError::WorkerRestarted => "worker-restarted",
+            HetmemError::BatchTooLarge { .. } => "batch-too-large",
+            HetmemError::UnsupportedProtocol { .. } => "unsupported-protocol",
         }
     }
 }
@@ -102,6 +118,18 @@ impl fmt::Display for HetmemError {
             HetmemError::DeadlineExceeded => write!(f, "deadline exceeded"),
             HetmemError::WorkerRestarted => {
                 write!(f, "worker restarted before completing the request")
+            }
+            HetmemError::BatchTooLarge { got, max } => {
+                write!(
+                    f,
+                    "batch carries {got} sub-requests, server accepts at most {max}"
+                )
+            }
+            HetmemError::UnsupportedProtocol { proto } => {
+                write!(
+                    f,
+                    "protocol version {proto} is not supported (this server speaks 1-2)"
+                )
             }
         }
     }
@@ -185,6 +213,8 @@ mod tests {
             HetmemError::ShuttingDown,
             HetmemError::DeadlineExceeded,
             HetmemError::WorkerRestarted,
+            HetmemError::BatchTooLarge { got: 128, max: 64 },
+            HetmemError::UnsupportedProtocol { proto: 9 },
         ]
     }
 

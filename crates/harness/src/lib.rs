@@ -70,7 +70,7 @@ pub use metrics::{
     parse_prometheus, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry,
 };
 pub use prop::{any_u64, vec_of, Gen, Sample};
-pub use protocol::{ProtocolError, Request, Response};
+pub use protocol::{batch_request, ProtocolError, Request, Response, PROTO_V1, PROTO_V2};
 pub use queue::{BoundedQueue, PushError};
 pub use rng::{SplitMix64, Xoshiro256StarStar};
 pub use sweep::{run_grid, PointCtx, SweepError, SweepOptions};

@@ -21,14 +21,38 @@
 //! ([`json`](crate::json)): encoding is byte-deterministic (a cached
 //! `result` re-encodes to identical bytes) and decoding rejects
 //! malformed lines with an offset-carrying error.
+//!
+//! ## Versioning and batching (protocol v2)
+//!
+//! The envelope carries an optional `proto` field (default `1`, omitted
+//! on the wire at the default so v1 bytes are unchanged). Version 2
+//! adds the `batch` op: `params.requests` holds an array of full
+//! request envelopes, the result is `{"responses":[...]}` with one full
+//! response object per sub-request, **in sub-request order**. Each
+//! element encodes to exactly the bytes the bare single-request
+//! response line would have, so a batch of one is byte-equivalent to an
+//! unbatched call. Servers answer unknown major versions with the
+//! stable `unsupported-protocol` code and oversized batches with
+//! `batch-too-large`.
 
 use crate::json::{JsonError, JsonObject, JsonValue};
+
+/// The protocol version implied by an envelope with no `proto` field.
+pub const PROTO_V1: u64 = 1;
+/// The newest protocol version this crate speaks (adds `batch`).
+pub const PROTO_V2: u64 = 2;
 
 /// One decoded request line.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Request {
     /// Client-chosen correlation id, echoed on the response.
     pub id: u64,
+    /// Protocol major version of this envelope. Defaults to
+    /// [`PROTO_V1`] and is omitted from the wire at the default, so
+    /// pre-versioning request bytes are unchanged. Version
+    /// [`PROTO_V2`] unlocks the `batch` op; servers refuse anything
+    /// they don't speak with the `unsupported-protocol` code.
+    pub proto: u64,
     /// Operation name (e.g. `place`, `simulate`, `stats`, `shutdown`).
     pub op: String,
     /// Optional per-request deadline budget, milliseconds from the
@@ -60,6 +84,7 @@ impl Request {
     pub fn new(id: u64, op: &str) -> Self {
         Request {
             id,
+            proto: PROTO_V1,
             op: op.to_string(),
             deadline_ms: None,
             request_id: None,
@@ -83,6 +108,13 @@ impl Request {
         self
     }
 
+    /// Sets the envelope's protocol major version.
+    #[must_use]
+    pub fn proto(mut self, version: u64) -> Self {
+        self.proto = version;
+        self
+    }
+
     /// Sets the request-scoped trace id.
     #[must_use]
     pub fn request_id(mut self, rid: &str) -> Self {
@@ -103,6 +135,9 @@ impl Request {
     /// existed.
     pub fn encode(&self) -> String {
         let mut obj = JsonObject::new().u64("id", self.id).str("op", &self.op);
+        if self.proto != PROTO_V1 {
+            obj = obj.u64("proto", self.proto);
+        }
         if let Some(rid) = &self.request_id {
             obj = obj.str("request_id", rid);
         }
@@ -124,6 +159,18 @@ impl Request {
     /// request envelope (missing/ill-typed `id` or `op`).
     pub fn decode(line: &str) -> Result<Request, ProtocolError> {
         let v = JsonValue::parse(line).map_err(ProtocolError::BadJson)?;
+        Request::from_value(&v)
+    }
+
+    /// Decodes a request envelope from an already-parsed JSON value —
+    /// the same validation as [`Request::decode`], used for the
+    /// elements of a `batch` op's `requests` array.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::BadRequest`] when the value is not a valid
+    /// request envelope.
+    pub fn from_value(v: &JsonValue) -> Result<Request, ProtocolError> {
         let id = v
             .get("id")
             .and_then(JsonValue::as_u64)
@@ -136,6 +183,12 @@ impl Request {
         if op.is_empty() {
             return Err(ProtocolError::bad_request("empty 'op'"));
         }
+        let proto = match v.get("proto") {
+            None => PROTO_V1,
+            Some(p) => p.as_u64().ok_or_else(|| {
+                ProtocolError::bad_request("'proto' must be a non-negative integer")
+            })?,
+        };
         let deadline_ms = match v.get("deadline_ms") {
             None => None,
             Some(d) => Some(d.as_u64().ok_or_else(|| {
@@ -167,6 +220,7 @@ impl Request {
         };
         Ok(Request {
             id,
+            proto,
             op,
             deadline_ms,
             request_id,
@@ -174,6 +228,22 @@ impl Request {
             params,
         })
     }
+}
+
+/// Wraps sub-requests into one protocol-v2 `batch` envelope. The
+/// server dispatches each sub-request as if it had arrived on its own
+/// line and answers with `{"responses":[...]}` in sub-request order.
+pub fn batch_request(id: u64, subs: &[Request]) -> Request {
+    let requests: Vec<JsonValue> = subs
+        .iter()
+        .map(|sub| JsonValue::parse(&sub.encode()).expect("request encoding is valid JSON"))
+        .collect();
+    Request::with_params(
+        id,
+        "batch",
+        JsonValue::Object(vec![("requests".to_string(), JsonValue::Array(requests))]),
+    )
+    .proto(PROTO_V2)
 }
 
 /// One response line: a result or a structured error.
@@ -304,6 +374,17 @@ impl Response {
     /// valid response envelope.
     pub fn decode(line: &str) -> Result<Response, ProtocolError> {
         let v = JsonValue::parse(line).map_err(ProtocolError::BadJson)?;
+        Response::from_value(&v)
+    }
+
+    /// Decodes a response envelope from an already-parsed JSON value —
+    /// used for the elements of a batch result's `responses` array.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::BadRequest`] when the value is not a valid
+    /// response envelope.
+    pub fn from_value(v: &JsonValue) -> Result<Response, ProtocolError> {
         let id = v
             .get("id")
             .and_then(JsonValue::as_u64)
@@ -343,6 +424,31 @@ impl Response {
             }
             None => Err(ProtocolError::bad_request("missing or non-boolean 'ok'")),
         }
+    }
+
+    /// Splits a successful `batch` response into its per-sub-request
+    /// responses, in sub-request order.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::BadRequest`] when this response is an error
+    /// envelope or its result does not carry a `responses` array of
+    /// valid response objects.
+    pub fn batch_responses(&self) -> Result<Vec<Response>, ProtocolError> {
+        let result = match self {
+            Response::Ok { result, .. } => result,
+            Response::Err { code, .. } => {
+                return Err(ProtocolError::BadRequest(format!(
+                    "batch failed as a whole: {code}"
+                )))
+            }
+        };
+        let v = JsonValue::parse(result).map_err(ProtocolError::BadJson)?;
+        let items = v
+            .get("responses")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| ProtocolError::bad_request("batch result without 'responses' array"))?;
+        items.iter().map(Response::from_value).collect()
     }
 }
 
@@ -536,5 +642,88 @@ mod tests {
     fn params_object_builds_string_params() {
         let p = params_object(&[("workload", "bfs"), ("policy", "LOCAL")]);
         assert_eq!(p.render(), r#"{"workload":"bfs","policy":"LOCAL"}"#);
+    }
+
+    #[test]
+    fn proto_defaults_to_v1_and_is_omitted_on_the_wire() {
+        let plain = Request::new(1, "stats");
+        assert_eq!(plain.proto, PROTO_V1);
+        assert_eq!(plain.encode(), r#"{"id":1,"op":"stats","params":{}}"#);
+        assert_eq!(Request::decode(&plain.encode()).unwrap().proto, PROTO_V1);
+
+        let v2 = Request::new(2, "stats").proto(PROTO_V2);
+        assert_eq!(
+            v2.encode(),
+            r#"{"id":2,"op":"stats","proto":2,"params":{}}"#
+        );
+        assert_eq!(Request::decode(&v2.encode()).unwrap(), v2);
+
+        // Any non-negative integer decodes; acceptance is the server's
+        // call (it answers `unsupported-protocol`).
+        let future = Request::decode(r#"{"id":3,"op":"stats","proto":9}"#).unwrap();
+        assert_eq!(future.proto, 9);
+        for bad in [
+            r#"{"id":1,"op":"x","proto":"two"}"#,
+            r#"{"id":1,"op":"x","proto":-1}"#,
+            r#"{"id":1,"op":"x","proto":1.5}"#,
+        ] {
+            assert!(
+                matches!(Request::decode(bad), Err(ProtocolError::BadRequest(_))),
+                "accepted {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_request_wraps_subs_verbatim_and_in_order() {
+        let subs = [
+            Request::new(1, "stats"),
+            Request::with_params(
+                2,
+                "simulate",
+                JsonValue::parse(r#"{"workload":"bfs"}"#).unwrap(),
+            )
+            .deadline(500)
+            .request_id("cli-7"),
+        ];
+        let batch = batch_request(40, &subs);
+        assert_eq!(batch.op, "batch");
+        assert_eq!(batch.proto, PROTO_V2);
+        let line = batch.encode();
+        assert_eq!(
+            line,
+            concat!(
+                r#"{"id":40,"op":"batch","proto":2,"params":{"requests":["#,
+                r#"{"id":1,"op":"stats","params":{}},"#,
+                r#"{"id":2,"op":"simulate","request_id":"cli-7","deadline_ms":500,"params":{"workload":"bfs"}}"#,
+                r#"]}}"#
+            )
+        );
+        // The embedded envelopes decode back to the originals.
+        let decoded = Request::decode(&line).unwrap();
+        let items = decoded.params.get("requests").unwrap().as_array().unwrap();
+        for (item, sub) in items.iter().zip(&subs) {
+            assert_eq!(&Request::from_value(item).unwrap(), sub);
+        }
+    }
+
+    #[test]
+    fn batch_responses_split_in_order_and_reject_whole_batch_errors() {
+        let body = concat!(
+            r#"{"responses":["#,
+            r#"{"id":1,"ok":true,"result":{"cycles":9}},"#,
+            r#"{"id":2,"ok":false,"error":{"code":"overloaded","message":"queue full"}}"#,
+            r#"]}"#
+        );
+        let resp = Response::ok(40, body.to_string());
+        let subs = resp.batch_responses().unwrap();
+        assert_eq!(subs.len(), 2);
+        assert_eq!(subs[0], Response::ok(1, r#"{"cycles":9}"#.to_string()));
+        assert_eq!(subs[1], Response::err(2, "overloaded", "queue full"));
+
+        let whole = Response::err(40, "batch-too-large", "too many");
+        assert!(whole.batch_responses().is_err());
+        let not_batch = Response::ok(40, "{}".to_string());
+        assert!(not_batch.batch_responses().is_err());
     }
 }

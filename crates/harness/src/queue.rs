@@ -19,6 +19,13 @@ use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
 /// Why a push was refused; the rejected item is handed back.
+///
+/// Handing the item back is load-bearing, not a convenience: the
+/// serve front ends thread a one-shot reply sink through each queued
+/// job, and a refused push must return that sink intact so the
+/// refusal can be *answered* (as `overloaded`/`shutting-down`) rather
+/// than silently dropped. The event-driven core's completion
+/// bookkeeping relies on every sink being consumed exactly once.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PushError<T> {
     /// The queue is at capacity — shed load.

@@ -8,7 +8,7 @@
 //! input — they fail with a structured [`ProtocolError`].
 
 use hetmem_harness::json::{quote, validate_jsonl, JsonValue};
-use hetmem_harness::{vec_of, Request, Response};
+use hetmem_harness::{batch_request, vec_of, Request, Response, PROTO_V2};
 
 /// Characters the generators draw strings from: identifiers, JSON
 /// syntax, every escape class the writer handles (quotes, backslashes,
@@ -137,6 +137,37 @@ hetmem_harness::props! {
             ),
             Err(e) => assert!(matches!(e.code(), "bad-json" | "bad-request")),
         }
+    }
+
+    /// The protocol version field stays off the wire at its default:
+    /// v1 requests encode without a `proto` key (byte compatibility
+    /// with pre-v2 peers), every other version is carried explicitly,
+    /// and both shapes round-trip byte-stably.
+    fn proto_field_roundtrips(id in 0u64..(1 << 50), op in arb_text(1), proto in 0u64..16) {
+        let req = Request::new(id, &text(&op)).proto(proto);
+        let line = req.encode();
+        assert_eq!(line.contains("\"proto\""), proto != 1, "{line}");
+        let decoded = Request::decode(&line).unwrap_or_else(|e| panic!("{e}: {line}"));
+        assert_eq!(decoded, req);
+        assert_eq!(decoded.encode(), line, "re-encode must be byte-stable");
+    }
+
+    /// Batch envelopes are plain v2 requests on the wire: they
+    /// round-trip like any other line, and the sub-request array
+    /// survives re-encoding with its length intact.
+    fn batch_envelopes_roundtrip(id in 0u64..(1 << 50), n in 1usize..6, fields in arb_fields()) {
+        let subs: Vec<Request> = (0..n as u64)
+            .map(|i| Request::with_params(i + 1, "simulate", object_from(fields.clone())))
+            .collect();
+        let env = batch_request(id, &subs);
+        let line = env.encode();
+        let decoded = Request::decode(&line).unwrap_or_else(|e| panic!("{e}: {line}"));
+        assert_eq!(decoded, env);
+        assert_eq!(decoded.encode(), line, "re-encode must be byte-stable");
+        assert_eq!(decoded.proto, PROTO_V2);
+        let arr = decoded.params.get("requests").and_then(JsonValue::as_array)
+            .unwrap_or_else(|| panic!("no requests array: {line}"));
+        assert_eq!(arr.len(), n);
     }
 
     /// `json::quote` and the parser agree on every string the palette

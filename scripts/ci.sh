@@ -54,6 +54,26 @@ cmp "$SERVE_DIR/sim1.jsonl" "$SERVE_DIR/sim2.jsonl"  # cache hit: same bytes
 client stats > "$SERVE_DIR/stats.jsonl"
 grep -q '"hits":1' "$SERVE_DIR/stats.jsonl"
 
+# Pipelined + batch traffic against the poll(2) front end (the default
+# core): 20 request lines written before a single response is read must
+# all be answered on the same connection, and a protocol-v2 batch
+# envelope must fan its sub-requests through one dispatch with each
+# sub-response byte-identical to the bare request's.
+exec 3<>"/dev/tcp/127.0.0.1/$(cat "$SERVE_DIR/port")"
+for i in $(seq 1 20); do
+    printf '{"id":%d,"op":"stats"}\n' "$i" >&3
+done
+for _ in $(seq 1 20); do
+    IFS= read -r line <&3
+    printf '%s\n' "$line"
+done > "$SERVE_DIR/pipelined.jsonl"
+exec 3<&- 3>&-
+[ "$(grep -c '"ok":true' "$SERVE_DIR/pipelined.jsonl")" -eq 20 ]
+client --batch 8 simulate workload=hotspot policy=LOCAL mem_ops=4000 sms=2 \
+    > "$SERVE_DIR/batch.jsonl"
+[ "$(wc -l < "$SERVE_DIR/batch.jsonl")" -eq 8 ]
+cmp <(head -1 "$SERVE_DIR/batch.jsonl") "$SERVE_DIR/sim1.jsonl"
+
 # Metrics/tracing smoke: a traced request's id must be echoed on both
 # the success and error paths, the metrics op must serve JSON and a
 # valid Prometheus exposition whose per-op histogram counts conserve
