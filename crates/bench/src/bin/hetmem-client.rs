@@ -29,6 +29,11 @@
 //! * `--batch <n>` — wrap the request in one protocol-v2 `batch`
 //!   envelope carrying `n` copies (sub-ids 1..=n) through a single
 //!   dispatch; each sub-response prints on its own line
+//! * `--fleet` — the address is a `hetmem-fleet` router:
+//!   `backend-unavailable` also retries (the fleet supervisor is
+//!   already restarting the backend), and its retries share the one
+//!   `--request-id` in telemetry and in client-side deadline errors,
+//!   exactly like `overloaded`; `fleet-draining` stays terminal
 //!
 //! Values parse as (in order): unsigned integer, float, boolean,
 //! comma-separated number array (`sizes=1048576,2097152`), else
@@ -80,6 +85,7 @@ fn main() -> ExitCode {
     let mut request_id: Option<String> = None;
     let mut trace = false;
     let mut batch: Option<u64> = None;
+    let mut fleet = false;
     let mut rest: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -107,6 +113,7 @@ fn main() -> ExitCode {
                 request_id = Some(v);
             }
             "--trace" => trace = true,
+            "--fleet" => fleet = true,
             "--batch" => {
                 let v = args.next().expect("--batch needs a count");
                 let n: u64 = v.parse().expect("--batch takes an integer");
@@ -129,7 +136,8 @@ fn main() -> ExitCode {
     let mut client = ClientBuilder::new(addr)
         .retries(retries)
         .backoff(Backoff::new(50, 2000, backoff_seed))
-        .read_timeout(timeout);
+        .read_timeout(timeout)
+        .fleet(fleet);
     if let Some(ms) = deadline_ms {
         client = client.deadline_ms(ms);
     }

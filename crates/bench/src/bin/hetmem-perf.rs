@@ -11,7 +11,7 @@
 //! hetmem-perf run [--quick] [--migrate] [--label L] [--out FILE] [--iters N]
 //!                 [--mem-ops N] [--sms N] [--workloads a,b] [--policies p,q]
 //! hetmem-perf serve [--conns N] [--reqs N] [--depth N] [--core both|poll|threaded]
-//!                   [--out FILE] [--min-speedup X]
+//!                   [--fleet N] [--out FILE] [--min-speedup X]
 //! hetmem-perf gate --baseline FILE --current FILE
 //!                  [--max-regress 0.30] [--min-speedup X]
 //! hetmem-perf report --baseline FILE --current FILE --out FILE
@@ -26,6 +26,12 @@
 //!   thread-per-connection baseline, then the poll(2) readiness loop,
 //!   and emits a report document with `speedup_requests_per_sec`;
 //!   `--min-speedup` turns that comparison into a gate (exit 4).
+//!   With `--fleet N` (unix only) it instead measures routing
+//!   overhead: the same forwarded-op (`place`) workload runs against
+//!   one `hetmem-serve` process and then through a `hetmem-fleet`
+//!   router fronting N supervised backends, and the report's
+//!   `speedup_requests_per_sec` is fleet÷single (expected < 1 — the
+//!   extra hop is the price of failover).
 //! * `gate` compares two sections and exits 4 if the current aggregate
 //!   events/sec regressed by more than `--max-regress` (default 0.30,
 //!   the CI smoke threshold) — or, with `--min-speedup`, if current is
@@ -161,38 +167,16 @@ fn run_matrix(opts: &RunOpts) -> Result<String, String> {
         .finish())
 }
 
-/// One serve-throughput measurement: `conns` loopback connections,
-/// each pipelining `reqs` `stats` requests with `depth` lines in
-/// flight per socket, against a fresh in-process server running the
-/// given front end. Returns requests/sec and the section JSON.
-fn serve_section(core: ServeCore, conns: usize, reqs: usize, depth: usize) -> (f64, String) {
-    let label = match core {
-        ServeCore::Poll => "poll",
-        ServeCore::Threaded => "threaded",
-    };
-    let cfg = ServeConfig {
-        core,
-        ..ServeConfig::default()
-    };
-    let handle = start(cfg).unwrap_or_else(|e| panic!("serve bench: cannot start server: {e}"));
-    let addr = handle.addr().to_string();
-
-    // Pre-encode the request lines once; every connection sends the
-    // same bytes, so the measurement is pure front-end work.
-    let lines: Arc<Vec<String>> = Arc::new(
-        (1..=reqs as u64)
-            .map(|id| {
-                let mut line = Request::new(id, "stats").encode();
-                line.push('\n');
-                line
-            })
-            .collect(),
-    );
+/// Drives `conns` loopback connections, each pipelining the
+/// pre-encoded `lines` at `depth` in flight per socket, and returns
+/// the wall time for every connection to finish. Panics on any
+/// non-`ok` response — a throughput number over errors is a lie.
+fn pump(addr: &str, lines: &Arc<Vec<String>>, conns: usize, depth: usize) -> std::time::Duration {
     let barrier = Arc::new(Barrier::new(conns + 1));
     let workers: Vec<_> = (0..conns)
         .map(|_| {
-            let addr = addr.clone();
-            let lines = Arc::clone(&lines);
+            let addr = addr.to_string();
+            let lines = Arc::clone(lines);
             let barrier = Arc::clone(&barrier);
             std::thread::spawn(move || -> Result<(), String> {
                 let stream = TcpStream::connect(&addr).map_err(|e| format!("connect: {e}"))?;
@@ -231,14 +215,19 @@ fn serve_section(core: ServeCore, conns: usize, reqs: usize, depth: usize) -> (f
             .expect("serve bench client panicked")
             .unwrap_or_else(|e| panic!("serve bench client failed: {e}"));
     }
-    let wall = t0.elapsed();
-    roundtrip(&addr, &Request::new(1, "shutdown"))
-        .unwrap_or_else(|e| panic!("serve bench shutdown: {e}"));
-    handle.wait();
+    t0.elapsed()
+}
 
-    let total = (conns * reqs) as f64;
-    let rate = total / wall.as_secs_f64();
-    let section = JsonObject::new()
+/// Renders one measurement as a trajectory section.
+fn section_json(
+    label: &str,
+    conns: usize,
+    reqs: usize,
+    depth: usize,
+    wall: std::time::Duration,
+    rate: f64,
+) -> String {
+    JsonObject::new()
         .str("bench", "hetmem-perf-serve")
         .str("label", label)
         .u64("conns", conns as u64)
@@ -247,8 +236,128 @@ fn serve_section(core: ServeCore, conns: usize, reqs: usize, depth: usize) -> (f
         .u64("requests", (conns * reqs) as u64)
         .f64("wall_ms", wall.as_secs_f64() * 1e3)
         .f64("requests_per_sec", rate)
+        .finish()
+}
+
+/// One serve-throughput measurement: `conns` loopback connections,
+/// each pipelining `reqs` `stats` requests with `depth` lines in
+/// flight per socket, against a fresh in-process server running the
+/// given front end. Returns requests/sec and the section JSON.
+fn serve_section(core: ServeCore, conns: usize, reqs: usize, depth: usize) -> (f64, String) {
+    let label = match core {
+        ServeCore::Poll => "poll",
+        ServeCore::Threaded => "threaded",
+    };
+    let cfg = ServeConfig {
+        core,
+        ..ServeConfig::default()
+    };
+    let handle = start(cfg).unwrap_or_else(|e| panic!("serve bench: cannot start server: {e}"));
+    let addr = handle.addr().to_string();
+
+    // Pre-encode the request lines once; every connection sends the
+    // same bytes, so the measurement is pure front-end work.
+    let lines: Arc<Vec<String>> = Arc::new(
+        (1..=reqs as u64)
+            .map(|id| {
+                let mut line = Request::new(id, "stats").encode();
+                line.push('\n');
+                line
+            })
+            .collect(),
+    );
+    let wall = pump(&addr, &lines, conns, depth);
+    roundtrip(&addr, &Request::new(1, "shutdown"))
+        .unwrap_or_else(|e| panic!("serve bench shutdown: {e}"));
+    handle.wait();
+
+    let rate = (conns * reqs) as f64 / wall.as_secs_f64();
+    (rate, section_json(label, conns, reqs, depth, wall, rate))
+}
+
+/// Pre-encoded forwarded-op workload for the fleet comparison:
+/// `place` requests cycling workload × capacity_pct so their content
+/// keys spread across the ring (identical params would pin a single
+/// backend and measure nothing about routing).
+#[cfg(unix)]
+fn place_lines(reqs: usize) -> Arc<Vec<String>> {
+    const WORKLOADS: &[&str] = &["bfs", "hotspot", "lbm", "sgemm"];
+    Arc::new(
+        (1..=reqs as u64)
+            .map(|id| {
+                let workload = WORKLOADS[(id % WORKLOADS.len() as u64) as usize];
+                let pct = 5 + 5 * (id % 8);
+                let mut line = Request::with_params(
+                    id,
+                    "place",
+                    JsonValue::Object(vec![
+                        ("workload".to_string(), JsonValue::Str(workload.to_string())),
+                        ("capacity_pct".to_string(), JsonValue::Num(pct as f64)),
+                    ]),
+                )
+                .encode();
+                line.push('\n');
+                line
+            })
+            .collect(),
+    )
+}
+
+/// Routing-overhead measurement: the same forwarded-op workload runs
+/// against one `hetmem-serve` process, then through a `hetmem-fleet`
+/// router fronting `backends` supervised child processes. Returns the
+/// report document; its `speedup_requests_per_sec` is fleet÷single,
+/// expected below 1 — the extra hop and fan-out are the price the
+/// fleet pays for failover.
+#[cfg(unix)]
+fn fleet_report(backends: usize, conns: usize, reqs: usize, depth: usize) -> (f64, String) {
+    use hetmem_bench::fleet::{start as start_fleet, FleetConfig};
+
+    let lines = place_lines(reqs);
+    let total = (conns * reqs) as f64;
+
+    let single = start(ServeConfig::default())
+        .unwrap_or_else(|e| panic!("serve bench: cannot start server: {e}"));
+    let saddr = single.addr().to_string();
+    let wall = pump(&saddr, &lines, conns, depth);
+    roundtrip(&saddr, &Request::new(1, "shutdown"))
+        .unwrap_or_else(|e| panic!("serve bench shutdown: {e}"));
+    single.wait();
+    let base_rate = total / wall.as_secs_f64();
+    let base_section = section_json("single-place", conns, reqs, depth, wall, base_rate);
+
+    let fleet = start_fleet(FleetConfig {
+        backends,
+        ..FleetConfig::default()
+    })
+    .unwrap_or_else(|e| panic!("serve bench: cannot start fleet: {e}"));
+    let faddr = fleet.addr().to_string();
+    let wall = pump(&faddr, &lines, conns, depth);
+    fleet.shutdown();
+    fleet.wait();
+    let fleet_rate = total / wall.as_secs_f64();
+    let fleet_section = section_json(
+        &format!("fleet-{backends}-place"),
+        conns,
+        reqs,
+        depth,
+        wall,
+        fleet_rate,
+    );
+
+    let speedup = fleet_rate / base_rate;
+    eprintln!(
+        "hetmem-perf: serve single {base_rate:.0} req/s, fleet({backends}) {fleet_rate:.0} req/s, \
+         routing cost {:.2}x",
+        base_rate / fleet_rate
+    );
+    let body = JsonObject::new()
+        .str("bench", "hetmem-perf-serve")
+        .raw("baseline", &base_section)
+        .raw("current", &fleet_section)
+        .f64("speedup_requests_per_sec", speedup)
         .finish();
-    (rate, section)
+    (speedup, body)
 }
 
 fn load_rate(path: &str) -> Result<(f64, JsonValue), String> {
@@ -348,10 +457,18 @@ fn main() -> ExitCode {
             let mut reqs = 400usize;
             let mut depth = 32usize;
             let mut core = "both".to_string();
+            let mut fleet_backends: Option<usize> = None;
             let mut out: Option<String> = None;
             let mut min_speedup: Option<f64> = None;
             while let Some(arg) = args.next() {
                 match arg.as_str() {
+                    "--fleet" => {
+                        fleet_backends = Some(
+                            next("--fleet", &mut args)
+                                .parse()
+                                .expect("--fleet takes a backend count"),
+                        );
+                    }
                     "--conns" => {
                         conns = next("--conns", &mut args)
                             .parse()
@@ -381,6 +498,32 @@ fn main() -> ExitCode {
             }
             if conns == 0 || reqs == 0 {
                 return fail("--conns and --reqs must be positive");
+            }
+            if let Some(backends) = fleet_backends {
+                if backends == 0 {
+                    return fail("--fleet needs at least one backend");
+                }
+                #[cfg(not(unix))]
+                {
+                    let _ = backends;
+                    return fail("--fleet needs unix (hetmem-fleet is unix-only)");
+                }
+                #[cfg(unix)]
+                {
+                    let (speedup, body) = fleet_report(backends, conns, reqs, depth);
+                    if let Err(e) = write_or_print(out.as_deref(), &body) {
+                        return fail(&e);
+                    }
+                    if let Some(min) = min_speedup {
+                        if speedup < min {
+                            eprintln!(
+                                "hetmem-perf: GATE FAILED: speedup {speedup:.2}x below {min:.2}x"
+                            );
+                            return ExitCode::from(4);
+                        }
+                    }
+                    return ExitCode::SUCCESS;
+                }
             }
             if core != "both" {
                 let core = match ServeCore::parse(&core) {

@@ -44,6 +44,14 @@ use crate::serve::roundtrip_timeout;
 /// Error codes the server guarantees are safe to retry.
 pub const RETRYABLE_CODES: [&str; 2] = ["overloaded", "worker-restarted"];
 
+/// Additional codes that are retryable only against a `hetmem-fleet`
+/// router: `backend-unavailable` means every ring candidate was down
+/// at that instant, and the fleet's supervisor is already restarting
+/// them — a later attempt can land. `fleet-draining` is deliberately
+/// NOT here: a draining fleet never comes back, so retrying it only
+/// burns the deadline budget.
+pub const FLEET_RETRYABLE_CODES: [&str; 1] = ["backend-unavailable"];
+
 /// Retry/deadline knobs shared by [`ClientBuilder`] and the deprecated
 /// [`call`] shim.
 #[derive(Debug, Clone)]
@@ -59,6 +67,11 @@ pub struct ClientOptions {
     pub deadline_ms: Option<u64>,
     /// Per-attempt socket read timeout.
     pub read_timeout: Duration,
+    /// Talking to a `hetmem-fleet` router: also retry
+    /// [`FLEET_RETRYABLE_CODES`]. Retried attempts re-encode the same
+    /// request, so they re-route by the same content key and a
+    /// recovered (or successor) backend answers byte-identically.
+    pub fleet: bool,
 }
 
 impl Default for ClientOptions {
@@ -68,6 +81,7 @@ impl Default for ClientOptions {
             backoff: Backoff::default(),
             deadline_ms: None,
             read_timeout: Duration::from_secs(120),
+            fleet: false,
         }
     }
 }
@@ -156,6 +170,15 @@ impl ClientBuilder {
     #[must_use]
     pub fn read_timeout(mut self, d: Duration) -> Self {
         self.opts.read_timeout = d;
+        self
+    }
+
+    /// Target a `hetmem-fleet` router: `backend-unavailable` joins the
+    /// retryable set (the supervisor is already restarting backends),
+    /// while `fleet-draining` stays terminal.
+    #[must_use]
+    pub fn fleet(mut self, fleet: bool) -> Self {
+        self.opts.fleet = fleet;
         self
     }
 
@@ -264,7 +287,10 @@ fn call_engine(addr: &str, req: &Request, opts: &ClientOptions) -> io::Result<Ca
         };
         let outcome = roundtrip_timeout(addr, &attempt_req, read_timeout);
         let retryable = match &outcome {
-            Ok(Response::Err { code, .. }) => RETRYABLE_CODES.contains(&code.as_str()),
+            Ok(Response::Err { code, .. }) => {
+                RETRYABLE_CODES.contains(&code.as_str())
+                    || (opts.fleet && FLEET_RETRYABLE_CODES.contains(&code.as_str()))
+            }
             Ok(Response::Ok { .. }) => false,
             // Transport failure; a malformed response line
             // (InvalidData) is not retried — it signals a protocol
@@ -374,6 +400,78 @@ mod tests {
         let client = ClientBuilder::new("127.0.0.1:1").deadline_ms(0);
         let err = client.call(&Request::new(1, "stats")).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+    }
+
+    /// A throwaway server answering each connection's first line from a
+    /// scripted list of responses, for retry-semantics tests.
+    fn scripted_server(responses: Vec<Response>) -> String {
+        use std::io::{BufRead, BufReader, Write};
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            for resp in responses {
+                let (stream, _) = listener.accept().unwrap();
+                let mut reader = BufReader::new(stream);
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                let mut out = resp.encode();
+                out.push('\n');
+                reader.get_mut().write_all(out.as_bytes()).unwrap();
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn fleet_mode_retries_backend_unavailable() {
+        let addr = scripted_server(vec![
+            Response::err(
+                1,
+                "backend-unavailable",
+                "no healthy backend after trying 2",
+            ),
+            Response::ok(1, "{}".to_string()),
+        ]);
+        let client = ClientBuilder::new(addr)
+            .retries(3)
+            .backoff(Backoff::new(1, 2, 7))
+            .fleet(true);
+        let outcome = client.call(&Request::new(1, "stats")).unwrap();
+        assert_eq!(outcome.attempts, 2);
+        assert!(matches!(outcome.response, Response::Ok { .. }));
+    }
+
+    #[test]
+    fn backend_unavailable_is_terminal_without_fleet_mode() {
+        let addr = scripted_server(vec![Response::err(
+            1,
+            "backend-unavailable",
+            "no healthy backend after trying 2",
+        )]);
+        let client = ClientBuilder::new(addr)
+            .retries(3)
+            .backoff(Backoff::new(1, 2, 7));
+        let outcome = client.call(&Request::new(1, "stats")).unwrap();
+        assert_eq!(outcome.attempts, 1);
+    }
+
+    #[test]
+    fn fleet_draining_is_terminal_even_in_fleet_mode() {
+        let addr = scripted_server(vec![Response::err(
+            1,
+            "fleet-draining",
+            "fleet is draining",
+        )]);
+        let client = ClientBuilder::new(addr)
+            .retries(3)
+            .backoff(Backoff::new(1, 2, 7))
+            .fleet(true);
+        let outcome = client.call(&Request::new(1, "stats")).unwrap();
+        assert_eq!(outcome.attempts, 1);
+        match outcome.response {
+            Response::Err { code, .. } => assert_eq!(code, "fleet-draining"),
+            Response::Ok { .. } => panic!("expected the drain refusal"),
+        }
     }
 
     #[test]

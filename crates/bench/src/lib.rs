@@ -26,6 +26,8 @@
 //! hetmem-trace -- summary <file>`.
 
 pub mod client;
+#[cfg(unix)]
+pub mod fleet;
 pub mod serve;
 pub mod top;
 

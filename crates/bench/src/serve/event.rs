@@ -334,6 +334,14 @@ pub(super) fn event_loop(shared: &Arc<Shared>, listener: TcpListener) {
             loop {
                 match l.accept() {
                     Ok((stream, _)) => {
+                        if shared.faults.maybe_refuse_accept() {
+                            // Chaos: accept then close immediately, as
+                            // a server at its fd limit would. The peer
+                            // sees EOF before any response and retries.
+                            drop(stream);
+                            continue;
+                        }
+                        stream.set_nodelay(true).ok();
                         if stream.set_nonblocking(true).is_ok() {
                             conns.insert(next_conn, Conn::new(stream));
                             next_conn += 1;
@@ -600,6 +608,22 @@ fn account_response(shared: &Shared, resp: Response, meta: &ReqMeta) -> String {
 /// and the post-shutdown close-after-response contract.
 fn deliver(shared: &Shared, c: &mut Conn, out: &str) {
     if c.poisoned {
+        return;
+    }
+    if shared.faults.maybe_conn_drop() {
+        // Chaos: the connection dies outright mid-write. The peer sees
+        // a reset/EOF instead of its response and retries.
+        c.dead = true;
+        return;
+    }
+    if shared.faults.maybe_stall() {
+        // Chaos: a prefix of the response lands and then the writer
+        // goes silent — no close, no more bytes. Poisoning discards
+        // every later response so nothing can follow the partial line;
+        // the peer's read timeout is what ends the exchange.
+        let bytes = out.as_bytes();
+        c.wbuf.extend_from_slice(&bytes[..bytes.len() / 3]);
+        c.poisoned = true;
         return;
     }
     if shared.faults.maybe_wire_error() {

@@ -1723,6 +1723,9 @@ fn stats_json(shared: &Shared) -> String {
             .u64("latencies", f.latencies)
             .u64("wire_errors", f.wire_errors)
             .u64("corruptions", f.corruptions)
+            .u64("conn_drops", f.conn_drops)
+            .u64("stalls", f.stalls)
+            .u64("refusals", f.refusals)
             .finish();
         obj = obj.raw("faults", &faults);
     }
@@ -1750,6 +1753,18 @@ fn metrics_json(shared: &Shared, params: &JsonValue) -> Result<String, HetmemErr
             "unknown metrics format '{other}' (want json or prometheus)"
         ))),
     }
+}
+
+/// The canonical content key a `simulate` request is cached and
+/// fleet-routed by — exposed for the `hetmem-fleet` router, which must
+/// shard requests exactly like the result cache does so every cached
+/// entry lives in exactly one backend process.
+///
+/// # Errors
+///
+/// The same validation failures `simulate` itself would refuse with.
+pub fn simulate_cache_key(params: &JsonValue) -> Result<String, HetmemError> {
+    parse_simulate(params).map(|(_, key)| key)
 }
 
 /// Maps a client-side decode failure onto the protocol's error space

@@ -26,6 +26,7 @@ pub(super) fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
             break;
         }
         let Ok(stream) = conn else { continue };
+        stream.set_nodelay(true).ok();
         let s = Arc::clone(shared);
         let _ = thread::Builder::new()
             .name("hetmem-serve-conn".to_string())

@@ -117,6 +117,7 @@ fn chaos_fleet_gets_byte_correct_or_stable_errors() {
                         backoff: Backoff::new(1, 10, c as u64),
                         deadline_ms: None,
                         read_timeout: Duration::from_secs(30),
+                        fleet: false,
                     };
                     let mut ok = 0usize;
                     let mut transport = 0usize;

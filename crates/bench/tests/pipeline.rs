@@ -316,6 +316,7 @@ fn client_builder_and_deprecated_shim_are_bit_equivalent() {
         backoff: Backoff::new(10, 100, 7),
         deadline_ms: Some(30_000),
         read_timeout: Duration::from_secs(30),
+        fleet: false,
     };
     let client = ClientBuilder::new(addr.clone())
         .retries(opts.retries)

@@ -67,6 +67,18 @@ pub enum HetmemError {
         /// The version the client asked for.
         proto: u64,
     },
+    /// The fleet router could not reach any healthy backend owning this
+    /// request's key (every candidate was down, circuit-open, or failed
+    /// mid-request). Retrying is safe: the ring reroutes once a backend
+    /// recovers.
+    BackendUnavailable {
+        /// How many backends were tried before giving up.
+        tried: usize,
+    },
+    /// The fleet router is draining and accepts no new work; unlike
+    /// `shutting-down` this names the whole fleet, so clients stop
+    /// retrying against it.
+    FleetDraining,
 }
 
 impl HetmemError {
@@ -99,6 +111,8 @@ impl HetmemError {
             HetmemError::WorkerRestarted => "worker-restarted",
             HetmemError::BatchTooLarge { .. } => "batch-too-large",
             HetmemError::UnsupportedProtocol { .. } => "unsupported-protocol",
+            HetmemError::BackendUnavailable { .. } => "backend-unavailable",
+            HetmemError::FleetDraining => "fleet-draining",
         }
     }
 }
@@ -131,6 +145,10 @@ impl fmt::Display for HetmemError {
                     "protocol version {proto} is not supported (this server speaks 1-2)"
                 )
             }
+            HetmemError::BackendUnavailable { tried } => {
+                write!(f, "no healthy backend after trying {tried}")
+            }
+            HetmemError::FleetDraining => write!(f, "fleet is draining"),
         }
     }
 }
@@ -215,6 +233,8 @@ mod tests {
             HetmemError::WorkerRestarted,
             HetmemError::BatchTooLarge { got: 128, max: 64 },
             HetmemError::UnsupportedProtocol { proto: 9 },
+            HetmemError::BackendUnavailable { tried: 3 },
+            HetmemError::FleetDraining,
         ]
     }
 

@@ -8,7 +8,7 @@
 //! lands on which request still depends on thread interleaving — the
 //! guarantee is a reproducible fault mix, not a reproducible schedule.)
 //!
-//! Four fault classes, matching the failure modes the service must
+//! Seven fault classes, matching the failure modes the service must
 //! absorb:
 //!
 //! * **worker panics** — a shard worker dies mid-job; supervision must
@@ -20,6 +20,16 @@
 //! * **cache corruption** — a cached result's bytes rot; the integrity
 //!   check in [`ResultCache`](crate::cache::ResultCache) must detect
 //!   the mismatch and recompute instead of serving garbage.
+//!
+//! Plus three **connection-level** classes for the poll front end (and
+//! the fleet router's backend links):
+//!
+//! * **connection drops** — the socket dies mid-write; the peer sees a
+//!   reset/EOF and must retry, never hang.
+//! * **partial-write stalls** — a response's prefix lands and then the
+//!   writer goes silent; the peer's read timeout must fire.
+//! * **accept refusals** — a new connection is accepted and instantly
+//!   closed, modeling a backend at its fd limit.
 //!
 //! Every injection is counted ([`FaultCounts`]) so tests and the `stats`
 //! endpoint can report exactly how much chaos a run absorbed.
@@ -49,6 +59,15 @@ pub struct FaultPlan {
     /// Probability a cached entry is corrupted before lookup, in
     /// `[0, 1]`.
     pub corrupt_prob: f64,
+    /// Probability a connection is dropped outright mid-write, in
+    /// `[0, 1]`.
+    pub conn_drop_prob: f64,
+    /// Probability a response write lands partially and then stalls
+    /// (no close, no more bytes), in `[0, 1]`.
+    pub stall_prob: f64,
+    /// Probability a freshly accepted connection is refused (closed
+    /// before reading anything), in `[0, 1]`.
+    pub refuse_prob: f64,
 }
 
 impl Default for FaultPlan {
@@ -60,6 +79,9 @@ impl Default for FaultPlan {
             latency_ms: 0,
             wire_prob: 0.0,
             corrupt_prob: 0.0,
+            conn_drop_prob: 0.0,
+            stall_prob: 0.0,
+            refuse_prob: 0.0,
         }
     }
 }
@@ -71,11 +93,14 @@ impl FaultPlan {
             || (self.latency_prob > 0.0 && self.latency_ms > 0)
             || self.wire_prob > 0.0
             || self.corrupt_prob > 0.0
+            || self.conn_drop_prob > 0.0
+            || self.stall_prob > 0.0
+            || self.refuse_prob > 0.0
     }
 
     /// Parses a compact CLI spec: comma-separated `key=value` pairs with
     /// keys `seed`, `panic`, `latency` (probability), `latency-ms`,
-    /// `wire`, `corrupt`. Example:
+    /// `wire`, `corrupt`, `conn-drop`, `stall`, `refuse`. Example:
     /// `seed=7,panic=0.1,latency=0.5,latency-ms=40,wire=0.2,corrupt=0.3`.
     ///
     /// # Errors
@@ -111,6 +136,9 @@ impl FaultPlan {
                 }
                 "wire" => plan.wire_prob = prob(value)?,
                 "corrupt" => plan.corrupt_prob = prob(value)?,
+                "conn-drop" => plan.conn_drop_prob = prob(value)?,
+                "stall" => plan.stall_prob = prob(value)?,
+                "refuse" => plan.refuse_prob = prob(value)?,
                 other => return Err(format!("unknown fault spec key '{other}'")),
             }
         }
@@ -132,6 +160,12 @@ pub struct FaultCounts {
     pub wire_errors: u64,
     /// Cache corruptions injected.
     pub corruptions: u64,
+    /// Connections dropped mid-write.
+    pub conn_drops: u64,
+    /// Partial-write stalls injected.
+    pub stalls: u64,
+    /// Accepted connections refused.
+    pub refusals: u64,
     /// Total injection decisions taken (injected or not).
     pub decisions: u64,
 }
@@ -139,7 +173,13 @@ pub struct FaultCounts {
 impl FaultCounts {
     /// Total faults actually injected across all classes.
     pub fn injected(&self) -> u64 {
-        self.panics + self.latencies + self.wire_errors + self.corruptions
+        self.panics
+            + self.latencies
+            + self.wire_errors
+            + self.corruptions
+            + self.conn_drops
+            + self.stalls
+            + self.refusals
     }
 }
 
@@ -154,6 +194,9 @@ struct Counters {
     latencies: AtomicU64,
     wire_errors: AtomicU64,
     corruptions: AtomicU64,
+    conn_drops: AtomicU64,
+    stalls: AtomicU64,
+    refusals: AtomicU64,
     decisions: AtomicU64,
 }
 
@@ -258,6 +301,35 @@ impl FaultInjector {
         fire
     }
 
+    /// Whether to drop the connection outright before the next write.
+    pub fn maybe_conn_drop(&self) -> bool {
+        let fire = self.roll(self.plan.conn_drop_prob);
+        if fire {
+            self.counts.conn_drops.fetch_add(1, Ordering::Relaxed);
+        }
+        fire
+    }
+
+    /// Whether to write only a prefix of the next response and then go
+    /// silent (the peer's read timeout is what ends the exchange).
+    pub fn maybe_stall(&self) -> bool {
+        let fire = self.roll(self.plan.stall_prob);
+        if fire {
+            self.counts.stalls.fetch_add(1, Ordering::Relaxed);
+        }
+        fire
+    }
+
+    /// Whether to refuse (close immediately) the next accepted
+    /// connection.
+    pub fn maybe_refuse_accept(&self) -> bool {
+        let fire = self.roll(self.plan.refuse_prob);
+        if fire {
+            self.counts.refusals.fetch_add(1, Ordering::Relaxed);
+        }
+        fire
+    }
+
     /// Current injection counters.
     pub fn counts(&self) -> FaultCounts {
         FaultCounts {
@@ -265,6 +337,9 @@ impl FaultInjector {
             latencies: self.counts.latencies.load(Ordering::Relaxed),
             wire_errors: self.counts.wire_errors.load(Ordering::Relaxed),
             corruptions: self.counts.corruptions.load(Ordering::Relaxed),
+            conn_drops: self.counts.conn_drops.load(Ordering::Relaxed),
+            stalls: self.counts.stalls.load(Ordering::Relaxed),
+            refusals: self.counts.refusals.load(Ordering::Relaxed),
             decisions: self.counts.decisions.load(Ordering::Relaxed),
         }
     }
@@ -282,6 +357,9 @@ mod tests {
             assert!(inj.maybe_latency().is_none());
             assert!(!inj.maybe_wire_error());
             assert!(!inj.maybe_corrupt());
+            assert!(!inj.maybe_conn_drop());
+            assert!(!inj.maybe_stall());
+            assert!(!inj.maybe_refuse_accept());
         }
         assert_eq!(inj.counts(), FaultCounts::default());
         assert!(!inj.is_active());
@@ -351,16 +429,42 @@ mod tests {
     }
 
     #[test]
+    fn connection_faults_fire_and_are_counted() {
+        let inj = FaultInjector::new(FaultPlan {
+            seed: 11,
+            conn_drop_prob: 1.0,
+            stall_prob: 1.0,
+            refuse_prob: 1.0,
+            ..FaultPlan::default()
+        });
+        assert!(inj.is_active());
+        for _ in 0..10 {
+            assert!(inj.maybe_conn_drop());
+            assert!(inj.maybe_stall());
+            assert!(inj.maybe_refuse_accept());
+        }
+        let c = inj.counts();
+        assert_eq!((c.conn_drops, c.stalls, c.refusals), (10, 10, 10));
+        assert_eq!(c.injected(), 30);
+        assert_eq!(c.decisions, 30);
+    }
+
+    #[test]
     fn parse_roundtrips_the_full_spec() {
-        let plan =
-            FaultPlan::parse("seed=7,panic=0.1,latency=0.5,latency-ms=40,wire=0.2,corrupt=0.3")
-                .unwrap();
+        let plan = FaultPlan::parse(
+            "seed=7,panic=0.1,latency=0.5,latency-ms=40,wire=0.2,corrupt=0.3,\
+             conn-drop=0.05,stall=0.04,refuse=0.03",
+        )
+        .unwrap();
         assert_eq!(plan.seed, 7);
         assert_eq!(plan.panic_prob, 0.1);
         assert_eq!(plan.latency_prob, 0.5);
         assert_eq!(plan.latency_ms, 40);
         assert_eq!(plan.wire_prob, 0.2);
         assert_eq!(plan.corrupt_prob, 0.3);
+        assert_eq!(plan.conn_drop_prob, 0.05);
+        assert_eq!(plan.stall_prob, 0.04);
+        assert_eq!(plan.refuse_prob, 0.03);
         assert!(plan.is_active());
         // Latency probability without a bound defaults the bound.
         assert_eq!(FaultPlan::parse("latency=1").unwrap().latency_ms, 20);

@@ -1,0 +1,229 @@
+//! Per-backend health state for the `hetmem-fleet` router: a
+//! closed/open/half-open circuit breaker with a deterministic, seeded
+//! cooldown schedule.
+//!
+//! * **Closed** — requests flow; consecutive failures are counted and
+//!   `threshold` of them in a row trip the breaker.
+//! * **Open** — requests are refused without touching the backend
+//!   until the cooldown elapses. The cooldown comes from a seeded
+//!   [`Backoff`] schedule keyed by how many times this breaker has
+//!   tripped in a row, so repeated trips wait longer and a chaos run's
+//!   recovery timing is reproducible from the seed.
+//! * **Half-open** — one trial request (the health probe) is admitted.
+//!   Success closes the breaker and resets the trip streak; failure
+//!   re-opens it with the next, longer cooldown.
+//!
+//! The breaker is internally synchronized: the prober and every
+//! forwarding thread share one per-backend instance.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::backoff::Backoff;
+
+/// The observable breaker state, for `stats` reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow normally.
+    Closed,
+    /// Requests are refused until the cooldown elapses.
+    Open,
+    /// One trial request is (or has been) admitted.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// The state's stable lowercase name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Inner {
+    Closed {
+        consecutive_failures: u32,
+    },
+    Open {
+        until: Instant,
+    },
+    /// `trialed` flips when the single half-open trial is handed out.
+    HalfOpen {
+        trialed: bool,
+    },
+}
+
+/// A closed/open/half-open circuit breaker with deterministic seeded
+/// cooldowns.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: Backoff,
+    inner: Mutex<(Inner, u32)>, // (state, consecutive trips)
+}
+
+impl CircuitBreaker {
+    /// A breaker tripping after `threshold` consecutive failures, with
+    /// cooldowns drawn from the seeded `cooldown` schedule (trip
+    /// streak N sleeps `cooldown.delay_ms(N)`).
+    pub fn new(threshold: u32, cooldown: Backoff) -> Self {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            cooldown,
+            inner: Mutex::new((
+                Inner::Closed {
+                    consecutive_failures: 0,
+                },
+                0,
+            )),
+        }
+    }
+
+    /// Whether a request may proceed at `now`. In the open state this
+    /// flips to half-open once the cooldown has elapsed and admits
+    /// exactly one trial until an outcome is recorded.
+    pub fn allows(&self, now: Instant) -> bool {
+        let mut guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        match &mut guard.0 {
+            Inner::Closed { .. } => true,
+            Inner::Open { until } => {
+                if now < *until {
+                    false
+                } else {
+                    guard.0 = Inner::HalfOpen { trialed: true };
+                    true
+                }
+            }
+            Inner::HalfOpen { trialed } => {
+                if *trialed {
+                    false
+                } else {
+                    *trialed = true;
+                    true
+                }
+            }
+        }
+    }
+
+    /// Records a successful interaction: closes the breaker and resets
+    /// both the failure count and the trip streak.
+    pub fn record_success(&self) {
+        let mut guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        guard.0 = Inner::Closed {
+            consecutive_failures: 0,
+        };
+        guard.1 = 0;
+    }
+
+    /// Records a failed interaction at `now`: counts toward the trip
+    /// threshold when closed, re-opens immediately from half-open.
+    pub fn record_failure(&self, now: Instant) {
+        let mut guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let (state, trips) = &mut *guard;
+        match state {
+            Inner::Closed {
+                consecutive_failures,
+            } => {
+                *consecutive_failures += 1;
+                if *consecutive_failures >= self.threshold {
+                    let delay = self.cooldown.delay_ms(*trips);
+                    *trips = trips.saturating_add(1);
+                    *state = Inner::Open {
+                        until: now + Duration::from_millis(delay),
+                    };
+                }
+            }
+            Inner::Open { .. } => {}
+            Inner::HalfOpen { .. } => {
+                let delay = self.cooldown.delay_ms(*trips);
+                *trips = trips.saturating_add(1);
+                *state = Inner::Open {
+                    until: now + Duration::from_millis(delay),
+                };
+            }
+        }
+    }
+
+    /// The current state, for reporting.
+    pub fn state(&self) -> BreakerState {
+        let guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        match guard.0 {
+            Inner::Closed { .. } => BreakerState::Closed,
+            Inner::Open { .. } => BreakerState::Open,
+            Inner::HalfOpen { .. } => BreakerState::HalfOpen,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: u32) -> CircuitBreaker {
+        CircuitBreaker::new(threshold, Backoff::new(100, 1_000, 7))
+    }
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures() {
+        let b = breaker(3);
+        let now = Instant::now();
+        for _ in 0..2 {
+            b.record_failure(now);
+            assert_eq!(b.state(), BreakerState::Closed);
+        }
+        b.record_failure(now);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allows(now));
+    }
+
+    #[test]
+    fn success_resets_the_failure_count() {
+        let b = breaker(2);
+        let now = Instant::now();
+        b.record_failure(now);
+        b.record_success();
+        b.record_failure(now);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_admits_one_trial_then_closes_or_reopens() {
+        let b = breaker(1);
+        let t0 = Instant::now();
+        b.record_failure(t0);
+        assert!(!b.allows(t0));
+        // Past the first cooldown (<= 1 s cap) the breaker half-opens
+        // and admits exactly one trial.
+        let later = t0 + Duration::from_secs(2);
+        assert!(b.allows(later));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.allows(later), "second request during the trial waits");
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allows(later));
+
+        // A failed trial re-opens with a longer (monotone) cooldown.
+        b.record_failure(later);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(b.allows(later + Duration::from_secs(2)));
+        b.record_failure(later + Duration::from_secs(2));
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn cooldowns_are_deterministic_per_seed() {
+        // Two breakers with the same schedule trip to the same `until`
+        // offsets; assert via allows() at the schedule's delay bounds.
+        let schedule = Backoff::new(50, 400, 21);
+        let b = CircuitBreaker::new(1, schedule);
+        let t0 = Instant::now();
+        b.record_failure(t0);
+        let d0 = schedule.delay_ms(0);
+        assert!(!b.allows(t0 + Duration::from_millis(d0.saturating_sub(10))));
+        assert!(b.allows(t0 + Duration::from_millis(d0 + 10)));
+    }
+}

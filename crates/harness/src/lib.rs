@@ -50,11 +50,13 @@ pub mod backoff;
 pub mod cache;
 pub mod checkpoint;
 pub mod fault;
+pub mod health;
 pub mod json;
 pub mod metrics;
 pub mod prop;
 pub mod protocol;
 pub mod queue;
+pub mod ring;
 pub mod rng;
 pub mod sweep;
 pub mod telemetry;
@@ -65,6 +67,7 @@ pub use backoff::Backoff;
 pub use cache::{CacheStats, ResultCache};
 pub use checkpoint::{read_checkpoint, run_grid_resumable, CheckpointEntry, CheckpointWriter};
 pub use fault::{FaultCounts, FaultInjector, FaultPlan, INJECTED_PANIC_MARKER};
+pub use health::{BreakerState, CircuitBreaker};
 pub use json::{validate_jsonl, JsonError, JsonValue};
 pub use metrics::{
     parse_prometheus, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry,
@@ -72,6 +75,7 @@ pub use metrics::{
 pub use prop::{any_u64, vec_of, Gen, Sample};
 pub use protocol::{batch_request, ProtocolError, Request, Response, PROTO_V1, PROTO_V2};
 pub use queue::{BoundedQueue, PushError};
+pub use ring::{HashRing, DEFAULT_VNODES};
 pub use rng::{SplitMix64, Xoshiro256StarStar};
 pub use sweep::{run_grid, PointCtx, SweepError, SweepOptions};
 pub use telemetry::{

@@ -182,3 +182,66 @@ if target/release/hetmem-perf gate \
     echo "hetmem-perf gate failed to reject an impossible speedup" >&2
     exit 1
 fi
+
+# Fleet smoke: consistent-hash router + 3 supervised hetmem-serve
+# backends. The same sweep runs against one single process and against
+# the fleet with one backend SIGKILL'd mid-sweep; the router's failover
+# (ring successor + supervised respawn) must keep every response line
+# byte-identical. hetmem-top's conservation gate must hold against the
+# router, and `shutdown` must drain the whole fleet, children included.
+FLEET_DIR=target/ci-fleet
+rm -rf "$FLEET_DIR"
+mkdir -p "$FLEET_DIR"
+cargo build --release --offline -q -p hetmem-bench --bin hetmem-fleet
+
+sweep_half1() { # $@: client command; appends one response line per call
+    "$@" simulate workload=hotspot policy=LOCAL mem_ops=3000 sms=2
+    "$@" simulate workload=hotspot policy=INTERLEAVE mem_ops=3000 sms=2
+    "$@" simulate workload=bfs policy=BW-AWARE mem_ops=3000 sms=2
+}
+sweep_half2() {
+    "$@" simulate workload=bfs policy=LOCAL mem_ops=4500 sms=2
+    "$@" simulate workload=hotspot policy=BW-AWARE mem_ops=4500 sms=2
+    "$@" place workload=bfs capacity_pct=20
+    "$@" --batch 4 simulate workload=hotspot policy=LOCAL mem_ops=3000 sms=2
+}
+
+target/release/hetmem-serve --addr 127.0.0.1:0 \
+    --port-file "$FLEET_DIR/single.port" &
+SINGLE_PID=$!
+trap 'kill "$SINGLE_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+    [ -s "$FLEET_DIR/single.port" ] && break
+    sleep 0.1
+done
+SADDR="127.0.0.1:$(cat "$FLEET_DIR/single.port")"
+sclient() { target/release/hetmem-client "$SADDR" "$@"; }
+{ sweep_half1 sclient; sweep_half2 sclient; } > "$FLEET_DIR/single.jsonl"
+sclient shutdown > /dev/null
+wait "$SINGLE_PID"
+trap - EXIT
+
+target/release/hetmem-fleet --addr 127.0.0.1:0 --backends 3 --seed 7 \
+    --serve-bin target/release/hetmem-serve \
+    --port-file "$FLEET_DIR/fleet.port" &
+FLEET_PID=$!
+trap 'kill "$FLEET_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+    [ -s "$FLEET_DIR/fleet.port" ] && break
+    sleep 0.1
+done
+FADDR="127.0.0.1:$(cat "$FLEET_DIR/fleet.port")"
+fclient() { target/release/hetmem-client --fleet --retries 8 "$FADDR" "$@"; }
+sweep_half1 fclient > "$FLEET_DIR/fleet.jsonl"
+BACKEND_PID=$(pgrep -P "$FLEET_PID" | head -1)
+kill -9 "$BACKEND_PID"  # SIGKILL one backend mid-sweep
+sweep_half2 fclient >> "$FLEET_DIR/fleet.jsonl"
+cmp "$FLEET_DIR/single.jsonl" "$FLEET_DIR/fleet.jsonl"  # failover: same bytes
+target/release/hetmem-top "$FADDR" --once --json --check \
+    > "$FLEET_DIR/top.json"
+grep -q '"p99_us"' "$FLEET_DIR/top.json"
+fclient stats > "$FLEET_DIR/stats.jsonl"
+grep -q '"worker_restarts":1' "$FLEET_DIR/stats.jsonl"  # the kill was supervised
+fclient shutdown | grep -q '"draining":true'
+wait "$FLEET_PID"  # graceful drain: router and children exit on their own
+trap - EXIT
