@@ -29,6 +29,9 @@
 //! * `--batch <n>` — wrap the request in one protocol-v2 `batch`
 //!   envelope carrying `n` copies (sub-ids 1..=n) through a single
 //!   dispatch; each sub-response prints on its own line
+//! * `--fidelity <mode>` — shorthand for a `fidelity=<mode>` param on
+//!   a `simulate` request (`full` or `sampled`; the server rejects
+//!   anything else with the stable `invalid-fidelity` code)
 //! * `--fleet` — the address is a `hetmem-fleet` router:
 //!   `backend-unavailable` also retries (the fleet supervisor is
 //!   already restarting the backend), and its retries share the one
@@ -86,6 +89,7 @@ fn main() -> ExitCode {
     let mut trace = false;
     let mut batch: Option<u64> = None;
     let mut fleet = false;
+    let mut fidelity: Option<String> = None;
     let mut rest: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -114,6 +118,10 @@ fn main() -> ExitCode {
             }
             "--trace" => trace = true,
             "--fleet" => fleet = true,
+            "--fidelity" => {
+                let v = args.next().expect("--fidelity needs a value");
+                fidelity = Some(v);
+            }
             "--batch" => {
                 let v = args.next().expect("--batch needs a count");
                 let n: u64 = v.parse().expect("--batch takes an integer");
@@ -141,7 +149,14 @@ fn main() -> ExitCode {
     if let Some(ms) = deadline_ms {
         client = client.deadline_ms(ms);
     }
-    let params = JsonValue::Object(rest[2..].iter().map(|pair| field(pair)).collect());
+    let mut fields: Vec<(String, JsonValue)> = rest[2..].iter().map(|pair| field(pair)).collect();
+    if let Some(mode) = fidelity {
+        // The flag loses to an explicit fidelity=... param.
+        if !fields.iter().any(|(k, _)| k == "fidelity") {
+            fields.push(("fidelity".to_string(), JsonValue::Str(mode)));
+        }
+    }
+    let params = JsonValue::Object(fields);
     let mut req = Request::with_params(1, op, params);
     if let Some(id) = &request_id {
         req = req.request_id(id);

@@ -50,6 +50,10 @@
 //!   (the server owns execution; resume locally instead)
 //! * `--batch <n>` — sub-requests per envelope in remote mode
 //!   (default 32; must not exceed the server's `--max-batch`)
+//! * `--fidelity full|sampled` — simulation fidelity (default `full`;
+//!   `sampled` fast-forwards steady-state windows and extrapolates,
+//!   trading exactness for 10–100× throughput). Part of the point key,
+//!   so sampled checkpoints never satisfy full-fidelity runs
 //!
 //! Exit codes: 0 success, 2 usage/setup error, 3 sweep failure
 //! (panicking point, deadline exceeded, or a failed remote point).
@@ -58,7 +62,7 @@ use std::io::Write;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
-use gpusim::SimConfig;
+use gpusim::{Fidelity, SampleConfig, SimConfig};
 use hetmem::{
     hints_from_profile, profile_workload, record_for, topology_for, Capacity, Placement, RunBuilder,
 };
@@ -76,20 +80,26 @@ struct Point {
     sim: SimConfig,
     capacity: Capacity,
     capacity_pct: u64,
+    fidelity: Fidelity,
 }
 
 impl Point {
     /// The canonical content key, over the resolved configuration —
-    /// the same shape `hetmem-serve` caches under.
+    /// the same shape `hetmem-serve` caches under. Sampled points key
+    /// with an extra `fidelity` field; full-fidelity keys keep their
+    /// pre-sampling bytes.
     fn key(&self) -> String {
-        JsonObject::new()
+        let mut obj = JsonObject::new()
             .str("workload", self.spec.name)
             .str("policy", &self.policy)
             .u64("capacity_pct", self.capacity_pct)
             .u64("mem_ops", self.spec.mem_ops)
             .u64("sms", u64::from(self.sim.num_sms))
-            .u64("seed", self.spec.seed)
-            .finish()
+            .u64("seed", self.spec.seed);
+        if matches!(self.fidelity, Fidelity::Sampled(_)) {
+            obj = obj.str("fidelity", "sampled");
+        }
+        obj.finish()
     }
 
     fn label(&self) -> String {
@@ -117,6 +127,12 @@ impl Point {
             ),
             ("seed".to_string(), JsonValue::Num(self.spec.seed as f64)),
         ];
+        if matches!(self.fidelity, Fidelity::Sampled(_)) {
+            fields.push((
+                "fidelity".to_string(),
+                JsonValue::Str("sampled".to_string()),
+            ));
+        }
         if self.capacity_pct > 0 {
             fields.push((
                 "capacity_pct".to_string(),
@@ -151,6 +167,7 @@ impl Point {
         let run = RunBuilder::new(&self.spec, &self.sim)
             .capacity(self.capacity)
             .placement(&placement)
+            .fidelity(self.fidelity)
             .run();
         record_for("sweep", self.spec.name, &self.policy, &self.sim, &run).jsonl(false)
     }
@@ -218,6 +235,7 @@ fn main() -> ExitCode {
     let mut addr: Option<String> = None;
     let mut batch: usize = 32;
     let mut deadline_ms: Option<u64> = None;
+    let mut fidelity = Fidelity::Full;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -274,6 +292,17 @@ fn main() -> ExitCode {
                 batch = next("--batch").parse().expect("--batch takes an integer");
                 assert!(batch > 0, "--batch must be positive");
             }
+            "--fidelity" => {
+                fidelity = match next("--fidelity").trim().to_ascii_lowercase().as_str() {
+                    "full" => Fidelity::Full,
+                    "sampled" => Fidelity::Sampled(SampleConfig::default()),
+                    other => {
+                        return fail(&format!(
+                            "unknown fidelity '{other}' (expected 'full' or 'sampled')"
+                        ))
+                    }
+                };
+            }
             "--faults" => {
                 let spec = next("--faults");
                 faults = Some(
@@ -310,6 +339,7 @@ fn main() -> ExitCode {
                 sim: sim.clone(),
                 capacity,
                 capacity_pct: capacity_pct.unwrap_or(0),
+                fidelity,
             });
         }
     }

@@ -147,6 +147,10 @@ struct Window {
 fn summarize_jsonl(path: &str, text: &str, top: usize) -> ExitCode {
     let mut runs: Vec<String> = Vec::new();
     let mut windows: Vec<Window> = Vec::new();
+    // Sampled-fidelity runs tag each interval with its mode; full runs
+    // carry no tag.
+    let mut detail = 0usize;
+    let mut extrapolated = 0usize;
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -178,6 +182,11 @@ fn summarize_jsonl(path: &str, text: &str, top: usize) -> ExitCode {
                 },
             )),
             "interval" => {
+                match v.get("mode").and_then(JsonValue::as_str) {
+                    Some("detail") => detail += 1,
+                    Some("extrapolated") => extrapolated += 1,
+                    _ => {}
+                }
                 let pools = v.get("pools").and_then(JsonValue::as_array).unwrap_or(&[]);
                 let gbps: f64 = pools
                     .iter()
@@ -206,9 +215,14 @@ fn summarize_jsonl(path: &str, text: &str, top: usize) -> ExitCode {
     }
 
     println!(
-        "{path}: {} run records, {} interval records",
+        "{path}: {} run records, {} interval records{}",
         runs.len(),
-        windows.len()
+        windows.len(),
+        if detail + extrapolated > 0 {
+            format!(" ({detail} detail, {extrapolated} extrapolated)")
+        } else {
+            String::new()
+        }
     );
     if !runs.is_empty() {
         println!("runs:");

@@ -21,6 +21,10 @@
 //!   point into `<dir>` (load in Perfetto / `chrome://tracing`)
 //! * `--trace-budget <n>` — cap traced events per run (default 100000;
 //!   overflow is counted in a `truncated` marker)
+//! * `--fidelity full|sampled` — simulation fidelity for every grid
+//!   point (default `full`; `sampled` fast-forwards and extrapolates,
+//!   tagging each emitted `interval` record with
+//!   `mode: detail|extrapolated`)
 //!
 //! Inspect the emitted files with `cargo run -p hetmem-bench --bin
 //! hetmem-trace -- summary <file>`.
@@ -54,6 +58,7 @@ pub fn opts_from_args() -> ExpOptions {
                     (opts.verbose, opts.threads, opts.telemetry.take());
                 let (sample_cycles, trace, trace_budget) =
                     (opts.sample_cycles, opts.trace.take(), opts.trace_budget);
+                let fidelity = opts.fidelity;
                 opts = ExpOptions::quick();
                 opts.verbose = verbose;
                 opts.threads = threads;
@@ -61,6 +66,7 @@ pub fn opts_from_args() -> ExpOptions {
                 opts.sample_cycles = sample_cycles;
                 opts.trace = trace;
                 opts.trace_budget = trace_budget;
+                opts.fidelity = fidelity;
             }
             "--scale" => {
                 let v = args.next().expect("--scale needs a value");
@@ -98,6 +104,14 @@ pub fn opts_from_args() -> ExpOptions {
             "--trace-budget" => {
                 let v = args.next().expect("--trace-budget needs a value");
                 opts.trace_budget = v.parse().expect("--trace-budget takes an integer");
+            }
+            "--fidelity" => {
+                let v = args.next().expect("--fidelity needs a value");
+                opts.fidelity = match v.as_str() {
+                    "full" => gpusim::Fidelity::Full,
+                    "sampled" => gpusim::Fidelity::Sampled(gpusim::SampleConfig::default()),
+                    other => panic!("unknown fidelity {other:?} (expected full or sampled)"),
+                };
             }
             other => panic!("unknown flag {other}; see hetmem-bench docs"),
         }

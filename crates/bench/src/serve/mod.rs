@@ -105,7 +105,7 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use gpusim::SimConfig;
+use gpusim::{Fidelity, SampleConfig, SimConfig};
 use hetmem::{
     bo_traffic_target, hints_from_profile, profile_workload, record_for, topology_for, Capacity,
     HetmemError, Placement, RunBuilder, TelemetrySink,
@@ -228,6 +228,7 @@ struct SimPoint {
     capacity: Capacity,
     policy: PolicyChoice,
     config_label: String,
+    fidelity: Fidelity,
 }
 
 /// A queued simulate job: the point plus the reply path back to
@@ -1462,6 +1463,7 @@ fn run_point(p: &SimPoint) -> (String, Option<MigrationTelemetry>) {
     let run = RunBuilder::new(&p.spec, &p.sim)
         .capacity(p.capacity)
         .placement(&placement)
+        .fidelity(p.fidelity)
         .run();
     let rec = record_for("serve", p.spec.name, &p.config_label, &p.sim, &run);
     let migration = rec.migration;
@@ -1531,15 +1533,41 @@ fn parse_simulate(params: &JsonValue) -> Result<(SimPoint, String), HetmemError>
             (PolicyChoice::Os(policy), label)
         }
     };
-    // Canonical key over the *resolved* request; 0 = unconstrained.
-    let key = JsonObject::new()
+    // Protocol-stable fidelity: absent (or "full") runs the exact
+    // simulator; anything else but "sampled" gets the dedicated stable
+    // wire code. Rejecting non-strings mirrors the 'policy' rule.
+    let fidelity = match params.get("fidelity") {
+        None => Fidelity::Full,
+        Some(v) => {
+            let s = v
+                .as_str()
+                .ok_or_else(|| HetmemError::invalid("'fidelity' must be a string"))?;
+            match s.trim().to_ascii_lowercase().as_str() {
+                "full" => Fidelity::Full,
+                "sampled" => Fidelity::Sampled(SampleConfig::default()),
+                _ => {
+                    return Err(HetmemError::InvalidFidelity {
+                        value: s.to_string(),
+                    })
+                }
+            }
+        }
+    };
+    // Canonical key over the *resolved* request; 0 = unconstrained. The
+    // fidelity field is appended only for sampled requests so every
+    // full-fidelity key (the protocol's entire pre-sampling keyspace)
+    // stays byte-identical.
+    let mut key_obj = JsonObject::new()
         .str("workload", spec.name)
         .str("policy", &config_label)
         .u64("capacity_pct", capacity_pct.unwrap_or(0))
         .u64("mem_ops", spec.mem_ops)
         .u64("sms", u64::from(sim.num_sms))
-        .u64("seed", spec.seed)
-        .finish();
+        .u64("seed", spec.seed);
+    if matches!(fidelity, Fidelity::Sampled(_)) {
+        key_obj = key_obj.str("fidelity", "sampled");
+    }
+    let key = key_obj.finish();
     Ok((
         SimPoint {
             spec,
@@ -1547,6 +1575,7 @@ fn parse_simulate(params: &JsonValue) -> Result<(SimPoint, String), HetmemError>
             capacity,
             policy,
             config_label,
+            fidelity,
         },
         key,
     ))

@@ -79,6 +79,12 @@ pub enum HetmemError {
     /// `shutting-down` this names the whole fleet, so clients stop
     /// retrying against it.
     FleetDraining,
+    /// A request's `fidelity` field named a mode the server does not
+    /// have (only `full` and `sampled` exist).
+    InvalidFidelity {
+        /// The unrecognized mode.
+        value: String,
+    },
 }
 
 impl HetmemError {
@@ -113,6 +119,7 @@ impl HetmemError {
             HetmemError::UnsupportedProtocol { .. } => "unsupported-protocol",
             HetmemError::BackendUnavailable { .. } => "backend-unavailable",
             HetmemError::FleetDraining => "fleet-draining",
+            HetmemError::InvalidFidelity { .. } => "invalid-fidelity",
         }
     }
 }
@@ -149,6 +156,12 @@ impl fmt::Display for HetmemError {
                 write!(f, "no healthy backend after trying {tried}")
             }
             HetmemError::FleetDraining => write!(f, "fleet is draining"),
+            HetmemError::InvalidFidelity { value } => {
+                write!(
+                    f,
+                    "unknown fidelity '{value}' (expected 'full' or 'sampled')"
+                )
+            }
         }
     }
 }
@@ -235,6 +248,9 @@ mod tests {
             HetmemError::UnsupportedProtocol { proto: 9 },
             HetmemError::BackendUnavailable { tried: 3 },
             HetmemError::FleetDraining,
+            HetmemError::InvalidFidelity {
+                value: "approximate".into(),
+            },
         ]
     }
 

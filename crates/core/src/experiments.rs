@@ -11,7 +11,7 @@
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use gpusim::SimConfig;
+use gpusim::{Fidelity, SimConfig};
 use hmtypes::{Bandwidth, Percent};
 use mempolicy::Mempolicy;
 use profiler::{Cdf, PageHistogram, RunProfile};
@@ -51,6 +51,10 @@ pub struct ExpOptions {
     /// Event budget per traced run (drops beyond it are counted and
     /// flagged with a `truncated` marker in the trace).
     pub trace_budget: usize,
+    /// Simulation fidelity for every grid point (default
+    /// [`Fidelity::Full`]; sampled runs carry `estimated` blocks and
+    /// mode-tagged interval records).
+    pub fidelity: Fidelity,
 }
 
 impl Default for ExpOptions {
@@ -65,6 +69,7 @@ impl Default for ExpOptions {
             sample_cycles: None,
             trace: None,
             trace_budget: ObserveConfig::DEFAULT_TRACE_BUDGET,
+            fidelity: Fidelity::Full,
         }
     }
 }
@@ -89,6 +94,7 @@ impl ExpOptions {
             sample_cycles: None,
             trace: None,
             trace_budget: ObserveConfig::DEFAULT_TRACE_BUDGET,
+            fidelity: Fidelity::Full,
         }
     }
 

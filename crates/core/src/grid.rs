@@ -15,11 +15,11 @@ use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
-use gpusim::{IntervalReport, SimConfig, TraceEventKind};
+use gpusim::{IntervalReport, SimConfig, SimReport, TraceEventKind};
 use hetmem_harness::sweep::{run_grid, SweepOptions};
 use hetmem_harness::telemetry::{
-    fnv1a, summary, IntervalPoolTelemetry, IntervalRecord, MigrationTelemetry, PoolTelemetry,
-    RunRecord,
+    fnv1a, summary, EstimateTelemetry, IntervalPoolTelemetry, IntervalRecord, MigrationTelemetry,
+    PoolTelemetry, RunRecord,
 };
 use hetmem_harness::trace::{ChromeTrace, TraceEvent};
 use mempolicy::{PlacementEvent, PlacementEventKind};
@@ -180,6 +180,15 @@ pub fn record_for(
             copy_bytes: m.copy_bytes,
             remap_stall_cycles: m.remap_stall_cycles,
         }),
+        estimated: run.report.estimated.map(|e| EstimateTelemetry {
+            windows_detail: e.windows_detail,
+            windows_extrapolated: e.windows_extrapolated,
+            ops_simulated: e.ops_simulated,
+            ops_extrapolated: e.ops_extrapolated,
+            cycles_measured: e.cycles_measured,
+            cycles_extrapolated: e.cycles_extrapolated,
+            confidence: e.confidence,
+        }),
         wall_ms: None,
     }
 }
@@ -255,9 +264,87 @@ pub fn interval_records_for(
                 mshr_peak: iv.mshr_peak,
                 warps_retired: iv.warps_retired,
                 pools,
+                mode: None,
             }
         })
         .collect()
+}
+
+/// [`interval_records_for`] for a sampled fast-forward run: the
+/// measured windows are tagged `mode: "detail"` and one synthesized
+/// `mode: "extrapolated"` record covers the extrapolated tail (the
+/// report's totals minus what the detail windows measured), so a
+/// trace file never silently mixes fidelities.
+pub fn sampled_interval_records_for(
+    figure: &str,
+    workload: &str,
+    config: &str,
+    sim: &SimConfig,
+    intervals: &[IntervalReport],
+    report: &SimReport,
+) -> Vec<IntervalRecord> {
+    let mut recs = interval_records_for(figure, workload, config, sim, intervals);
+    for r in &mut recs {
+        r.mode = Some("detail");
+    }
+    let start = intervals.iter().map(|iv| iv.end_cycle).max().unwrap_or(0);
+    if report.cycles <= start {
+        return recs;
+    }
+    let window = (report.cycles - start) as f64;
+    let ghz = sim.sm_clock_ghz;
+    let residual = |total: u64, per: fn(&IntervalReport) -> u64| {
+        total.saturating_sub(intervals.iter().map(per).sum())
+    };
+    let pools = report
+        .pools
+        .iter()
+        .enumerate()
+        .zip(&sim.pools)
+        .map(|((i, p), cfg)| {
+            let measured = |f: fn(&gpusim::IntervalPoolReport) -> u64| -> u64 {
+                intervals.iter().map(|iv| f(&iv.pools[i])).sum()
+            };
+            let bytes_read = p.bytes_read.saturating_sub(measured(|q| q.bytes_read));
+            let bytes_written = p
+                .bytes_written
+                .saturating_sub(measured(|q| q.bytes_written));
+            let busy: f64 = intervals.iter().map(|iv| iv.pools[i].busy_cycles).sum();
+            IntervalPoolTelemetry {
+                name: cfg.name.clone(),
+                bytes_read,
+                bytes_written,
+                achieved_gbps: (bytes_read + bytes_written) as f64 * ghz / window,
+                bus_util: ((p.bus_busy_cycles - busy).max(0.0)
+                    / (window * f64::from(cfg.channels)))
+                .min(1.0),
+                zone_pages: intervals
+                    .iter()
+                    .last()
+                    .map_or(0, |iv| iv.pools[i].zone_pages),
+            }
+        })
+        .collect();
+    recs.push(IntervalRecord {
+        sweep: figure.to_string(),
+        workload: workload.to_string(),
+        config: config.to_string(),
+        config_hash: config_hash(figure, workload, config, sim),
+        index: intervals.iter().map(|iv| iv.index + 1).max().unwrap_or(0),
+        start_cycle: start,
+        end_cycle: report.cycles,
+        mem_ops: residual(report.mem_ops, |iv| iv.mem_ops),
+        l1_hits: residual(report.l1.0, |iv| iv.l1_hits),
+        l1_misses: residual(report.l1.1, |iv| iv.l1_misses),
+        l2_hits: residual(report.l2.0, |iv| iv.l2_hits),
+        l2_misses: residual(report.l2.1, |iv| iv.l2_misses),
+        mshr_stalls: residual(report.mshr_stalls, |iv| iv.mshr_stalls),
+        mshr_peak: 0,
+        warps_retired: residual(u64::from(report.retired_warps), |iv| iv.warps_retired),
+        pools,
+        mode: Some("extrapolated"),
+    });
+    recs
 }
 
 /// Converts one traced run into a Chrome `trace_event` document with
@@ -393,13 +480,6 @@ impl RunPoint {
     fn label(&self) -> String {
         format!("{}/{}", self.spec.name, self.config)
     }
-
-    fn run(&self) -> WorkloadRun {
-        RunBuilder::new(&self.spec, &self.sim)
-            .capacity(self.capacity)
-            .placement(&self.placement)
-            .run()
-    }
 }
 
 /// Runs a figure's grid through the harness sweep engine. `records`
@@ -460,7 +540,13 @@ pub(crate) fn run_point_sweep(
             opts,
             points,
             RunPoint::label,
-            RunPoint::run,
+            |p| {
+                RunBuilder::new(&p.spec, &p.sim)
+                    .capacity(p.capacity)
+                    .placement(&p.placement)
+                    .fidelity(opts.fidelity)
+                    .run()
+            },
             |p, r| vec![record_for(figure, p.spec.name, &p.config, &p.sim, r)],
         );
     };
@@ -474,6 +560,7 @@ pub(crate) fn run_point_sweep(
                 .capacity(p.capacity)
                 .placement(&p.placement)
                 .observe(ocfg.clone())
+                .fidelity(opts.fidelity)
                 .run_observed()
         },
         |p, r| vec![record_for(figure, p.spec.name, &p.config, &p.sim, &r.run)],
@@ -483,7 +570,18 @@ pub(crate) fn run_point_sweep(
             .iter()
             .zip(&results)
             .flat_map(|(p, r)| {
-                interval_records_for(figure, p.spec.name, &p.config, &p.sim, &r.intervals)
+                if r.run.report.estimated.is_some() {
+                    sampled_interval_records_for(
+                        figure,
+                        p.spec.name,
+                        &p.config,
+                        &p.sim,
+                        &r.intervals,
+                        &r.run.report,
+                    )
+                } else {
+                    interval_records_for(figure, p.spec.name, &p.config, &p.sim, &r.intervals)
+                }
             })
             .map(|rec| rec.jsonl())
             .collect();

@@ -50,7 +50,10 @@ pub mod runtime;
 pub mod translate;
 
 pub use error::HetmemError;
-pub use grid::{chrome_trace_for, config_hash, interval_records_for, record_for, TelemetrySink};
+pub use grid::{
+    chrome_trace_for, config_hash, interval_records_for, record_for, sampled_interval_records_for,
+    TelemetrySink,
+};
 pub use migrate::{MigrationEpochEvent, MigrationModel, OnlineMigrator};
 pub use migration::{
     evaluate_migration, ext_migration, ext_online, ext_reactive, run_online, MigrationOutcome,

@@ -9,8 +9,8 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use gpusim::{
-    EventTracer, IntervalReport, IntervalSampler, ProbeObserver, SimConfig, SimReport,
-    SimTraceEvent, Simulator,
+    run_sampled, EventTracer, Fidelity, IntervalReport, IntervalSampler, NullMigrator,
+    NullObserver, ProbeObserver, SimConfig, SimReport, SimTraceEvent, Simulator,
 };
 use hmtypes::MemKind;
 use mempolicy::{AddressSpace, Mempolicy, MigrateSpec, PlacementEvent, ZoneId};
@@ -191,6 +191,7 @@ pub struct RunBuilder<'a> {
     profile_pages: bool,
     observe: ObserveConfig,
     seed: Option<u64>,
+    fidelity: Fidelity,
 }
 
 impl<'a> RunBuilder<'a> {
@@ -204,6 +205,7 @@ impl<'a> RunBuilder<'a> {
             profile_pages: false,
             observe: ObserveConfig::default(),
             seed: None,
+            fidelity: Fidelity::Full,
         }
     }
 
@@ -237,6 +239,16 @@ impl<'a> RunBuilder<'a> {
     /// Overrides the workload's base RNG seed for this run.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = Some(seed);
+        self
+    }
+
+    /// Sets the simulation fidelity (default: [`Fidelity::Full`]).
+    /// [`Fidelity::Sampled`] runs the SMARTS-style fast-forward engine:
+    /// the report's [`SimReport::estimated`] block is then always
+    /// present and aggregate counters are model extrapolations, not
+    /// exact counts.
+    pub fn fidelity(mut self, fidelity: Fidelity) -> Self {
+        self.fidelity = fidelity;
         self
     }
 
@@ -277,6 +289,33 @@ impl<'a> RunBuilder<'a> {
         self.with_effective(|spec, placement| {
             let mut prep = prepare_run(spec, self.sim, self.capacity, placement, false);
             let (translator, program) = prep.take_sim_parts();
+            if let Fidelity::Sampled(sc) = self.fidelity {
+                let report = if let Some(ms) = migrate_spec_of(placement) {
+                    let mig = OnlineMigrator::new(Rc::clone(&prep.mm), ms, self.sim);
+                    run_sampled(
+                        self.sim.clone(),
+                        translator,
+                        program,
+                        sc,
+                        NullObserver,
+                        mig,
+                        self.profile_pages,
+                    )
+                    .0
+                } else {
+                    run_sampled(
+                        self.sim.clone(),
+                        translator,
+                        program,
+                        sc,
+                        NullObserver,
+                        NullMigrator,
+                        self.profile_pages,
+                    )
+                    .0
+                };
+                return prep.finish(report);
+            }
             if let Some(ms) = migrate_spec_of(placement) {
                 let mig = OnlineMigrator::new(Rc::clone(&prep.mm), ms, self.sim);
                 let mut simulator =
@@ -307,6 +346,33 @@ impl<'a> RunBuilder<'a> {
         self.with_effective(|spec, placement| {
             let mut prep = prepare_run(spec, self.sim, self.capacity, placement, false);
             let (translator, program) = prep.take_sim_parts();
+            if let Fidelity::Sampled(sc) = self.fidelity {
+                let (report, stats) = if let Some(ms) = migrate_spec_of(placement) {
+                    let mig = OnlineMigrator::new(Rc::clone(&prep.mm), ms, self.sim);
+                    let (r, _obs, s) = run_sampled(
+                        self.sim.clone(),
+                        translator,
+                        program,
+                        sc,
+                        NullObserver,
+                        mig,
+                        self.profile_pages,
+                    );
+                    (r, s)
+                } else {
+                    let (r, _obs, s) = run_sampled(
+                        self.sim.clone(),
+                        translator,
+                        program,
+                        sc,
+                        NullObserver,
+                        NullMigrator,
+                        self.profile_pages,
+                    );
+                    (r, s)
+                };
+                return (prep.finish(report), stats);
+            }
             if let Some(ms) = migrate_spec_of(placement) {
                 let mig = OnlineMigrator::new(Rc::clone(&prep.mm), ms, self.sim);
                 let mut simulator =
@@ -346,7 +412,28 @@ impl<'a> RunBuilder<'a> {
                 obs.trace.then(|| EventTracer::new(obs.trace_budget)),
             );
             let mut epoch_log = None;
-            let (report, probe) = if let Some(ms) = migrate_spec_of(placement) {
+            let (report, probe) = if let Fidelity::Sampled(sc) = self.fidelity {
+                // Observers see only the detail windows; the returned
+                // report is the extrapolated one.
+                if let Some(ms) = migrate_spec_of(placement) {
+                    let mig = OnlineMigrator::new(Rc::clone(&prep.mm), ms, self.sim);
+                    epoch_log = Some(mig.epoch_log());
+                    let (r, probe, _stats) =
+                        run_sampled(self.sim.clone(), translator, program, sc, probe, mig, false);
+                    (r, probe)
+                } else {
+                    let (r, probe, _stats) = run_sampled(
+                        self.sim.clone(),
+                        translator,
+                        program,
+                        sc,
+                        probe,
+                        NullMigrator,
+                        false,
+                    );
+                    (r, probe)
+                }
+            } else if let Some(ms) = migrate_spec_of(placement) {
                 let mig = OnlineMigrator::new(Rc::clone(&prep.mm), ms, self.sim);
                 epoch_log = Some(mig.epoch_log());
                 Simulator::new(self.sim.clone(), translator, program)

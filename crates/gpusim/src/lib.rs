@@ -40,6 +40,7 @@ pub mod kernels;
 pub mod migrate;
 pub mod observe;
 pub mod request;
+pub mod sampled;
 pub mod sim;
 pub mod stats;
 
@@ -56,5 +57,6 @@ pub use observe::{
 pub use request::{
     AddressTranslator, FixedPoolTranslator, Placement, RatioTranslator, WarpId, WarpOp, WarpProgram,
 };
+pub use sampled::{run_sampled, EstimateReport, Fidelity, SampleConfig};
 pub use sim::Simulator;
 pub use stats::{MigrationReport, PoolReport, SimReport};

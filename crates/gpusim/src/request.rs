@@ -89,6 +89,32 @@ pub trait WarpProgram {
     fn mem_level_parallelism(&self) -> u32 {
         2
     }
+
+    /// Consumes up to `n` operations for `warp` without materializing
+    /// them, returning `(ops, mem_ops)` actually consumed; fewer than
+    /// `n` means the warp retired mid-skip.
+    ///
+    /// The default loops [`WarpProgram::next_op`] and discards the
+    /// results. Implementations may shortcut expensive work (address
+    /// math, distribution lookups) but MUST leave all generator state
+    /// — RNG streams, cursors, quotas — bit-identical to `n` real
+    /// `next_op` calls: the sampled fast-forward engine's byte-identity
+    /// guarantee for detail windows rests on this.
+    fn skip_ops(&mut self, warp: WarpId, n: u64) -> (u64, u64) {
+        let mut ops = 0;
+        let mut mem = 0;
+        while ops < n {
+            match self.next_op(warp) {
+                Some(WarpOp::Mem { .. }) => {
+                    ops += 1;
+                    mem += 1;
+                }
+                Some(_) => ops += 1,
+                None => break,
+            }
+        }
+        (ops, mem)
+    }
 }
 
 impl<P: WarpProgram> WarpProgram for &mut P {
@@ -102,6 +128,10 @@ impl<P: WarpProgram> WarpProgram for &mut P {
 
     fn mem_level_parallelism(&self) -> u32 {
         (**self).mem_level_parallelism()
+    }
+
+    fn skip_ops(&mut self, warp: WarpId, n: u64) -> (u64, u64) {
+        (**self).skip_ops(warp, n)
     }
 }
 

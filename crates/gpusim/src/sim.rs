@@ -444,6 +444,7 @@ impl<T: AddressTranslator, P: WarpProgram, O: Observer, M: PageMigrator> Simulat
             pools,
             page_accesses: self.page_accesses.map(PageCounter::into_map),
             migration,
+            estimated: None,
         };
         let stats = crate::EngineStats {
             events_processed: self.cal.pops(),

@@ -98,6 +98,11 @@ pub struct SimReport {
     /// Online migration activity and cost. Present only when a real
     /// migrator drove the run (the `MIGRATE` policy); `None` otherwise.
     pub migration: Option<MigrationReport>,
+    /// What a sampled fast-forward run extrapolated. Always present for
+    /// [`Fidelity::Sampled`](crate::Fidelity::Sampled) runs and always
+    /// `None` for full-fidelity runs, which keeps their serialized
+    /// reports byte-identical to the pre-sampling fixtures.
+    pub estimated: Option<crate::sampled::EstimateReport>,
 }
 
 impl SimReport {
@@ -186,6 +191,7 @@ mod tests {
             ],
             page_accesses: None,
             migration: None,
+            estimated: None,
         }
     }
 

@@ -69,9 +69,33 @@ pub struct RunRecord {
     /// Online migration counters — present (and serialized) only for
     /// runs driven by the `MIGRATE` policy.
     pub migration: Option<MigrationTelemetry>,
+    /// Fast-forward extrapolation block — present (and serialized) only
+    /// for `fidelity: sampled` runs, so full-fidelity record bytes are
+    /// unchanged.
+    pub estimated: Option<EstimateTelemetry>,
     /// Host wall-clock for the point, milliseconds (nondeterministic;
     /// not serialized unless asked).
     pub wall_ms: Option<f64>,
+}
+
+/// What a sampled fast-forward run extrapolated (mirrors
+/// `gpusim::EstimateReport`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimateTelemetry {
+    /// Windows simulated at full fidelity (including warm-up).
+    pub windows_detail: u64,
+    /// Windows drained and extrapolated.
+    pub windows_extrapolated: u64,
+    /// Warp operations simulated in detail.
+    pub ops_simulated: u64,
+    /// Warp operations drained and extrapolated.
+    pub ops_extrapolated: u64,
+    /// Cycles actually simulated (the concatenated detail timeline).
+    pub cycles_measured: u64,
+    /// Cycles added by the extrapolation model.
+    pub cycles_extrapolated: u64,
+    /// Model self-confidence in `[0, 1]`.
+    pub confidence: f64,
 }
 
 /// What the online migration engine did during one `MIGRATE` run.
@@ -132,6 +156,18 @@ impl RunRecord {
                 .u64("remap_stall_cycles", m.remap_stall_cycles)
                 .finish();
             obj = obj.raw("migration", &mig);
+        }
+        if let Some(e) = &self.estimated {
+            let est = JsonObject::new()
+                .u64("windows_detail", e.windows_detail)
+                .u64("windows_extrapolated", e.windows_extrapolated)
+                .u64("ops_simulated", e.ops_simulated)
+                .u64("ops_extrapolated", e.ops_extrapolated)
+                .u64("cycles_measured", e.cycles_measured)
+                .u64("cycles_extrapolated", e.cycles_extrapolated)
+                .f64("confidence", e.confidence)
+                .finish();
+            obj = obj.raw("estimated", &est);
         }
         if include_timing {
             if let Some(ms) = self.wall_ms {
@@ -197,6 +233,11 @@ pub struct IntervalRecord {
     pub warps_retired: u64,
     /// Per-pool window telemetry.
     pub pools: Vec<IntervalPoolTelemetry>,
+    /// For sampled runs: whether this window was simulated in detail
+    /// (`"detail"`) or synthesized by the extrapolation model
+    /// (`"extrapolated"`). `None` for full-fidelity runs, keeping their
+    /// record bytes unchanged.
+    pub mode: Option<&'static str>,
 }
 
 impl IntervalRecord {
@@ -213,7 +254,7 @@ impl IntervalRecord {
                 .u64("zone_pages", p.zone_pages)
                 .finish()
         }));
-        JsonObject::new()
+        let mut obj = JsonObject::new()
             .str("record", "interval")
             .str("sweep", &self.sweep)
             .str("workload", &self.workload)
@@ -232,8 +273,11 @@ impl IntervalRecord {
             .u64("mshr_stalls", self.mshr_stalls)
             .u64("mshr_peak", self.mshr_peak)
             .u64("warps_retired", self.warps_retired)
-            .raw("pools", &pools)
-            .finish()
+            .raw("pools", &pools);
+        if let Some(mode) = self.mode {
+            obj = obj.str("mode", mode);
+        }
+        obj.finish()
     }
 }
 
@@ -345,6 +389,7 @@ mod tests {
                 row_hit_rate: 0.75,
             }],
             migration: None,
+            estimated: None,
             wall_ms: Some(3.25),
         }
     }
@@ -411,6 +456,7 @@ mod tests {
                 bus_util: 0.4,
                 zone_pages: 17,
             }],
+            mode: None,
         };
         let line = rec.jsonl();
         assert_eq!(line, rec.clone().jsonl());
@@ -420,6 +466,31 @@ mod tests {
         assert!(line.contains(r#""l2_hit_rate":0.5"#));
         assert!(line.contains(r#""bus_util":0.4"#));
         assert!(line.contains(r#""zone_pages":17"#));
+        assert!(!line.contains("mode"), "full-fidelity bytes unchanged");
+        let mut sampled = rec.clone();
+        sampled.mode = Some("extrapolated");
+        assert!(sampled.jsonl().ends_with(r#""mode":"extrapolated"}"#));
+    }
+
+    #[test]
+    fn estimated_block_serialized_only_when_present() {
+        let plain = record("LOCAL", 1000);
+        assert!(!plain.jsonl(false).contains("estimated"));
+        let mut sampled = record("LOCAL", 1000);
+        sampled.estimated = Some(EstimateTelemetry {
+            windows_detail: 14,
+            windows_extrapolated: 378,
+            ops_simulated: 14_336,
+            ops_extrapolated: 387_072,
+            cycles_measured: 9_000,
+            cycles_extrapolated: 240_000,
+            confidence: 0.93,
+        });
+        let line = sampled.jsonl(false);
+        assert!(line.contains(r#""estimated":{"windows_detail":14,"windows_extrapolated":378"#));
+        assert!(line.contains(r#""confidence":0.93"#));
+        // The block sits after the pools array, like migration.
+        assert!(line.find("pools").unwrap() < line.find("estimated").unwrap());
     }
 
     #[test]

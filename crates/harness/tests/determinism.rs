@@ -30,6 +30,7 @@ fn simulate(workload: usize, config: usize, seed: u64) -> RunRecord {
             row_hit_rate: 0.9,
         }],
         migration: None,
+        estimated: None,
         wall_ms: None,
     }
 }

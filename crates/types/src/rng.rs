@@ -62,6 +62,17 @@ impl SplitMix64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
+    /// Advances the stream past `n` outputs in O(1) without computing
+    /// them — the state stride per output is a constant add, so a bulk
+    /// skip is one wrapping multiply-add. Equivalent to calling
+    /// [`SplitMix64::next_u64`] `n` times and discarding the results.
+    #[inline]
+    pub fn skip(&mut self, n: u64) {
+        self.state = self
+            .state
+            .wrapping_add(n.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    }
+
     /// Forks an independent generator, advancing this one.
     pub fn fork(&mut self) -> Self {
         SplitMix64::new(self.next_u64())

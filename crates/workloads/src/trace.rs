@@ -237,6 +237,53 @@ impl WarpProgram for TraceProgram {
             kind,
         })
     }
+
+    fn skip_ops(&mut self, warp: WarpId, n: u64) -> (u64, u64) {
+        let w = warp.index();
+        let mut ops = 0;
+        let mut mem = 0;
+        while ops < n {
+            if self.quota[w] == 0 {
+                break;
+            }
+            if self.compute > 0 && !self.compute_phase[w] {
+                self.compute_phase[w] = true;
+                ops += 1;
+                continue;
+            }
+            self.compute_phase[w] = false;
+            self.quota[w] -= 1;
+            // Replay `next_op`'s draw schedule exactly, but jump the RNG
+            // past draws whose values only feed address math (SplitMix64
+            // advances by a constant stride per output, so a bulk skip is
+            // O(1)). The structure pick must be a real draw — it decides
+            // how many draws the pattern consumes.
+            let rng = &mut self.rngs[w];
+            let u = rng.next_f64();
+            let s_idx = self.cum_weight.partition_point(|&c| c < u);
+            let s_idx = s_idx.min(self.structures.len() - 1);
+            let st = &self.structures[s_idx];
+            match st.pattern {
+                // Stream draws nothing in sample_line (the cursor must
+                // still advance); +1 for the read/write draw.
+                Pattern::Stream => {
+                    self.cursors[w * self.structures.len() + s_idx]
+                        .next(st.live_lines, self.total_warps);
+                    self.rngs[w].skip(1);
+                }
+                // page + line-in-page + read/write.
+                Pattern::Uniform => rng.skip(3),
+                // rank + line-in-page + read/write (the rank search over
+                // the cumulative table is pure, so it can be elided).
+                Pattern::Zipf { .. } => rng.skip(3),
+                // hot test + page + line-in-page + read/write.
+                Pattern::Clustered { .. } => rng.skip(4),
+            }
+            ops += 1;
+            mem += 1;
+        }
+        (ops, mem)
+    }
 }
 
 /// Cumulative Zipf distribution over `n` ranks with exponent `s`.
@@ -344,6 +391,47 @@ mod tests {
             let _ = b.next_op(WarpId(1));
         }
         assert_eq!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn skip_ops_leaves_state_identical_to_next_op() {
+        // Every catalog pattern must agree: skipping n ops and then
+        // generating must produce exactly what generating n ops and
+        // discarding them would. The sampled fast-forward engine's
+        // detail-window byte-identity depends on this.
+        for name in ["bfs", "hotspot", "lbm", "sgemm", "spmv", "xsbench"] {
+            let spec = catalog::by_name(name).unwrap();
+            let layout = LinearLayout::new(&spec);
+            let mut skipped = TraceProgram::new(&spec, layout.bases(), 2);
+            let mut looped = TraceProgram::new(&spec, layout.bases(), 2);
+            for w in [WarpId(0), WarpId(3)] {
+                for n in [1u64, 7, 64, 333] {
+                    let a = skipped.skip_ops(w, n);
+                    let mut ops = 0;
+                    let mut mem = 0;
+                    while ops < n {
+                        match looped.next_op(w) {
+                            Some(WarpOp::Mem { .. }) => {
+                                ops += 1;
+                                mem += 1;
+                            }
+                            Some(_) => ops += 1,
+                            None => break,
+                        }
+                    }
+                    assert_eq!(a, (ops, mem), "{name}: skip counts diverge");
+                    // Resynchronize on real ops: identical state must
+                    // yield identical streams.
+                    for _ in 0..16 {
+                        assert_eq!(
+                            skipped.next_op(w),
+                            looped.next_op(w),
+                            "{name}: streams diverge after skip"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -19,6 +19,11 @@
 # aggregate events/sec (>30% regression fails with exit 4) and a merged
 # baseline/current/speedup report is written next to --out (override
 # with --report). BENCH_0005.json in the repo root is such a report.
+#
+# Every run also executes the sampled-fidelity matrix (full vs sampled
+# per workload) and gates it: >=5x wall-clock speedup and <=5% bandwidth
+# error on at least 4 of 6 workloads (exit 4 on miss). BENCH_0009.json
+# is the committed reference report.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -41,6 +46,17 @@ mkdir -p "$(dirname "$OUT")"
 cargo build --release --offline -q -p hetmem-bench --bin hetmem-perf
 target/release/hetmem-perf run --label "$LABEL" --out "$OUT" \
     ${EXTRA[@]+"${EXTRA[@]}"}
+
+# Sampled-fidelity gate: the fast-forward engine must hold >=5x
+# wall-clock speedup with the error bound on the committed matrix
+# (BENCH_0009.json records the reference numbers). --quick runs the
+# ungated smoke variant instead.
+FIDELITY_ARGS=(--min-speedup 5 --max-error 5 --min-pass 4)
+case " ${EXTRA[*]-} " in
+    *" --quick "*) FIDELITY_ARGS=(--quick) ;;
+esac
+target/release/hetmem-perf fidelity --label "$LABEL" \
+    --out "${OUT%.json}-fidelity.json" "${FIDELITY_ARGS[@]}"
 
 if [ -n "$BASELINE" ]; then
     target/release/hetmem-perf gate --baseline "$BASELINE" --current "$OUT"

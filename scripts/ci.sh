@@ -54,6 +54,24 @@ cmp "$SERVE_DIR/sim1.jsonl" "$SERVE_DIR/sim2.jsonl"  # cache hit: same bytes
 client stats > "$SERVE_DIR/stats.jsonl"
 grep -q '"hits":1' "$SERVE_DIR/stats.jsonl"
 
+# Sampled-fidelity smoke: fidelity=sampled must return a run record
+# with an estimated block (cached under its own content address);
+# fidelity=full must be byte-identical to omitting the field — same
+# cache entry, same bytes; any other value is the stable
+# invalid-fidelity code.
+client --fidelity sampled simulate workload=hotspot policy=LOCAL \
+    mem_ops=4000 sms=2 > "$SERVE_DIR/sim-sampled.jsonl"
+grep -q '"estimated":{' "$SERVE_DIR/sim-sampled.jsonl"
+client --fidelity full simulate workload=hotspot policy=LOCAL \
+    mem_ops=4000 sms=2 > "$SERVE_DIR/sim-full.jsonl"
+cmp "$SERVE_DIR/sim-full.jsonl" "$SERVE_DIR/sim1.jsonl"
+if client --fidelity approximate simulate workload=hotspot policy=LOCAL \
+    mem_ops=4000 sms=2 > "$SERVE_DIR/sim-badfid.jsonl"; then
+    echo "server accepted an invalid fidelity" >&2
+    exit 1
+fi
+grep -q '"code":"invalid-fidelity"' "$SERVE_DIR/sim-badfid.jsonl"
+
 # Pipelined + batch traffic against the poll(2) front end (the default
 # core): 20 request lines written before a single response is read must
 # all be answered on the same connection, and a protocol-v2 batch
@@ -182,6 +200,15 @@ if target/release/hetmem-perf gate \
     echo "hetmem-perf gate failed to reject an impossible speedup" >&2
     exit 1
 fi
+
+# Sampled-fidelity error bound: on two golden steady-state workloads
+# the extrapolated bandwidth must stay within 5% of full fidelity
+# (deterministic numbers — the simulator has no run-to-run noise, so
+# an absolute error gate is CI-safe where a wall-clock one is not).
+target/release/hetmem-perf fidelity --label ci-smoke --iters 1 \
+    --workloads sgemm,lbm --mem-ops 200000 \
+    --window-ops 16384 --warmup-windows 1 --period 8 \
+    --max-error 5 --out "$PERF_DIR/fidelity.json"
 
 # Fleet smoke: consistent-hash router + 3 supervised hetmem-serve
 # backends. The same sweep runs against one single process and against

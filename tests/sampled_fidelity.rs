@@ -1,0 +1,107 @@
+//! Error-bound suite for sampled fast-forward simulation.
+//!
+//! The sampled engine trades exactness for throughput; this suite pins
+//! the trade. On steady-state catalog workloads the extrapolated
+//! bandwidth must stay within 5% of the full-fidelity run, the op
+//! accounting must be exact (every inner operation is consumed exactly
+//! once, simulated or drained), and `fidelity: full` must remain
+//! byte-identical to a builder that never mentions fidelity at all.
+//!
+//! The simulator is deterministic, so the measured errors are fixed
+//! numbers, not distributions — a failure here means the engine or the
+//! extrapolation model changed, not that a die roll went badly.
+
+use gpusim::{Fidelity, SampleConfig, SimConfig};
+use hetmem::runner::{Placement, RunBuilder};
+use mempolicy::Mempolicy;
+use workloads::catalog;
+
+const MEM_OPS: u64 = 200_000;
+
+/// A schedule sized for this suite's op count (the production default's
+/// 64k windows are tuned for millions of ops).
+fn suite_sample() -> SampleConfig {
+    SampleConfig {
+        window_ops: 16_384,
+        warmup_windows: 1,
+        period: 8,
+        seed: 0,
+    }
+}
+
+fn sim() -> SimConfig {
+    SimConfig::paper_baseline()
+}
+
+fn bw_aware(sim: &SimConfig) -> Placement {
+    let topo = hetmem::topology_for(sim, &vec![1; sim.pools.len()]);
+    Placement::Policy(Mempolicy::parse("BW-AWARE", &topo).unwrap())
+}
+
+#[test]
+fn sampled_bandwidth_tracks_full_on_steady_state_workloads() {
+    let sim = sim();
+    let placement = bw_aware(&sim);
+    for name in ["sgemm", "lbm"] {
+        let mut spec = catalog::by_name(name).unwrap();
+        spec.mem_ops = MEM_OPS;
+        let full = RunBuilder::new(&spec, &sim).placement(&placement).run();
+        let sampled = RunBuilder::new(&spec, &sim)
+            .placement(&placement)
+            .fidelity(Fidelity::Sampled(suite_sample()))
+            .run();
+
+        let fb = full.report.achieved_bandwidth(sim.sm_clock_ghz).gbps();
+        let sb = sampled.report.achieved_bandwidth(sim.sm_clock_ghz).gbps();
+        let err = (sb - fb).abs() / fb;
+        assert!(
+            err < 0.05,
+            "{name}: sampled bandwidth off by {:.2}% (full {fb:.2} GB/s, sampled {sb:.2} GB/s)",
+            err * 100.0
+        );
+
+        // Op accounting is exact even though timing is extrapolated.
+        assert_eq!(sampled.report.mem_ops, full.report.mem_ops, "{name}");
+        let est = sampled
+            .report
+            .estimated
+            .expect("sampled reports carry an estimate block");
+        assert!(est.windows_extrapolated > 0, "{name}: must fast-forward");
+        assert!(
+            est.ops_extrapolated > est.ops_simulated,
+            "{name}: most ops must be drained at period 8"
+        );
+        assert!((0.0..=1.0).contains(&est.confidence), "{name}");
+        assert!(full.report.estimated.is_none(), "full runs carry none");
+    }
+}
+
+#[test]
+fn explicit_full_fidelity_is_byte_identical_to_default() {
+    let sim = sim();
+    let placement = bw_aware(&sim);
+    let mut spec = catalog::by_name("bfs").unwrap();
+    spec.mem_ops = 40_000;
+    let default_run = RunBuilder::new(&spec, &sim).placement(&placement).run();
+    let explicit_run = RunBuilder::new(&spec, &sim)
+        .placement(&placement)
+        .fidelity(Fidelity::Full)
+        .run();
+    assert_eq!(default_run.report, explicit_run.report);
+}
+
+#[test]
+fn sampled_runs_are_deterministic_across_repeats() {
+    let sim = sim();
+    let placement = bw_aware(&sim);
+    let mut spec = catalog::by_name("xsbench").unwrap();
+    spec.mem_ops = 80_000;
+    let run = || {
+        RunBuilder::new(&spec, &sim)
+            .placement(&placement)
+            .fidelity(Fidelity::Sampled(suite_sample()))
+            .run()
+            .report
+    };
+    assert_eq!(run(), run());
+}
